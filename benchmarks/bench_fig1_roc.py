@@ -1,0 +1,72 @@
+"""Figure 1 — ROC curves, GHSOM vs baselines (one-class / novelty mode).
+
+Regenerates the ROC-curve figure: every detector is trained on normal-only
+traffic and scored on a mixed test split; the printed series are
+(false-positive rate, detection rate) points sampled along each curve, plus
+the area under each curve.  The timed kernel is GHSOM scoring.
+
+Expected shape: the GHSOM curve dominates the flat SOM and k-means curves
+(higher detection rate at the same false-positive rate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import make_detectors, make_oneclass_workload
+
+from repro.eval.metrics import auc, detection_rate_at_fpr, roc_curve
+from repro.eval.tables import format_series, format_table
+
+#: FPR grid at which each curve is sampled for the printed figure data.
+FPR_GRID = (0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2)
+
+
+def test_fig1_roc_curves(benchmark):
+    workload = make_oneclass_workload()
+    detectors = make_detectors()
+
+    scores_by_detector = {}
+    aucs = {}
+    for name, detector in detectors.items():
+        detector.fit(workload["X_train"])  # one-class: no labels
+        scores = detector.score_samples(workload["X_test"])
+        scores_by_detector[name] = scores
+        fpr, tpr, _ = roc_curve(workload["y_test"], scores)
+        aucs[name] = auc(fpr, tpr)
+
+    ghsom = detectors["ghsom"]
+    benchmark(lambda: ghsom.score_samples(workload["X_test"]))
+
+    sampled = {
+        name: [
+            detection_rate_at_fpr(workload["y_test"], scores_by_detector[name], target)
+            for target in FPR_GRID
+        ]
+        for name in detectors
+    }
+    print()
+    print(
+        format_series(
+            list(FPR_GRID),
+            {name: sampled[name] for name in ("ghsom", "som", "kmeans", "pca", "knn")},
+            x_label="FPR",
+            title="Figure 1: detection rate at fixed false-positive rates (one-class training)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            [[name, aucs[name]] for name in ("ghsom", "som", "kmeans", "pca", "knn")],
+            ["detector", "AUC"],
+            title="Figure 1b: area under the ROC curve",
+        )
+    )
+
+    # Shape: GHSOM dominates the flat SOM and k-means one-class baselines.
+    assert aucs["ghsom"] > 0.9
+    assert aucs["ghsom"] >= aucs["som"] - 0.02
+    assert aucs["ghsom"] >= aucs["kmeans"] - 0.02
+    ghsom_dr_at_1pct = sampled["ghsom"][FPR_GRID.index(0.01)]
+    som_dr_at_1pct = sampled["som"][FPR_GRID.index(0.01)]
+    assert ghsom_dr_at_1pct >= som_dr_at_1pct - 0.05

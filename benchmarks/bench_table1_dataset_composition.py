@@ -1,0 +1,62 @@
+"""Table 1 — dataset composition.
+
+Regenerates the dataset-description table of the evaluation: number of records
+per traffic class (and per category) in the training and test splits, plus the
+overall attack fraction.  The timed kernel is the synthetic dataset generation
+itself (the stand-in for loading the public KDD files).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from common import BENCH_SEED, N_TEST, N_TRAIN, make_supervised_workload
+
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.eval.tables import format_table
+
+
+def test_table1_dataset_composition(benchmark):
+    workload = make_supervised_workload()
+    train, test = workload["train"], workload["test"]
+
+    def generate():
+        return KddSyntheticGenerator(random_state=BENCH_SEED).generate(N_TRAIN)
+
+    benchmark(generate)
+
+    train_by_label = Counter(map(str, train.labels))
+    test_by_label = Counter(map(str, test.labels))
+    train_by_category = train.class_counts()
+    test_by_category = test.class_counts()
+
+    label_rows = [
+        [label, train_by_label.get(label, 0), test_by_label.get(label, 0)]
+        for label in sorted(set(train_by_label) | set(test_by_label))
+    ]
+    category_rows = [
+        [category, train_by_category.get(category, 0), test_by_category.get(category, 0)]
+        for category in ("normal", "dos", "probe", "r2l", "u2r")
+    ]
+    print()
+    print(format_table(label_rows, ["class", "train", "test"], title="Table 1a: records per class"))
+    print()
+    print(
+        format_table(
+            category_rows, ["category", "train", "test"], title="Table 1b: records per category"
+        )
+    )
+    print()
+    print(
+        format_table(
+            [
+                ["train", len(train), float(train.is_attack.mean())],
+                ["test", len(test), float(test.is_attack.mean())],
+            ],
+            ["split", "records", "attack_fraction"],
+            title="Table 1c: split sizes",
+        )
+    )
+
+    assert len(train) == N_TRAIN and len(test) == N_TEST
+    assert set(train_by_category) == {"normal", "dos", "probe", "r2l", "u2r"}

@@ -1,0 +1,56 @@
+"""Table 3 — per-attack-category detection rates.
+
+Regenerates the per-category table: detection rate for DoS, Probe, R2L and
+U2R traffic (and the false-positive rate on normal traffic) for every
+detector.  The timed kernel is GHSOM batch scoring of the test split.
+
+Expected shape: DoS and Probe are detected almost perfectly, R2L and U2R are
+markedly harder — the ordering reported throughout the KDD-based intrusion
+detection literature.
+"""
+
+from __future__ import annotations
+
+from common import make_detectors, make_supervised_workload
+
+from repro.eval.metrics import per_category_detection_rates
+from repro.eval.tables import format_table
+
+CATEGORIES = ("normal", "dos", "probe", "r2l", "u2r")
+
+
+def test_table3_per_category_detection(benchmark):
+    workload = make_supervised_workload()
+    detectors = make_detectors()
+
+    per_detector = {}
+    for name, detector in detectors.items():
+        detector.fit(workload["X_train"], workload["y_train"])
+        predictions = detector.predict(workload["X_test"])
+        per_detector[name] = per_category_detection_rates(
+            workload["test_categories"], predictions
+        )
+
+    ghsom = detectors["ghsom"]
+    benchmark(lambda: ghsom.predict(workload["X_test"]))
+
+    rows = []
+    for name in ("ghsom", "som", "kmeans", "pca", "knn"):
+        rates = per_detector[name]
+        rows.append([name] + [rates.get(category) for category in CATEGORIES])
+    print()
+    print(
+        format_table(
+            rows,
+            ["detector", "FPR(normal)", "DR(dos)", "DR(probe)", "DR(r2l)", "DR(u2r)"],
+            title="Table 3: per-category detection rate (alarm fraction per true category)",
+        )
+    )
+
+    ghsom_rates = per_detector["ghsom"]
+    # Shape: volumetric attacks are near-perfectly detected and are easier
+    # than the content-based R2L/U2R classes for the distance-based detector.
+    assert ghsom_rates["dos"] > 0.95
+    assert ghsom_rates["probe"] > 0.9
+    assert ghsom_rates["normal"] < 0.1
+    assert ghsom_rates["dos"] >= ghsom_rates["u2r"] - 0.05

@@ -1,0 +1,58 @@
+"""Table 4 — GHSOM confusion matrix (5-class classification).
+
+Regenerates the multi-class confusion matrix of the GHSOM detector: rows are
+true categories, columns are predicted categories (including ``unknown`` for
+records that resemble no training class).  The timed kernel is
+``predict_category`` over the test split.
+
+Expected shape: a strongly diagonal matrix for normal/DoS/Probe, with most of
+the confusion concentrated in the R2L and U2R rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import default_ghsom_config, make_supervised_workload
+
+from repro.core import GhsomDetector
+from repro.eval.metrics import confusion_matrix
+from repro.eval.tables import format_table
+
+LABELS = ["normal", "dos", "probe", "r2l", "u2r", "unknown"]
+
+
+def test_table4_confusion_matrix(benchmark):
+    workload = make_supervised_workload()
+    detector = GhsomDetector(default_ghsom_config(), random_state=0)
+    detector.fit(workload["X_train"], workload["y_train"])
+
+    predicted = benchmark(lambda: detector.predict_category(workload["X_test"]))
+
+    matrix, names = confusion_matrix(workload["test_categories"], predicted, labels=LABELS)
+    rows = [[names[row]] + matrix[row].tolist() for row in range(len(names))]
+    print()
+    print(
+        format_table(
+            rows,
+            ["true \\ predicted"] + names,
+            title="Table 4: GHSOM confusion matrix (counts)",
+        )
+    )
+
+    # Per-class recall for the diagonal-dominance check.
+    recalls = {}
+    for index, name in enumerate(names):
+        total = matrix[index].sum()
+        recalls[name] = matrix[index, index] / total if total else None
+    recall_rows = [[name, recalls[name]] for name in names if recalls[name] is not None]
+    print()
+    print(format_table(recall_rows, ["category", "recall"], title="Table 4b: per-class recall"))
+
+    # Shape: normal / dos / probe rows are diagonal-dominant.
+    for name in ("normal", "dos", "probe"):
+        index = names.index(name)
+        row_total = matrix[index].sum()
+        if row_total:
+            assert matrix[index, index] / row_total > 0.75
+    assert np.asarray(matrix).sum() == len(workload["test_categories"])

@@ -1,0 +1,70 @@
+"""Table 5 — GHSOM topology statistics as a function of tau1 / tau2.
+
+Regenerates the model-structure table: number of maps, number of units,
+hierarchy depth and mean units per map for a grid of (tau1, tau2) settings,
+together with the resulting detection quality.  The timed kernel is one full
+GHSOM training run at the default setting.
+
+Expected shape: smaller tau1 grows wider layers (more units), smaller tau2
+grows deeper hierarchies (more maps).
+"""
+
+from __future__ import annotations
+
+from common import default_ghsom_config, make_supervised_workload
+
+from repro.core import Ghsom
+from repro.eval.sweeps import tau_sensitivity_sweep
+from repro.eval.tables import format_table
+
+TAU1_VALUES = (0.6, 0.3, 0.15)
+TAU2_VALUES = (0.2, 0.05)
+
+
+def test_table5_topology_statistics(benchmark):
+    workload = make_supervised_workload(n_train=3000, n_test=1500)
+    base = default_ghsom_config(training=default_ghsom_config().training)
+
+    rows = tau_sensitivity_sweep(
+        workload["X_train"],
+        workload["y_train"],
+        workload["X_test"],
+        workload["y_test"],
+        tau1_values=TAU1_VALUES,
+        tau2_values=TAU2_VALUES,
+        base_config=base,
+        random_state=0,
+    )
+
+    benchmark.pedantic(
+        lambda: Ghsom(default_ghsom_config()).fit(workload["X_train"]),
+        rounds=1,
+        iterations=1,
+    )
+
+    table_rows = [
+        [
+            row["tau1"],
+            row["tau2"],
+            row["n_maps"],
+            row["n_units"],
+            row["depth"],
+            row["detection_rate"],
+            row["false_positive_rate"],
+            row["fit_seconds"],
+        ]
+        for row in rows
+    ]
+    print()
+    print(
+        format_table(
+            table_rows,
+            ["tau1", "tau2", "maps", "units", "depth", "DR", "FPR", "fit_s"],
+            title="Table 5: GHSOM topology and accuracy vs (tau1, tau2)",
+        )
+    )
+
+    by_key = {(row["tau1"], row["tau2"]): row for row in rows}
+    # Shape: smaller tau1 -> at least as many units; smaller tau2 -> at least as many maps.
+    assert by_key[(0.15, 0.05)]["n_units"] >= by_key[(0.6, 0.05)]["n_units"]
+    assert by_key[(0.3, 0.05)]["n_maps"] >= by_key[(0.3, 0.2)]["n_maps"]

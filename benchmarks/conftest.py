@@ -1,0 +1,9 @@
+"""Pytest configuration for the benchmark harness.
+
+The benchmarks print the reproduced tables/figures; run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the printed tables; without it pytest still runs everything and
+reports the timing part.)
+"""

@@ -1,0 +1,81 @@
+"""Parameter study: how tau1 / tau2 and the threshold strategy shape the GHSOM.
+
+This example reproduces the sensitivity analysis interactively: it sweeps the
+two growth thresholds over a small grid, reports model size and accuracy for
+each setting, and compares the global vs per-unit alarm-threshold strategies
+at fixed false-positive budgets.
+
+Run with::
+
+    python examples/parameter_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import GhsomConfig, GhsomDetector, KddSyntheticGenerator, PreprocessingPipeline, SomTrainingConfig
+from repro.eval.metrics import detection_rate_at_fpr
+from repro.eval.sweeps import tau_sensitivity_sweep
+from repro.eval.tables import format_table
+
+
+def main() -> None:
+    generator = KddSyntheticGenerator(random_state=0)
+    train, test = generator.generate_train_test(2500, 1200)
+    pipeline = PreprocessingPipeline()
+    X_train = pipeline.fit_transform(train)
+    X_test = pipeline.transform(test)
+    y_train = [str(category) for category in train.categories]
+    y_test = test.is_attack.astype(int)
+
+    # --- tau sweep -------------------------------------------------------------
+    base = GhsomConfig(max_depth=3, max_map_size=100, training=SomTrainingConfig(epochs=4))
+    rows = tau_sensitivity_sweep(
+        X_train,
+        y_train,
+        X_test,
+        y_test,
+        tau1_values=(0.5, 0.3, 0.2),
+        tau2_values=(0.1, 0.05),
+        base_config=base,
+        random_state=0,
+    )
+    print(
+        format_table(
+            [
+                [row["tau1"], row["tau2"], row["n_maps"], row["n_units"], row["depth"],
+                 row["detection_rate"], row["false_positive_rate"], row["fit_seconds"]]
+                for row in rows
+            ],
+            ["tau1", "tau2", "maps", "units", "depth", "DR", "FPR", "fit_s"],
+            title="GHSOM size and accuracy across (tau1, tau2)",
+        )
+    )
+
+    # --- threshold-strategy ablation (one-class mode) ---------------------------
+    normal_train = generator.generate_normal(2500)
+    oneclass_pipeline = PreprocessingPipeline().fit(normal_train)
+    X_normal = oneclass_pipeline.transform(normal_train)
+    X_eval = oneclass_pipeline.transform(test)
+    ablation_rows = []
+    for strategy in ("global", "per_unit"):
+        detector = GhsomDetector(
+            GhsomConfig(tau1=0.3, tau2=0.05, max_depth=3),
+            threshold_strategy=strategy,
+            random_state=0,
+        )
+        detector.fit(X_normal)
+        scores = detector.score_samples(X_eval)
+        for budget in (0.01, 0.05):
+            ablation_rows.append([strategy, budget, detection_rate_at_fpr(y_test, scores, budget)])
+    print()
+    print(
+        format_table(
+            ablation_rows,
+            ["threshold_strategy", "FPR_budget", "detection_rate"],
+            title="Threshold-strategy ablation (one-class training)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

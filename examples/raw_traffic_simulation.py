@@ -1,0 +1,114 @@
+"""Raw-traffic scenario: simulate an enterprise network, inject attacks, detect them.
+
+Unlike the other examples, this one does not sample KDD-style records directly:
+it simulates flow-level traffic for a small enterprise network (web, mail,
+DNS, FTP sessions), injects four attack episodes into a monitoring window,
+derives the 41 KDD features from the raw event stream with the causal feature
+extractor, and runs a one-class GHSOM detector that was calibrated on an
+attack-free window of the same network.
+
+Run with::
+
+    python examples/raw_traffic_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AttackInjection,
+    GhsomConfig,
+    GhsomDetector,
+    PreprocessingPipeline,
+    TrafficSimulator,
+    binary_metrics,
+    format_table,
+    per_category_detection_rates,
+)
+from repro.netsim import NetworkModel
+
+
+def main() -> None:
+    network = NetworkModel(n_internal_hosts=40, n_external_hosts=150, n_servers=8, random_state=1)
+
+    # --- Calibration window: one attack-free period of normal operations ------
+    calibration_sim = TrafficSimulator(
+        duration_seconds=600.0, sessions_per_second=3.0, network=network, random_state=10
+    )
+    calibration = calibration_sim.run()
+    print(f"calibration window: {len(calibration)} connections, classes {calibration.class_counts()}")
+
+    # --- Monitored window: same network, four injected attack episodes --------
+    monitored_sim = TrafficSimulator(
+        duration_seconds=600.0,
+        sessions_per_second=3.0,
+        network=network,
+        injections=[
+            AttackInjection("neptune", start_time=80.0),
+            AttackInjection("portsweep", start_time=220.0),
+            AttackInjection("guess_passwd", start_time=360.0),
+            AttackInjection("smurf", start_time=480.0),
+        ],
+        random_state=11,
+    )
+    monitored, events = monitored_sim.run_with_events()
+    print(f"monitored window:   {len(monitored)} connections, classes {monitored.class_counts()}")
+
+    # --- Features and one-class detector ---------------------------------------
+    pipeline = PreprocessingPipeline()
+    X_calibration = pipeline.fit_transform(calibration)
+    X_monitored = pipeline.transform(monitored)
+    detector = GhsomDetector(GhsomConfig(tau1=0.3, tau2=0.05, max_depth=3), random_state=0)
+    detector.fit(X_calibration)  # no labels: normal-only calibration
+
+    alarms = detector.predict(X_monitored)
+    truth = monitored.is_attack.astype(int)
+    metrics = binary_metrics(truth, alarms)
+    print()
+    print(
+        format_table(
+            [[metrics.detection_rate, metrics.false_positive_rate, metrics.precision]],
+            ["detection_rate", "false_positive_rate", "precision"],
+            title="One-class detection on the monitored window",
+        )
+    )
+
+    rates = per_category_detection_rates([str(c) for c in monitored.categories], alarms)
+    print()
+    print(
+        format_table(
+            [[category, rate] for category, rate in sorted(rates.items())],
+            ["category", "alarm_fraction"],
+            title="Alarm fraction per traffic category",
+        )
+    )
+
+    # --- Alarm timeline: when did the detector fire? ---------------------------
+    timestamps = np.array([event.timestamp for event in events])
+    bins = np.arange(0.0, 601.0, 60.0)
+    rows = []
+    for start, stop in zip(bins[:-1], bins[1:]):
+        mask = (timestamps >= start) & (timestamps < stop)
+        if not mask.any():
+            continue
+        rows.append(
+            [
+                f"{int(start)}-{int(stop)}s",
+                int(mask.sum()),
+                float(truth[mask].mean()),
+                float(alarms[mask].mean()),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            ["interval", "connections", "true_attack_fraction", "alarm_fraction"],
+            title="Alarm timeline (attacks injected at 80s, 220s, 360s, 480s)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only so
+that legacy (non-PEP-660) editable installs — ``pip install -e . --no-use-pep517``
+— keep working on environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,9 @@
+"""Baseline anomaly detectors the paper's evaluation compares GHSOM against."""
+
+from repro.baselines.som_detector import SomDetector
+from repro.baselines.kmeans import KMeansDetector
+from repro.baselines.pca_subspace import PcaSubspaceDetector
+from repro.baselines.knn import KnnDetector
+from repro.baselines.lof import LofDetector
+
+__all__ = ["SomDetector", "KMeansDetector", "PcaSubspaceDetector", "KnnDetector", "LofDetector"]

@@ -1,0 +1,229 @@
+"""k-means clustering baseline detector.
+
+A classic centroid-based intrusion detector: cluster the training traffic with
+k-means, label each cluster by majority vote (when labels are available), and
+flag test records that either land in an attack-labelled cluster or lie
+unusually far from their nearest centroid.  k-means is the partitional
+counterpart to the SOM family and a standard baseline in the GHSOM
+intrusion-detection literature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.detector import BaseAnomalyDetector, combine_label_and_distance_scores
+from repro.core.distances import squared_euclidean
+from repro.core.labeling import UNLABELED, UnitLabeler
+from repro.core.thresholds import make_threshold_strategy
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_array_2d, check_same_length
+
+
+class KMeans:
+    """Minimal Lloyd's-algorithm k-means with k-means++ initialisation."""
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        random_state: RandomState = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ConfigurationError(f"n_clusters must be >= 1, got {n_clusters}")
+        if max_iterations < 1:
+            raise ConfigurationError(f"max_iterations must be >= 1, got {max_iterations}")
+        self.n_clusters = int(n_clusters)
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self._rng = ensure_rng(random_state)
+        self.centroids: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+        self.n_iterations_: int = 0
+
+    def _init_centroids(self, matrix: np.ndarray) -> np.ndarray:
+        """k-means++ seeding: spread the initial centroids across the data."""
+        n_samples = matrix.shape[0]
+        centroids = np.empty((self.n_clusters, matrix.shape[1]))
+        first = self._rng.integers(0, n_samples)
+        centroids[0] = matrix[first]
+        closest_sq = squared_euclidean(matrix, centroids[:1])[:, 0]
+        for index in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 0:
+                chosen = self._rng.integers(0, n_samples)
+            else:
+                probabilities = closest_sq / total
+                chosen = self._rng.choice(n_samples, p=probabilities)
+            centroids[index] = matrix[chosen]
+            new_sq = squared_euclidean(matrix, centroids[index : index + 1])[:, 0]
+            closest_sq = np.minimum(closest_sq, new_sq)
+        return centroids
+
+    def fit(self, data) -> "KMeans":
+        """Run Lloyd's algorithm until convergence or ``max_iterations``."""
+        matrix = check_array_2d(data, "data", min_rows=1)
+        if matrix.shape[0] < self.n_clusters:
+            raise ConfigurationError(
+                f"cannot fit {self.n_clusters} clusters on {matrix.shape[0]} samples"
+            )
+        centroids = self._init_centroids(matrix)
+        for iteration in range(self.max_iterations):
+            distances = squared_euclidean(matrix, centroids)
+            assignments = np.argmin(distances, axis=1)
+            updated = centroids.copy()
+            for cluster in range(self.n_clusters):
+                members = matrix[assignments == cluster]
+                if members.shape[0] > 0:
+                    updated[cluster] = members.mean(axis=0)
+            shift = float(np.linalg.norm(updated - centroids))
+            centroids = updated
+            self.n_iterations_ = iteration + 1
+            if shift < self.tolerance:
+                break
+        self.centroids = centroids
+        final_distances = squared_euclidean(matrix, centroids)
+        self.inertia_ = float(final_distances.min(axis=1).sum())
+        return self
+
+    def predict(self, data) -> np.ndarray:
+        """Nearest-centroid index for each sample."""
+        if self.centroids is None:
+            raise ConfigurationError("KMeans is not fitted")
+        matrix = check_array_2d(data, "data")
+        return np.argmin(squared_euclidean(matrix, self.centroids), axis=1)
+
+    def transform(self, data) -> np.ndarray:
+        """Euclidean distance of each sample to its nearest centroid."""
+        if self.centroids is None:
+            raise ConfigurationError("KMeans is not fitted")
+        matrix = check_array_2d(data, "data")
+        return np.sqrt(squared_euclidean(matrix, self.centroids).min(axis=1))
+
+
+class KMeansDetector(BaseAnomalyDetector):
+    """Anomaly detector built on k-means clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids.
+    threshold_strategy, threshold_kwargs:
+        Same threshold options as the SOM-family detectors (clusters play the
+        role of leaf units).
+    calibrate_on_normal_only:
+        Calibrate thresholds on normal training records only when labels are
+        available.
+    random_state:
+        Seed for centroid initialisation.
+    """
+
+    name = "kmeans"
+
+    def __init__(
+        self,
+        n_clusters: int = 40,
+        *,
+        max_iterations: int = 100,
+        threshold_strategy: str = "per_unit",
+        threshold_kwargs: Optional[Dict[str, object]] = None,
+        labeling_strategy: str = "majority",
+        calibrate_on_normal_only: bool = True,
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_clusters = int(n_clusters)
+        self.max_iterations = int(max_iterations)
+        self.threshold_strategy_name = threshold_strategy
+        self.threshold_kwargs = dict(threshold_kwargs or {})
+        self.labeling_strategy = labeling_strategy
+        self.calibrate_on_normal_only = calibrate_on_normal_only
+        self.random_state = random_state
+        self.model: Optional[KMeans] = None
+        self.labeler: Optional[UnitLabeler] = None
+        self.threshold_: Optional[object] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model is not None and self.threshold_ is not None
+
+    def _leaf_keys(self, clusters: np.ndarray) -> List:
+        return [("kmeans", int(cluster)) for cluster in clusters]
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X, y: Optional[Sequence[str]] = None) -> "KMeansDetector":
+        """Cluster the training data, label clusters and calibrate thresholds."""
+        matrix = check_array_2d(X, "X", min_rows=2)
+        labels = None
+        if y is not None:
+            labels = [str(label) for label in y]
+            check_same_length(matrix, labels, "X", "y")
+        n_clusters = min(self.n_clusters, matrix.shape[0])
+        self.model = KMeans(
+            n_clusters=n_clusters,
+            max_iterations=self.max_iterations,
+            random_state=self.random_state,
+        )
+        self.model.fit(matrix)
+        clusters = self.model.predict(matrix)
+        distances = self.model.transform(matrix)
+        leaf_keys = self._leaf_keys(clusters)
+
+        if labels is not None:
+            self.labeler = UnitLabeler(strategy=self.labeling_strategy)
+            self.labeler.fit(leaf_keys, labels)
+        else:
+            self.labeler = None
+
+        calibration_mask = np.ones(len(distances), dtype=bool)
+        if labels is not None and self.calibrate_on_normal_only:
+            normal_mask = np.array([label == "normal" for label in labels])
+            if normal_mask.any():
+                calibration_mask = normal_mask
+        strategy = make_threshold_strategy(self.threshold_strategy_name, **self.threshold_kwargs)
+        strategy.fit(
+            distances[calibration_mask],
+            [key for key, keep in zip(leaf_keys, calibration_mask) if keep],
+        )
+        self.threshold_ = strategy
+        return self
+
+    # ------------------------------------------------------------------ #
+    def score_samples(self, X) -> np.ndarray:
+        """Threshold-normalised anomaly scores (label-aware in labelled mode)."""
+        self._require_fitted(self.is_fitted)
+        matrix = check_array_2d(X, "X")
+        clusters = self.model.predict(matrix)
+        distances = self.model.transform(matrix)
+        leaf_keys = self._leaf_keys(clusters)
+        ratios = self.threshold_.normalize(distances, leaf_keys)
+        return combine_label_and_distance_scores(ratios, leaf_keys, self.labeler)
+
+    def predict(self, X) -> np.ndarray:
+        """Binary decisions (attack-labelled cluster or distance above threshold)."""
+        return (self.score_samples(X) > 1.0).astype(int)
+
+    def predict_category(self, X) -> List[str]:
+        """Per-record class labels from cluster majority votes."""
+        self._require_fitted(self.is_fitted)
+        if self.labeler is None:
+            return super().predict_category(X)
+        matrix = check_array_2d(X, "X")
+        clusters = self.model.predict(matrix)
+        distances = self.model.transform(matrix)
+        leaf_keys = self._leaf_keys(clusters)
+        ratios = self.threshold_.normalize(distances, leaf_keys)
+        categories: List[str] = []
+        for key, ratio in zip(leaf_keys, ratios):
+            label = self.labeler.label_of(key)
+            if label == UNLABELED:
+                categories.append("unknown" if ratio > 1.0 else "normal")
+            elif label == "normal" and ratio > 1.0:
+                categories.append("unknown")
+            else:
+                categories.append(label)
+        return categories

@@ -1,0 +1,137 @@
+"""k-nearest-neighbour distance baseline detector.
+
+The simplest non-parametric novelty detector: the anomaly score of a record is
+its (average) distance to its k nearest neighbours among the training
+records.  It is accurate but expensive (O(n) per query against the reference
+set), which is precisely the scalability argument that motivates
+prototype-based models such as SOM/GHSOM — the scalability benchmark
+(Figure 5) makes that trade-off visible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.detector import BaseAnomalyDetector
+from repro.core.distances import squared_euclidean
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_array_2d
+
+
+class KnnDetector(BaseAnomalyDetector):
+    """Anomaly detector scoring records by mean distance to their k nearest training records.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of nearest neighbours averaged into the score.
+    max_reference_size:
+        The training set is subsampled to at most this many records to bound
+        query cost (the reference set is what every query is compared
+        against).
+    percentile:
+        Percentile of training scores used as the alarm threshold.
+    fit_on_normal_only:
+        Use only normal training records as the reference set when labels are
+        available.
+    chunk_size:
+        Queries are processed in chunks of this many records to bound the
+        memory of the pairwise-distance matrix.
+    random_state:
+        Seed for reference-set subsampling.
+    """
+
+    name = "knn"
+
+    def __init__(
+        self,
+        n_neighbors: int = 5,
+        *,
+        max_reference_size: int = 5000,
+        percentile: float = 99.0,
+        fit_on_normal_only: bool = True,
+        chunk_size: int = 1024,
+        random_state: RandomState = None,
+    ) -> None:
+        if n_neighbors < 1:
+            raise ConfigurationError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if max_reference_size < 1:
+            raise ConfigurationError(
+                f"max_reference_size must be >= 1, got {max_reference_size}"
+            )
+        if not 0.0 < percentile <= 100.0:
+            raise ConfigurationError(f"percentile must be in (0, 100], got {percentile}")
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.n_neighbors = int(n_neighbors)
+        self.max_reference_size = int(max_reference_size)
+        self.percentile = float(percentile)
+        self.fit_on_normal_only = fit_on_normal_only
+        self.chunk_size = int(chunk_size)
+        self._rng = ensure_rng(random_state)
+        self._reference: Optional[np.ndarray] = None
+        self._threshold: Optional[float] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._reference is not None and self._threshold is not None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X, y: Optional[Sequence[str]] = None) -> "KnnDetector":
+        """Store (a subsample of) the training set and calibrate the threshold."""
+        matrix = check_array_2d(X, "X", min_rows=2)
+        reference = matrix
+        if y is not None and self.fit_on_normal_only:
+            labels = np.array([str(label) for label in y])
+            if labels.shape[0] != matrix.shape[0]:
+                raise ConfigurationError(
+                    f"got {matrix.shape[0]} samples but {labels.shape[0]} labels"
+                )
+            normal_mask = labels == "normal"
+            if normal_mask.sum() >= self.n_neighbors + 1:
+                reference = matrix[normal_mask]
+        if reference.shape[0] > self.max_reference_size:
+            indices = self._rng.choice(reference.shape[0], self.max_reference_size, replace=False)
+            reference = reference[indices]
+        self._reference = reference
+        # Calibrate on the reference set itself, excluding each point's
+        # zero-distance match with itself.
+        training_scores = self._mean_knn_distance(reference, exclude_self=True)
+        self._threshold = max(float(np.percentile(training_scores, self.percentile)), 1e-12)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _mean_knn_distance(self, matrix: np.ndarray, *, exclude_self: bool = False) -> np.ndarray:
+        reference = self._reference
+        k = min(self.n_neighbors, reference.shape[0] - (1 if exclude_self else 0))
+        k = max(k, 1)
+        scores = np.empty(matrix.shape[0])
+        for start in range(0, matrix.shape[0], self.chunk_size):
+            chunk = matrix[start : start + self.chunk_size]
+            distances = np.sqrt(squared_euclidean(chunk, reference))
+            if exclude_self:
+                # The smallest distance of a reference point to the reference
+                # set is its self-distance (0); drop it by taking k+1.
+                nearest = np.partition(distances, k, axis=1)[:, 1 : k + 1]
+            else:
+                nearest = np.partition(distances, k - 1, axis=1)[:, :k]
+            scores[start : start + self.chunk_size] = nearest.mean(axis=1)
+        return scores
+
+    def score_samples(self, X) -> np.ndarray:
+        """Threshold-normalised anomaly scores (mean k-NN distance / threshold)."""
+        self._require_fitted(self.is_fitted)
+        matrix = check_array_2d(X, "X")
+        if matrix.shape[1] != self._reference.shape[1]:
+            raise ConfigurationError(
+                f"X has {matrix.shape[1]} features, the detector expects "
+                f"{self._reference.shape[1]}"
+            )
+        return self._mean_knn_distance(matrix) / self._threshold
+
+    def predict_category(self, X) -> List[str]:
+        """k-NN has no class model; anomalies are reported as ``"anomaly"``."""
+        return super().predict_category(X)

@@ -1,0 +1,168 @@
+"""Local Outlier Factor (LOF) baseline detector.
+
+LOF scores a record by how much sparser its neighbourhood is than the
+neighbourhoods of its nearest training records: a ratio around 1 means the
+record sits in a region as dense as its neighbours' regions, a ratio well
+above 1 means it is a local outlier.  LOF is the standard density-based
+comparison point for one-class network anomaly detection; like k-NN it is
+instance-based, so it is accurate but expensive at detection time.
+
+The implementation follows Breunig et al.'s definition with a fixed reference
+set (the training data), i.e. the novelty-detection variant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.detector import BaseAnomalyDetector
+from repro.core.distances import squared_euclidean
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_array_2d
+
+
+class LofDetector(BaseAnomalyDetector):
+    """Local-Outlier-Factor anomaly detector (novelty-detection variant).
+
+    Parameters
+    ----------
+    n_neighbors:
+        Neighbourhood size ``k`` used for reachability densities.
+    max_reference_size:
+        The training set is subsampled to at most this many records.
+    percentile:
+        Percentile of the training LOF distribution used as the alarm
+        threshold (scores are normalised by it, so 1.0 = at threshold).
+    fit_on_normal_only:
+        When labels are passed to :meth:`fit`, keep only normal records in
+        the reference set.
+    chunk_size:
+        Query records are processed in chunks to bound memory.
+    random_state:
+        Seed for reference subsampling.
+    """
+
+    name = "lof"
+
+    def __init__(
+        self,
+        n_neighbors: int = 20,
+        *,
+        max_reference_size: int = 3000,
+        percentile: float = 99.0,
+        fit_on_normal_only: bool = True,
+        chunk_size: int = 1024,
+        random_state: RandomState = None,
+    ) -> None:
+        if n_neighbors < 1:
+            raise ConfigurationError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if max_reference_size < 2:
+            raise ConfigurationError(
+                f"max_reference_size must be >= 2, got {max_reference_size}"
+            )
+        if not 0.0 < percentile <= 100.0:
+            raise ConfigurationError(f"percentile must be in (0, 100], got {percentile}")
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.n_neighbors = int(n_neighbors)
+        self.max_reference_size = int(max_reference_size)
+        self.percentile = float(percentile)
+        self.fit_on_normal_only = fit_on_normal_only
+        self.chunk_size = int(chunk_size)
+        self._rng = ensure_rng(random_state)
+        self._reference: Optional[np.ndarray] = None
+        self._k_distances: Optional[np.ndarray] = None
+        self._lrd: Optional[np.ndarray] = None
+        self._threshold: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self._reference is not None and self._threshold is not None
+
+    def fit(self, X, y: Optional[Sequence[str]] = None) -> "LofDetector":
+        """Build the reference set, its local reachability densities, and the threshold."""
+        matrix = check_array_2d(X, "X", min_rows=3)
+        reference = matrix
+        if y is not None and self.fit_on_normal_only:
+            labels = np.array([str(label) for label in y])
+            if labels.shape[0] != matrix.shape[0]:
+                raise ConfigurationError(
+                    f"got {matrix.shape[0]} samples but {labels.shape[0]} labels"
+                )
+            normal_mask = labels == "normal"
+            if normal_mask.sum() > self.n_neighbors + 1:
+                reference = matrix[normal_mask]
+        if reference.shape[0] > self.max_reference_size:
+            indices = self._rng.choice(
+                reference.shape[0], self.max_reference_size, replace=False
+            )
+            reference = reference[indices]
+        self._reference = reference
+        k = min(self.n_neighbors, reference.shape[0] - 1)
+        self._effective_k = max(k, 1)
+        # Pairwise distances within the reference set (excluding self-distance).
+        distances = np.sqrt(squared_euclidean(reference, reference))
+        np.fill_diagonal(distances, np.inf)
+        neighbor_indices = np.argpartition(distances, self._effective_k - 1, axis=1)[
+            :, : self._effective_k
+        ]
+        neighbor_distances = np.take_along_axis(distances, neighbor_indices, axis=1)
+        # k-distance of each reference point = distance to its k-th neighbour.
+        self._k_distances = neighbor_distances.max(axis=1)
+        # Local reachability density of each reference point.
+        reachability = np.maximum(
+            neighbor_distances, self._k_distances[neighbor_indices]
+        )
+        mean_reachability = reachability.mean(axis=1)
+        self._lrd = 1.0 / np.maximum(mean_reachability, 1e-12)
+        # LOF of the reference points themselves calibrates the threshold.
+        reference_lof = self._lof_from_neighbors(neighbor_indices, neighbor_distances, self._lrd)
+        self._threshold = max(float(np.percentile(reference_lof, self.percentile)), 1e-12)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _lof_from_neighbors(
+        self,
+        neighbor_indices: np.ndarray,
+        neighbor_distances: np.ndarray,
+        query_lrd: np.ndarray,
+    ) -> np.ndarray:
+        """LOF given each query's neighbour indices/distances and the query LRDs."""
+        neighbor_lrd = self._lrd[neighbor_indices]
+        return neighbor_lrd.mean(axis=1) / np.maximum(query_lrd, 1e-12)
+
+    def _query_lof(self, matrix: np.ndarray) -> np.ndarray:
+        scores = np.empty(matrix.shape[0])
+        k = self._effective_k
+        for start in range(0, matrix.shape[0], self.chunk_size):
+            chunk = matrix[start : start + self.chunk_size]
+            distances = np.sqrt(squared_euclidean(chunk, self._reference))
+            neighbor_indices = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            neighbor_distances = np.take_along_axis(distances, neighbor_indices, axis=1)
+            reachability = np.maximum(
+                neighbor_distances, self._k_distances[neighbor_indices]
+            )
+            query_lrd = 1.0 / np.maximum(reachability.mean(axis=1), 1e-12)
+            scores[start : start + self.chunk_size] = self._lof_from_neighbors(
+                neighbor_indices, neighbor_distances, query_lrd
+            )
+        return scores
+
+    def score_samples(self, X) -> np.ndarray:
+        """Threshold-normalised LOF scores (1.0 = at the calibrated threshold)."""
+        self._require_fitted(self.is_fitted)
+        matrix = check_array_2d(X, "X")
+        if matrix.shape[1] != self._reference.shape[1]:
+            raise ConfigurationError(
+                f"X has {matrix.shape[1]} features, the detector expects "
+                f"{self._reference.shape[1]}"
+            )
+        return self._query_lof(matrix) / self._threshold
+
+    def predict_category(self, X) -> List[str]:
+        """LOF has no class model; anomalies are reported as ``"anomaly"``."""
+        return super().predict_category(X)

@@ -1,0 +1,156 @@
+"""Flat (fixed-size) SOM baseline detector.
+
+This is the classic Kohonen-map intrusion detector that GHSOM improves upon:
+one rectangular map of a fixed, user-chosen size, with the same unit
+labelling and threshold machinery as the GHSOM detector.  Comparing the two
+isolates the contribution of growth and hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SomTrainingConfig
+from repro.core.detector import BaseAnomalyDetector, combine_label_and_distance_scores
+from repro.core.labeling import UNLABELED, UnitLabeler
+from repro.core.som import Som
+from repro.core.thresholds import make_threshold_strategy
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_array_2d, check_same_length
+
+
+class SomDetector(BaseAnomalyDetector):
+    """Anomaly detector built on a single fixed-size SOM.
+
+    Parameters
+    ----------
+    rows, cols:
+        Map shape (the model capacity is fixed, unlike GHSOM).
+    training:
+        SOM training hyper-parameters.
+    threshold_strategy, threshold_kwargs:
+        Same options as :class:`~repro.core.detector.GhsomDetector`.
+    labeling_strategy:
+        Unit labelling rule when labels are provided.
+    calibrate_on_normal_only:
+        Calibrate thresholds only on normal training records when labels are
+        available.
+    random_state:
+        Seed for initialisation.
+    """
+
+    name = "som"
+
+    def __init__(
+        self,
+        rows: int = 10,
+        cols: int = 10,
+        *,
+        training: Optional[SomTrainingConfig] = None,
+        threshold_strategy: str = "per_unit",
+        threshold_kwargs: Optional[Dict[str, object]] = None,
+        labeling_strategy: str = "majority",
+        calibrate_on_normal_only: bool = True,
+        random_state: RandomState = None,
+    ) -> None:
+        if rows < 2 or cols < 2:
+            raise ConfigurationError(f"map must be at least 2x2, got {rows}x{cols}")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.training = training or SomTrainingConfig(epochs=20)
+        self.threshold_strategy_name = threshold_strategy
+        self.threshold_kwargs = dict(threshold_kwargs or {})
+        self.labeling_strategy = labeling_strategy
+        self.calibrate_on_normal_only = calibrate_on_normal_only
+        self.random_state = random_state
+        self.model: Optional[Som] = None
+        self.labeler: Optional[UnitLabeler] = None
+        self.threshold_: Optional[object] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self.model is not None and self.threshold_ is not None
+
+    def _leaf_keys(self, units: np.ndarray) -> List:
+        # The flat SOM is a one-layer hierarchy; reuse the (node_id, unit) key
+        # convention so the threshold and labelling code is shared with GHSOM.
+        return [("som", int(unit)) for unit in units]
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X, y: Optional[Sequence[str]] = None) -> "SomDetector":
+        """Train the map, label its units (if ``y`` given) and calibrate thresholds."""
+        matrix = check_array_2d(X, "X", min_rows=2)
+        labels = None
+        if y is not None:
+            labels = [str(label) for label in y]
+            check_same_length(matrix, labels, "X", "y")
+        self.model = Som(
+            self.rows,
+            self.cols,
+            n_features=matrix.shape[1],
+            config=self.training,
+            random_state=self.random_state,
+        )
+        self.model.fit(matrix)
+        units = self.model.transform(matrix)
+        distances = self.model.quantization_distances(matrix)
+        leaf_keys = self._leaf_keys(units)
+
+        if labels is not None:
+            self.labeler = UnitLabeler(strategy=self.labeling_strategy)
+            self.labeler.fit(leaf_keys, labels)
+        else:
+            self.labeler = None
+
+        calibration_mask = np.ones(len(distances), dtype=bool)
+        if labels is not None and self.calibrate_on_normal_only:
+            normal_mask = np.array([label == "normal" for label in labels])
+            if normal_mask.any():
+                calibration_mask = normal_mask
+        strategy = make_threshold_strategy(self.threshold_strategy_name, **self.threshold_kwargs)
+        strategy.fit(
+            distances[calibration_mask],
+            [key for key, keep in zip(leaf_keys, calibration_mask) if keep],
+        )
+        self.threshold_ = strategy
+        return self
+
+    # ------------------------------------------------------------------ #
+    def score_samples(self, X) -> np.ndarray:
+        """Threshold-normalised anomaly scores (label-aware in labelled mode)."""
+        self._require_fitted(self.is_fitted)
+        matrix = check_array_2d(X, "X")
+        units = self.model.transform(matrix)
+        distances = self.model.quantization_distances(matrix)
+        leaf_keys = self._leaf_keys(units)
+        ratios = self.threshold_.normalize(distances, leaf_keys)
+        return combine_label_and_distance_scores(ratios, leaf_keys, self.labeler)
+
+    def predict(self, X) -> np.ndarray:
+        """Binary decisions (attack-labelled unit or distance above threshold)."""
+        return (self.score_samples(X) > 1.0).astype(int)
+
+    def predict_category(self, X) -> List[str]:
+        """Per-record class labels (requires labelled training data)."""
+        self._require_fitted(self.is_fitted)
+        if self.labeler is None:
+            return super().predict_category(X)
+        matrix = check_array_2d(X, "X")
+        units = self.model.transform(matrix)
+        distances = self.model.quantization_distances(matrix)
+        leaf_keys = self._leaf_keys(units)
+        ratios = self.threshold_.normalize(distances, leaf_keys)
+        categories: List[str] = []
+        for key, ratio in zip(leaf_keys, ratios):
+            label = self.labeler.label_of(key)
+            if label == UNLABELED:
+                categories.append("unknown" if ratio > 1.0 else "normal")
+            elif label == "normal" and ratio > 1.0:
+                categories.append("unknown")
+            else:
+                categories.append(label)
+        return categories

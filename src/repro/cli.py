@@ -1,0 +1,348 @@
+"""Command-line interface for the GHSOM traffic anomaly detector.
+
+The CLI wraps the most common workflows so the system can be driven without
+writing Python:
+
+``repro-ids generate``
+    Write a synthetic KDD-style dataset to a CSV file.
+``repro-ids simulate``
+    Simulate raw enterprise traffic with injected attacks and write the
+    derived KDD-style records to a CSV file.
+``repro-ids train``
+    Train a GHSOM detector (supervised or one-class) on a CSV dataset and
+    save a single JSON bundle holding the preprocessing pipeline and the
+    fitted detector.
+``repro-ids detect``
+    Score a CSV dataset with a saved bundle; prints a summary and optionally
+    writes per-record alarms.
+``repro-ids evaluate``
+    Train and compare several detectors on a train/test CSV pair and print
+    (or save) the comparison report.
+``repro-ids inspect``
+    Print the topology and layer tree of a saved model bundle.
+
+Run ``repro-ids <command> --help`` for the options of each command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import KMeansDetector, KnnDetector, LofDetector, PcaSubspaceDetector, SomDetector
+from repro.core import GhsomConfig, GhsomDetector, SomTrainingConfig
+from repro.core.inspection import describe_tree
+from repro.core.serialization import detector_from_dict, detector_to_dict
+from repro.data.loader import load_csv, save_csv
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.eval.experiments import DetectorResult, evaluate_detector
+from repro.eval.metrics import binary_metrics, per_category_detection_rates
+from repro.eval.reporting import save_markdown_report, save_results_json
+from repro.eval.tables import format_table
+from repro.exceptions import ReproError
+
+BUNDLE_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# bundle helpers (pipeline + detector in one JSON document)
+# --------------------------------------------------------------------------- #
+def save_bundle(pipeline: PreprocessingPipeline, detector: GhsomDetector, path: Path) -> None:
+    """Write the preprocessing pipeline and the fitted detector as one JSON bundle."""
+    payload = {
+        "kind": "repro_bundle",
+        "format_version": BUNDLE_FORMAT_VERSION,
+        "pipeline": pipeline.to_dict(),
+        "detector": detector_to_dict(detector),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+
+
+def load_bundle(path: Path):
+    """Load a bundle written by :func:`save_bundle`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "repro_bundle":
+        raise ReproError(f"{path} is not a repro model bundle")
+    pipeline = PreprocessingPipeline.from_dict(payload["pipeline"])
+    detector = detector_from_dict(payload["detector"])
+    return pipeline, detector
+
+
+# --------------------------------------------------------------------------- #
+# commands
+# --------------------------------------------------------------------------- #
+def cmd_generate(args: argparse.Namespace) -> int:
+    generator = KddSyntheticGenerator(random_state=args.seed)
+    if args.normal_only:
+        dataset = generator.generate_normal(args.records)
+    else:
+        dataset = generator.generate(args.records)
+    save_csv(dataset, args.output)
+    print(f"wrote {len(dataset)} records to {args.output}")
+    print(f"class mix: {dataset.class_counts()}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.netsim import AttackInjection, TrafficSimulator
+
+    injections = []
+    for spec in args.attack or []:
+        try:
+            name, start = spec.split(":", maxsplit=1)
+            injections.append(AttackInjection(name.strip(), float(start)))
+        except ValueError as exc:
+            raise ReproError(f"invalid --attack spec {spec!r}; expected NAME:START_SECONDS") from exc
+    simulator = TrafficSimulator(
+        duration_seconds=args.duration,
+        sessions_per_second=args.rate,
+        injections=injections,
+        random_state=args.seed,
+    )
+    dataset = simulator.run()
+    save_csv(dataset, args.output)
+    print(f"simulated {args.duration:.0f}s of traffic: {len(dataset)} connections -> {args.output}")
+    print(f"class mix: {dataset.class_counts()}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_csv(args.train)
+    pipeline = PreprocessingPipeline()
+    X_train = pipeline.fit_transform(dataset)
+    config = GhsomConfig(
+        tau1=args.tau1,
+        tau2=args.tau2,
+        max_depth=args.max_depth,
+        max_map_size=args.max_map_size,
+        min_samples_for_expansion=args.min_expansion,
+        training=SomTrainingConfig(epochs=args.epochs),
+        random_state=args.seed,
+    )
+    detector = GhsomDetector(
+        config, threshold_strategy=args.threshold_strategy, random_state=args.seed
+    )
+    labels = None if args.one_class else [str(category) for category in dataset.categories]
+    detector.fit(X_train, labels)
+    save_bundle(pipeline, detector, Path(args.model))
+    topology = detector.topology_summary()
+    print(f"trained GHSOM on {len(dataset)} records ({'one-class' if args.one_class else 'labelled'})")
+    print(
+        f"topology: {topology['n_maps']} maps, {topology['n_units']} units, depth {topology['depth']}"
+    )
+    print(f"model bundle written to {args.model}")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    pipeline, detector = load_bundle(Path(args.model))
+    dataset = load_csv(args.input)
+    X = pipeline.transform(dataset)
+    alarms = detector.predict(X)
+    scores = detector.score_samples(X)
+    categories = detector.predict_category(X)
+    n_alarms = int(alarms.sum())
+    print(f"scored {len(dataset)} records: {n_alarms} alarms ({n_alarms / len(dataset):.2%})")
+    # If the input carries labels, also report detection quality.
+    true_categories = [str(category) for category in dataset.categories]
+    if any(category != "normal" for category in true_categories) or not args.assume_unlabeled:
+        metrics = binary_metrics(dataset.is_attack.astype(int), alarms)
+        print(
+            format_table(
+                [[metrics.detection_rate, metrics.false_positive_rate, metrics.precision, metrics.f1]],
+                ["detection_rate", "false_positive_rate", "precision", "f1"],
+                title="Detection quality (using labels found in the input)",
+            )
+        )
+        rates = per_category_detection_rates(true_categories, alarms)
+        print()
+        print(
+            format_table(
+                [[category, rate] for category, rate in sorted(rates.items())],
+                ["category", "alarm_fraction"],
+            )
+        )
+    if args.output:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        with output.open("w") as handle:
+            handle.write("record_index,alarm,score,predicted_category\n")
+            for index, (alarm, score, category) in enumerate(zip(alarms, scores, categories)):
+                handle.write(f"{index},{int(alarm)},{float(score):.6f},{category}\n")
+        print(f"\nper-record decisions written to {output}")
+    return 0
+
+
+def _build_detector(name: str, seed: int):
+    registry = {
+        "ghsom": lambda: GhsomDetector(GhsomConfig(random_state=seed), random_state=seed),
+        "som": lambda: SomDetector(10, 10, training=SomTrainingConfig(epochs=10), random_state=seed),
+        "kmeans": lambda: KMeansDetector(n_clusters=60, random_state=seed),
+        "pca": lambda: PcaSubspaceDetector(threshold_mode="percentile"),
+        "knn": lambda: KnnDetector(random_state=seed),
+        "lof": lambda: LofDetector(random_state=seed),
+    }
+    if name not in registry:
+        raise ReproError(f"unknown detector {name!r}; available: {sorted(registry)}")
+    return registry[name]()
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    train = load_csv(args.train)
+    test = load_csv(args.test)
+    pipeline = PreprocessingPipeline()
+    X_train = pipeline.fit_transform(train)
+    X_test = pipeline.transform(test)
+    y_train = None if args.one_class else [str(category) for category in train.categories]
+    names = [name.strip() for name in args.detectors.split(",") if name.strip()]
+    results: Dict[str, DetectorResult] = {}
+    for name in names:
+        detector = _build_detector(name, args.seed)
+        result = evaluate_detector(
+            detector,
+            X_train,
+            y_train,
+            X_test,
+            [str(category) for category in test.categories],
+            with_confusion=not args.one_class,
+        )
+        result.name = name
+        results[name] = result
+    rows = [results[name].summary_row() for name in names]
+    print(format_table(rows, DetectorResult.summary_headers(), title="Evaluation results"))
+    if args.json:
+        save_results_json(results, args.json, metadata={"train": str(args.train), "test": str(args.test)})
+        print(f"JSON results written to {args.json}")
+    if args.report:
+        save_markdown_report(
+            results,
+            args.report,
+            title="GHSOM evaluation report",
+            metadata={"train": str(args.train), "test": str(args.test)},
+        )
+        print(f"Markdown report written to {args.report}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    pipeline, detector = load_bundle(Path(args.model))
+    topology = detector.topology_summary()
+    print(
+        format_table(
+            [[topology[key] for key in ("n_maps", "n_units", "n_leaf_units", "depth", "tau1", "tau2")]],
+            ["maps", "units", "leaf_units", "depth", "tau1", "tau2"],
+            title="Model topology",
+        )
+    )
+    print()
+    print(describe_tree(detector.model, detector.labeler))
+    if detector.is_labeled:
+        print()
+        print(
+            format_table(
+                [[label, count] for label, count in sorted(detector.leaf_label_distribution().items())],
+                ["leaf label", "count"],
+                title="Leaf label distribution",
+            )
+        )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ids",
+        description="GHSOM-based network traffic anomaly detection",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic KDD-style dataset")
+    generate.add_argument("--records", type=int, default=5000, help="number of records")
+    generate.add_argument("--output", required=True, help="output CSV path")
+    generate.add_argument("--normal-only", action="store_true", help="generate only normal traffic")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=cmd_generate)
+
+    simulate = subparsers.add_parser("simulate", help="simulate raw traffic with injected attacks")
+    simulate.add_argument("--duration", type=float, default=600.0, help="trace length in seconds")
+    simulate.add_argument("--rate", type=float, default=2.0, help="background sessions per second")
+    simulate.add_argument(
+        "--attack",
+        action="append",
+        metavar="NAME:START",
+        help="inject an attack, e.g. --attack neptune:120 (repeatable)",
+    )
+    simulate.add_argument("--output", required=True, help="output CSV path")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    train = subparsers.add_parser("train", help="train a GHSOM detector and save a model bundle")
+    train.add_argument("--train", required=True, help="training CSV")
+    train.add_argument("--model", required=True, help="output model bundle (JSON)")
+    train.add_argument("--one-class", action="store_true", help="ignore labels (novelty detection)")
+    train.add_argument("--tau1", type=float, default=0.3)
+    train.add_argument("--tau2", type=float, default=0.05)
+    train.add_argument("--max-depth", type=int, default=3)
+    train.add_argument("--max-map-size", type=int, default=100)
+    train.add_argument("--min-expansion", type=int, default=60)
+    train.add_argument("--epochs", type=int, default=5)
+    train.add_argument(
+        "--threshold-strategy", choices=("per_unit", "global"), default="per_unit"
+    )
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(handler=cmd_train)
+
+    detect = subparsers.add_parser("detect", help="score a dataset with a saved model bundle")
+    detect.add_argument("--model", required=True, help="model bundle (JSON)")
+    detect.add_argument("--input", required=True, help="CSV of records to score")
+    detect.add_argument("--output", help="optional CSV of per-record decisions")
+    detect.add_argument(
+        "--assume-unlabeled",
+        action="store_true",
+        help="do not compute quality metrics from labels in the input",
+    )
+    detect.set_defaults(handler=cmd_detect)
+
+    evaluate = subparsers.add_parser("evaluate", help="compare detectors on a train/test pair")
+    evaluate.add_argument("--train", required=True)
+    evaluate.add_argument("--test", required=True)
+    evaluate.add_argument(
+        "--detectors",
+        default="ghsom,som,kmeans,pca,knn",
+        help="comma-separated detectors (ghsom,som,kmeans,pca,knn,lof)",
+    )
+    evaluate.add_argument("--one-class", action="store_true")
+    evaluate.add_argument("--json", help="write machine-readable results to this path")
+    evaluate.add_argument("--report", help="write a Markdown report to this path")
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.set_defaults(handler=cmd_evaluate)
+
+    inspect = subparsers.add_parser("inspect", help="print the structure of a saved model bundle")
+    inspect.add_argument("--model", required=True)
+    inspect.set_defaults(handler=cmd_inspect)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

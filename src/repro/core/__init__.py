@@ -1,0 +1,68 @@
+"""The paper's core contribution: the GHSOM model and detector."""
+
+from repro.core.config import GhsomConfig, SomTrainingConfig
+from repro.core.detector import BaseAnomalyDetector, GhsomDetector
+from repro.core.ensemble import EnsembleDetector
+from repro.core.ghsom import Ghsom, GhsomNode, LeafAssignment
+from repro.core.grid import MapGrid
+from repro.core.growing_som import GrowingSom, GrowthEvent
+from repro.core.inspection import (
+    component_plane,
+    describe_tree,
+    hit_map,
+    render_grid,
+    u_matrix,
+    unit_summaries,
+)
+from repro.core.labeling import UNLABELED, LeafLabel, UnitLabeler
+from repro.core.quantization import (
+    average_sample_error,
+    dataset_quantization_error,
+    mean_quantization_error,
+    topographic_error,
+    unit_quantization_errors,
+)
+from repro.core.serialization import (
+    load_detector,
+    load_ghsom,
+    save_detector,
+    save_ghsom,
+)
+from repro.core.som import Som
+from repro.core.thresholds import GlobalThreshold, PerUnitThreshold, make_threshold_strategy
+
+__all__ = [
+    "GhsomConfig",
+    "SomTrainingConfig",
+    "BaseAnomalyDetector",
+    "GhsomDetector",
+    "EnsembleDetector",
+    "Ghsom",
+    "GhsomNode",
+    "LeafAssignment",
+    "MapGrid",
+    "GrowingSom",
+    "GrowthEvent",
+    "component_plane",
+    "describe_tree",
+    "hit_map",
+    "render_grid",
+    "u_matrix",
+    "unit_summaries",
+    "UNLABELED",
+    "LeafLabel",
+    "UnitLabeler",
+    "average_sample_error",
+    "dataset_quantization_error",
+    "mean_quantization_error",
+    "topographic_error",
+    "unit_quantization_errors",
+    "load_detector",
+    "load_ghsom",
+    "save_detector",
+    "save_ghsom",
+    "Som",
+    "GlobalThreshold",
+    "PerUnitThreshold",
+    "make_threshold_strategy",
+]

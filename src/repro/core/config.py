@@ -1,0 +1,163 @@
+"""Configuration dataclasses for SOM / GHSOM training.
+
+Separating the configuration from the models keeps constructor signatures
+small, makes experiments easy to log (a config serialises to a dict), and lets
+the benchmark sweeps vary one parameter at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict
+
+from repro.core.decay import available_decays
+from repro.core.distances import available_metrics
+from repro.core.neighborhood import available_neighborhoods
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SomTrainingConfig:
+    """Hyper-parameters for training one SOM layer.
+
+    Attributes
+    ----------
+    epochs:
+        Number of passes over the training data per growth round.
+    learning_rate:
+        Initial learning rate; decays according to ``decay``.
+    initial_radius:
+        Initial neighbourhood radius; ``None`` (encoded as 0.0) lets the map
+        choose half of its larger side.
+    neighborhood:
+        Name of the neighbourhood kernel (see :mod:`repro.core.neighborhood`).
+    decay:
+        Name of the decay schedule for both learning rate and radius.
+    metric:
+        Distance metric for BMU search.
+    """
+
+    epochs: int = 10
+    learning_rate: float = 0.5
+    initial_radius: float = 0.0
+    neighborhood: str = "gaussian"
+    decay: str = "exponential"
+    metric: str = "euclidean"
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {self.epochs}")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ConfigurationError(
+                f"learning_rate must be in (0, 1], got {self.learning_rate}"
+            )
+        if self.initial_radius < 0.0:
+            raise ConfigurationError(
+                f"initial_radius must be >= 0 (0 = auto), got {self.initial_radius}"
+            )
+        if self.neighborhood not in available_neighborhoods():
+            raise ConfigurationError(f"unknown neighborhood {self.neighborhood!r}")
+        if self.decay not in available_decays():
+            raise ConfigurationError(f"unknown decay {self.decay!r}")
+        if self.metric not in available_metrics():
+            raise ConfigurationError(f"unknown metric {self.metric!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict representation (for logging and serialization)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SomTrainingConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class GhsomConfig:
+    """Hyper-parameters controlling GHSOM growth.
+
+    Attributes
+    ----------
+    tau1:
+        Horizontal (breadth) growth threshold.  A layer keeps growing while
+        its mean quantization error exceeds ``tau1 * parent_qe``.  Smaller
+        values produce larger, more detailed maps.
+    tau2:
+        Vertical (depth) growth threshold.  A unit is expanded into a child
+        map while its quantization error exceeds ``tau2 * qe0``, where
+        ``qe0`` is the quantization error of the whole dataset around its
+        mean.  Smaller values produce deeper hierarchies.
+    max_depth:
+        Maximum hierarchy depth (the root layer has depth 1).
+    max_map_size:
+        Maximum number of units a single layer may grow to.
+    max_growth_rounds:
+        Safety bound on the number of insertions per layer.
+    min_samples_for_expansion:
+        A unit is only expanded vertically if at least this many training
+        samples map to it.
+    initial_rows, initial_cols:
+        Shape of every newly created layer (the classic GHSOM uses 2x2).
+    training:
+        Per-layer SOM training configuration.
+    random_state:
+        Seed for weight initialisation and sample shuffling.
+    """
+
+    tau1: float = 0.3
+    tau2: float = 0.05
+    max_depth: int = 3
+    max_map_size: int = 144
+    max_growth_rounds: int = 40
+    min_samples_for_expansion: int = 30
+    initial_rows: int = 2
+    initial_cols: int = 2
+    training: SomTrainingConfig = field(default_factory=SomTrainingConfig)
+    random_state: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tau1 <= 1.0:
+            raise ConfigurationError(f"tau1 must be in (0, 1], got {self.tau1}")
+        if not 0.0 < self.tau2 <= 1.0:
+            raise ConfigurationError(f"tau2 must be in (0, 1], got {self.tau2}")
+        if self.max_depth < 1:
+            raise ConfigurationError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.initial_rows < 2 or self.initial_cols < 2:
+            raise ConfigurationError(
+                "initial map shape must be at least 2x2, got "
+                f"{self.initial_rows}x{self.initial_cols}"
+            )
+        if self.max_map_size < self.initial_rows * self.initial_cols:
+            raise ConfigurationError(
+                "max_map_size must be at least as large as the initial map "
+                f"({self.initial_rows * self.initial_cols}), got {self.max_map_size}"
+            )
+        if self.max_growth_rounds < 0:
+            raise ConfigurationError(
+                f"max_growth_rounds must be >= 0, got {self.max_growth_rounds}"
+            )
+        if self.min_samples_for_expansion < 1:
+            raise ConfigurationError(
+                f"min_samples_for_expansion must be >= 1, got {self.min_samples_for_expansion}"
+            )
+
+    def with_updates(self, **changes) -> "GhsomConfig":
+        """A copy of this config with some fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict representation (training config nested as a dict)."""
+        data = asdict(self)
+        data["training"] = self.training.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GhsomConfig":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        training = payload.pop("training", {})
+        if isinstance(training, SomTrainingConfig):
+            training_config = training
+        else:
+            training_config = SomTrainingConfig.from_dict(dict(training))
+        return cls(training=training_config, **payload)  # type: ignore[arg-type]

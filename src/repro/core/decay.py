@@ -1,0 +1,61 @@
+"""Learning-rate and neighbourhood-radius schedules.
+
+A schedule maps training progress ``t / t_max`` (in ``[0, 1]``) to a scaling
+factor in ``(0, 1]`` that multiplies the initial learning rate or radius.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+DecayFunction = Callable[[float], float]
+
+
+def linear_decay(progress: float) -> float:
+    """Linear decay from 1 to a small floor (never exactly zero)."""
+    progress = float(np.clip(progress, 0.0, 1.0))
+    return max(1.0 - progress, 0.01)
+
+
+def exponential_decay(progress: float) -> float:
+    """Exponential decay ``exp(-4 t)``: reaches ~0.018 at the end of training."""
+    progress = float(np.clip(progress, 0.0, 1.0))
+    return float(np.exp(-4.0 * progress))
+
+
+def inverse_decay(progress: float) -> float:
+    """Hyperbolic decay ``1 / (1 + 9 t)``: reaches 0.1 at the end of training."""
+    progress = float(np.clip(progress, 0.0, 1.0))
+    return 1.0 / (1.0 + 9.0 * progress)
+
+
+def constant_decay(progress: float) -> float:
+    """No decay (useful for online/streaming fine-tuning)."""
+    return 1.0
+
+
+_SCHEDULES: Dict[str, DecayFunction] = {
+    "linear": linear_decay,
+    "exponential": exponential_decay,
+    "inverse": inverse_decay,
+    "constant": constant_decay,
+}
+
+
+def get_decay(name: str) -> DecayFunction:
+    """Look up a decay schedule by name."""
+    try:
+        return _SCHEDULES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown decay schedule {name!r}; available: {sorted(_SCHEDULES)}"
+        ) from exc
+
+
+def available_decays() -> tuple:
+    """Names of all registered decay schedules."""
+    return tuple(sorted(_SCHEDULES))

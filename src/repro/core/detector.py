@@ -1,0 +1,257 @@
+"""Anomaly detectors: the common interface and the GHSOM detector.
+
+Every detector in this library (the GHSOM detector here and the baselines in
+:mod:`repro.baselines`) follows the same small contract:
+
+``fit(X, y=None)``
+    Train on a numeric feature matrix.  ``y`` is an optional vector of string
+    class labels (categories or named attacks).  When labels are given the
+    detector may additionally learn to classify; when they are absent it
+    operates purely as a one-class / novelty detector.
+``score_samples(X)``
+    Continuous anomaly scores, larger = more anomalous.  Scores are
+    *threshold-normalised*: a score of 1.0 sits exactly at the calibrated
+    alarm threshold, so ``score > 1`` and ``predict(X) == 1`` agree for
+    unlabeled data.
+``predict(X)``
+    Binary decisions: 1 for anomaly, 0 for normal.
+``predict_category(X)``
+    Best-effort class labels (only meaningful when ``fit`` saw labels).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import GhsomConfig
+from repro.core.ghsom import Ghsom, LeafAssignment
+from repro.core.labeling import UNLABELED, UnitLabeler
+from repro.core.thresholds import make_threshold_strategy
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_array_2d, check_same_length
+
+
+def combine_label_and_distance_scores(
+    ratios: np.ndarray,
+    leaf_keys: Sequence,
+    labeler: Optional[UnitLabeler],
+) -> np.ndarray:
+    """Fold unit labels into distance-based scores for labelled detectors.
+
+    Records landing on attack-labelled units receive a score above 1.0 (they
+    alarm regardless of how close they sit to the unit's weight vector),
+    graded by the unit's label purity so purer attack units rank higher;
+    records on normal or unlabeled units keep their threshold-normalised
+    distance ratio.  This keeps ``predict(X) == 1`` equivalent to
+    ``score_samples(X) > 1`` in both operating modes and makes ROC curves of
+    labelled detectors meaningful.
+    """
+    ratios = np.asarray(ratios, dtype=float)
+    if labeler is None:
+        return ratios
+    scores = ratios.copy()
+    for index, key in enumerate(leaf_keys):
+        info = labeler.info_of(key)
+        if info.label not in ("normal", UNLABELED):
+            scores[index] = 1.0 + info.purity + 0.01 * min(ratios[index], 10.0)
+    return scores
+
+
+class BaseAnomalyDetector(abc.ABC):
+    """Abstract base class for all anomaly detectors in this library."""
+
+    #: Human-readable detector name used in evaluation tables.
+    name: str = "detector"
+
+    @abc.abstractmethod
+    def fit(self, X, y: Optional[Sequence[str]] = None) -> "BaseAnomalyDetector":
+        """Train on feature matrix ``X`` with optional string labels ``y``."""
+
+    @abc.abstractmethod
+    def score_samples(self, X) -> np.ndarray:
+        """Continuous anomaly scores (larger = more anomalous, 1.0 = at threshold)."""
+
+    def predict(self, X) -> np.ndarray:
+        """Binary anomaly decisions derived from the normalised scores."""
+        return (self.score_samples(X) > 1.0).astype(int)
+
+    def predict_category(self, X) -> List[str]:
+        """Class labels per sample; defaults to anomaly/normal if no labels were seen."""
+        return ["anomaly" if flag else "normal" for flag in self.predict(X)]
+
+    def _require_fitted(self, condition: bool) -> None:
+        if not condition:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before use")
+
+
+class GhsomDetector(BaseAnomalyDetector):
+    """Network-traffic anomaly detector built on a :class:`~repro.core.ghsom.Ghsom`.
+
+    The detector supports the two operating modes used in the paper's
+    evaluation:
+
+    * **one-class mode** (``fit`` without labels, typically on normal-only
+      traffic): a record is anomalous when its distance to the best matching
+      leaf unit exceeds the calibrated threshold;
+    * **labelled mode** (``fit`` with labels on mixed traffic): leaf units are
+      labelled by majority vote; a record is anomalous when it lands on an
+      attack-labelled unit *or* when it exceeds the distance threshold of a
+      normal-labelled unit (which catches novel attacks that resemble no
+      training class).
+
+    Parameters
+    ----------
+    config:
+        GHSOM growth/training configuration.
+    threshold_strategy:
+        ``"per_unit"`` (default) or ``"global"``.
+    threshold_kwargs:
+        Extra arguments for the threshold strategy (``k``, ``percentile``...).
+    labeling_strategy:
+        Unit labelling rule, ``"majority"`` (default) or ``"purity"``.
+    calibrate_on_normal_only:
+        When labels are available, calibrate distance thresholds using only
+        the normal training records (recommended: attack records otherwise
+        inflate the thresholds of mixed units).
+    random_state:
+        Seed overriding ``config.random_state``.
+    """
+
+    name = "ghsom"
+
+    def __init__(
+        self,
+        config: Optional[GhsomConfig] = None,
+        *,
+        threshold_strategy: str = "per_unit",
+        threshold_kwargs: Optional[Dict[str, object]] = None,
+        labeling_strategy: str = "majority",
+        calibrate_on_normal_only: bool = True,
+        random_state: RandomState = None,
+    ) -> None:
+        self.config = config or GhsomConfig()
+        self.threshold_strategy_name = threshold_strategy
+        self.threshold_kwargs = dict(threshold_kwargs or {})
+        self.labeling_strategy = labeling_strategy
+        self.calibrate_on_normal_only = calibrate_on_normal_only
+        self.random_state = random_state
+        self.model: Optional[Ghsom] = None
+        self.labeler: Optional[UnitLabeler] = None
+        self.threshold_: Optional[object] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self.model is not None and self.threshold_ is not None
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether the detector was trained with class labels."""
+        return self.labeler is not None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X, y: Optional[Sequence[str]] = None) -> "GhsomDetector":
+        """Train the GHSOM, label its leaves (if ``y`` given) and calibrate thresholds."""
+        matrix = check_array_2d(X, "X", min_rows=2)
+        labels = None
+        if y is not None:
+            labels = [str(label) for label in y]
+            check_same_length(matrix, labels, "X", "y")
+        self.model = Ghsom(self.config, random_state=self.random_state)
+        self.model.fit(matrix)
+        assignments = self.model.assign(matrix)
+        leaf_keys = [assignment.leaf_key for assignment in assignments]
+        distances = np.array([assignment.distance for assignment in assignments])
+
+        if labels is not None:
+            self.labeler = UnitLabeler(strategy=self.labeling_strategy)
+            self.labeler.fit(leaf_keys, labels)
+        else:
+            self.labeler = None
+
+        calibration_mask = np.ones(len(distances), dtype=bool)
+        if labels is not None and self.calibrate_on_normal_only:
+            normal_mask = np.array([label == "normal" for label in labels])
+            if normal_mask.any():
+                calibration_mask = normal_mask
+        strategy = make_threshold_strategy(self.threshold_strategy_name, **self.threshold_kwargs)
+        strategy.fit(
+            distances[calibration_mask],
+            [key for key, keep in zip(leaf_keys, calibration_mask) if keep],
+        )
+        self.threshold_ = strategy
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _assignments(self, X) -> List[LeafAssignment]:
+        self._require_fitted(self.is_fitted)
+        return self.model.assign(check_array_2d(X, "X"))
+
+    def score_samples(self, X) -> np.ndarray:
+        """Threshold-normalised anomaly scores.
+
+        In one-class mode the score is ``distance / leaf threshold``; in
+        labelled mode records on attack-labelled leaves additionally receive a
+        score above 1.0 graded by the leaf's purity (see
+        :func:`combine_label_and_distance_scores`).  In both modes
+        ``score > 1.0`` is exactly the alarm condition used by :meth:`predict`.
+        """
+        assignments = self._assignments(X)
+        distances = [assignment.distance for assignment in assignments]
+        leaf_keys = [assignment.leaf_key for assignment in assignments]
+        ratios = self.threshold_.normalize(distances, leaf_keys)
+        return combine_label_and_distance_scores(ratios, leaf_keys, self.labeler)
+
+    def predict(self, X) -> np.ndarray:
+        """Binary anomaly decisions.
+
+        In labelled mode a record alarms when it lands on an attack-labelled
+        leaf or exceeds its leaf's distance threshold; in one-class mode only
+        the distance criterion applies.  Both are captured by the combined
+        score exceeding 1.0.
+        """
+        return (self.score_samples(X) > 1.0).astype(int)
+
+    def predict_category(self, X) -> List[str]:
+        """Per-record class labels (requires labelled training data).
+
+        Records that land on unlabeled leaves, or that exceed the distance
+        threshold of a normal-labelled leaf, are reported as ``"unknown"`` —
+        they are anomalous but resemble no training class.
+        """
+        assignments = self._assignments(X)
+        leaf_keys = [assignment.leaf_key for assignment in assignments]
+        if self.labeler is None:
+            flags = self.predict(X)
+            return ["anomaly" if flag else "normal" for flag in flags]
+        distances = [assignment.distance for assignment in assignments]
+        ratios = self.threshold_.normalize(distances, leaf_keys)
+        categories: List[str] = []
+        for key, ratio in zip(leaf_keys, ratios):
+            label = self.labeler.label_of(key)
+            if label == UNLABELED:
+                categories.append("unknown" if ratio > 1.0 else "normal")
+            elif label == "normal" and ratio > 1.0:
+                categories.append("unknown")
+            else:
+                categories.append(label)
+        return categories
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def topology_summary(self) -> Dict[str, object]:
+        """Structural statistics of the underlying GHSOM (Table 5)."""
+        self._require_fitted(self.is_fitted)
+        return self.model.topology_summary()
+
+    def leaf_label_distribution(self) -> Dict[str, int]:
+        """Number of leaves per assigned class (labelled mode only)."""
+        self._require_fitted(self.is_fitted)
+        if self.labeler is None:
+            raise ConfigurationError("the detector was trained without labels")
+        return self.labeler.class_distribution()

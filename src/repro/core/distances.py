@@ -1,0 +1,97 @@
+"""Distance kernels used by the SOM family.
+
+All functions are vectorised over numpy arrays: given a batch of samples with
+shape ``(n, d)`` and a codebook with shape ``(u, d)`` they return an
+``(n, u)`` matrix of distances.  Squared Euclidean distance is the work-horse
+(best-matching-unit search only needs the argmin, so the square root can be
+skipped), but Manhattan and Chebyshev metrics are provided for experimentation
+and are exercised by the ablation tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_array_2d
+
+DistanceFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def squared_euclidean(samples: np.ndarray, codebook: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances between ``samples`` and ``codebook``.
+
+    Uses the expansion ``|x - w|^2 = |x|^2 - 2 x.w + |w|^2`` which avoids
+    materialising the ``(n, u, d)`` difference tensor.
+    """
+    samples = np.atleast_2d(np.asarray(samples, dtype=float))
+    codebook = np.atleast_2d(np.asarray(codebook, dtype=float))
+    sample_norms = np.einsum("ij,ij->i", samples, samples)[:, None]
+    code_norms = np.einsum("ij,ij->i", codebook, codebook)[None, :]
+    cross = samples @ codebook.T
+    distances = sample_norms - 2.0 * cross + code_norms
+    # Numerical noise can push tiny distances slightly below zero.
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def euclidean(samples: np.ndarray, codebook: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances."""
+    return np.sqrt(squared_euclidean(samples, codebook))
+
+
+def manhattan(samples: np.ndarray, codebook: np.ndarray) -> np.ndarray:
+    """Pairwise Manhattan (L1) distances."""
+    samples = np.atleast_2d(np.asarray(samples, dtype=float))
+    codebook = np.atleast_2d(np.asarray(codebook, dtype=float))
+    return np.abs(samples[:, None, :] - codebook[None, :, :]).sum(axis=2)
+
+
+def chebyshev(samples: np.ndarray, codebook: np.ndarray) -> np.ndarray:
+    """Pairwise Chebyshev (L-infinity) distances."""
+    samples = np.atleast_2d(np.asarray(samples, dtype=float))
+    codebook = np.atleast_2d(np.asarray(codebook, dtype=float))
+    return np.abs(samples[:, None, :] - codebook[None, :, :]).max(axis=2)
+
+
+_METRICS: Dict[str, DistanceFunction] = {
+    "euclidean": euclidean,
+    "sqeuclidean": squared_euclidean,
+    "manhattan": manhattan,
+    "chebyshev": chebyshev,
+}
+
+
+def get_metric(name: str) -> DistanceFunction:
+    """Look up a distance function by name.
+
+    Raises
+    ------
+    ConfigurationError
+        If the metric name is unknown.
+    """
+    try:
+        return _METRICS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown distance metric {name!r}; available: {sorted(_METRICS)}"
+        ) from exc
+
+
+def available_metrics() -> tuple:
+    """Names of all registered distance metrics."""
+    return tuple(sorted(_METRICS))
+
+
+def best_matching_units(samples, codebook, metric: str = "euclidean") -> np.ndarray:
+    """Index of the closest codebook vector for each sample.
+
+    The result is identical for ``euclidean`` and ``sqeuclidean`` metrics; the
+    cheaper squared variant is substituted automatically.
+    """
+    samples = check_array_2d(samples, "samples")
+    codebook = check_array_2d(codebook, "codebook")
+    function = squared_euclidean if metric in ("euclidean", "sqeuclidean") else get_metric(metric)
+    return np.argmin(function(samples, codebook), axis=1)

@@ -1,0 +1,113 @@
+"""Ensemble of anomaly detectors.
+
+SOM-family models are sensitive to initialisation: two GHSOMs trained with
+different seeds carve the input space differently, and their mistakes are
+largely uncorrelated.  :class:`EnsembleDetector` exploits that by training
+several member detectors and combining their threshold-normalised scores
+(mean, median or max) — the standard variance-reduction extension discussed in
+the GHSOM intrusion-detection literature.  Members can also be heterogeneous
+(e.g. a GHSOM plus a PCA-subspace detector) since every detector in this
+library emits scores on the same "1.0 = at threshold" scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.detector import BaseAnomalyDetector
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_array_2d
+
+
+class EnsembleDetector(BaseAnomalyDetector):
+    """Combines the scores of several member detectors.
+
+    Parameters
+    ----------
+    members:
+        Either ready detector instances, or zero-argument factories producing
+        them (factories let an ensemble of identical models differ only by
+        seed).
+    combination:
+        ``"mean"`` (default), ``"median"`` or ``"max"`` of the member scores.
+    """
+
+    name = "ensemble"
+
+    def __init__(
+        self,
+        members: Sequence[object],
+        *,
+        combination: str = "mean",
+    ) -> None:
+        if not members:
+            raise ConfigurationError("an ensemble needs at least one member")
+        if combination not in ("mean", "median", "max"):
+            raise ConfigurationError(
+                f"combination must be 'mean', 'median' or 'max', got {combination!r}"
+            )
+        self._member_specs = list(members)
+        self.combination = combination
+        self.members: List[BaseAnomalyDetector] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.members)
+
+    def _materialise_members(self) -> List[BaseAnomalyDetector]:
+        materialised: List[BaseAnomalyDetector] = []
+        for spec in self._member_specs:
+            member = spec() if callable(spec) and not isinstance(spec, BaseAnomalyDetector) else spec
+            if not isinstance(member, BaseAnomalyDetector):
+                raise ConfigurationError(
+                    f"ensemble member {member!r} does not implement the detector interface"
+                )
+            materialised.append(member)
+        return materialised
+
+    def fit(self, X, y: Optional[Sequence[str]] = None) -> "EnsembleDetector":
+        """Fit every member on the same data."""
+        matrix = check_array_2d(X, "X", min_rows=2)
+        self.members = self._materialise_members()
+        for member in self.members:
+            member.fit(matrix, y)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _member_scores(self, X) -> np.ndarray:
+        matrix = check_array_2d(X, "X")
+        return np.stack([member.score_samples(matrix) for member in self.members], axis=0)
+
+    def score_samples(self, X) -> np.ndarray:
+        """Combined threshold-normalised scores of all members."""
+        self._require_fitted(self.is_fitted)
+        scores = self._member_scores(X)
+        if self.combination == "mean":
+            return scores.mean(axis=0)
+        if self.combination == "median":
+            return np.median(scores, axis=0)
+        return scores.max(axis=0)
+
+    def predict_category(self, X) -> List[str]:
+        """Majority vote of the members' category predictions (ties -> first member)."""
+        self._require_fitted(self.is_fitted)
+        votes = [member.predict_category(X) for member in self.members]
+        combined: List[str] = []
+        for index in range(len(votes[0])):
+            candidates = [vote[index] for vote in votes]
+            counts: dict = {}
+            for candidate in candidates:
+                counts[candidate] = counts.get(candidate, 0) + 1
+            best = max(counts.items(), key=lambda item: (item[1], item[0] == candidates[0]))
+            combined.append(best[0])
+        return combined
+
+    def member_agreement(self, X) -> np.ndarray:
+        """Fraction of members whose binary decision agrees with the ensemble decision."""
+        self._require_fitted(self.is_fitted)
+        member_decisions = np.stack([member.predict(X) for member in self.members], axis=0)
+        ensemble_decisions = self.predict(X)
+        return (member_decisions == ensemble_decisions[None, :]).mean(axis=0)

@@ -1,0 +1,119 @@
+"""Rectangular map-grid topology for SOM layers.
+
+A :class:`MapGrid` tracks only the geometry of a map — unit coordinates,
+pairwise grid distances and adjacency — independently of the codebook
+vectors.  Keeping geometry separate makes the growing operations (row/column
+insertion) easy to test in isolation from training.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class MapGrid:
+    """A ``rows x cols`` rectangular grid of SOM units.
+
+    Units are identified by their flat index ``unit = row * cols + col`` which
+    matches the row-major layout of the codebook matrix.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ConfigurationError(f"grid dimensions must be >= 1, got {rows}x{cols}")
+        self.rows = int(rows)
+        self.cols = int(cols)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_units(self) -> int:
+        """Total number of units on the grid."""
+        return self.rows * self.cols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Grid shape ``(rows, cols)``."""
+        return (self.rows, self.cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MapGrid(rows={self.rows}, cols={self.cols})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MapGrid) and self.shape == other.shape
+
+    # ------------------------------------------------------------------ #
+    def coordinates(self) -> np.ndarray:
+        """``(n_units, 2)`` array of ``(row, col)`` coordinates in flat-index order."""
+        rows, cols = np.meshgrid(np.arange(self.rows), np.arange(self.cols), indexing="ij")
+        return np.stack([rows.ravel(), cols.ravel()], axis=1).astype(float)
+
+    def unit_index(self, row: int, col: int) -> int:
+        """Flat index of the unit at ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigurationError(
+                f"position ({row}, {col}) outside a {self.rows}x{self.cols} grid"
+            )
+        return row * self.cols + col
+
+    def position(self, unit: int) -> Tuple[int, int]:
+        """``(row, col)`` coordinates of flat index ``unit``."""
+        if not 0 <= unit < self.n_units:
+            raise ConfigurationError(f"unit {unit} outside a grid of {self.n_units} units")
+        return divmod(unit, self.cols)
+
+    def iter_units(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(unit, row, col)`` for every unit in flat-index order."""
+        for unit in range(self.n_units):
+            row, col = self.position(unit)
+            yield unit, row, col
+
+    # ------------------------------------------------------------------ #
+    def grid_distances(self) -> np.ndarray:
+        """``(n_units, n_units)`` matrix of Euclidean distances between unit coordinates."""
+        coords = self.coordinates()
+        deltas = coords[:, None, :] - coords[None, :, :]
+        return np.sqrt(np.sum(np.square(deltas), axis=2))
+
+    def distances_from(self, unit: int) -> np.ndarray:
+        """Grid distances from ``unit`` to every unit (vector of length ``n_units``)."""
+        coords = self.coordinates()
+        origin = coords[unit]
+        return np.sqrt(np.sum(np.square(coords - origin), axis=1))
+
+    def neighbors(self, unit: int) -> List[int]:
+        """Flat indices of the 4-connected neighbours of ``unit``."""
+        row, col = self.position(unit)
+        candidates = [(row - 1, col), (row + 1, col), (row, col - 1), (row, col + 1)]
+        return [
+            self.unit_index(r, c)
+            for r, c in candidates
+            if 0 <= r < self.rows and 0 <= c < self.cols
+        ]
+
+    def are_adjacent(self, first: int, second: int) -> bool:
+        """Whether two units are 4-connected neighbours."""
+        return second in self.neighbors(first)
+
+    # ------------------------------------------------------------------ #
+    # Growth operations.  These return the new grid; the caller is
+    # responsible for expanding the codebook to match (see GrowingSom).
+    # ------------------------------------------------------------------ #
+    def with_row_inserted(self, after_row: int) -> "MapGrid":
+        """A new grid with one extra row inserted after ``after_row``."""
+        if not 0 <= after_row < self.rows:
+            raise ConfigurationError(f"after_row={after_row} outside a grid with {self.rows} rows")
+        return MapGrid(self.rows + 1, self.cols)
+
+    def with_col_inserted(self, after_col: int) -> "MapGrid":
+        """A new grid with one extra column inserted after ``after_col``."""
+        if not 0 <= after_col < self.cols:
+            raise ConfigurationError(f"after_col={after_col} outside a grid with {self.cols} cols")
+        return MapGrid(self.rows, self.cols + 1)
+
+    def initial_radius(self) -> float:
+        """A sensible initial neighbourhood radius for this grid (half its larger side)."""
+        return max(max(self.rows, self.cols) / 2.0, 1.0)

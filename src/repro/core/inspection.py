@@ -1,0 +1,156 @@
+"""Model inspection: U-matrices, hit maps, component planes and tree rendering.
+
+SOM-family models are popular in security operations partly because they are
+*inspectable*: an analyst can look at the map, see which regions of it fire,
+and understand what kind of traffic a unit represents.  This module provides
+the classic inspection artefacts as plain numpy arrays / text (no plotting
+dependency):
+
+* :func:`u_matrix` — average distance of each unit's weight vector to its grid
+  neighbours (cluster boundaries show up as ridges);
+* :func:`hit_map` — how many records of a dataset map to each unit;
+* :func:`component_plane` — the value of one input feature across the map;
+* :func:`describe_tree` — a text rendering of a GHSOM hierarchy with per-layer
+  statistics;
+* :func:`render_grid` — ASCII rendering of any per-unit matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ghsom import Ghsom
+from repro.core.grid import MapGrid
+from repro.core.labeling import UnitLabeler
+from repro.core.som import Som
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_array_2d
+
+
+def u_matrix(codebook, grid: MapGrid) -> np.ndarray:
+    """Unified distance matrix of a map.
+
+    Returns a ``(rows, cols)`` array where each cell holds the mean Euclidean
+    distance between that unit's weight vector and the weight vectors of its
+    4-connected neighbours.  High values mark cluster boundaries.
+    """
+    weights = check_array_2d(codebook, "codebook")
+    if weights.shape[0] != grid.n_units:
+        raise ConfigurationError(
+            f"codebook has {weights.shape[0]} rows but the grid has {grid.n_units} units"
+        )
+    result = np.zeros((grid.rows, grid.cols))
+    for unit, row, col in grid.iter_units():
+        neighbors = grid.neighbors(unit)
+        distances = [
+            float(np.linalg.norm(weights[unit] - weights[neighbor])) for neighbor in neighbors
+        ]
+        result[row, col] = float(np.mean(distances)) if distances else 0.0
+    return result
+
+
+def hit_map(som: Som, data) -> np.ndarray:
+    """Number of records of ``data`` mapped to each unit, shaped like the grid."""
+    counts = som.unit_counts(data)
+    return counts.reshape(som.grid.rows, som.grid.cols)
+
+
+def component_plane(som: Som, feature_index: int) -> np.ndarray:
+    """The weight value of one input feature across the map (``(rows, cols)``)."""
+    if not 0 <= feature_index < som.n_features:
+        raise ConfigurationError(
+            f"feature_index must be in [0, {som.n_features}), got {feature_index}"
+        )
+    return som.codebook[:, feature_index].reshape(som.grid.rows, som.grid.cols)
+
+
+def label_map(som: Som, labeler: UnitLabeler, node_id: str = "som") -> List[List[str]]:
+    """Per-unit labels of a flat SOM as a ``rows x cols`` nested list of strings."""
+    rows: List[List[str]] = []
+    for row in range(som.grid.rows):
+        current: List[str] = []
+        for col in range(som.grid.cols):
+            unit = som.grid.unit_index(row, col)
+            current.append(labeler.label_of((node_id, unit)))
+        rows.append(current)
+    return rows
+
+
+def render_grid(values: np.ndarray, *, float_format: str = ".3f") -> str:
+    """ASCII rendering of a per-unit matrix (one row of text per map row)."""
+    matrix = np.atleast_2d(np.asarray(values))
+    width = max(len(format(float(value), float_format)) for value in matrix.ravel())
+    lines = []
+    for row in matrix:
+        lines.append(" ".join(format(float(value), float_format).rjust(width) for value in row))
+    return "\n".join(lines)
+
+
+def describe_tree(model: Ghsom, labeler: Optional[UnitLabeler] = None) -> str:
+    """Text rendering of a GHSOM hierarchy.
+
+    Each line shows one layer: its id, depth, shape, number of training
+    records, mean quantization error of its units, and (when a labeler is
+    given) the distribution of leaf labels on that layer.
+    """
+    lines: List[str] = []
+    for node in model.iter_nodes():
+        indent = "  " * (node.depth - 1)
+        n_records = int(np.sum(node.unit_count)) if node.unit_count.size else 0
+        mean_qe = float(np.mean(node.unit_qe)) if node.unit_qe.size else 0.0
+        line = (
+            f"{indent}{node.node_id}: {node.layer.grid.rows}x{node.layer.grid.cols} "
+            f"({node.n_units} units, depth {node.depth}, {n_records} records, "
+            f"mean unit QE {mean_qe:.4f}, {len(node.children)} expanded)"
+        )
+        if labeler is not None:
+            counts: Dict[str, int] = {}
+            for unit in range(node.n_units):
+                if unit in node.children:
+                    continue
+                label = labeler.label_of((node.node_id, unit))
+                counts[label] = counts.get(label, 0) + 1
+            if counts:
+                rendered = ", ".join(f"{label}={count}" for label, count in sorted(counts.items()))
+                line += f" [leaf labels: {rendered}]"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def unit_summaries(
+    model: Ghsom,
+    feature_names: Optional[Sequence[str]] = None,
+    *,
+    top_k: int = 3,
+) -> List[Dict[str, object]]:
+    """Per-leaf summaries: id, depth, records, QE and the strongest weight features.
+
+    Useful for answering "what does the unit that fired look like?" without a
+    visualisation stack.
+    """
+    if top_k < 1:
+        raise ConfigurationError(f"top_k must be >= 1, got {top_k}")
+    summaries: List[Dict[str, object]] = []
+    for node in model.iter_nodes():
+        for unit in range(node.n_units):
+            if unit in node.children:
+                continue
+            weights = node.layer.codebook[unit]
+            order = np.argsort(weights)[::-1][:top_k]
+            if feature_names is not None and len(feature_names) == weights.shape[0]:
+                top_features = [(str(feature_names[index]), float(weights[index])) for index in order]
+            else:
+                top_features = [(f"feature_{index}", float(weights[index])) for index in order]
+            summaries.append(
+                {
+                    "node_id": node.node_id,
+                    "unit": unit,
+                    "depth": node.depth,
+                    "n_records": int(node.unit_count[unit]) if node.unit_count.size else 0,
+                    "qe": float(node.unit_qe[unit]) if node.unit_qe.size else 0.0,
+                    "top_features": top_features,
+                }
+            )
+    return summaries

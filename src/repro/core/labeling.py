@@ -1,0 +1,185 @@
+"""Unit labelling for supervised / semi-supervised GHSOM detection.
+
+After a GHSOM is trained (unsupervised), its leaf units can be labelled with
+the traffic classes of the training samples that map to them.  A test sample
+then inherits the label of its leaf unit.  This module implements the
+labelling rules and keeps per-leaf statistics (count, purity) so detectors can
+decide how much to trust a unit's label.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, NotFittedError
+
+#: Sentinel returned for leaves that received no training samples.
+UNLABELED = "unlabeled"
+
+LeafKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class LeafLabel:
+    """Label information for one leaf unit."""
+
+    label: str
+    count: int
+    purity: float
+
+    @property
+    def is_reliable(self) -> bool:
+        """A crude reliability flag: labelled by at least one sample with purity > 0.5."""
+        return self.count > 0 and self.purity > 0.5
+
+
+class UnitLabeler:
+    """Assigns class labels to GHSOM leaf units by vote of the mapped training samples.
+
+    Parameters
+    ----------
+    strategy:
+        ``"majority"`` — plain majority vote (default);
+        ``"purity"`` — majority vote, but the unit keeps its label only when
+        the majority fraction reaches ``min_purity``, otherwise it is treated
+        as mixed and labelled with the *attack* class among its samples (a
+        conservative choice: mixed normal/attack units alarm).
+    min_purity:
+        Purity threshold for the ``"purity"`` strategy.
+    min_count:
+        Units with fewer mapped samples than this keep the ``UNLABELED``
+        sentinel.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "majority",
+        *,
+        min_purity: float = 0.7,
+        min_count: int = 1,
+    ) -> None:
+        if strategy not in ("majority", "purity"):
+            raise ConfigurationError(
+                f"strategy must be 'majority' or 'purity', got {strategy!r}"
+            )
+        if not 0.0 < min_purity <= 1.0:
+            raise ConfigurationError(f"min_purity must be in (0, 1], got {min_purity}")
+        if min_count < 1:
+            raise ConfigurationError(f"min_count must be >= 1, got {min_count}")
+        self.strategy = strategy
+        self.min_purity = min_purity
+        self.min_count = min_count
+        self._labels: Optional[Dict[LeafKey, LeafLabel]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self._labels is not None
+
+    def fit(self, leaf_keys: Sequence[LeafKey], labels: Sequence[str]) -> "UnitLabeler":
+        """Learn the per-leaf labels from training assignments.
+
+        Parameters
+        ----------
+        leaf_keys:
+            ``(node_id, unit)`` leaf identity per training sample, as returned
+            by :meth:`repro.core.ghsom.Ghsom.leaf_keys`.
+        labels:
+            Class label per training sample (categories or named attacks).
+        """
+        if len(leaf_keys) != len(labels):
+            raise ConfigurationError(
+                f"got {len(leaf_keys)} leaf keys but {len(labels)} labels"
+            )
+        votes: Dict[LeafKey, Counter] = defaultdict(Counter)
+        for key, label in zip(leaf_keys, labels):
+            votes[key][str(label)] += 1
+        fitted: Dict[LeafKey, LeafLabel] = {}
+        for key, counter in votes.items():
+            total = sum(counter.values())
+            majority_label, majority_count = counter.most_common(1)[0]
+            purity = majority_count / total
+            if total < self.min_count:
+                fitted[key] = LeafLabel(UNLABELED, total, purity)
+                continue
+            label = majority_label
+            if self.strategy == "purity" and purity < self.min_purity:
+                # Mixed unit: prefer the most common non-normal class, if any.
+                attack_votes = [(count, name) for name, count in counter.items() if name != "normal"]
+                if attack_votes:
+                    label = max(attack_votes)[1]
+            fitted[key] = LeafLabel(label, total, purity)
+        self._labels = fitted
+        return self
+
+    # ------------------------------------------------------------------ #
+    def label_of(self, leaf_key: LeafKey) -> str:
+        """Label of one leaf (``UNLABELED`` if the leaf saw no training data)."""
+        if self._labels is None:
+            raise NotFittedError("UnitLabeler is not fitted")
+        info = self._labels.get(leaf_key)
+        return info.label if info is not None else UNLABELED
+
+    def info_of(self, leaf_key: LeafKey) -> LeafLabel:
+        """Full label info of one leaf."""
+        if self._labels is None:
+            raise NotFittedError("UnitLabeler is not fitted")
+        return self._labels.get(leaf_key, LeafLabel(UNLABELED, 0, 0.0))
+
+    def predict(self, leaf_keys: Iterable[LeafKey]) -> List[str]:
+        """Labels for a batch of leaf keys."""
+        return [self.label_of(key) for key in leaf_keys]
+
+    def labeled_leaves(self) -> Dict[LeafKey, LeafLabel]:
+        """A copy of the fitted leaf-label table."""
+        if self._labels is None:
+            raise NotFittedError("UnitLabeler is not fitted")
+        return dict(self._labels)
+
+    def class_distribution(self) -> Dict[str, int]:
+        """Number of leaves assigned to each label."""
+        if self._labels is None:
+            raise NotFittedError("UnitLabeler is not fitted")
+        counts: Counter = Counter(info.label for info in self._labels.values())
+        return dict(counts)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (used by model serialization)."""
+        if self._labels is None:
+            raise NotFittedError("UnitLabeler is not fitted")
+        return {
+            "strategy": self.strategy,
+            "min_purity": self.min_purity,
+            "min_count": self.min_count,
+            "labels": [
+                {
+                    "node_id": key[0],
+                    "unit": key[1],
+                    "label": info.label,
+                    "count": info.count,
+                    "purity": info.purity,
+                }
+                for key, info in self._labels.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "UnitLabeler":
+        """Inverse of :meth:`to_dict`."""
+        labeler = cls(
+            strategy=str(data.get("strategy", "majority")),
+            min_purity=float(data.get("min_purity", 0.7)),
+            min_count=int(data.get("min_count", 1)),
+        )
+        labels: Dict[LeafKey, LeafLabel] = {}
+        for entry in data.get("labels", []):  # type: ignore[union-attr]
+            key = (str(entry["node_id"]), int(entry["unit"]))
+            labels[key] = LeafLabel(
+                label=str(entry["label"]),
+                count=int(entry["count"]),
+                purity=float(entry["purity"]),
+            )
+        labeler._labels = labels
+        return labeler

@@ -1,0 +1,62 @@
+"""Neighborhood kernels for SOM weight updates.
+
+During training, the best matching unit (BMU) and its neighbours on the map
+grid are pulled towards each training sample.  The neighbourhood kernel
+controls how the pull decays with grid distance from the BMU; the radius
+shrinks over training so the map first unfolds globally and then fine-tunes
+locally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+NeighborhoodFunction = Callable[[np.ndarray, float], np.ndarray]
+
+
+def gaussian_neighborhood(grid_distances: np.ndarray, radius: float) -> np.ndarray:
+    """Smooth Gaussian kernel: ``exp(-d^2 / (2 r^2))``.
+
+    The radius is floored at a small positive value so late training rounds
+    still update the BMU itself.
+    """
+    radius = max(float(radius), 1e-6)
+    return np.exp(-np.square(grid_distances) / (2.0 * radius * radius))
+
+
+def bubble_neighborhood(grid_distances: np.ndarray, radius: float) -> np.ndarray:
+    """Hard cut-off kernel: 1 within ``radius`` grid steps of the BMU, 0 outside."""
+    return (grid_distances <= max(float(radius), 0.0)).astype(float)
+
+
+def mexican_hat_neighborhood(grid_distances: np.ndarray, radius: float) -> np.ndarray:
+    """Difference-of-Gaussians kernel with a mild inhibitory surround."""
+    radius = max(float(radius), 1e-6)
+    ratio = np.square(grid_distances) / (radius * radius)
+    return (1.0 - ratio) * np.exp(-0.5 * ratio)
+
+
+_NEIGHBORHOODS: Dict[str, NeighborhoodFunction] = {
+    "gaussian": gaussian_neighborhood,
+    "bubble": bubble_neighborhood,
+    "mexican_hat": mexican_hat_neighborhood,
+}
+
+
+def get_neighborhood(name: str) -> NeighborhoodFunction:
+    """Look up a neighbourhood kernel by name."""
+    try:
+        return _NEIGHBORHOODS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown neighborhood {name!r}; available: {sorted(_NEIGHBORHOODS)}"
+        ) from exc
+
+
+def available_neighborhoods() -> tuple:
+    """Names of all registered neighbourhood kernels."""
+    return tuple(sorted(_NEIGHBORHOODS))

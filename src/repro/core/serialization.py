@@ -1,0 +1,187 @@
+"""Saving and loading trained models.
+
+Models are serialised to a single JSON document (codebooks stored as nested
+lists).  JSON keeps the artefacts human-inspectable and avoids pickle's code
+execution concerns; the models involved are small (a few hundred units of a
+few dozen dimensions), so the size overhead of a text format is irrelevant.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.config import GhsomConfig
+from repro.core.detector import GhsomDetector
+from repro.core.ghsom import Ghsom, GhsomNode
+from repro.core.growing_som import GrowingSom
+from repro.core.labeling import UnitLabeler
+from repro.core.thresholds import threshold_from_dict
+from repro.exceptions import SerializationError
+
+PathLike = Union[str, Path]
+
+#: Format marker written into every artefact so loads can fail fast on
+#: incompatible files.
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# GHSOM model
+# --------------------------------------------------------------------------- #
+def _node_to_dict(node: GhsomNode) -> Dict[str, object]:
+    return {
+        "node_id": node.node_id,
+        "depth": node.depth,
+        "parent_unit": node.parent_unit,
+        "rows": node.layer.grid.rows,
+        "cols": node.layer.grid.cols,
+        "parent_qe": node.layer.parent_qe,
+        "codebook": node.layer.codebook.tolist(),
+        "unit_qe": np.asarray(node.unit_qe, dtype=float).tolist(),
+        "unit_count": np.asarray(node.unit_count, dtype=int).tolist(),
+        "children": {str(unit): _node_to_dict(child) for unit, child in node.children.items()},
+    }
+
+
+def _node_from_dict(data: Dict[str, object], config: GhsomConfig, n_features: int) -> GhsomNode:
+    rows = int(data["rows"])
+    cols = int(data["cols"])
+    layer = GrowingSom(
+        n_features=n_features,
+        config=config,
+        parent_qe=float(data["parent_qe"]),
+        random_state=config.random_state,
+    )
+    codebook = np.asarray(data["codebook"], dtype=float)
+    layer._replace_map(layer.grid.__class__(rows, cols), codebook)  # reuse swap helper
+    layer.som._fitted = True
+    layer._fitted = True
+    node = GhsomNode(
+        node_id=str(data["node_id"]),
+        layer=layer,
+        depth=int(data["depth"]),
+        parent_unit=None if data["parent_unit"] is None else int(data["parent_unit"]),
+        unit_qe=np.asarray(data["unit_qe"], dtype=float),
+        unit_count=np.asarray(data["unit_count"], dtype=int),
+    )
+    for unit, child_data in dict(data.get("children", {})).items():
+        node.children[int(unit)] = _node_from_dict(child_data, config, n_features)
+    return node
+
+
+def ghsom_to_dict(model: Ghsom) -> Dict[str, object]:
+    """Serialise a fitted :class:`Ghsom` to a JSON-compatible dict."""
+    if not model.is_fitted:
+        raise SerializationError("cannot serialise an unfitted Ghsom")
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "ghsom",
+        "config": model.config.to_dict(),
+        "qe0": model.qe0,
+        "n_features": model.n_features,
+        "root": _node_to_dict(model.root),
+    }
+
+
+def ghsom_from_dict(data: Dict[str, object]) -> Ghsom:
+    """Rebuild a :class:`Ghsom` from :func:`ghsom_to_dict` output."""
+    if data.get("kind") != "ghsom":
+        raise SerializationError(f"payload is not a ghsom model (kind={data.get('kind')!r})")
+    if data.get("format_version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {data.get('format_version')!r}"
+        )
+    config = GhsomConfig.from_dict(dict(data["config"]))
+    model = Ghsom(config)
+    model.qe0 = float(data["qe0"])
+    model.n_features = int(data["n_features"])
+    model.root = _node_from_dict(dict(data["root"]), config, model.n_features)
+    return model
+
+
+def save_ghsom(model: Ghsom, path: PathLike) -> None:
+    """Write a fitted GHSOM to ``path`` as JSON."""
+    payload = ghsom_to_dict(model)
+    _write_json(payload, path)
+
+
+def load_ghsom(path: PathLike) -> Ghsom:
+    """Load a GHSOM previously written by :func:`save_ghsom`."""
+    return ghsom_from_dict(_read_json(path))
+
+
+# --------------------------------------------------------------------------- #
+# GHSOM detector (model + labels + thresholds)
+# --------------------------------------------------------------------------- #
+def detector_to_dict(detector: GhsomDetector) -> Dict[str, object]:
+    """Serialise a fitted :class:`GhsomDetector` (model, labels, thresholds)."""
+    if not detector.is_fitted:
+        raise SerializationError("cannot serialise an unfitted GhsomDetector")
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "ghsom_detector",
+        "model": ghsom_to_dict(detector.model),
+        "labeler": detector.labeler.to_dict() if detector.labeler is not None else None,
+        "threshold": detector.threshold_.to_dict(),
+        "threshold_strategy_name": detector.threshold_strategy_name,
+        "threshold_kwargs": detector.threshold_kwargs,
+        "labeling_strategy": detector.labeling_strategy,
+        "calibrate_on_normal_only": detector.calibrate_on_normal_only,
+    }
+
+
+def detector_from_dict(data: Dict[str, object]) -> GhsomDetector:
+    """Rebuild a :class:`GhsomDetector` from :func:`detector_to_dict` output."""
+    if data.get("kind") != "ghsom_detector":
+        raise SerializationError(
+            f"payload is not a ghsom detector (kind={data.get('kind')!r})"
+        )
+    model = ghsom_from_dict(dict(data["model"]))
+    detector = GhsomDetector(
+        config=model.config,
+        threshold_strategy=str(data.get("threshold_strategy_name", "per_unit")),
+        threshold_kwargs=dict(data.get("threshold_kwargs", {})),
+        labeling_strategy=str(data.get("labeling_strategy", "majority")),
+        calibrate_on_normal_only=bool(data.get("calibrate_on_normal_only", True)),
+    )
+    detector.model = model
+    labeler_payload: Optional[Dict[str, object]] = data.get("labeler")  # type: ignore[assignment]
+    detector.labeler = UnitLabeler.from_dict(labeler_payload) if labeler_payload else None
+    detector.threshold_ = threshold_from_dict(dict(data["threshold"]))
+    return detector
+
+
+def save_detector(detector: GhsomDetector, path: PathLike) -> None:
+    """Write a fitted detector to ``path`` as JSON."""
+    _write_json(detector_to_dict(detector), path)
+
+
+def load_detector(path: PathLike) -> GhsomDetector:
+    """Load a detector previously written by :func:`save_detector`."""
+    return detector_from_dict(_read_json(path))
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+def _write_json(payload: Dict[str, object], path: PathLike) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        path.write_text(json.dumps(payload))
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"could not serialise model to {path}: {exc}") from exc
+
+
+def _read_json(path: PathLike) -> Dict[str, object]:
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"model file does not exist: {path}")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"could not parse model file {path}: {exc}") from exc

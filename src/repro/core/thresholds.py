@@ -1,0 +1,245 @@
+"""Anomaly-score threshold calibration.
+
+A GHSOM (or flat SOM) reduces every connection record to a single number: the
+distance between the record and the weight vector of its best matching leaf
+unit.  Turning that distance into an alarm requires a threshold.  Two
+strategies from the GHSOM intrusion-detection literature are implemented:
+
+* :class:`GlobalThreshold` — one threshold for the whole model, set to a
+  percentile of the training-score distribution (equivalently, to a target
+  false-positive rate on normal training traffic);
+* :class:`PerUnitThreshold` — one threshold per leaf unit, set to
+  ``mean + k * std`` of the distances of the training samples mapped to that
+  unit, with a global fallback for units that saw too few samples.  Per-unit
+  thresholds adapt to the very different tightness of different clusters
+  (e.g. the ``smurf`` cluster is nearly a point while normal HTTP traffic is
+  diffuse).
+
+Both expose ``threshold_for(leaf_key)`` plus a vectorised ``normalize`` that
+maps raw distances to *score ratios* (distance / threshold), so a ratio above
+1 means "above threshold" regardless of strategy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.validation import check_fraction, check_positive
+
+LeafKey = Tuple[str, int]
+
+
+class GlobalThreshold:
+    """A single threshold shared by every leaf unit.
+
+    Parameters
+    ----------
+    percentile:
+        The percentile of the training-score distribution used as the
+        threshold (e.g. 99.0 keeps the false-positive rate on training-like
+        normal traffic near 1%).
+    """
+
+    def __init__(self, percentile: float = 99.0) -> None:
+        if not 0.0 < percentile <= 100.0:
+            raise ConfigurationError(f"percentile must be in (0, 100], got {percentile}")
+        self.percentile = float(percentile)
+        self._threshold: Optional[float] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._threshold is not None
+
+    @property
+    def threshold(self) -> float:
+        if self._threshold is None:
+            raise NotFittedError("GlobalThreshold is not calibrated")
+        return self._threshold
+
+    def fit(self, distances: Sequence[float], leaf_keys: Optional[Sequence[LeafKey]] = None) -> "GlobalThreshold":
+        """Calibrate from training distances (leaf keys are accepted but unused)."""
+        values = np.asarray(distances, dtype=float)
+        if values.size == 0:
+            raise ConfigurationError("cannot calibrate a threshold from zero distances")
+        threshold = float(np.percentile(values, self.percentile))
+        self._threshold = max(threshold, 1e-12)
+        return self
+
+    def threshold_for(self, leaf_key: LeafKey) -> float:
+        """The calibrated threshold (identical for every leaf)."""
+        return self.threshold
+
+    def normalize(self, distances: Sequence[float], leaf_keys: Sequence[LeafKey]) -> np.ndarray:
+        """Score ratios ``distance / threshold`` (>1 means above threshold)."""
+        values = np.asarray(distances, dtype=float)
+        return values / self.threshold
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "kind": "global",
+            "percentile": self.percentile,
+            "threshold": self._threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GlobalThreshold":
+        """Inverse of :meth:`to_dict`."""
+        strategy = cls(percentile=float(data.get("percentile", 99.0)))
+        threshold = data.get("threshold")
+        strategy._threshold = float(threshold) if threshold is not None else None
+        return strategy
+
+
+class PerUnitThreshold:
+    """Per-leaf thresholds ``mean + k * std`` with a global fallback.
+
+    Parameters
+    ----------
+    k:
+        Number of standard deviations above the per-unit mean distance.
+    min_count:
+        Units with fewer training samples than this use the global fallback
+        threshold.
+    fallback_percentile:
+        Percentile of the global training-score distribution used for the
+        fallback and for leaves never seen during calibration.
+    min_threshold_fraction:
+        Per-unit thresholds are floored at this fraction of the global
+        fallback.  Very pure leaves (e.g. a cluster of near-identical flood
+        records) would otherwise get a near-zero threshold and flag every
+        slightly-off record, which destroys the low-false-positive operating
+        region.
+    """
+
+    def __init__(
+        self,
+        k: float = 3.0,
+        *,
+        min_count: int = 5,
+        fallback_percentile: float = 99.0,
+        min_threshold_fraction: float = 0.25,
+    ) -> None:
+        check_positive(k, "k")
+        if min_count < 1:
+            raise ConfigurationError(f"min_count must be >= 1, got {min_count}")
+        if not 0.0 < fallback_percentile <= 100.0:
+            raise ConfigurationError(
+                f"fallback_percentile must be in (0, 100], got {fallback_percentile}"
+            )
+        if not 0.0 <= min_threshold_fraction <= 1.0:
+            raise ConfigurationError(
+                f"min_threshold_fraction must be in [0, 1], got {min_threshold_fraction}"
+            )
+        self.k = float(k)
+        self.min_count = int(min_count)
+        self.fallback_percentile = float(fallback_percentile)
+        self.min_threshold_fraction = float(min_threshold_fraction)
+        self._thresholds: Optional[Dict[LeafKey, float]] = None
+        self._fallback: Optional[float] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._thresholds is not None
+
+    def fit(self, distances: Sequence[float], leaf_keys: Sequence[LeafKey]) -> "PerUnitThreshold":
+        """Calibrate per-leaf thresholds from training distances and their leaf keys."""
+        values = np.asarray(distances, dtype=float)
+        if values.size == 0:
+            raise ConfigurationError("cannot calibrate a threshold from zero distances")
+        if len(leaf_keys) != values.size:
+            raise ConfigurationError(
+                f"got {values.size} distances but {len(leaf_keys)} leaf keys"
+            )
+        self._fallback = max(float(np.percentile(values, self.fallback_percentile)), 1e-12)
+        grouped: Dict[LeafKey, list] = defaultdict(list)
+        for key, value in zip(leaf_keys, values):
+            grouped[key].append(float(value))
+        floor = self.min_threshold_fraction * self._fallback
+        thresholds: Dict[LeafKey, float] = {}
+        for key, group in grouped.items():
+            if len(group) < self.min_count:
+                thresholds[key] = self._fallback
+                continue
+            group_array = np.asarray(group)
+            threshold = float(group_array.mean() + self.k * group_array.std())
+            # Per-unit thresholds adapt the sensitivity *downwards* for tight
+            # clusters but are never more permissive than the global rule:
+            # a diffuse leaf must not grant a free pass to everything near it.
+            threshold = min(max(threshold, floor), self._fallback)
+            thresholds[key] = max(threshold, 1e-12)
+        self._thresholds = thresholds
+        return self
+
+    def threshold_for(self, leaf_key: LeafKey) -> float:
+        """Threshold of one leaf (the global fallback for unknown leaves)."""
+        if self._thresholds is None or self._fallback is None:
+            raise NotFittedError("PerUnitThreshold is not calibrated")
+        return self._thresholds.get(leaf_key, self._fallback)
+
+    def normalize(self, distances: Sequence[float], leaf_keys: Sequence[LeafKey]) -> np.ndarray:
+        """Score ratios ``distance / per-unit threshold``."""
+        values = np.asarray(distances, dtype=float)
+        thresholds = np.array([self.threshold_for(key) for key in leaf_keys])
+        return values / thresholds
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        if self._thresholds is None:
+            thresholds_payload = None
+        else:
+            thresholds_payload = [
+                {"node_id": key[0], "unit": key[1], "threshold": value}
+                for key, value in self._thresholds.items()
+            ]
+        return {
+            "kind": "per_unit",
+            "k": self.k,
+            "min_count": self.min_count,
+            "fallback_percentile": self.fallback_percentile,
+            "min_threshold_fraction": self.min_threshold_fraction,
+            "fallback": self._fallback,
+            "thresholds": thresholds_payload,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PerUnitThreshold":
+        """Inverse of :meth:`to_dict`."""
+        strategy = cls(
+            k=float(data.get("k", 3.0)),
+            min_count=int(data.get("min_count", 5)),
+            fallback_percentile=float(data.get("fallback_percentile", 99.0)),
+            min_threshold_fraction=float(data.get("min_threshold_fraction", 0.25)),
+        )
+        fallback = data.get("fallback")
+        strategy._fallback = float(fallback) if fallback is not None else None
+        thresholds = data.get("thresholds")
+        if thresholds is not None:
+            strategy._thresholds = {
+                (str(entry["node_id"]), int(entry["unit"])): float(entry["threshold"])
+                for entry in thresholds  # type: ignore[union-attr]
+            }
+        return strategy
+
+
+def make_threshold_strategy(name: str, **kwargs):
+    """Factory for threshold strategies (``"global"`` or ``"per_unit"``)."""
+    if name == "global":
+        return GlobalThreshold(**kwargs)
+    if name == "per_unit":
+        return PerUnitThreshold(**kwargs)
+    raise ConfigurationError(f"unknown threshold strategy {name!r}; use 'global' or 'per_unit'")
+
+
+def threshold_from_dict(data: Dict[str, object]):
+    """Rebuild a threshold strategy from its :meth:`to_dict` payload."""
+    kind = data.get("kind")
+    if kind == "global":
+        return GlobalThreshold.from_dict(data)
+    if kind == "per_unit":
+        return PerUnitThreshold.from_dict(data)
+    raise ConfigurationError(f"unknown threshold payload kind {kind!r}")

@@ -1,0 +1,249 @@
+"""Containers for connection records and labelled datasets.
+
+Two layers of representation are used throughout the library:
+
+* :class:`ConnectionRecord` — a single raw record holding the 41 schema
+  features (mixed symbolic / numeric values) together with its label, mainly
+  produced by the :mod:`repro.netsim` feature extractor and the synthetic
+  generator.
+* :class:`Dataset` — a column-oriented table of many records, carrying the
+  raw object array, the label vector, and the :class:`~repro.data.schema.KddSchema`
+  describing the columns.  Datasets are what the preprocessing pipeline
+  consumes and what the loader reads/writes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.schema import KddSchema, attack_category
+from repro.exceptions import DataValidationError, SchemaError
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class ConnectionRecord:
+    """One network connection summarised into KDD-style features.
+
+    Parameters
+    ----------
+    values:
+        Mapping from feature name to value.  Must contain exactly the features
+        of ``schema`` (extra keys raise, missing keys raise).
+    label:
+        The traffic label, either a named attack (``"smurf"``) or a category
+        (``"normal"``, ``"dos"``, ...).
+    schema:
+        The feature schema; defaults to the full 41-feature KDD schema.
+    """
+
+    values: Dict[str, Union[str, float]]
+    label: str = "normal"
+    schema: KddSchema = field(default_factory=KddSchema)
+
+    def __post_init__(self) -> None:
+        expected = set(self.schema.feature_names)
+        provided = set(self.values)
+        missing = expected - provided
+        extra = provided - expected
+        if missing:
+            raise SchemaError(f"record is missing features: {sorted(missing)}")
+        if extra:
+            raise SchemaError(f"record has unknown features: {sorted(extra)}")
+        # Validate categorical values eagerly so bad records fail at creation.
+        for name in self.schema.categorical:
+            value = self.values[name]
+            if value not in self.schema.values_for(name):
+                raise SchemaError(
+                    f"value {value!r} is not admissible for categorical feature {name!r}"
+                )
+
+    @property
+    def category(self) -> str:
+        """High-level attack category of this record."""
+        return attack_category(self.label)
+
+    @property
+    def is_attack(self) -> bool:
+        """Whether the record is anything other than normal traffic."""
+        return self.category != "normal"
+
+    def as_row(self) -> List[Union[str, float]]:
+        """The record as a list ordered by the schema's feature order."""
+        return [self.values[name] for name in self.schema.feature_names]
+
+    def numeric_vector(self) -> np.ndarray:
+        """The numeric features only, as a float vector in schema order."""
+        return np.array(
+            [float(self.values[name]) for name in self.schema.numeric_features], dtype=float
+        )
+
+
+class Dataset:
+    """A labelled, column-oriented table of connection records.
+
+    Attributes
+    ----------
+    raw:
+        Object array of shape ``(n_records, n_features)`` holding the raw
+        (pre-encoding) feature values in schema order.
+    labels:
+        Array of per-record labels (named attacks or categories).
+    schema:
+        The :class:`KddSchema` describing the columns.
+    """
+
+    def __init__(
+        self,
+        raw: Sequence[Sequence[Union[str, float]]],
+        labels: Sequence[str],
+        schema: Optional[KddSchema] = None,
+    ) -> None:
+        self.schema = schema or KddSchema()
+        raw_array = np.asarray(raw, dtype=object)
+        if raw_array.ndim == 1:
+            raw_array = raw_array.reshape(1, -1)
+        if raw_array.ndim != 2:
+            raise DataValidationError(f"raw data must be 2-dimensional, got shape {raw_array.shape}")
+        if raw_array.shape[1] != self.schema.n_features:
+            raise DataValidationError(
+                f"raw data has {raw_array.shape[1]} columns but the schema defines "
+                f"{self.schema.n_features}"
+            )
+        labels_array = np.asarray(list(labels), dtype=object)
+        if labels_array.shape[0] != raw_array.shape[0]:
+            raise DataValidationError(
+                f"got {raw_array.shape[0]} records but {labels_array.shape[0]} labels"
+            )
+        self.raw = raw_array
+        self.labels = labels_array
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_records(cls, records: Iterable[ConnectionRecord]) -> "Dataset":
+        """Build a dataset from an iterable of :class:`ConnectionRecord`."""
+        records = list(records)
+        if not records:
+            raise DataValidationError("cannot build a Dataset from zero records")
+        schema = records[0].schema
+        rows = [record.as_row() for record in records]
+        labels = [record.label for record in records]
+        return cls(rows, labels, schema=schema)
+
+    @classmethod
+    def empty_like(cls, other: "Dataset") -> "Dataset":
+        """An empty dataset sharing ``other``'s schema (useful for accumulation)."""
+        empty_raw = np.empty((0, other.schema.n_features), dtype=object)
+        return cls(empty_raw, [], schema=other.schema)
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.raw.shape[0]
+
+    def __iter__(self) -> Iterator[ConnectionRecord]:
+        for index in range(len(self)):
+            yield self.record(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset(n_records={len(self)}, n_features={self.schema.n_features}, "
+            f"classes={sorted(self.class_counts())})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def record(self, index: int) -> ConnectionRecord:
+        """Materialise record ``index`` as a :class:`ConnectionRecord`."""
+        row = self.raw[index]
+        values = {name: row[column] for column, name in enumerate(self.schema.feature_names)}
+        return ConnectionRecord(values=values, label=str(self.labels[index]), schema=self.schema)
+
+    def column(self, feature: str) -> np.ndarray:
+        """The raw column for ``feature``."""
+        return self.raw[:, self.schema.index_of(feature)]
+
+    def numeric_matrix(self) -> np.ndarray:
+        """The numeric (non-categorical) columns as a float matrix."""
+        columns = [self.schema.index_of(name) for name in self.schema.numeric_features]
+        return self.raw[:, columns].astype(float)
+
+    @property
+    def categories(self) -> np.ndarray:
+        """Per-record high-level attack categories."""
+        return np.array([attack_category(str(label)) for label in self.labels], dtype=object)
+
+    @property
+    def is_attack(self) -> np.ndarray:
+        """Boolean vector: ``True`` where the record is an attack."""
+        return self.categories != "normal"
+
+    def class_counts(self, *, by_category: bool = True) -> Dict[str, int]:
+        """Record counts per class (by category by default, else by raw label)."""
+        values = self.categories if by_category else self.labels
+        return dict(Counter(str(value) for value in values))
+
+    # ------------------------------------------------------------------ #
+    # manipulation
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """A new dataset containing only the rows in ``indices`` (order preserved)."""
+        index_array = np.asarray(indices, dtype=int)
+        return Dataset(self.raw[index_array], self.labels[index_array], schema=self.schema)
+
+    def filter_by_category(self, *categories: str) -> "Dataset":
+        """Keep only records whose category is in ``categories``."""
+        wanted = set(categories)
+        mask = np.array([category in wanted for category in self.categories])
+        return self.subset(np.flatnonzero(mask))
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets sharing the same schema."""
+        if other.schema.feature_names != self.schema.feature_names:
+            raise DataValidationError("cannot concatenate datasets with different schemas")
+        raw = np.concatenate([self.raw, other.raw], axis=0)
+        labels = np.concatenate([self.labels, other.labels], axis=0)
+        return Dataset(raw, labels, schema=self.schema)
+
+    def shuffled(self, random_state: RandomState = None) -> "Dataset":
+        """A new dataset with rows in random order."""
+        rng = ensure_rng(random_state)
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def sample(
+        self,
+        n: int,
+        *,
+        replace: bool = False,
+        random_state: RandomState = None,
+    ) -> "Dataset":
+        """Random sample of ``n`` records."""
+        if n <= 0:
+            raise DataValidationError(f"sample size must be positive, got {n}")
+        if not replace and n > len(self):
+            raise DataValidationError(
+                f"cannot sample {n} records without replacement from {len(self)}"
+            )
+        rng = ensure_rng(random_state)
+        indices = rng.choice(len(self), size=n, replace=replace)
+        return self.subset(indices)
+
+    def summary(self) -> Dict[str, object]:
+        """A small dictionary summarising the dataset (used by Table 1)."""
+        counts = self.class_counts()
+        total = len(self)
+        return {
+            "n_records": total,
+            "n_features": self.schema.n_features,
+            "class_counts": counts,
+            "attack_fraction": float(np.mean(self.is_attack)) if total else 0.0,
+        }

@@ -1,0 +1,42 @@
+"""Evaluation harness: metrics, experiment runner, sweeps and table rendering."""
+
+from repro.eval.metrics import (
+    BinaryMetrics,
+    auc,
+    binary_metrics,
+    confusion_matrix,
+    per_category_detection_rates,
+    roc_curve,
+)
+from repro.eval.crossval import CrossValidationResult, cross_validate_detector, k_fold_indices
+from repro.eval.experiments import DetectorResult, ExperimentRunner, evaluate_detector
+from repro.eval.reporting import (
+    load_results_json,
+    render_markdown_report,
+    save_markdown_report,
+    save_results_json,
+)
+from repro.eval.sweeps import tau_sensitivity_sweep, threshold_sweep
+from repro.eval.tables import format_table
+
+__all__ = [
+    "BinaryMetrics",
+    "auc",
+    "binary_metrics",
+    "confusion_matrix",
+    "per_category_detection_rates",
+    "roc_curve",
+    "CrossValidationResult",
+    "cross_validate_detector",
+    "k_fold_indices",
+    "load_results_json",
+    "render_markdown_report",
+    "save_markdown_report",
+    "save_results_json",
+    "DetectorResult",
+    "ExperimentRunner",
+    "evaluate_detector",
+    "tau_sensitivity_sweep",
+    "threshold_sweep",
+    "format_table",
+]

@@ -1,0 +1,224 @@
+"""The experiment runner used by the benchmark harness and the examples.
+
+:class:`ExperimentRunner` wires together the pieces every experiment needs —
+dataset generation, preprocessing, detector training, scoring — and returns
+structured :class:`DetectorResult` objects that the per-table benchmarks
+render.  Keeping the orchestration here means each benchmark file only states
+*what* to compare, not *how*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.detector import BaseAnomalyDetector
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.records import Dataset
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.eval.metrics import (
+    BinaryMetrics,
+    binary_metrics,
+    confusion_matrix,
+    per_category_detection_rates,
+    roc_auc,
+)
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState
+from repro.utils.timer import Stopwatch
+
+
+@dataclass
+class DetectorResult:
+    """Everything measured for one detector on one train/test split."""
+
+    name: str
+    metrics: BinaryMetrics
+    per_category: Dict[str, float]
+    roc_auc: float
+    fit_seconds: float
+    score_seconds: float
+    confusion: Optional[Tuple[np.ndarray, List[str]]] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def summary_row(self) -> List[object]:
+        """Row used by the overall-comparison table (Table 2)."""
+        return [
+            self.name,
+            self.metrics.detection_rate,
+            self.metrics.false_positive_rate,
+            self.metrics.precision,
+            self.metrics.f1,
+            self.metrics.accuracy,
+            self.roc_auc,
+            self.fit_seconds,
+        ]
+
+    @staticmethod
+    def summary_headers() -> List[str]:
+        """Headers matching :meth:`summary_row`."""
+        return ["detector", "DR", "FPR", "precision", "F1", "accuracy", "AUC", "fit_s"]
+
+
+def evaluate_detector(
+    detector: BaseAnomalyDetector,
+    X_train: np.ndarray,
+    y_train: Optional[Sequence[str]],
+    X_test: np.ndarray,
+    test_categories: Sequence[str],
+    *,
+    with_confusion: bool = False,
+) -> DetectorResult:
+    """Fit ``detector`` and measure it on the test split.
+
+    Parameters
+    ----------
+    detector:
+        Any object following the :class:`BaseAnomalyDetector` contract.
+    X_train, y_train:
+        Training matrix and optional string labels.
+    X_test:
+        Test matrix.
+    test_categories:
+        True category per test record (``normal`` / attack categories); the
+        binary ground truth is derived from it.
+    with_confusion:
+        Also compute the multi-class confusion matrix via
+        ``predict_category`` (only meaningful for labelled detectors).
+    """
+    categories = [str(value) for value in test_categories]
+    y_true = np.array([0 if category == "normal" else 1 for category in categories])
+    watch = Stopwatch()
+    with watch.measure("fit"):
+        detector.fit(X_train, y_train)
+    with watch.measure("score"):
+        scores = detector.score_samples(X_test)
+        predictions = detector.predict(X_test)
+    result_metrics = binary_metrics(y_true, predictions)
+    per_category = per_category_detection_rates(categories, predictions)
+    area = roc_auc(y_true, scores)
+    confusion = None
+    if with_confusion:
+        predicted_categories = detector.predict_category(X_test)
+        confusion = confusion_matrix(categories, predicted_categories)
+    return DetectorResult(
+        name=getattr(detector, "name", type(detector).__name__),
+        metrics=result_metrics,
+        per_category=per_category,
+        roc_auc=area,
+        fit_seconds=watch.total("fit"),
+        score_seconds=watch.total("score"),
+        confusion=confusion,
+    )
+
+
+class ExperimentRunner:
+    """Generates data once and evaluates a set of detectors on it.
+
+    Parameters
+    ----------
+    n_train, n_test:
+        Sizes of the generated train and test splits.
+    train_mix, test_mix:
+        Optional class mixes passed to the synthetic generator.
+    train_on_normal_only:
+        Train detectors one-class style on the normal records only (labels
+        are then withheld from ``fit``); the test split is unchanged.
+    supervised:
+        Pass training labels to the detectors (ignored when
+        ``train_on_normal_only`` is set).
+    random_state:
+        Seed controlling generation and preprocessing determinism.
+    """
+
+    def __init__(
+        self,
+        n_train: int = 4000,
+        n_test: int = 2000,
+        *,
+        train_mix: Optional[Mapping[str, float]] = None,
+        test_mix: Optional[Mapping[str, float]] = None,
+        train_on_normal_only: bool = False,
+        supervised: bool = True,
+        random_state: RandomState = 0,
+    ) -> None:
+        if n_train < 10 or n_test < 10:
+            raise ConfigurationError("n_train and n_test must both be at least 10")
+        self.n_train = int(n_train)
+        self.n_test = int(n_test)
+        self.train_mix = dict(train_mix) if train_mix is not None else None
+        self.test_mix = dict(test_mix) if test_mix is not None else None
+        self.train_on_normal_only = train_on_normal_only
+        self.supervised = supervised
+        self.random_state = random_state
+        self._prepared: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> Dict[str, object]:
+        """Generate and preprocess the data (cached across detector runs)."""
+        if self._prepared is not None:
+            return self._prepared
+        generator = KddSyntheticGenerator(random_state=self.random_state)
+        if self.train_on_normal_only:
+            train = generator.generate_normal(self.n_train)
+        else:
+            train = generator.generate(self.n_train, class_mix=self.train_mix)
+        test = generator.generate(self.n_test, class_mix=self.test_mix)
+        pipeline = PreprocessingPipeline()
+        X_train = pipeline.fit_transform(train)
+        X_test = pipeline.transform(test)
+        y_train: Optional[List[str]]
+        if self.train_on_normal_only or not self.supervised:
+            y_train = None
+        else:
+            y_train = [str(category) for category in train.categories]
+        self._prepared = {
+            "train": train,
+            "test": test,
+            "pipeline": pipeline,
+            "X_train": X_train,
+            "X_test": X_test,
+            "y_train": y_train,
+            "test_categories": [str(category) for category in test.categories],
+        }
+        return self._prepared
+
+    @property
+    def train_dataset(self) -> Dataset:
+        """The generated training dataset."""
+        return self.prepare()["train"]  # type: ignore[return-value]
+
+    @property
+    def test_dataset(self) -> Dataset:
+        """The generated test dataset."""
+        return self.prepare()["test"]  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        detectors: Mapping[str, BaseAnomalyDetector],
+        *,
+        with_confusion: bool = False,
+    ) -> Dict[str, DetectorResult]:
+        """Evaluate every detector on the shared train/test split."""
+        prepared = self.prepare()
+        results: Dict[str, DetectorResult] = {}
+        for name, detector in detectors.items():
+            result = evaluate_detector(
+                detector,
+                prepared["X_train"],
+                prepared["y_train"],
+                prepared["X_test"],
+                prepared["test_categories"],
+                with_confusion=with_confusion,
+            )
+            result.name = name
+            results[name] = result
+        return results
+
+    def run_single(self, detector: BaseAnomalyDetector, *, with_confusion: bool = False) -> DetectorResult:
+        """Evaluate one detector (convenience wrapper around :meth:`run`)."""
+        name = getattr(detector, "name", type(detector).__name__)
+        return self.run({name: detector}, with_confusion=with_confusion)[name]

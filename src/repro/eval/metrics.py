@@ -1,0 +1,238 @@
+"""Detection metrics: confusion matrices, rates, ROC curves and AUC.
+
+Conventions used throughout the evaluation:
+
+* binary labels are 1 = attack/anomaly, 0 = normal;
+* the **detection rate** (DR, also called recall or true-positive rate) is
+  the fraction of attacks that alarm;
+* the **false-positive rate** (FPR) is the fraction of normal records that
+  alarm;
+* multi-class confusion matrices are keyed by category name (``normal``,
+  ``dos``, ``probe``, ``r2l``, ``u2r``, plus ``unknown`` for records a
+  labelled detector could not attribute to a training class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.utils.validation import check_same_length
+
+
+def _as_binary(values: Sequence) -> np.ndarray:
+    array = np.asarray(values)
+    if array.dtype == bool:
+        return array.astype(int)
+    return np.asarray(array, dtype=int)
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Summary of a binary detection outcome."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def n_attacks(self) -> int:
+        """Number of attack records in the ground truth."""
+        return self.true_positives + self.false_negatives
+
+    @property
+    def n_normal(self) -> int:
+        """Number of normal records in the ground truth."""
+        return self.true_negatives + self.false_positives
+
+    @property
+    def detection_rate(self) -> float:
+        """Recall on the attack class (TP / (TP + FN)); 0 when there are no attacks."""
+        return self.true_positives / self.n_attacks if self.n_attacks else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN); 0 when there are no normal records."""
+        return self.false_positives / self.n_normal if self.n_normal else 0.0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 0 when nothing alarms."""
+        alarms = self.true_positives + self.false_positives
+        return self.true_positives / alarms if alarms else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Alias of :attr:`detection_rate`."""
+        return self.detection_rate
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of records classified correctly."""
+        total = self.n_attacks + self.n_normal
+        return (self.true_positives + self.true_negatives) / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """All derived rates in one dictionary (used by table rendering)."""
+        return {
+            "detection_rate": self.detection_rate,
+            "false_positive_rate": self.false_positive_rate,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "accuracy": self.accuracy,
+        }
+
+
+def binary_metrics(y_true: Sequence, y_pred: Sequence) -> BinaryMetrics:
+    """Compute a :class:`BinaryMetrics` from ground truth and predictions (1 = attack)."""
+    check_same_length(y_true, y_pred, "y_true", "y_pred")
+    truth = _as_binary(y_true)
+    predictions = _as_binary(y_pred)
+    true_positives = int(np.sum((truth == 1) & (predictions == 1)))
+    false_positives = int(np.sum((truth == 0) & (predictions == 1)))
+    true_negatives = int(np.sum((truth == 0) & (predictions == 0)))
+    false_negatives = int(np.sum((truth == 1) & (predictions == 0)))
+    return BinaryMetrics(true_positives, false_positives, true_negatives, false_negatives)
+
+
+def confusion_matrix(
+    y_true: Sequence[str],
+    y_pred: Sequence[str],
+    labels: Optional[Sequence[str]] = None,
+) -> Tuple[np.ndarray, List[str]]:
+    """Multi-class confusion matrix.
+
+    Returns
+    -------
+    matrix:
+        ``(n_labels, n_labels)`` counts, rows = true class, columns = predicted.
+    labels:
+        Row/column ordering.  When not given, the union of observed labels in
+        sorted order (with ``normal`` first when present).
+    """
+    check_same_length(y_true, y_pred, "y_true", "y_pred")
+    truth = [str(value) for value in y_true]
+    predicted = [str(value) for value in y_pred]
+    if labels is None:
+        observed = sorted(set(truth) | set(predicted))
+        if "normal" in observed:
+            observed.remove("normal")
+            observed.insert(0, "normal")
+        labels = observed
+    else:
+        labels = [str(label) for label in labels]
+    index = {label: position for position, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for true_label, predicted_label in zip(truth, predicted):
+        row = index.get(true_label)
+        column = index.get(predicted_label)
+        if row is None or column is None:
+            raise DataValidationError(
+                f"label pair ({true_label!r}, {predicted_label!r}) not covered by {labels}"
+            )
+        matrix[row, column] += 1
+    return matrix, list(labels)
+
+
+def per_category_detection_rates(
+    categories: Sequence[str],
+    y_pred_binary: Sequence,
+) -> Dict[str, float]:
+    """Detection rate per attack category (plus FPR reported under ``"normal"``).
+
+    Parameters
+    ----------
+    categories:
+        True category per record (``normal``, ``dos``, ...).
+    y_pred_binary:
+        Binary alarm decision per record.
+    """
+    check_same_length(categories, y_pred_binary, "categories", "y_pred_binary")
+    category_array = np.array([str(value) for value in categories], dtype=object)
+    predictions = _as_binary(y_pred_binary)
+    rates: Dict[str, float] = {}
+    for category in sorted(set(category_array.tolist())):
+        mask = category_array == category
+        if not mask.any():
+            continue
+        alarm_fraction = float(predictions[mask].mean())
+        rates[category] = alarm_fraction
+    return rates
+
+
+def roc_curve(y_true: Sequence, scores: Sequence[float]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points from continuous anomaly scores.
+
+    Returns
+    -------
+    fpr, tpr, thresholds:
+        Arrays of identical length; ``thresholds`` is descending, starting at
+        ``+inf`` (nothing alarms) and ending below the smallest score
+        (everything alarms).
+    """
+    check_same_length(y_true, scores, "y_true", "scores")
+    truth = _as_binary(y_true)
+    score_array = np.asarray(scores, dtype=float)
+    if score_array.size == 0:
+        raise DataValidationError("cannot compute a ROC curve from zero scores")
+    n_positive = int(truth.sum())
+    n_negative = int(truth.size - n_positive)
+    order = np.argsort(score_array)[::-1]
+    sorted_truth = truth[order]
+    sorted_scores = score_array[order]
+    # Cumulative counts when thresholding just below each distinct score.
+    tps = np.cumsum(sorted_truth)
+    fps = np.cumsum(1 - sorted_truth)
+    distinct = np.flatnonzero(np.diff(sorted_scores)) if sorted_scores.size > 1 else np.array([], int)
+    cut_points = np.concatenate([distinct, [sorted_scores.size - 1]])
+    tpr = tps[cut_points] / n_positive if n_positive else np.zeros(cut_points.size)
+    fpr = fps[cut_points] / n_negative if n_negative else np.zeros(cut_points.size)
+    thresholds = sorted_scores[cut_points]
+    # Prepend the (0, 0) operating point (threshold above every score).
+    fpr = np.concatenate([[0.0], fpr])
+    tpr = np.concatenate([[0.0], tpr])
+    thresholds = np.concatenate([[np.inf], thresholds])
+    return fpr, tpr, thresholds
+
+
+def auc(fpr: Sequence[float], tpr: Sequence[float]) -> float:
+    """Area under a curve given by (x=fpr, y=tpr) points, by the trapezoid rule."""
+    check_same_length(fpr, tpr, "fpr", "tpr")
+    x = np.asarray(fpr, dtype=float)
+    y = np.asarray(tpr, dtype=float)
+    if x.size < 2:
+        return 0.0
+    order = np.argsort(x)
+    return float(np.trapezoid(y[order], x[order]))
+
+
+def roc_auc(y_true: Sequence, scores: Sequence[float]) -> float:
+    """Convenience wrapper: AUC of the ROC curve of ``scores``."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return auc(fpr, tpr)
+
+
+def detection_rate_at_fpr(
+    y_true: Sequence,
+    scores: Sequence[float],
+    target_fpr: float = 0.01,
+) -> float:
+    """Detection rate achievable at (or below) a target false-positive rate."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    feasible = fpr <= target_fpr + 1e-12
+    if not np.any(feasible):
+        return 0.0
+    return float(tpr[feasible].max())

@@ -1,0 +1,135 @@
+"""Persisting evaluation results as JSON and Markdown reports.
+
+Experiment results are most useful when they can be diffed across runs; this
+module flattens :class:`~repro.eval.experiments.DetectorResult` objects into
+plain JSON documents and renders a human-readable Markdown report next to
+them.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.eval.experiments import DetectorResult
+from repro.eval.tables import format_table
+from repro.exceptions import DataValidationError
+
+PathLike = Union[str, Path]
+
+
+def result_to_dict(result: DetectorResult) -> Dict[str, object]:
+    """Flatten one :class:`DetectorResult` into a JSON-compatible dict."""
+    payload: Dict[str, object] = {
+        "name": result.name,
+        "metrics": result.metrics.as_dict(),
+        "counts": {
+            "true_positives": result.metrics.true_positives,
+            "false_positives": result.metrics.false_positives,
+            "true_negatives": result.metrics.true_negatives,
+            "false_negatives": result.metrics.false_negatives,
+        },
+        "per_category": dict(result.per_category),
+        "roc_auc": result.roc_auc,
+        "fit_seconds": result.fit_seconds,
+        "score_seconds": result.score_seconds,
+    }
+    if result.confusion is not None:
+        matrix, labels = result.confusion
+        payload["confusion"] = {
+            "labels": list(labels),
+            "matrix": np.asarray(matrix).tolist(),
+        }
+    return payload
+
+
+def save_results_json(
+    results: Mapping[str, DetectorResult],
+    path: PathLike,
+    *,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a comparison run (several detectors) to a JSON file."""
+    if not results:
+        raise DataValidationError("cannot save an empty results mapping")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "metadata": dict(metadata or {}),
+        "results": {name: result_to_dict(result) for name, result in results.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def load_results_json(path: PathLike) -> Dict[str, object]:
+    """Read a results document previously written by :func:`save_results_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataValidationError(f"results file does not exist: {path}")
+    return json.loads(path.read_text())
+
+
+def render_markdown_report(
+    results: Mapping[str, DetectorResult],
+    *,
+    title: str = "Detection results",
+    metadata: Optional[Dict[str, object]] = None,
+) -> str:
+    """Render a comparison run as a Markdown report (tables in fenced blocks)."""
+    if not results:
+        raise DataValidationError("cannot render an empty results mapping")
+    lines = [f"# {title}", ""]
+    if metadata:
+        lines.append("## Run metadata")
+        lines.append("")
+        for key, value in metadata.items():
+            lines.append(f"- **{key}**: {value}")
+        lines.append("")
+    lines.append("## Overall comparison")
+    lines.append("")
+    rows = [result.summary_row() for result in results.values()]
+    lines.append("```")
+    lines.append(format_table(rows, DetectorResult.summary_headers()))
+    lines.append("```")
+    lines.append("")
+    lines.append("## Per-category alarm fraction")
+    lines.append("")
+    categories = sorted({cat for result in results.values() for cat in result.per_category})
+    per_category_rows = [
+        [name] + [result.per_category.get(category) for category in categories]
+        for name, result in results.items()
+    ]
+    lines.append("```")
+    lines.append(format_table(per_category_rows, ["detector"] + categories))
+    lines.append("```")
+    for name, result in results.items():
+        if result.confusion is None:
+            continue
+        matrix, labels = result.confusion
+        lines.append("")
+        lines.append(f"## Confusion matrix: {name}")
+        lines.append("")
+        confusion_rows = [[labels[row]] + list(np.asarray(matrix)[row]) for row in range(len(labels))]
+        lines.append("```")
+        lines.append(format_table(confusion_rows, ["true \\ predicted"] + list(labels)))
+        lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def save_markdown_report(
+    results: Mapping[str, DetectorResult],
+    path: PathLike,
+    *,
+    title: str = "Detection results",
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Render and write the Markdown report to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_markdown_report(results, title=title, metadata=metadata))

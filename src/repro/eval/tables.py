@@ -1,0 +1,95 @@
+"""Plain-text table rendering for benchmark output and examples.
+
+The benchmark harness prints every reproduced table/figure as an ASCII table;
+keeping the formatting in one place makes the benchmark scripts short and the
+output uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Sequence[Cell]],
+    headers: Sequence[str],
+    *,
+    title: Optional[str] = None,
+    float_format: str = ".4f",
+) -> str:
+    """Render ``rows`` as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of rows, each a sequence of cells (str / int / float / None).
+    headers:
+        Column headers; every row must have the same length.
+    title:
+        Optional title line printed above the table.
+    float_format:
+        ``format()`` spec applied to float cells.
+    """
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers: {row!r}"
+            )
+        formatted_rows.append([_format_cell(cell, float_format) for cell in row])
+    header_cells = [str(header) for header in headers]
+    widths = [len(header) for header in header_cells]
+    for row in formatted_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[column]) for column, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(separator))
+    lines.append(render_row(header_cells))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in formatted_rows)
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Dict[str, Cell], *, title: Optional[str] = None) -> str:
+    """Render a key/value mapping as a two-column table."""
+    rows = [[key, value] for key, value in mapping.items()]
+    return format_table(rows, headers=["key", "value"], title=title)
+
+
+def format_series(
+    x_values: Sequence[Cell],
+    y_series: Dict[str, Sequence[Cell]],
+    *,
+    x_label: str = "x",
+    title: Optional[str] = None,
+    float_format: str = ".4f",
+) -> str:
+    """Render one or more y-series against shared x values (figure data as a table)."""
+    headers = [x_label] + list(y_series)
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: List[Cell] = [x_value]
+        for name in y_series:
+            series = y_series[name]
+            row.append(series[index] if index < len(series) else None)
+        rows.append(row)
+    return format_table(rows, headers=headers, title=title, float_format=float_format)

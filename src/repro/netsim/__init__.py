@@ -1,0 +1,41 @@
+"""Flow-level network traffic simulator with attack injection.
+
+This package is the substrate that replaces the raw packet traces behind the
+public KDD datasets: it simulates a small enterprise network (internal hosts,
+servers, external clients), generates normal application sessions and injected
+attacks as time-stamped connection events, and derives the KDD-style
+time-window and host-window features from the event stream — i.e. it
+exercises the *whole* raw-traffic -> connection-record pipeline rather than
+sampling features directly.
+"""
+
+from repro.netsim.events import ConnectionEvent
+from repro.netsim.hosts import NetworkModel
+from repro.netsim.traffic import NormalTrafficGenerator
+from repro.netsim.attacks import (
+    AttackGenerator,
+    BruteForceAttack,
+    BufferOverflowAttack,
+    NetworkScanAttack,
+    PortScanAttack,
+    SmurfAttack,
+    SynFloodAttack,
+)
+from repro.netsim.extractor import KddFeatureExtractor
+from repro.netsim.simulator import AttackInjection, TrafficSimulator
+
+__all__ = [
+    "ConnectionEvent",
+    "NetworkModel",
+    "NormalTrafficGenerator",
+    "AttackGenerator",
+    "BruteForceAttack",
+    "BufferOverflowAttack",
+    "NetworkScanAttack",
+    "PortScanAttack",
+    "SmurfAttack",
+    "SynFloodAttack",
+    "KddFeatureExtractor",
+    "AttackInjection",
+    "TrafficSimulator",
+]

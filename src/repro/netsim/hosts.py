@@ -1,0 +1,119 @@
+"""The simulated network: internal hosts, servers and external clients.
+
+The model is intentionally simple — addresses are opaque strings and the only
+structure that matters to the feature extractor is *which* hosts talk to
+*which* services — but it is enough to make the derived time-window and
+host-window features behave the way they do in real traces (server addresses
+accumulate many connections, scans touch many hosts, floods hammer one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Well-known destination port per service (used when building events).
+SERVICE_PORTS: Dict[str, int] = {
+    "http": 80,
+    "smtp": 25,
+    "ftp": 21,
+    "ftp_data": 20,
+    "telnet": 23,
+    "dns": 53,
+    "ssh": 22,
+    "pop_3": 110,
+    "imap4": 143,
+    "finger": 79,
+    "ecr_i": 0,
+    "private": 31337,
+    "other": 8888,
+}
+
+
+@dataclass
+class NetworkModel:
+    """Hosts of the simulated enterprise network.
+
+    Parameters
+    ----------
+    n_internal_hosts:
+        Number of workstations on the internal subnet (traffic sources).
+    n_external_hosts:
+        Number of external client/peer addresses.
+    n_servers:
+        Number of internal servers; each server offers a subset of services.
+    random_state:
+        Seed for address assignment and per-server service selection.
+    """
+
+    n_internal_hosts: int = 50
+    n_external_hosts: int = 200
+    n_servers: int = 8
+    random_state: RandomState = None
+    internal_hosts: List[str] = field(init=False, default_factory=list)
+    external_hosts: List[str] = field(init=False, default_factory=list)
+    servers: Dict[str, Tuple[str, ...]] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_internal_hosts < 1 or self.n_external_hosts < 1 or self.n_servers < 1:
+            raise SimulationError("the network needs at least one host of each kind")
+        rng = ensure_rng(self.random_state)
+        self.internal_hosts = [f"10.0.0.{index + 1}" for index in range(self.n_internal_hosts)]
+        self.external_hosts = [
+            f"{rng.integers(11, 223)}.{rng.integers(0, 256)}.{rng.integers(0, 256)}."
+            f"{rng.integers(1, 255)}"
+            for _ in range(self.n_external_hosts)
+        ]
+        server_services = [
+            ("http", "dns"),
+            ("smtp", "pop_3", "imap4"),
+            ("ftp", "ftp_data"),
+            ("telnet", "ssh"),
+            ("http",),
+            ("dns",),
+            ("http", "ftp"),
+            ("ssh", "finger"),
+        ]
+        self.servers = {}
+        for index in range(self.n_servers):
+            address = f"10.0.1.{index + 1}"
+            services = server_services[index % len(server_services)]
+            self.servers[address] = tuple(services)
+
+    # ------------------------------------------------------------------ #
+    def random_internal_host(self, rng: np.random.Generator) -> str:
+        """A uniformly random workstation address."""
+        return str(rng.choice(self.internal_hosts))
+
+    def random_external_host(self, rng: np.random.Generator) -> str:
+        """A uniformly random external address."""
+        return str(rng.choice(self.external_hosts))
+
+    def server_for_service(self, service: str, rng: np.random.Generator) -> str:
+        """An internal server offering ``service`` (any server if none advertises it)."""
+        candidates = [address for address, services in self.servers.items() if service in services]
+        if not candidates:
+            candidates = list(self.servers)
+        return str(rng.choice(candidates))
+
+    def all_server_addresses(self) -> List[str]:
+        """Addresses of every internal server."""
+        return list(self.servers)
+
+    def all_internal_addresses(self) -> List[str]:
+        """Workstations plus servers (the scan targets of a network sweep)."""
+        return self.internal_hosts + list(self.servers)
+
+    def ephemeral_port(self, rng: np.random.Generator) -> int:
+        """A random client-side ephemeral port."""
+        return int(rng.integers(1024, 65535))
+
+    @staticmethod
+    def port_for_service(service: str) -> int:
+        """The well-known destination port of ``service``."""
+        return SERVICE_PORTS.get(service, 8888)

@@ -1,0 +1,174 @@
+"""Normal (background) traffic generation.
+
+Background traffic is generated as application *sessions*: a client picks a
+service, connects to a server offering it, and produces one or a handful of
+connections whose sizes and durations follow per-service distributions.
+Session arrivals follow a Poisson process, which gives the bursty but
+statistically stationary background the detectors are calibrated on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.netsim.events import ConnectionEvent
+from repro.netsim.hosts import NetworkModel
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Statistical description of one application service's sessions.
+
+    Attributes
+    ----------
+    service:
+        Service name (must exist in the schema's service values).
+    protocol:
+        Transport protocol used by the service.
+    weight:
+        Relative popularity; determines how often sessions of this service
+        start.
+    connections_per_session:
+        Mean number of connections per session (geometric distribution).
+    duration_scale:
+        Mean of the exponential duration distribution, in seconds.
+    src_bytes_log_mean, src_bytes_log_sigma:
+        Lognormal parameters for client-to-server bytes.
+    dst_bytes_log_mean, dst_bytes_log_sigma:
+        Lognormal parameters for server-to-client bytes.
+    login_probability:
+        Probability the session is an authenticated login (sets ``logged_in``).
+    """
+
+    service: str
+    protocol: str
+    weight: float
+    connections_per_session: float
+    duration_scale: float
+    src_bytes_log_mean: float
+    src_bytes_log_sigma: float
+    dst_bytes_log_mean: float
+    dst_bytes_log_sigma: float
+    login_probability: float = 0.0
+
+
+#: The default mix of background services (weights roughly follow KDD-era traffic).
+DEFAULT_SERVICE_PROFILES: Tuple[ServiceProfile, ...] = (
+    ServiceProfile("http", "tcp", 0.55, 4.0, 2.0, 5.6, 0.8, 7.5, 1.2, 0.0),
+    ServiceProfile("dns", "udp", 0.15, 1.5, 0.05, 3.8, 0.4, 4.6, 0.5, 0.0),
+    ServiceProfile("smtp", "tcp", 0.10, 1.5, 1.0, 6.2, 0.8, 5.0, 0.6, 0.0),
+    ServiceProfile("ftp", "tcp", 0.05, 2.0, 8.0, 5.0, 1.0, 6.5, 1.5, 0.8),
+    ServiceProfile("ftp_data", "tcp", 0.04, 1.2, 4.0, 4.0, 1.0, 9.0, 1.5, 0.0),
+    ServiceProfile("pop_3", "tcp", 0.04, 1.2, 1.0, 4.5, 0.6, 6.5, 1.0, 0.9),
+    ServiceProfile("ssh", "tcp", 0.03, 1.2, 60.0, 6.0, 1.0, 6.5, 1.0, 0.95),
+    ServiceProfile("telnet", "tcp", 0.02, 1.1, 90.0, 5.5, 1.0, 7.0, 1.0, 0.95),
+    ServiceProfile("finger", "tcp", 0.02, 1.0, 0.5, 3.5, 0.5, 4.5, 0.5, 0.0),
+)
+
+
+class NormalTrafficGenerator:
+    """Generates background application sessions as connection events.
+
+    Parameters
+    ----------
+    network:
+        The simulated network topology.
+    sessions_per_second:
+        Mean session arrival rate of the whole site.
+    profiles:
+        Service profiles; defaults to :data:`DEFAULT_SERVICE_PROFILES`.
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        *,
+        sessions_per_second: float = 2.0,
+        profiles: Optional[Tuple[ServiceProfile, ...]] = None,
+        random_state: RandomState = None,
+    ) -> None:
+        if sessions_per_second <= 0:
+            raise SimulationError(
+                f"sessions_per_second must be positive, got {sessions_per_second}"
+            )
+        self.network = network
+        self.sessions_per_second = float(sessions_per_second)
+        self.profiles = tuple(profiles) if profiles is not None else DEFAULT_SERVICE_PROFILES
+        if not self.profiles:
+            raise SimulationError("at least one service profile is required")
+        self._rng = ensure_rng(random_state)
+        weights = np.array([profile.weight for profile in self.profiles], dtype=float)
+        self._profile_probabilities = weights / weights.sum()
+
+    # ------------------------------------------------------------------ #
+    def generate(self, duration_seconds: float, *, start_time: float = 0.0) -> List[ConnectionEvent]:
+        """Generate all background connections in ``[start_time, start_time + duration)``."""
+        if duration_seconds <= 0:
+            raise SimulationError(f"duration_seconds must be positive, got {duration_seconds}")
+        events: List[ConnectionEvent] = []
+        time = float(start_time)
+        end = start_time + duration_seconds
+        while True:
+            time += self._rng.exponential(1.0 / self.sessions_per_second)
+            if time >= end:
+                break
+            events.extend(self._session(time))
+        # Sessions started near the end of the window may spill past it; keep
+        # the trace strictly inside [start_time, end) as documented.
+        events = [event for event in events if event.timestamp < end]
+        events.sort(key=lambda event: event.timestamp)
+        return events
+
+    # ------------------------------------------------------------------ #
+    def _session(self, start_time: float) -> List[ConnectionEvent]:
+        """One application session: a short burst of connections to one server."""
+        profile = self.profiles[self._rng.choice(len(self.profiles), p=self._profile_probabilities)]
+        client = self.network.random_internal_host(self._rng)
+        # A fraction of sessions originate outside (e.g. inbound mail, web hits).
+        if self._rng.random() < 0.25:
+            client = self.network.random_external_host(self._rng)
+        server = self.network.server_for_service(profile.service, self._rng)
+        n_connections = 1 + self._rng.geometric(1.0 / max(profile.connections_per_session, 1.0))
+        n_connections = int(min(n_connections, 20))
+        logged_in = 1.0 if self._rng.random() < profile.login_probability else 0.0
+        events: List[ConnectionEvent] = []
+        time = start_time
+        for _ in range(n_connections):
+            duration = float(self._rng.exponential(profile.duration_scale))
+            src_bytes = int(self._rng.lognormal(profile.src_bytes_log_mean, profile.src_bytes_log_sigma))
+            dst_bytes = int(self._rng.lognormal(profile.dst_bytes_log_mean, profile.dst_bytes_log_sigma))
+            # A small fraction of benign connections fail (timeouts, resets).
+            roll = self._rng.random()
+            if roll < 0.02:
+                flag = "REJ"
+                dst_bytes = 0
+            elif roll < 0.03:
+                flag = "RSTO"
+            else:
+                flag = "SF"
+            events.append(
+                ConnectionEvent(
+                    timestamp=time,
+                    duration=duration,
+                    src_ip=client,
+                    dst_ip=server,
+                    src_port=self.network.ephemeral_port(self._rng),
+                    dst_port=self.network.port_for_service(profile.service),
+                    protocol=profile.protocol,
+                    service=profile.service,
+                    flag=flag,
+                    src_bytes=src_bytes,
+                    dst_bytes=dst_bytes,
+                    content={"logged_in": logged_in},
+                    label="normal",
+                )
+            )
+            time += float(self._rng.exponential(max(profile.duration_scale / 2.0, 0.05)))
+        return events

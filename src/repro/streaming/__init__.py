@@ -1,0 +1,20 @@
+"""Online / streaming detection: sliding windows, drift detection, adaptive thresholds."""
+
+from repro.streaming.alerts import AlertAggregator, Incident
+from repro.streaming.window import EwmaEstimator, SlidingWindow
+from repro.streaming.drift import DriftDetector, MeanShiftDetector, PageHinkleyDetector
+from repro.streaming.online_detector import OnlineDetector
+from repro.streaming.pipeline import StreamingPipeline, WindowReport
+
+__all__ = [
+    "AlertAggregator",
+    "Incident",
+    "EwmaEstimator",
+    "SlidingWindow",
+    "DriftDetector",
+    "MeanShiftDetector",
+    "PageHinkleyDetector",
+    "OnlineDetector",
+    "StreamingPipeline",
+    "WindowReport",
+]

@@ -1,0 +1,126 @@
+"""Concept-drift detectors for the online detection pipeline.
+
+Traffic distributions drift (new services deployed, load changes, seasonal
+patterns); a detector calibrated on last month's traffic slowly degrades.  The
+online pipeline watches the anomaly-score stream of records it believes are
+normal — if that stream shifts upward persistently, either the traffic changed
+or a slow attack is underway, and the pipeline reacts (re-calibrates or
+re-fits).  Two standard change detectors are provided.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streaming.window import SlidingWindow
+
+
+class DriftDetector(abc.ABC):
+    """Interface: feed scalar observations, get told when the stream changed."""
+
+    @abc.abstractmethod
+    def update(self, value: float) -> bool:
+        """Add one observation; return ``True`` when drift is detected."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all state (called after the caller has reacted to drift)."""
+
+
+class PageHinkleyDetector(DriftDetector):
+    """Page–Hinkley test for an upward shift in the mean of a stream.
+
+    Parameters
+    ----------
+    delta:
+        Magnitude of changes to ignore (tolerated drift per observation).
+    threshold:
+        Alarm when the cumulative deviation exceeds this value.
+    min_observations:
+        Number of observations required before an alarm may fire.
+    """
+
+    def __init__(
+        self,
+        *,
+        delta: float = 0.005,
+        threshold: float = 5.0,
+        min_observations: int = 30,
+    ) -> None:
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive, got {threshold}")
+        if min_observations < 1:
+            raise ConfigurationError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.min_observations = int(min_observations)
+        self.reset()
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, value: float) -> bool:
+        value = float(value)
+        self._count += 1
+        # Running mean of the stream so far.
+        self._mean += (value - self._mean) / self._count
+        self._cumulative += value - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._count < self.min_observations:
+            return False
+        return (self._cumulative - self._minimum) > self.threshold
+
+
+class MeanShiftDetector(DriftDetector):
+    """Compares the mean of a recent window against a reference window.
+
+    Alarm when the recent mean exceeds the reference mean by more than
+    ``sensitivity`` reference standard deviations.  Simpler and easier to
+    reason about than Page–Hinkley; used as the default in the pipeline
+    because its false-alarm behaviour is easy to control.
+    """
+
+    def __init__(
+        self,
+        *,
+        reference_size: int = 200,
+        recent_size: int = 50,
+        sensitivity: float = 3.0,
+    ) -> None:
+        if recent_size < 2 or reference_size < 2:
+            raise ConfigurationError("window sizes must be at least 2")
+        if sensitivity <= 0:
+            raise ConfigurationError(f"sensitivity must be positive, got {sensitivity}")
+        self.reference = SlidingWindow(reference_size)
+        self.recent = SlidingWindow(recent_size)
+        self.sensitivity = float(sensitivity)
+
+    def reset(self) -> None:
+        self.reference.clear()
+        self.recent.clear()
+
+    def update(self, value: float) -> bool:
+        value = float(value)
+        # The reference window fills first; afterwards new values go to the
+        # recent window and graduate into the reference as they age out.
+        if not self.reference.is_full:
+            self.reference.append(value)
+            return False
+        if self.recent.is_full:
+            oldest = self.recent.values()[0]
+            self.reference.append(float(oldest))
+        self.recent.append(value)
+        if not self.recent.is_full:
+            return False
+        reference_std = max(self.reference.std(), 1e-9)
+        gap = self.recent.mean() - self.reference.mean()
+        return gap > self.sensitivity * reference_std

@@ -1,0 +1,203 @@
+"""The online (streaming) anomaly detector.
+
+:class:`OnlineDetector` wraps any fitted batch detector from this library and
+adds the machinery a long-running deployment needs:
+
+* **adaptive threshold scaling** — an EWMA of the scores of records the
+  detector currently believes are normal; as benign traffic slowly drifts,
+  the effective alarm threshold follows it;
+* **drift-triggered refitting** — a drift detector watches the same benign
+  score stream; when it fires, the detector is refitted from a sliding buffer
+  of recent records (self-supervised: the records the detector itself judged
+  normal), which restores accuracy after genuine distribution change;
+* **bounded memory** — only the sliding buffer and a handful of scalars are
+  kept, regardless of how long the stream runs.
+
+The design mirrors the adaptive/online extensions proposed for GHSOM-based
+intrusion detection: the base model stays a GHSOM; adaptation happens in the
+thresholding and through periodic retraining on recent traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.detector import BaseAnomalyDetector
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.streaming.drift import DriftDetector, MeanShiftDetector
+from repro.streaming.window import EwmaEstimator, SlidingWindow
+from repro.utils.validation import check_array_2d
+
+
+@dataclass
+class OnlineStepResult:
+    """Outcome of processing one batch of streamed records."""
+
+    predictions: np.ndarray
+    scores: np.ndarray
+    drift_detected: bool
+    refitted: bool
+    effective_scale: float
+    extra: dict = field(default_factory=dict)
+
+
+class OnlineDetector:
+    """Streaming wrapper around a batch anomaly detector.
+
+    Parameters
+    ----------
+    detector:
+        A fitted (or at least constructed) detector following the
+        :class:`~repro.core.detector.BaseAnomalyDetector` contract.  If it is
+        not fitted yet, the first ``warmup_size`` streamed records are used to
+        fit it.
+    buffer_size:
+        Capacity of the sliding buffer of recent benign records used for
+        refitting.
+    adaptation:
+        ``"threshold"`` (default) adapts only the score scale,
+        ``"refit"`` additionally refits the base detector when drift is
+        detected, ``"none"`` disables adaptation (the static baseline in the
+        drift experiment).
+    ewma_alpha:
+        Smoothing factor of the benign-score EWMA.
+    drift_detector:
+        Drift detector instance (defaults to :class:`MeanShiftDetector`).
+    warmup_size:
+        Number of initial records used to fit an unfitted detector.
+    """
+
+    def __init__(
+        self,
+        detector: BaseAnomalyDetector,
+        *,
+        buffer_size: int = 2000,
+        adaptation: str = "threshold",
+        ewma_alpha: float = 0.02,
+        drift_detector: Optional[DriftDetector] = None,
+        warmup_size: int = 1000,
+    ) -> None:
+        if adaptation not in ("none", "threshold", "refit"):
+            raise ConfigurationError(
+                f"adaptation must be 'none', 'threshold' or 'refit', got {adaptation!r}"
+            )
+        if buffer_size < 10:
+            raise ConfigurationError(f"buffer_size must be >= 10, got {buffer_size}")
+        if warmup_size < 10:
+            raise ConfigurationError(f"warmup_size must be >= 10, got {warmup_size}")
+        self.detector = detector
+        self.buffer_size = int(buffer_size)
+        self.adaptation = adaptation
+        self.warmup_size = int(warmup_size)
+        self.score_ewma = EwmaEstimator(alpha=ewma_alpha)
+        self.drift_detector = drift_detector or MeanShiftDetector()
+        self._buffer: List[np.ndarray] = []
+        self._warmup: List[np.ndarray] = []
+        self._is_warmed_up = self._detector_is_fitted()
+        self.n_processed = 0
+        self.n_refits = 0
+        self.n_drift_events = 0
+
+    # ------------------------------------------------------------------ #
+    def _detector_is_fitted(self) -> bool:
+        fitted = getattr(self.detector, "is_fitted", None)
+        return bool(fitted) if fitted is not None else False
+
+    @property
+    def is_ready(self) -> bool:
+        """Whether the wrapped detector is fitted and scoring."""
+        return self._is_warmed_up
+
+    def _effective_scale(self) -> float:
+        """Multiplier applied to the nominal threshold of 1.0.
+
+        The scale tracks the EWMA of benign scores: if benign traffic slowly
+        drifts to higher raw scores, the scale grows with it (never below 1.0
+        so a freshly calibrated detector is unchanged).
+        """
+        if self.adaptation == "none" or self.score_ewma.n_updates < 10:
+            return 1.0
+        # Benign scores sit well below 1.0 right after calibration; track
+        # their mean + 3 sigma as the new "edge of normal".
+        adapted = self.score_ewma.mean + 3.0 * self.score_ewma.std
+        return float(max(1.0, adapted))
+
+    # ------------------------------------------------------------------ #
+    def process(self, batch) -> OnlineStepResult:
+        """Process one batch of streamed records and return decisions plus bookkeeping."""
+        matrix = check_array_2d(batch, "batch")
+        self.n_processed += matrix.shape[0]
+        if not self._is_warmed_up:
+            return self._warmup_step(matrix)
+        scores = np.asarray(self.detector.score_samples(matrix), dtype=float)
+        scale = self._effective_scale()
+        predictions = (scores > scale).astype(int)
+        drift_detected = False
+        refitted = False
+        benign_mask = predictions == 0
+        for score in scores[benign_mask]:
+            self.score_ewma.update(float(score))
+            if self.drift_detector.update(float(score)):
+                drift_detected = True
+        self._extend_buffer(matrix[benign_mask])
+        if drift_detected:
+            self.n_drift_events += 1
+            self.drift_detector.reset()
+            if self.adaptation == "refit" and len(self._buffer) >= 100:
+                self._refit_from_buffer()
+                refitted = True
+        return OnlineStepResult(
+            predictions=predictions,
+            scores=scores,
+            drift_detected=drift_detected,
+            refitted=refitted,
+            effective_scale=scale,
+        )
+
+    def _warmup_step(self, matrix: np.ndarray) -> OnlineStepResult:
+        """Accumulate warm-up records; fit the detector once enough arrived."""
+        self._warmup.append(matrix)
+        total = sum(block.shape[0] for block in self._warmup)
+        if total >= self.warmup_size:
+            warmup_matrix = np.concatenate(self._warmup, axis=0)
+            self.detector.fit(warmup_matrix)
+            self._warmup = []
+            self._is_warmed_up = True
+        # During warm-up everything is reported as normal (no model yet).
+        return OnlineStepResult(
+            predictions=np.zeros(matrix.shape[0], dtype=int),
+            scores=np.zeros(matrix.shape[0]),
+            drift_detected=False,
+            refitted=False,
+            effective_scale=1.0,
+            extra={"warming_up": True},
+        )
+
+    # ------------------------------------------------------------------ #
+    def _extend_buffer(self, rows: np.ndarray) -> None:
+        for row in rows:
+            self._buffer.append(np.asarray(row, dtype=float))
+        overflow = len(self._buffer) - self.buffer_size
+        if overflow > 0:
+            del self._buffer[:overflow]
+
+    def _refit_from_buffer(self) -> None:
+        """Refit the wrapped detector on the recent benign buffer and reset adaptation."""
+        buffer_matrix = np.stack(self._buffer, axis=0)
+        self.detector.fit(buffer_matrix)
+        self.n_refits += 1
+        self.score_ewma = EwmaEstimator(alpha=self.score_ewma.alpha)
+
+    # ------------------------------------------------------------------ #
+    def predict(self, batch) -> np.ndarray:
+        """Decisions only (convenience wrapper around :meth:`process`)."""
+        return self.process(batch).predictions
+
+    def score_samples(self, batch) -> np.ndarray:
+        """Scores from the wrapped detector without updating any online state."""
+        if not self._is_warmed_up:
+            raise NotFittedError("OnlineDetector is still warming up")
+        return np.asarray(self.detector.score_samples(check_array_2d(batch, "batch")), dtype=float)

@@ -1,0 +1,113 @@
+"""Streaming statistics: fixed-size sliding windows and exponential averages."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class SlidingWindow:
+    """A fixed-capacity window of recent values with cheap summary statistics.
+
+    Used by the online detector to keep a bounded buffer of recent
+    observations (for refitting) and recent scores (for adaptive thresholds).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._values: Deque[float] = deque(maxlen=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the window holds ``capacity`` values."""
+        return len(self._values) == self.capacity
+
+    def append(self, value: float) -> None:
+        """Add one value (evicting the oldest when full)."""
+        self._values.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add several values."""
+        for value in values:
+            self.append(value)
+
+    def values(self) -> np.ndarray:
+        """The current window contents, oldest first."""
+        return np.array(self._values, dtype=float)
+
+    def mean(self) -> float:
+        """Mean of the window (0.0 when empty)."""
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    def std(self) -> float:
+        """Standard deviation of the window (0.0 when empty)."""
+        return float(np.std(self._values)) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Percentile ``q`` of the window (0.0 when empty)."""
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self.values(), q))
+
+    def clear(self) -> None:
+        """Drop all stored values."""
+        self._values.clear()
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average (and variance) of a scalar stream.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in ``(0, 1]``; larger values react faster.
+    initial:
+        Optional initial mean (otherwise the first observation initialises it).
+    """
+
+    def __init__(self, alpha: float = 0.05, initial: Optional[float] = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._mean: Optional[float] = float(initial) if initial is not None else None
+        self._variance: float = 0.0
+        self.n_updates: int = 0
+
+    @property
+    def mean(self) -> float:
+        """Current smoothed mean (0.0 before the first update)."""
+        return self._mean if self._mean is not None else 0.0
+
+    @property
+    def std(self) -> float:
+        """Current smoothed standard deviation."""
+        return float(np.sqrt(max(self._variance, 0.0)))
+
+    def update(self, value: float) -> float:
+        """Fold one observation into the average and return the new mean."""
+        value = float(value)
+        if self._mean is None:
+            self._mean = value
+            self._variance = 0.0
+        else:
+            delta = value - self._mean
+            self._mean += self.alpha * delta
+            self._variance = (1.0 - self.alpha) * (self._variance + self.alpha * delta * delta)
+        self.n_updates += 1
+        return self._mean
+
+    def update_many(self, values: Iterable[float]) -> float:
+        """Fold several observations and return the final mean."""
+        result = self.mean
+        for value in values:
+            result = self.update(value)
+        return result

@@ -1,0 +1,23 @@
+"""Small shared utilities: RNG handling, validation helpers and timers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Stopwatch, timed
+from repro.utils.validation import (
+    check_array_2d,
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    check_same_length,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "timed",
+    "check_array_2d",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+    "check_same_length",
+]

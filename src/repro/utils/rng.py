@@ -1,0 +1,56 @@
+"""Random number generator helpers.
+
+Every stochastic component in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  :func:`ensure_rng` normalises
+all three into a ``Generator`` so downstream code never has to branch on the
+type of the ``random_state`` argument it received.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for a nondeterministic generator, an ``int`` seed for a
+        reproducible one, or an existing ``Generator`` which is returned
+        unchanged.
+
+    Raises
+    ------
+    TypeError
+        If ``random_state`` is not one of the accepted types.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int, or a numpy Generator; "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_rngs(random_state: RandomState, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent child generators from ``random_state``.
+
+    The children are derived through :class:`numpy.random.SeedSequence`
+    spawning, so they produce statistically independent streams even when the
+    parent seed is small.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(random_state)
+    seeds = parent.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,68 @@
+"""Lightweight timing helpers used by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch.measure("train"):
+    ...     _ = sum(range(1000))
+    >>> watch.total("train") >= 0.0
+    True
+    """
+
+    durations: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Context manager that adds the elapsed time under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[label] = self.durations.get(label, 0.0) + elapsed
+            self.counts[label] = self.counts.get(label, 0) + 1
+
+    def total(self, label: str) -> float:
+        """Total seconds accumulated under ``label`` (0.0 if never measured)."""
+        return self.durations.get(label, 0.0)
+
+    def mean(self, label: str) -> float:
+        """Mean seconds per measurement for ``label`` (0.0 if never measured)."""
+        count = self.counts.get(label, 0)
+        if count == 0:
+            return 0.0
+        return self.durations[label] / count
+
+    def summary(self) -> Dict[str, float]:
+        """A copy of all accumulated totals, keyed by label."""
+        return dict(self.durations)
+
+
+@contextmanager
+def timed() -> Iterator[list]:
+    """Context manager yielding a single-element list filled with the elapsed seconds.
+
+    >>> with timed() as elapsed:
+    ...     _ = sum(range(10))
+    >>> elapsed[0] >= 0.0
+    True
+    """
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

@@ -1,0 +1,78 @@
+"""Tests for the Local Outlier Factor baseline detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lof import LofDetector
+from repro.eval.metrics import binary_metrics, roc_auc
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestLofCore:
+    def test_detects_isolated_points(self, rng):
+        cluster = rng.normal(0.0, 0.05, size=(300, 3))
+        detector = LofDetector(n_neighbors=10, percentile=97.0, random_state=0).fit(cluster)
+        outliers = np.array([[1.0, 1.0, 1.0], [-1.0, 0.5, 2.0]])
+        scores = detector.score_samples(outliers)
+        assert np.all(scores > 1.0)
+
+    def test_inliers_score_around_threshold_or_below(self, rng):
+        cluster = rng.normal(0.0, 0.05, size=(400, 3))
+        detector = LofDetector(n_neighbors=10, percentile=99.0, random_state=0).fit(cluster)
+        fresh = rng.normal(0.0, 0.05, size=(200, 3))
+        assert detector.predict(fresh).mean() < 0.1
+
+    def test_local_density_awareness(self, rng):
+        """A point at the edge of a sparse cluster is less anomalous than the same
+        offset from a dense cluster — the property that distinguishes LOF from k-NN."""
+        dense = rng.normal(0.0, 0.01, size=(200, 2))
+        sparse = rng.normal(5.0, 0.5, size=(200, 2))
+        detector = LofDetector(n_neighbors=15, random_state=0).fit(np.vstack([dense, sparse]))
+        near_dense = np.array([[0.15, 0.0]])   # 15 sigma away from the dense cluster
+        near_sparse = np.array([[5.0 + 0.75, 5.0]])  # 1.5 sigma away from the sparse cluster
+        score_dense = detector.score_samples(near_dense)[0]
+        score_sparse = detector.score_samples(near_sparse)[0]
+        assert score_dense > score_sparse
+
+    def test_detection_on_kdd_traffic(self, train_matrix, train_categories, test_matrix, test_binary_truth):
+        detector = LofDetector(n_neighbors=15, max_reference_size=800, random_state=0)
+        detector.fit(train_matrix, train_categories)
+        scores = detector.score_samples(test_matrix)
+        assert roc_auc(test_binary_truth, scores) > 0.85
+
+    def test_reference_subsampling(self, train_matrix):
+        detector = LofDetector(max_reference_size=100, random_state=0).fit(train_matrix)
+        assert detector._reference.shape[0] == 100
+
+    def test_chunked_scoring_matches_unchunked(self, train_matrix, test_matrix):
+        one = LofDetector(chunk_size=10_000, max_reference_size=500, random_state=0).fit(train_matrix)
+        two = LofDetector(chunk_size=13, max_reference_size=500, random_state=0).fit(train_matrix)
+        np.testing.assert_allclose(
+            one.score_samples(test_matrix[:80]), two.score_samples(test_matrix[:80])
+        )
+
+    def test_unfitted_raises(self, test_matrix):
+        with pytest.raises(NotFittedError):
+            LofDetector().predict(test_matrix)
+
+    def test_wrong_dimensionality_rejected(self, train_matrix):
+        detector = LofDetector(max_reference_size=200, random_state=0).fit(train_matrix)
+        with pytest.raises(ConfigurationError):
+            detector.score_samples(np.zeros((2, train_matrix.shape[1] + 1)))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LofDetector(n_neighbors=0)
+        with pytest.raises(ConfigurationError):
+            LofDetector(max_reference_size=1)
+        with pytest.raises(ConfigurationError):
+            LofDetector(percentile=0.0)
+        with pytest.raises(ConfigurationError):
+            LofDetector(chunk_size=0)
+
+    def test_predict_category_fallback(self, train_matrix, test_matrix):
+        detector = LofDetector(max_reference_size=300, random_state=0).fit(train_matrix)
+        categories = detector.predict_category(test_matrix[:20])
+        assert set(categories).issubset({"normal", "anomaly"})

@@ -1,0 +1,145 @@
+"""Tests for the PCA-subspace and k-NN baseline detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KnnDetector
+from repro.baselines.pca_subspace import PcaSubspaceDetector, q_statistic_threshold, _normal_quantile
+from repro.eval.metrics import binary_metrics, roc_auc
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestNormalQuantile:
+    def test_median_is_zero(self):
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-6)
+
+    def test_known_quantiles(self):
+        assert _normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-3)
+        assert _normal_quantile(0.841344746) == pytest.approx(1.0, abs=1e-3)
+
+    def test_symmetry(self):
+        assert _normal_quantile(0.05) == pytest.approx(-_normal_quantile(0.95), abs=1e-6)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _normal_quantile(0.0)
+
+
+class TestQStatistic:
+    def test_zero_residual_gives_zero_threshold(self):
+        assert q_statistic_threshold(np.array([])) == 0.0
+        assert q_statistic_threshold(np.array([0.0, 0.0])) == 0.0
+
+    def test_threshold_positive(self):
+        assert q_statistic_threshold(np.array([0.5, 0.2, 0.1])) > 0.0
+
+    def test_smaller_alpha_gives_larger_threshold(self):
+        eigenvalues = np.array([0.5, 0.2, 0.1])
+        assert q_statistic_threshold(eigenvalues, alpha=0.001) > q_statistic_threshold(
+            eigenvalues, alpha=0.1
+        )
+
+
+class TestPcaSubspaceDetector:
+    def test_detects_offsubspace_anomalies(self, rng):
+        """Data living on a plane in 5-D: points off the plane must score higher."""
+        basis = rng.random((2, 5))
+        normal = rng.random((300, 2)) @ basis + rng.normal(0, 0.01, (300, 5))
+        anomalies = normal[:50] + rng.normal(0, 1.0, (50, 5))
+        detector = PcaSubspaceDetector(variance_fraction=0.95).fit(normal)
+        auc = roc_auc(
+            np.concatenate([np.zeros(300), np.ones(50)]),
+            detector.score_samples(np.concatenate([normal, anomalies])),
+        )
+        assert auc > 0.95
+
+    def test_detection_on_kdd_traffic(self, train_matrix, train_categories, test_matrix, test_binary_truth):
+        detector = PcaSubspaceDetector().fit(train_matrix, train_categories)
+        metrics = binary_metrics(test_binary_truth, detector.predict(test_matrix))
+        assert metrics.detection_rate > 0.7
+
+    def test_n_components_override(self, train_matrix):
+        detector = PcaSubspaceDetector(n_components=5).fit(train_matrix)
+        assert detector.n_retained_components == 5
+
+    def test_variance_fraction_controls_components(self, train_matrix):
+        small = PcaSubspaceDetector(variance_fraction=0.5).fit(train_matrix)
+        large = PcaSubspaceDetector(variance_fraction=0.99).fit(train_matrix)
+        assert large.n_retained_components >= small.n_retained_components
+
+    def test_explained_variance_ratio_sums_to_one(self, train_matrix):
+        detector = PcaSubspaceDetector().fit(train_matrix)
+        assert detector.explained_variance_ratio().sum() == pytest.approx(1.0)
+
+    def test_percentile_threshold_mode(self, train_matrix):
+        detector = PcaSubspaceDetector(threshold_mode="percentile", alpha=0.05).fit(train_matrix)
+        scores = detector.score_samples(train_matrix)
+        # Roughly alpha of the training data should exceed the threshold.
+        assert 0.0 < (scores > 1.0).mean() < 0.15
+
+    def test_unfitted_raises(self, test_matrix):
+        with pytest.raises(NotFittedError):
+            PcaSubspaceDetector().score_samples(test_matrix)
+
+    def test_wrong_dimensionality_rejected(self, train_matrix):
+        detector = PcaSubspaceDetector().fit(train_matrix)
+        with pytest.raises(ConfigurationError):
+            detector.score_samples(np.zeros((3, train_matrix.shape[1] + 1)))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            PcaSubspaceDetector(variance_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            PcaSubspaceDetector(threshold_mode="magic")
+        with pytest.raises(ConfigurationError):
+            PcaSubspaceDetector(n_components=0)
+
+
+class TestKnnDetector:
+    def test_detects_outliers_in_blobs(self, blob_data, rng):
+        detector = KnnDetector(n_neighbors=3, percentile=95.0, random_state=0).fit(blob_data)
+        outliers = np.full((20, 4), 0.5) + rng.normal(0, 0.02, (20, 4))
+        assert detector.predict(outliers).mean() > 0.9
+
+    def test_detection_on_kdd_traffic(self, train_matrix, train_categories, test_matrix, test_binary_truth):
+        detector = KnnDetector(random_state=0).fit(train_matrix, train_categories)
+        metrics = binary_metrics(test_binary_truth, detector.predict(test_matrix))
+        assert metrics.detection_rate > 0.75
+        assert metrics.false_positive_rate < 0.15
+
+    def test_reference_subsampling(self, train_matrix):
+        detector = KnnDetector(max_reference_size=50, random_state=0).fit(train_matrix)
+        assert detector._reference.shape[0] == 50
+
+    def test_scores_nonnegative(self, train_matrix, test_matrix):
+        detector = KnnDetector(random_state=0).fit(train_matrix)
+        assert detector.score_samples(test_matrix).min() >= 0.0
+
+    def test_chunked_scoring_matches_unchunked(self, train_matrix, test_matrix):
+        big_chunks = KnnDetector(chunk_size=10_000, random_state=0).fit(train_matrix)
+        small_chunks = KnnDetector(chunk_size=17, random_state=0).fit(train_matrix)
+        np.testing.assert_allclose(
+            big_chunks.score_samples(test_matrix[:100]),
+            small_chunks.score_samples(test_matrix[:100]),
+        )
+
+    def test_unfitted_raises(self, test_matrix):
+        with pytest.raises(NotFittedError):
+            KnnDetector().predict(test_matrix)
+
+    def test_wrong_dimensionality_rejected(self, train_matrix):
+        detector = KnnDetector(random_state=0).fit(train_matrix)
+        with pytest.raises(ConfigurationError):
+            detector.score_samples(np.zeros((3, train_matrix.shape[1] + 2)))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KnnDetector(n_neighbors=0)
+        with pytest.raises(ConfigurationError):
+            KnnDetector(percentile=0.0)
+        with pytest.raises(ConfigurationError):
+            KnnDetector(chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            KnnDetector(max_reference_size=0)

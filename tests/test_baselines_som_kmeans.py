@@ -1,0 +1,136 @@
+"""Tests for the flat-SOM and k-means baseline detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import KMeans, KMeansDetector
+from repro.baselines.som_detector import SomDetector
+from repro.core.config import SomTrainingConfig
+from repro.eval.metrics import binary_metrics
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def fitted_som_detector(train_matrix, train_categories):
+    detector = SomDetector(8, 8, training=SomTrainingConfig(epochs=8), random_state=0)
+    detector.fit(train_matrix, train_categories)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def fitted_kmeans_detector(train_matrix, train_categories):
+    detector = KMeansDetector(n_clusters=30, random_state=0)
+    detector.fit(train_matrix, train_categories)
+    return detector
+
+
+class TestKMeansClustering:
+    def test_centroid_count(self, blob_data):
+        model = KMeans(n_clusters=3, random_state=0).fit(blob_data)
+        assert model.centroids.shape == (3, blob_data.shape[1])
+
+    def test_blobs_recovered(self, blob_data):
+        """With k equal to the true blob count, each blob maps to a single cluster."""
+        model = KMeans(n_clusters=3, random_state=0).fit(blob_data)
+        assignments = model.predict(blob_data)
+        for start in (0, 80, 160):
+            block = assignments[start : start + 80]
+            assert len(set(block.tolist())) == 1
+
+    def test_inertia_decreases_with_more_clusters(self, blob_data):
+        small = KMeans(n_clusters=2, random_state=0).fit(blob_data)
+        large = KMeans(n_clusters=6, random_state=0).fit(blob_data)
+        assert large.inertia_ < small.inertia_
+
+    def test_transform_distances_nonnegative(self, blob_data):
+        model = KMeans(n_clusters=3, random_state=0).fit(blob_data)
+        assert model.transform(blob_data).min() >= 0.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(n_clusters=10, random_state=0).fit(np.ones((3, 2)))
+
+    def test_predict_before_fit_raises(self, blob_data):
+        with pytest.raises(ConfigurationError):
+            KMeans(n_clusters=2).predict(blob_data)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ConfigurationError):
+            KMeans(n_clusters=2, max_iterations=0)
+
+    def test_reproducible_with_seed(self, blob_data):
+        first = KMeans(n_clusters=3, random_state=3).fit(blob_data)
+        second = KMeans(n_clusters=3, random_state=3).fit(blob_data)
+        np.testing.assert_allclose(first.centroids, second.centroids)
+
+
+class TestSomDetector:
+    def test_detection_quality(self, fitted_som_detector, test_matrix, test_binary_truth):
+        metrics = binary_metrics(test_binary_truth, fitted_som_detector.predict(test_matrix))
+        assert metrics.detection_rate > 0.8
+        assert metrics.false_positive_rate < 0.2
+
+    def test_scores_match_predictions(self, fitted_som_detector, test_matrix):
+        scores = fitted_som_detector.score_samples(test_matrix)
+        np.testing.assert_array_equal(
+            fitted_som_detector.predict(test_matrix), (scores > 1.0).astype(int)
+        )
+
+    def test_predict_category_values(self, fitted_som_detector, test_matrix):
+        categories = fitted_som_detector.predict_category(test_matrix)
+        assert set(categories).issubset({"normal", "dos", "probe", "r2l", "u2r", "unknown"})
+
+    def test_unfitted_raises(self, test_matrix):
+        with pytest.raises(NotFittedError):
+            SomDetector(4, 4).predict(test_matrix)
+
+    def test_too_small_map_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SomDetector(1, 5)
+
+    def test_oneclass_mode(self, train_matrix, test_matrix):
+        detector = SomDetector(8, 8, training=SomTrainingConfig(epochs=6), random_state=0)
+        detector.fit(train_matrix)
+        predictions = detector.predict(test_matrix)
+        assert set(np.unique(predictions)).issubset({0, 1})
+        assert detector.labeler is None
+
+    def test_fixed_capacity(self, fitted_som_detector):
+        assert fitted_som_detector.model.n_units == 64
+
+
+class TestKMeansDetector:
+    def test_detection_quality(self, fitted_kmeans_detector, test_matrix, test_binary_truth):
+        metrics = binary_metrics(test_binary_truth, fitted_kmeans_detector.predict(test_matrix))
+        assert metrics.detection_rate > 0.75
+        assert metrics.false_positive_rate < 0.2
+
+    def test_scores_match_predictions(self, fitted_kmeans_detector, test_matrix):
+        scores = fitted_kmeans_detector.score_samples(test_matrix)
+        np.testing.assert_array_equal(
+            fitted_kmeans_detector.predict(test_matrix), (scores > 1.0).astype(int)
+        )
+
+    def test_cluster_count_clamped_to_samples(self):
+        data = np.random.default_rng(0).random((20, 5))
+        detector = KMeansDetector(n_clusters=100, random_state=0)
+        detector.fit(data)
+        assert detector.model.n_clusters == 20
+
+    def test_predict_category_values(self, fitted_kmeans_detector, test_matrix):
+        categories = fitted_kmeans_detector.predict_category(test_matrix)
+        assert set(categories).issubset({"normal", "dos", "probe", "r2l", "u2r", "unknown"})
+
+    def test_unfitted_raises(self, test_matrix):
+        with pytest.raises(NotFittedError):
+            KMeansDetector().predict(test_matrix)
+
+    def test_oneclass_mode(self, train_matrix, test_matrix):
+        detector = KMeansDetector(n_clusters=25, random_state=0)
+        detector.fit(train_matrix)
+        assert detector.labeler is None
+        assert detector.predict(test_matrix).shape == (test_matrix.shape[0],)

@@ -1,0 +1,205 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_bundle, main, save_bundle
+from repro.core import GhsomConfig, GhsomDetector, SomTrainingConfig
+from repro.data.loader import load_csv, save_csv
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.synthetic import KddSyntheticGenerator
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    """Small train/test CSV files shared by the CLI tests."""
+    directory = tmp_path_factory.mktemp("cli_data")
+    generator = KddSyntheticGenerator(random_state=3)
+    train, test = generator.generate_train_test(700, 300)
+    save_csv(train, directory / "train.csv")
+    save_csv(test, directory / "test.csv")
+    return directory
+
+
+@pytest.fixture(scope="module")
+def trained_model_path(data_dir, tmp_path_factory):
+    """A model bundle produced through the CLI train command."""
+    model_path = tmp_path_factory.mktemp("cli_model") / "model.json"
+    exit_code = main(
+        [
+            "train",
+            "--train", str(data_dir / "train.csv"),
+            "--model", str(model_path),
+            "--max-map-size", "49",
+            "--max-depth", "2",
+            "--epochs", "3",
+            "--min-expansion", "40",
+        ]
+    )
+    assert exit_code == 0
+    return model_path
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("generate", "simulate", "train", "detect", "evaluate", "inspect"):
+            assert command in text
+
+    def test_missing_command_raises_system_exit(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerateAndSimulate:
+    def test_generate_writes_loadable_csv(self, tmp_path, capsys):
+        output = tmp_path / "generated.csv"
+        assert main(["generate", "--records", "200", "--output", str(output), "--seed", "1"]) == 0
+        dataset = load_csv(output)
+        assert len(dataset) == 200
+        assert "wrote 200 records" in capsys.readouterr().out
+
+    def test_generate_normal_only(self, tmp_path):
+        output = tmp_path / "normal.csv"
+        assert main(["generate", "--records", "150", "--normal-only", "--output", str(output)]) == 0
+        assert not load_csv(output).is_attack.any()
+
+    def test_simulate_with_attacks(self, tmp_path, capsys):
+        output = tmp_path / "trace.csv"
+        code = main(
+            [
+                "simulate",
+                "--duration", "60",
+                "--rate", "2.0",
+                "--attack", "portsweep:20",
+                "--attack", "neptune:40",
+                "--output", str(output),
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        dataset = load_csv(output)
+        counts = dataset.class_counts()
+        assert counts.get("probe", 0) > 0 and counts.get("dos", 0) > 0
+
+    def test_simulate_bad_attack_spec_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["simulate", "--duration", "30", "--attack", "neptune", "--output", str(tmp_path / "x.csv")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTrainDetectInspect:
+    def test_bundle_round_trip(self, trained_model_path, data_dir):
+        pipeline, detector = load_bundle(trained_model_path)
+        test = load_csv(data_dir / "test.csv")
+        predictions = detector.predict(pipeline.transform(test))
+        assert predictions.shape == (len(test),)
+
+    def test_bundle_matches_in_process_training(self, data_dir, tmp_path):
+        """The CLI bundle must behave identically to a pipeline+detector built in process."""
+        train = load_csv(data_dir / "train.csv")
+        test = load_csv(data_dir / "test.csv")
+        pipeline = PreprocessingPipeline()
+        X_train = pipeline.fit_transform(train)
+        detector = GhsomDetector(
+            GhsomConfig(
+                tau1=0.3, tau2=0.05, max_depth=2, max_map_size=49,
+                min_samples_for_expansion=40, training=SomTrainingConfig(epochs=3), random_state=0,
+            ),
+            random_state=0,
+        )
+        detector.fit(X_train, [str(category) for category in train.categories])
+        bundle_path = tmp_path / "bundle.json"
+        save_bundle(pipeline, detector, bundle_path)
+        reloaded_pipeline, reloaded_detector = load_bundle(bundle_path)
+        np.testing.assert_allclose(
+            reloaded_pipeline.transform(test), pipeline.transform(test)
+        )
+        np.testing.assert_array_equal(
+            reloaded_detector.predict(reloaded_pipeline.transform(test)),
+            detector.predict(pipeline.transform(test)),
+        )
+
+    def test_detect_prints_metrics_and_writes_output(self, trained_model_path, data_dir, tmp_path, capsys):
+        output = tmp_path / "alarms.csv"
+        code = main(
+            [
+                "detect",
+                "--model", str(trained_model_path),
+                "--input", str(data_dir / "test.csv"),
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alarms" in out
+        assert "detection_rate" in out
+        lines = output.read_text().strip().splitlines()
+        assert lines[0] == "record_index,alarm,score,predicted_category"
+        assert len(lines) == len(load_csv(data_dir / "test.csv")) + 1
+
+    def test_inspect_prints_topology(self, trained_model_path, capsys):
+        assert main(["inspect", "--model", str(trained_model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Model topology" in out
+        assert "root" in out
+        assert "Leaf label distribution" in out
+
+    def test_one_class_training(self, data_dir, tmp_path):
+        model_path = tmp_path / "oneclass.json"
+        code = main(
+            [
+                "train",
+                "--train", str(data_dir / "train.csv"),
+                "--model", str(model_path),
+                "--one-class",
+                "--max-map-size", "36",
+                "--max-depth", "2",
+                "--epochs", "2",
+            ]
+        )
+        assert code == 0
+        _, detector = load_bundle(model_path)
+        assert not detector.is_labeled
+
+
+class TestEvaluate:
+    def test_evaluate_writes_reports(self, data_dir, tmp_path, capsys):
+        json_path = tmp_path / "results.json"
+        report_path = tmp_path / "report.md"
+        code = main(
+            [
+                "evaluate",
+                "--train", str(data_dir / "train.csv"),
+                "--test", str(data_dir / "test.csv"),
+                "--detectors", "kmeans,pca",
+                "--json", str(json_path),
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Evaluation results" in out
+        payload = json.loads(json_path.read_text())
+        assert set(payload["results"]) == {"kmeans", "pca"}
+        assert "Overall comparison" in report_path.read_text()
+
+    def test_unknown_detector_fails_cleanly(self, data_dir, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--train", str(data_dir / "train.csv"),
+                "--test", str(data_dir / "test.csv"),
+                "--detectors", "quantum_forest",
+            ]
+        )
+        assert code == 2
+        assert "unknown detector" in capsys.readouterr().err

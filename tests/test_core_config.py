@@ -1,0 +1,78 @@
+"""Tests for repro.core.config (SomTrainingConfig and GhsomConfig)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GhsomConfig, SomTrainingConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestSomTrainingConfig:
+    def test_defaults_are_valid(self):
+        config = SomTrainingConfig()
+        assert config.epochs >= 1
+        assert 0 < config.learning_rate <= 1
+
+    def test_round_trip_dict(self):
+        config = SomTrainingConfig(epochs=7, learning_rate=0.3, neighborhood="bubble")
+        assert SomTrainingConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"learning_rate": 0.0},
+            {"learning_rate": 1.5},
+            {"initial_radius": -1.0},
+            {"neighborhood": "donut"},
+            {"decay": "warp"},
+            {"metric": "cosine"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SomTrainingConfig(**kwargs)
+
+
+class TestGhsomConfig:
+    def test_defaults_are_valid(self):
+        config = GhsomConfig()
+        assert 0 < config.tau1 <= 1
+        assert 0 < config.tau2 <= 1
+        assert config.max_depth >= 1
+
+    def test_round_trip_dict(self):
+        config = GhsomConfig(tau1=0.25, tau2=0.07, max_depth=4, training=SomTrainingConfig(epochs=3))
+        rebuilt = GhsomConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.training.epochs == 3
+
+    def test_with_updates_creates_modified_copy(self):
+        config = GhsomConfig(tau1=0.3)
+        updated = config.with_updates(tau1=0.1)
+        assert updated.tau1 == 0.1
+        assert config.tau1 == 0.3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tau1": 0.0},
+            {"tau1": 1.5},
+            {"tau2": -0.1},
+            {"max_depth": 0},
+            {"initial_rows": 1},
+            {"initial_cols": 1},
+            {"max_map_size": 3},
+            {"max_growth_rounds": -1},
+            {"min_samples_for_expansion": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GhsomConfig(**kwargs)
+
+    def test_from_dict_accepts_training_config_instance(self):
+        payload = GhsomConfig().to_dict()
+        payload["training"] = SomTrainingConfig(epochs=2)
+        assert GhsomConfig.from_dict(payload).training.epochs == 2

@@ -1,0 +1,92 @@
+"""Tests for repro.core.distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distances import (
+    available_metrics,
+    best_matching_units,
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    squared_euclidean,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSquaredEuclidean:
+    def test_matches_naive_computation(self, rng):
+        samples = rng.random((7, 5))
+        codebook = rng.random((4, 5))
+        expected = ((samples[:, None, :] - codebook[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(squared_euclidean(samples, codebook), expected, atol=1e-10)
+
+    def test_zero_distance_to_self(self, rng):
+        points = rng.random((5, 3))
+        distances = squared_euclidean(points, points)
+        np.testing.assert_allclose(np.diag(distances), 0.0, atol=1e-10)
+
+    def test_never_negative(self, rng):
+        samples = rng.random((50, 8)) * 1e-6
+        assert squared_euclidean(samples, samples).min() >= 0.0
+
+    def test_1d_inputs_promoted(self):
+        distances = squared_euclidean(np.array([1.0, 0.0]), np.array([0.0, 0.0]))
+        assert distances.shape == (1, 1)
+        np.testing.assert_allclose(distances, [[1.0]])
+
+
+class TestOtherMetrics:
+    def test_euclidean_is_sqrt_of_squared(self, rng):
+        samples, codebook = rng.random((6, 4)), rng.random((3, 4))
+        np.testing.assert_allclose(
+            euclidean(samples, codebook) ** 2, squared_euclidean(samples, codebook), atol=1e-10
+        )
+
+    def test_manhattan_known_value(self):
+        np.testing.assert_allclose(
+            manhattan(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]])), [[3.0]]
+        )
+
+    def test_chebyshev_known_value(self):
+        np.testing.assert_allclose(
+            chebyshev(np.array([[1.0, -4.0]]), np.array([[0.0, 0.0]])), [[4.0]]
+        )
+
+    def test_metric_ordering(self, rng):
+        """For any pair: chebyshev <= euclidean <= manhattan."""
+        samples, codebook = rng.random((10, 6)), rng.random((5, 6))
+        cheb = chebyshev(samples, codebook)
+        eucl = euclidean(samples, codebook)
+        manh = manhattan(samples, codebook)
+        assert np.all(cheb <= eucl + 1e-12)
+        assert np.all(eucl <= manh + 1e-12)
+
+
+class TestRegistry:
+    def test_all_metrics_listed(self):
+        assert set(available_metrics()) == {"euclidean", "sqeuclidean", "manhattan", "chebyshev"}
+
+    def test_lookup_returns_callable(self):
+        assert callable(get_metric("manhattan"))
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_metric("cosine")
+
+
+class TestBestMatchingUnits:
+    def test_bmu_picks_nearest(self):
+        codebook = np.array([[0.0, 0.0], [1.0, 1.0]])
+        samples = np.array([[0.1, 0.1], [0.9, 0.8]])
+        np.testing.assert_array_equal(best_matching_units(samples, codebook), [0, 1])
+
+    def test_bmu_identical_for_euclidean_variants(self, rng):
+        samples, codebook = rng.random((30, 4)), rng.random((9, 4))
+        np.testing.assert_array_equal(
+            best_matching_units(samples, codebook, "euclidean"),
+            best_matching_units(samples, codebook, "sqeuclidean"),
+        )

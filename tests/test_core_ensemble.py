@@ -1,0 +1,105 @@
+"""Tests for repro.core.ensemble (EnsembleDetector)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import KMeansDetector
+from repro.baselines.pca_subspace import PcaSubspaceDetector
+from repro.core.config import GhsomConfig, SomTrainingConfig
+from repro.core.detector import GhsomDetector
+from repro.core.ensemble import EnsembleDetector
+from repro.eval.metrics import binary_metrics, roc_auc
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+def _fast_ghsom(seed: int) -> GhsomDetector:
+    config = GhsomConfig(
+        tau1=0.4, tau2=0.1, max_depth=2, max_map_size=36,
+        training=SomTrainingConfig(epochs=3), random_state=seed,
+    )
+    return GhsomDetector(config, random_state=seed)
+
+
+@pytest.fixture(scope="module")
+def fitted_ensemble(train_matrix, train_categories):
+    ensemble = EnsembleDetector([lambda s=seed: _fast_ghsom(s) for seed in (0, 1, 2)])
+    ensemble.fit(train_matrix, train_categories)
+    return ensemble
+
+
+class TestConstruction:
+    def test_empty_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleDetector([])
+
+    def test_invalid_combination_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleDetector([KMeansDetector()], combination="vote")
+
+    def test_non_detector_member_rejected(self, train_matrix):
+        ensemble = EnsembleDetector([lambda: "not a detector"])
+        with pytest.raises(ConfigurationError):
+            ensemble.fit(train_matrix)
+
+    def test_unfitted_raises(self, test_matrix):
+        with pytest.raises(NotFittedError):
+            EnsembleDetector([KMeansDetector()]).predict(test_matrix)
+
+
+class TestDetection:
+    def test_all_members_fitted(self, fitted_ensemble):
+        assert len(fitted_ensemble.members) == 3
+        assert all(member.is_fitted for member in fitted_ensemble.members)
+
+    def test_detection_quality(self, fitted_ensemble, test_matrix, test_binary_truth):
+        metrics = binary_metrics(test_binary_truth, fitted_ensemble.predict(test_matrix))
+        assert metrics.detection_rate > 0.85
+        assert metrics.false_positive_rate < 0.15
+
+    def test_ensemble_auc_at_least_close_to_best_member(
+        self, fitted_ensemble, test_matrix, test_binary_truth
+    ):
+        member_aucs = [
+            roc_auc(test_binary_truth, member.score_samples(test_matrix))
+            for member in fitted_ensemble.members
+        ]
+        ensemble_auc = roc_auc(test_binary_truth, fitted_ensemble.score_samples(test_matrix))
+        assert ensemble_auc >= min(member_aucs) - 0.01
+
+    def test_scores_and_predictions_consistent(self, fitted_ensemble, test_matrix):
+        scores = fitted_ensemble.score_samples(test_matrix)
+        np.testing.assert_array_equal(
+            fitted_ensemble.predict(test_matrix), (scores > 1.0).astype(int)
+        )
+
+    @pytest.mark.parametrize("combination", ["mean", "median", "max"])
+    def test_all_combinations_work(self, train_matrix, train_categories, test_matrix, combination):
+        ensemble = EnsembleDetector(
+            [KMeansDetector(n_clusters=15, random_state=0), PcaSubspaceDetector(threshold_mode="percentile")],
+            combination=combination,
+        )
+        ensemble.fit(train_matrix, train_categories)
+        assert ensemble.predict(test_matrix).shape == (test_matrix.shape[0],)
+
+    def test_max_combination_is_most_sensitive(self, train_matrix, train_categories, test_matrix):
+        members = lambda: [
+            KMeansDetector(n_clusters=15, random_state=0),
+            KMeansDetector(n_clusters=25, random_state=1),
+        ]
+        mean_ensemble = EnsembleDetector(members(), combination="mean").fit(train_matrix, train_categories)
+        max_ensemble = EnsembleDetector(members(), combination="max").fit(train_matrix, train_categories)
+        assert max_ensemble.predict(test_matrix).sum() >= mean_ensemble.predict(test_matrix).sum()
+
+    def test_predict_category_majority_vote(self, fitted_ensemble, test_matrix):
+        categories = fitted_ensemble.predict_category(test_matrix[:50])
+        assert len(categories) == 50
+        assert set(categories).issubset({"normal", "dos", "probe", "r2l", "u2r", "unknown"})
+
+    def test_member_agreement_in_unit_interval(self, fitted_ensemble, test_matrix):
+        agreement = fitted_ensemble.member_agreement(test_matrix[:100])
+        assert agreement.shape == (100,)
+        assert agreement.min() >= 0.0 and agreement.max() <= 1.0
+        # With three members, agreement values are multiples of 1/3.
+        np.testing.assert_allclose(agreement * 3, np.round(agreement * 3), atol=1e-9)

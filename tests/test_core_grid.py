@@ -1,0 +1,116 @@
+"""Tests for repro.core.grid (map topology)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grid import MapGrid
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        grid = MapGrid(3, 4)
+        assert grid.n_units == 12
+        assert grid.shape == (3, 4)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MapGrid(0, 3)
+        with pytest.raises(ConfigurationError):
+            MapGrid(3, 0)
+
+    def test_equality_by_shape(self):
+        assert MapGrid(2, 3) == MapGrid(2, 3)
+        assert MapGrid(2, 3) != MapGrid(3, 2)
+
+
+class TestIndexing:
+    def test_unit_index_and_position_are_inverse(self):
+        grid = MapGrid(4, 5)
+        for unit in range(grid.n_units):
+            row, col = grid.position(unit)
+            assert grid.unit_index(row, col) == unit
+
+    def test_row_major_layout(self):
+        grid = MapGrid(3, 4)
+        assert grid.unit_index(0, 0) == 0
+        assert grid.unit_index(0, 3) == 3
+        assert grid.unit_index(1, 0) == 4
+
+    def test_out_of_range_rejected(self):
+        grid = MapGrid(2, 2)
+        with pytest.raises(ConfigurationError):
+            grid.unit_index(2, 0)
+        with pytest.raises(ConfigurationError):
+            grid.position(4)
+
+    def test_iter_units_covers_everything(self):
+        grid = MapGrid(2, 3)
+        units = list(grid.iter_units())
+        assert len(units) == 6
+        assert units[0] == (0, 0, 0)
+        assert units[-1] == (5, 1, 2)
+
+
+class TestDistances:
+    def test_coordinates_shape(self):
+        assert MapGrid(3, 2).coordinates().shape == (6, 2)
+
+    def test_grid_distances_symmetric_with_zero_diagonal(self):
+        grid = MapGrid(3, 3)
+        distances = grid.grid_distances()
+        np.testing.assert_allclose(distances, distances.T)
+        np.testing.assert_allclose(np.diag(distances), 0.0)
+
+    def test_adjacent_units_distance_one(self):
+        grid = MapGrid(3, 3)
+        distances = grid.grid_distances()
+        assert distances[grid.unit_index(0, 0), grid.unit_index(0, 1)] == pytest.approx(1.0)
+        assert distances[grid.unit_index(0, 0), grid.unit_index(1, 1)] == pytest.approx(np.sqrt(2))
+
+    def test_distances_from_matches_matrix(self):
+        grid = MapGrid(4, 4)
+        matrix = grid.grid_distances()
+        np.testing.assert_allclose(grid.distances_from(5), matrix[5])
+
+
+class TestNeighbors:
+    def test_corner_has_two_neighbors(self):
+        grid = MapGrid(3, 3)
+        assert len(grid.neighbors(grid.unit_index(0, 0))) == 2
+
+    def test_centre_has_four_neighbors(self):
+        grid = MapGrid(3, 3)
+        assert len(grid.neighbors(grid.unit_index(1, 1))) == 4
+
+    def test_adjacency_is_symmetric(self):
+        grid = MapGrid(3, 4)
+        for unit in range(grid.n_units):
+            for neighbor in grid.neighbors(unit):
+                assert grid.are_adjacent(neighbor, unit)
+
+    def test_not_adjacent_to_self(self):
+        grid = MapGrid(3, 3)
+        assert not grid.are_adjacent(4, 4)
+
+
+class TestGrowth:
+    def test_row_insertion_increases_rows(self):
+        grown = MapGrid(2, 3).with_row_inserted(0)
+        assert grown.shape == (3, 3)
+
+    def test_col_insertion_increases_cols(self):
+        grown = MapGrid(2, 3).with_col_inserted(1)
+        assert grown.shape == (2, 4)
+
+    def test_insertion_position_validated(self):
+        with pytest.raises(ConfigurationError):
+            MapGrid(2, 2).with_row_inserted(5)
+        with pytest.raises(ConfigurationError):
+            MapGrid(2, 2).with_col_inserted(-1)
+
+    def test_initial_radius_scales_with_size(self):
+        assert MapGrid(2, 2).initial_radius() == pytest.approx(1.0)
+        assert MapGrid(10, 4).initial_radius() == pytest.approx(5.0)

@@ -1,0 +1,151 @@
+"""Tests for repro.core.growing_som (horizontal growth)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import GhsomConfig, SomTrainingConfig
+from repro.core.growing_som import GrowingSom
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+
+
+def _config(**overrides):
+    base = dict(
+        tau1=0.4,
+        tau2=0.1,
+        max_depth=2,
+        max_map_size=36,
+        max_growth_rounds=12,
+        training=SomTrainingConfig(epochs=3),
+        random_state=0,
+    )
+    base.update(overrides)
+    return GhsomConfig(**base)
+
+
+class TestConstruction:
+    def test_starts_at_initial_shape(self):
+        layer = GrowingSom(n_features=4, config=_config(), random_state=0)
+        assert layer.grid.shape == (2, 2)
+        assert layer.n_units == 4
+
+    def test_invalid_parent_qe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GrowingSom(n_features=4, config=_config(), parent_qe=-1.0)
+
+    def test_invalid_feature_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GrowingSom(n_features=0, config=_config())
+
+    def test_mqe_target_follows_tau1(self):
+        layer = GrowingSom(n_features=4, config=_config(tau1=0.5), parent_qe=2.0)
+        assert layer.mqe_target == pytest.approx(1.0)
+
+
+class TestGrowth:
+    def test_grows_beyond_initial_size_on_structured_data(self, blob_data):
+        from repro.core.quantization import dataset_quantization_error
+
+        qe0 = dataset_quantization_error(blob_data)
+        layer = GrowingSom(
+            n_features=4, config=_config(tau1=0.05), parent_qe=qe0, random_state=0
+        )
+        layer.fit(blob_data)
+        assert layer.n_units > 4
+
+    def test_small_tau1_grows_larger_maps(self, blob_data):
+        from repro.core.quantization import dataset_quantization_error
+
+        qe0 = dataset_quantization_error(blob_data)
+        loose = GrowingSom(n_features=4, config=_config(tau1=0.9), parent_qe=qe0, random_state=0)
+        tight = GrowingSom(n_features=4, config=_config(tau1=0.03), parent_qe=qe0, random_state=0)
+        loose.fit(blob_data)
+        tight.fit(blob_data)
+        assert tight.n_units > loose.n_units
+
+    def test_respects_max_map_size(self, blob_data):
+        layer = GrowingSom(
+            n_features=4,
+            config=_config(tau1=0.01, max_map_size=12, max_growth_rounds=50),
+            parent_qe=0.05,
+            random_state=0,
+        )
+        layer.fit(blob_data)
+        assert layer.n_units <= 12
+
+    def test_respects_max_growth_rounds(self, blob_data):
+        layer = GrowingSom(
+            n_features=4,
+            config=_config(tau1=0.001, max_growth_rounds=2, max_map_size=400),
+            parent_qe=1.0,
+            random_state=0,
+        )
+        layer.fit(blob_data)
+        # 2 growth rounds starting from 2x2 can add at most 2 rows/columns.
+        assert layer.n_units <= 4 + 3 + 4  # 2x2 -> 3x2 (or 2x3) -> at most 3x3/4x2
+
+    def test_high_parent_qe_means_no_growth(self, blob_data):
+        """When the target is already met by the initial map, no insertion happens."""
+        layer = GrowingSom(
+            n_features=4, config=_config(tau1=1.0), parent_qe=100.0, random_state=0
+        )
+        layer.fit(blob_data)
+        assert layer.n_units == 4
+        assert len(layer.growth_history) == 1
+        assert layer.growth_history[0].inserted == "none"
+
+    def test_growth_history_is_consistent(self, blob_data):
+        from repro.core.quantization import dataset_quantization_error
+
+        qe0 = dataset_quantization_error(blob_data)
+        layer = GrowingSom(n_features=4, config=_config(tau1=0.05), parent_qe=qe0, random_state=0)
+        layer.fit(blob_data)
+        history = layer.growth_history
+        assert history[-1].inserted == "none"
+        # Unit counts never decrease and match rows*cols at every step.
+        for event in history:
+            assert event.n_units == event.rows * event.cols
+        unit_counts = [event.n_units for event in history]
+        assert all(b >= a for a, b in zip(unit_counts, unit_counts[1:]))
+
+    def test_mqe_decreases_as_map_grows(self, blob_data):
+        from repro.core.quantization import dataset_quantization_error
+
+        qe0 = dataset_quantization_error(blob_data)
+        layer = GrowingSom(n_features=4, config=_config(tau1=0.05), parent_qe=qe0, random_state=0)
+        layer.fit(blob_data)
+        mqes = [event.mqe for event in layer.growth_history]
+        if len(mqes) >= 3:
+            assert mqes[-1] < mqes[0]
+
+    def test_wrong_dimensionality_rejected(self, blob_data):
+        layer = GrowingSom(n_features=7, config=_config())
+        with pytest.raises(DataValidationError):
+            layer.fit(blob_data)
+
+
+class TestInference:
+    def test_unfitted_layer_raises(self, blob_data):
+        layer = GrowingSom(n_features=4, config=_config())
+        with pytest.raises(NotFittedError):
+            layer.transform(blob_data)
+
+    def test_transform_and_distances_shapes(self, blob_data):
+        layer = GrowingSom(n_features=4, config=_config(), parent_qe=1.0, random_state=0)
+        layer.fit(blob_data)
+        units = layer.transform(blob_data)
+        distances = layer.quantization_distances(blob_data)
+        assert units.shape == distances.shape == (blob_data.shape[0],)
+        assert units.max() < layer.n_units
+
+    def test_unit_counts_sum(self, blob_data):
+        layer = GrowingSom(n_features=4, config=_config(), parent_qe=1.0, random_state=0)
+        layer.fit(blob_data)
+        assert layer.unit_counts(blob_data).sum() == blob_data.shape[0]
+
+    def test_codebook_weights_stay_in_data_range(self, blob_data):
+        layer = GrowingSom(n_features=4, config=_config(tau1=0.2), parent_qe=0.2, random_state=0)
+        layer.fit(blob_data)
+        assert layer.codebook.min() >= blob_data.min() - 0.1
+        assert layer.codebook.max() <= blob_data.max() + 0.1

@@ -1,0 +1,134 @@
+"""Tests for repro.core.inspection (U-matrix, hit maps, tree rendering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import GhsomConfig, SomTrainingConfig
+from repro.core.detector import GhsomDetector
+from repro.core.ghsom import Ghsom
+from repro.core.grid import MapGrid
+from repro.core.inspection import (
+    component_plane,
+    describe_tree,
+    hit_map,
+    label_map,
+    render_grid,
+    u_matrix,
+    unit_summaries,
+)
+from repro.core.labeling import UnitLabeler
+from repro.core.som import Som
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def trained_som(blob_data):
+    return Som(4, 4, n_features=4, config=SomTrainingConfig(epochs=10), random_state=0).fit(blob_data)
+
+
+@pytest.fixture(scope="module")
+def trained_ghsom(train_matrix, fast_config):
+    return Ghsom(fast_config).fit(train_matrix)
+
+
+class TestUMatrix:
+    def test_shape_matches_grid(self, trained_som):
+        matrix = u_matrix(trained_som.codebook, trained_som.grid)
+        assert matrix.shape == (4, 4)
+        assert np.all(matrix >= 0.0)
+
+    def test_identical_codebook_gives_zero_ridges(self):
+        grid = MapGrid(3, 3)
+        codebook = np.ones((9, 5))
+        np.testing.assert_allclose(u_matrix(codebook, grid), 0.0)
+
+    def test_boundary_between_clusters_visible(self):
+        """Two groups of units with very different weights -> large ridge at the boundary."""
+        grid = MapGrid(1, 4)
+        codebook = np.array([[0.0], [0.0], [1.0], [1.0]])
+        matrix = u_matrix(codebook, grid)
+        assert matrix[0, 1] > matrix[0, 0]
+        assert matrix[0, 2] > matrix[0, 3]
+
+    def test_mismatched_codebook_rejected(self):
+        with pytest.raises(ConfigurationError):
+            u_matrix(np.ones((5, 2)), MapGrid(2, 2))
+
+
+class TestHitAndComponentMaps:
+    def test_hit_map_sums_to_samples(self, trained_som, blob_data):
+        hits = hit_map(trained_som, blob_data)
+        assert hits.shape == (4, 4)
+        assert hits.sum() == blob_data.shape[0]
+
+    def test_component_plane_values_match_codebook(self, trained_som):
+        plane = component_plane(trained_som, 0)
+        np.testing.assert_allclose(plane.ravel(), trained_som.codebook[:, 0])
+
+    def test_component_plane_index_validated(self, trained_som):
+        with pytest.raises(ConfigurationError):
+            component_plane(trained_som, 99)
+
+    def test_label_map_shape(self, trained_som, blob_data):
+        units = trained_som.transform(blob_data)
+        labels = ["normal" if index % 2 else "dos" for index in range(len(units))]
+        labeler = UnitLabeler().fit([("som", int(unit)) for unit in units], labels)
+        grid_labels = label_map(trained_som, labeler)
+        assert len(grid_labels) == 4 and len(grid_labels[0]) == 4
+
+
+class TestRenderGrid:
+    def test_renders_rows_and_columns(self):
+        text = render_grid(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "1.000" in lines[0] and "4.000" in lines[1]
+
+    def test_respects_float_format(self):
+        text = render_grid(np.array([[0.123456]]), float_format=".1f")
+        assert text.strip() == "0.1"
+
+
+class TestDescribeTree:
+    def test_mentions_every_node(self, trained_ghsom):
+        text = describe_tree(trained_ghsom)
+        for node in trained_ghsom.iter_nodes():
+            assert node.node_id in text
+
+    def test_includes_labels_when_labeler_given(self, trained_ghsom, train_matrix, train_categories):
+        labeler = UnitLabeler().fit(trained_ghsom.leaf_keys(train_matrix), train_categories)
+        text = describe_tree(trained_ghsom, labeler)
+        assert "leaf labels" in text
+        assert "normal=" in text
+
+    def test_indentation_follows_depth(self, trained_ghsom):
+        lines = describe_tree(trained_ghsom).splitlines()
+        assert lines[0].startswith("root:")
+        deeper = [line for line in lines if line.startswith("  ")]
+        if trained_ghsom.n_maps > 1:
+            assert deeper
+
+
+class TestUnitSummaries:
+    def test_one_summary_per_leaf(self, trained_ghsom):
+        summaries = unit_summaries(trained_ghsom)
+        assert len(summaries) == trained_ghsom.n_leaf_units
+        for summary in summaries[:10]:
+            assert len(summary["top_features"]) == 3
+            assert summary["qe"] >= 0.0
+
+    def test_feature_names_used_when_given(self, trained_ghsom, fitted_pipeline):
+        summaries = unit_summaries(trained_ghsom, fitted_pipeline.feature_names_out, top_k=2)
+        name, _ = summaries[0]["top_features"][0]
+        assert name in fitted_pipeline.feature_names_out
+
+    def test_invalid_top_k_rejected(self, trained_ghsom):
+        with pytest.raises(ConfigurationError):
+            unit_summaries(trained_ghsom, top_k=0)
+
+    def test_works_through_detector(self, fast_config, train_matrix, train_categories):
+        detector = GhsomDetector(fast_config, random_state=0).fit(train_matrix, train_categories)
+        text = describe_tree(detector.model, detector.labeler)
+        assert "root" in text

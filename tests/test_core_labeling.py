@@ -1,0 +1,109 @@
+"""Tests for repro.core.labeling (unit labelling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import UNLABELED, LeafLabel, UnitLabeler
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestUnitLabelerBasics:
+    def test_majority_vote(self):
+        labeler = UnitLabeler()
+        keys = [("root", 0)] * 3 + [("root", 1)] * 2
+        labels = ["normal", "normal", "dos", "dos", "dos"]
+        labeler.fit(keys, labels)
+        assert labeler.label_of(("root", 0)) == "normal"
+        assert labeler.label_of(("root", 1)) == "dos"
+
+    def test_unknown_leaf_is_unlabeled(self):
+        labeler = UnitLabeler().fit([("root", 0)], ["normal"])
+        assert labeler.label_of(("root", 99)) == UNLABELED
+        assert labeler.info_of(("root", 99)).count == 0
+
+    def test_purity_recorded(self):
+        labeler = UnitLabeler().fit([("root", 0)] * 4, ["normal", "normal", "normal", "dos"])
+        info = labeler.info_of(("root", 0))
+        assert info.purity == pytest.approx(0.75)
+        assert info.count == 4
+
+    def test_predict_batch(self):
+        labeler = UnitLabeler().fit([("root", 0), ("root", 1)], ["normal", "probe"])
+        assert labeler.predict([("root", 1), ("root", 0), ("root", 5)]) == [
+            "probe",
+            "normal",
+            UNLABELED,
+        ]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UnitLabeler().fit([("root", 0)], ["normal", "dos"])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            UnitLabeler().label_of(("root", 0))
+        with pytest.raises(NotFittedError):
+            UnitLabeler().class_distribution()
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UnitLabeler(strategy="weighted_median")
+
+    def test_invalid_min_purity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UnitLabeler(min_purity=0.0)
+
+    def test_min_count_leaves_sparse_units_unlabeled(self):
+        labeler = UnitLabeler(min_count=3).fit([("root", 0)] * 2, ["dos", "dos"])
+        assert labeler.label_of(("root", 0)) == UNLABELED
+
+
+class TestPurityStrategy:
+    def test_mixed_unit_prefers_attack_label(self):
+        """Under the purity strategy a 50/50 normal/dos unit is labelled dos."""
+        labeler = UnitLabeler(strategy="purity", min_purity=0.8)
+        keys = [("root", 0)] * 4
+        labels = ["normal", "normal", "dos", "dos"]
+        labeler.fit(keys, labels)
+        assert labeler.label_of(("root", 0)) == "dos"
+
+    def test_pure_unit_keeps_majority_label(self):
+        labeler = UnitLabeler(strategy="purity", min_purity=0.7)
+        labeler.fit([("root", 0)] * 4, ["normal"] * 4)
+        assert labeler.label_of(("root", 0)) == "normal"
+
+    def test_mixed_all_normal_variants_keeps_majority(self):
+        """A unit mixing only normal with itself has nothing to escalate to."""
+        labeler = UnitLabeler(strategy="purity", min_purity=0.9)
+        labeler.fit([("root", 0)] * 3, ["normal", "normal", "normal"])
+        assert labeler.label_of(("root", 0)) == "normal"
+
+
+class TestDistributionAndSerialization:
+    def test_class_distribution_counts_leaves(self):
+        labeler = UnitLabeler().fit(
+            [("root", 0), ("root", 1), ("root/1", 0)], ["normal", "dos", "dos"]
+        )
+        distribution = labeler.class_distribution()
+        assert distribution == {"normal": 1, "dos": 2}
+
+    def test_labeled_leaves_returns_copy(self):
+        labeler = UnitLabeler().fit([("root", 0)], ["normal"])
+        leaves = labeler.labeled_leaves()
+        leaves[("root", 0)] = LeafLabel("dos", 1, 1.0)
+        assert labeler.label_of(("root", 0)) == "normal"
+
+    def test_round_trip_dict(self):
+        labeler = UnitLabeler(strategy="purity", min_purity=0.6, min_count=2).fit(
+            [("root", 0)] * 3 + [("root/2", 1)] * 2, ["dos", "dos", "normal", "probe", "probe"]
+        )
+        rebuilt = UnitLabeler.from_dict(labeler.to_dict())
+        assert rebuilt.label_of(("root", 0)) == labeler.label_of(("root", 0))
+        assert rebuilt.label_of(("root/2", 1)) == "probe"
+        assert rebuilt.strategy == "purity"
+
+    def test_leaf_label_reliability_flag(self):
+        assert LeafLabel("dos", 10, 0.9).is_reliable
+        assert not LeafLabel("dos", 0, 0.0).is_reliable
+        assert not LeafLabel("dos", 10, 0.4).is_reliable

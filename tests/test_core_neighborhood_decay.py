@@ -1,0 +1,92 @@
+"""Tests for repro.core.neighborhood and repro.core.decay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import (
+    available_decays,
+    constant_decay,
+    exponential_decay,
+    get_decay,
+    inverse_decay,
+    linear_decay,
+)
+from repro.core.neighborhood import (
+    available_neighborhoods,
+    bubble_neighborhood,
+    gaussian_neighborhood,
+    get_neighborhood,
+    mexican_hat_neighborhood,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGaussianNeighborhood:
+    def test_peak_at_zero_distance(self):
+        distances = np.array([0.0, 1.0, 2.0])
+        influence = gaussian_neighborhood(distances, radius=1.0)
+        assert influence[0] == pytest.approx(1.0)
+        assert np.all(np.diff(influence) < 0)
+
+    def test_larger_radius_spreads_influence(self):
+        distances = np.array([2.0])
+        assert gaussian_neighborhood(distances, 3.0) > gaussian_neighborhood(distances, 1.0)
+
+    def test_zero_radius_does_not_blow_up(self):
+        influence = gaussian_neighborhood(np.array([0.0, 1.0]), radius=0.0)
+        assert np.isfinite(influence).all()
+        assert influence[0] == pytest.approx(1.0)
+
+
+class TestBubbleNeighborhood:
+    def test_hard_cutoff(self):
+        distances = np.array([0.0, 1.0, 1.5, 2.0])
+        np.testing.assert_allclose(bubble_neighborhood(distances, 1.0), [1.0, 1.0, 0.0, 0.0])
+
+    def test_values_are_binary(self, rng):
+        influence = bubble_neighborhood(rng.random(50) * 5, 2.0)
+        assert set(np.unique(influence)).issubset({0.0, 1.0})
+
+
+class TestMexicanHat:
+    def test_centre_positive_surround_negative(self):
+        influence = mexican_hat_neighborhood(np.array([0.0, 2.0]), radius=1.0)
+        assert influence[0] == pytest.approx(1.0)
+        assert influence[1] < 0.0
+
+
+class TestNeighborhoodRegistry:
+    def test_names(self):
+        assert set(available_neighborhoods()) == {"gaussian", "bubble", "mexican_hat"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_neighborhood("donut")
+
+
+class TestDecays:
+    @pytest.mark.parametrize("schedule", [linear_decay, exponential_decay, inverse_decay])
+    def test_monotone_decreasing(self, schedule):
+        values = [schedule(progress) for progress in np.linspace(0.0, 1.0, 11)]
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(values, values[1:]))
+
+    @pytest.mark.parametrize(
+        "schedule", [linear_decay, exponential_decay, inverse_decay, constant_decay]
+    )
+    def test_starts_at_one_and_stays_positive(self, schedule):
+        assert schedule(0.0) == pytest.approx(1.0)
+        assert schedule(1.0) > 0.0
+
+    def test_progress_is_clipped(self):
+        assert linear_decay(2.0) == linear_decay(1.0)
+        assert exponential_decay(-1.0) == pytest.approx(1.0)
+
+    def test_constant_decay_never_changes(self):
+        assert constant_decay(0.3) == constant_decay(0.9) == 1.0
+
+    def test_registry(self):
+        assert set(available_decays()) == {"linear", "exponential", "inverse", "constant"}
+        with pytest.raises(ConfigurationError):
+            get_decay("cosine_annealing")

@@ -1,0 +1,122 @@
+"""Tests for repro.core.thresholds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import (
+    GlobalThreshold,
+    PerUnitThreshold,
+    make_threshold_strategy,
+    threshold_from_dict,
+)
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestGlobalThreshold:
+    def test_percentile_threshold(self):
+        distances = np.linspace(0.0, 1.0, 101)
+        strategy = GlobalThreshold(percentile=90.0).fit(distances)
+        assert strategy.threshold == pytest.approx(0.9, abs=0.02)
+
+    def test_normalize_divides_by_threshold(self):
+        strategy = GlobalThreshold(percentile=100.0).fit([2.0, 4.0])
+        ratios = strategy.normalize([2.0, 8.0], [("root", 0), ("root", 1)])
+        np.testing.assert_allclose(ratios, [0.5, 2.0])
+
+    def test_same_threshold_for_every_leaf(self):
+        strategy = GlobalThreshold().fit([1.0, 2.0, 3.0])
+        assert strategy.threshold_for(("a", 0)) == strategy.threshold_for(("b", 7))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GlobalThreshold().threshold_for(("root", 0))
+
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GlobalThreshold().fit([])
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GlobalThreshold(percentile=0.0)
+        with pytest.raises(ConfigurationError):
+            GlobalThreshold(percentile=101.0)
+
+    def test_round_trip_dict(self):
+        strategy = GlobalThreshold(percentile=95.0).fit([1.0, 5.0, 9.0])
+        rebuilt = threshold_from_dict(strategy.to_dict())
+        assert isinstance(rebuilt, GlobalThreshold)
+        assert rebuilt.threshold == pytest.approx(strategy.threshold)
+
+
+class TestPerUnitThreshold:
+    def _calibrated(self):
+        distances = [0.1, 0.12, 0.09, 0.11, 0.1, 0.5, 0.52, 0.48, 0.51, 0.49]
+        keys = [("root", 0)] * 5 + [("root", 1)] * 5
+        return PerUnitThreshold(k=3.0, min_count=3).fit(distances, keys)
+
+    def test_per_unit_thresholds_differ(self):
+        strategy = self._calibrated()
+        assert strategy.threshold_for(("root", 1)) > strategy.threshold_for(("root", 0))
+
+    def test_threshold_above_unit_mean(self):
+        strategy = self._calibrated()
+        assert strategy.threshold_for(("root", 0)) > 0.1
+
+    def test_unknown_leaf_uses_fallback(self):
+        strategy = self._calibrated()
+        fallback = strategy.threshold_for(("root", 42))
+        assert fallback > 0.0
+
+    def test_sparse_unit_uses_fallback(self):
+        distances = [0.1] * 10 + [5.0]
+        keys = [("root", 0)] * 10 + [("root", 1)]
+        strategy = PerUnitThreshold(min_count=5).fit(distances, keys)
+        assert strategy.threshold_for(("root", 1)) == strategy.threshold_for(("root", 99))
+
+    def test_normalize_uses_per_unit_scale(self):
+        strategy = self._calibrated()
+        ratios = strategy.normalize([0.2, 0.2], [("root", 0), ("root", 1)])
+        assert ratios[0] > ratios[1]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerUnitThreshold().fit([1.0, 2.0], [("root", 0)])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            PerUnitThreshold().threshold_for(("root", 0))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            PerUnitThreshold(k=0.0)
+        with pytest.raises(ConfigurationError):
+            PerUnitThreshold(min_count=0)
+        with pytest.raises(ConfigurationError):
+            PerUnitThreshold(fallback_percentile=0.0)
+
+    def test_round_trip_dict(self):
+        strategy = self._calibrated()
+        rebuilt = threshold_from_dict(strategy.to_dict())
+        assert isinstance(rebuilt, PerUnitThreshold)
+        assert rebuilt.threshold_for(("root", 0)) == pytest.approx(
+            strategy.threshold_for(("root", 0))
+        )
+        assert rebuilt.threshold_for(("root", 99)) == pytest.approx(
+            strategy.threshold_for(("root", 99))
+        )
+
+
+class TestFactory:
+    def test_factory_builds_both_kinds(self):
+        assert isinstance(make_threshold_strategy("global"), GlobalThreshold)
+        assert isinstance(make_threshold_strategy("per_unit", k=2.0), PerUnitThreshold)
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_threshold_strategy("adaptive_quantile")
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            threshold_from_dict({"kind": "mystery"})

@@ -1,0 +1,49 @@
+"""Tests for PreprocessingPipeline serialization (to_dict / from_dict)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.preprocess import PreprocessingPipeline
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestPipelineSerialization:
+    @pytest.mark.parametrize("scaling", ["minmax", "zscore", "none"])
+    def test_round_trip_preserves_transform(self, small_split, scaling):
+        train, test = small_split
+        pipeline = PreprocessingPipeline(scaling=scaling).fit(train)
+        payload = pipeline.to_dict()
+        json.dumps(payload)  # must be JSON compatible
+        rebuilt = PreprocessingPipeline.from_dict(payload)
+        np.testing.assert_allclose(rebuilt.transform(test), pipeline.transform(test))
+
+    def test_round_trip_preserves_feature_names(self, small_dataset):
+        pipeline = PreprocessingPipeline().fit(small_dataset)
+        rebuilt = PreprocessingPipeline.from_dict(pipeline.to_dict())
+        assert rebuilt.feature_names_out == pipeline.feature_names_out
+
+    def test_ordinal_encoding_round_trip(self, small_split):
+        train, test = small_split
+        pipeline = PreprocessingPipeline(categorical_encoding="ordinal").fit(train)
+        rebuilt = PreprocessingPipeline.from_dict(pipeline.to_dict())
+        np.testing.assert_allclose(rebuilt.transform(test), pipeline.transform(test))
+
+    def test_unfitted_pipeline_rejected(self):
+        with pytest.raises(NotFittedError):
+            PreprocessingPipeline().to_dict()
+
+    def test_wrong_kind_rejected(self, small_dataset):
+        payload = PreprocessingPipeline().fit(small_dataset).to_dict()
+        payload["kind"] = "something_else"
+        with pytest.raises(ConfigurationError):
+            PreprocessingPipeline.from_dict(payload)
+
+    def test_unknown_scaler_kind_rejected(self, small_dataset):
+        payload = PreprocessingPipeline().fit(small_dataset).to_dict()
+        payload["scaler"]["kind"] = "robust"
+        with pytest.raises(ConfigurationError):
+            PreprocessingPipeline.from_dict(payload)

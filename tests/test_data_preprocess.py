@@ -1,0 +1,177 @@
+"""Tests for repro.data.preprocess (encoders, scalers, pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.preprocess import (
+    MinMaxScaler,
+    OneHotEncoder,
+    OrdinalEncoder,
+    PreprocessingPipeline,
+    StandardScaler,
+)
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+
+
+class TestOneHotEncoder:
+    def test_round_trip_known_values(self):
+        encoder = OneHotEncoder()
+        encoded = encoder.fit_transform(["a", "b", "a", "c"])
+        assert encoded.shape == (4, 3)
+        np.testing.assert_allclose(encoded.sum(axis=1), 1.0)
+
+    def test_unknown_value_maps_to_zero_vector(self):
+        encoder = OneHotEncoder(categories=["a", "b"]).fit(["a", "b"])
+        encoded = encoder.transform(["z"])
+        np.testing.assert_allclose(encoded, [[0.0, 0.0]])
+
+    def test_fixed_categories_preserve_order(self):
+        encoder = OneHotEncoder(categories=["b", "a"]).fit([])
+        assert encoder.categories == ("b", "a")
+        np.testing.assert_allclose(encoder.transform(["b"]), [[1.0, 0.0]])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            OneHotEncoder().transform(["a"])
+
+
+class TestOrdinalEncoder:
+    def test_codes_are_stable(self):
+        encoder = OrdinalEncoder().fit(["b", "a", "c"])
+        np.testing.assert_allclose(encoder.transform(["a", "b", "c"]), [0.0, 1.0, 2.0])
+
+    def test_unknown_value_is_minus_one(self):
+        encoder = OrdinalEncoder().fit(["a"])
+        np.testing.assert_allclose(encoder.transform(["zzz"]), [-1.0])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            OrdinalEncoder().transform(["a"])
+
+
+class TestMinMaxScaler:
+    def test_output_range(self):
+        data = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+        np.testing.assert_allclose(scaled[:, 0], [0.0, 0.5, 1.0])
+
+    def test_constant_column_maps_to_zero(self):
+        data = np.array([[1.0, 3.0], [1.0, 4.0]])
+        scaled = MinMaxScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_out_of_range_values_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        np.testing.assert_allclose(scaler.transform([[2.0]]), [[1.0]])
+
+    def test_clipping_can_be_disabled(self):
+        scaler = MinMaxScaler(clip=False).fit(np.array([[0.0], [1.0]]))
+        np.testing.assert_allclose(scaler.transform([[2.0]]), [[2.0]])
+
+    def test_inverse_transform_roundtrip(self):
+        data = np.array([[1.0, 5.0], [3.0, 9.0]])
+        scaler = MinMaxScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_mismatched_columns_raise(self):
+        scaler = MinMaxScaler().fit(np.ones((2, 3)))
+        with pytest.raises(DataValidationError):
+            scaler.transform(np.ones((2, 4)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform([[1.0]])
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        data = np.random.default_rng(0).normal(5.0, 2.0, size=(200, 3))
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_handled(self):
+        data = np.array([[2.0, 1.0], [2.0, 3.0]])
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        data = np.array([[1.0, 5.0], [3.0, 9.0], [4.0, 2.0]])
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+
+class TestPreprocessingPipeline:
+    def test_output_is_numeric_and_bounded(self, small_dataset):
+        pipeline = PreprocessingPipeline()
+        matrix = pipeline.fit_transform(small_dataset)
+        assert matrix.dtype == float
+        assert np.all(np.isfinite(matrix))
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+
+    def test_output_width_matches_feature_names(self, small_dataset):
+        pipeline = PreprocessingPipeline()
+        matrix = pipeline.fit_transform(small_dataset)
+        assert matrix.shape[1] == pipeline.n_features_out
+        assert len(pipeline.feature_names_out) == matrix.shape[1]
+
+    def test_onehot_adds_columns(self, small_dataset):
+        onehot = PreprocessingPipeline(categorical_encoding="onehot").fit(small_dataset)
+        ordinal = PreprocessingPipeline(categorical_encoding="ordinal").fit(small_dataset)
+        assert onehot.n_features_out > ordinal.n_features_out
+        assert ordinal.n_features_out == 41
+
+    def test_transform_unseen_data_uses_training_statistics(self, small_split):
+        train, test = small_split
+        pipeline = PreprocessingPipeline()
+        pipeline.fit(train)
+        transformed = pipeline.transform(test)
+        assert transformed.shape[0] == len(test)
+        assert transformed.min() >= 0.0 and transformed.max() <= 1.0
+
+    def test_zscore_scaling(self, small_dataset):
+        pipeline = PreprocessingPipeline(scaling="zscore")
+        matrix = pipeline.fit_transform(small_dataset)
+        # One-hot columns are not exactly zero mean, but means must be finite and small.
+        assert np.all(np.isfinite(matrix))
+
+    def test_no_scaling(self, small_dataset):
+        pipeline = PreprocessingPipeline(scaling="none", log_transform=False)
+        matrix = pipeline.fit_transform(small_dataset)
+        source = small_dataset.column("src_bytes").astype(float)
+        column = pipeline.feature_names_out.index("src_bytes")
+        np.testing.assert_allclose(matrix[:, column], source)
+
+    def test_log_transform_compresses_heavy_tails(self, small_dataset):
+        with_log = PreprocessingPipeline(scaling="none", log_transform=True)
+        matrix = with_log.fit_transform(small_dataset)
+        column = with_log.feature_names_out.index("src_bytes")
+        raw_max = small_dataset.column("src_bytes").astype(float).max()
+        assert matrix[:, column].max() <= np.log1p(raw_max) + 1e-9
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PreprocessingPipeline(categorical_encoding="hashing")
+        with pytest.raises(ConfigurationError):
+            PreprocessingPipeline(scaling="robust")
+
+    def test_transform_before_fit_raises(self, small_dataset):
+        with pytest.raises(NotFittedError):
+            PreprocessingPipeline().transform(small_dataset)
+
+    def test_feature_names_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            PreprocessingPipeline().feature_names_out
+
+    def test_transform_is_deterministic(self, small_dataset):
+        pipeline = PreprocessingPipeline().fit(small_dataset)
+        np.testing.assert_array_equal(
+            pipeline.transform(small_dataset), pipeline.transform(small_dataset)
+        )

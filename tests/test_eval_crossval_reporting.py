@@ -1,0 +1,151 @@
+"""Tests for repro.eval.crossval and repro.eval.reporting."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import KMeansDetector
+from repro.baselines.pca_subspace import PcaSubspaceDetector
+from repro.eval.crossval import CrossValidationResult, cross_validate_detector, k_fold_indices
+from repro.eval.experiments import evaluate_detector
+from repro.eval.reporting import (
+    load_results_json,
+    render_markdown_report,
+    result_to_dict,
+    save_markdown_report,
+    save_results_json,
+)
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+class TestKFoldIndices:
+    def test_partition_covers_everything_once(self):
+        folds = k_fold_indices(103, 5, random_state=0)
+        assert len(folds) == 5
+        combined = np.concatenate(folds)
+        assert sorted(combined.tolist()) == list(range(103))
+
+    def test_fold_sizes_balanced(self):
+        folds = k_fold_indices(100, 4, random_state=0)
+        assert all(len(fold) == 25 for fold in folds)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            k_fold_indices(10, 1)
+        with pytest.raises(ConfigurationError):
+            k_fold_indices(3, 5)
+
+
+class TestCrossValidation:
+    @pytest.fixture(scope="class")
+    def cv_result(self, small_dataset) -> CrossValidationResult:
+        return cross_validate_detector(
+            lambda: KMeansDetector(n_clusters=20, random_state=0),
+            small_dataset,
+            n_folds=3,
+            random_state=0,
+        )
+
+    def test_one_result_per_fold(self, cv_result):
+        assert len(cv_result.folds) == 3
+        assert {fold.fold for fold in cv_result.folds} == {0, 1, 2}
+
+    def test_summary_fields(self, cv_result):
+        summary = cv_result.summary()
+        assert summary["n_folds"] == 3
+        assert 0.0 <= summary["detection_rate_mean"] <= 1.0
+        assert summary["detection_rate_std"] >= 0.0
+        assert "roc_auc_mean" in summary
+
+    def test_reasonable_detection_quality(self, cv_result):
+        mean_dr, _ = cv_result.mean_std("detection_rate")
+        mean_fpr, _ = cv_result.mean_std("false_positive_rate")
+        assert mean_dr > 0.7
+        assert mean_fpr < 0.2
+
+    def test_per_category_means(self, cv_result):
+        means = cv_result.per_category_means()
+        assert "normal" in means and "dos" in means
+        assert all(0.0 <= value <= 1.0 for value in means.values())
+
+    def test_unsupervised_mode(self, small_dataset):
+        result = cross_validate_detector(
+            lambda: PcaSubspaceDetector(threshold_mode="percentile"),
+            small_dataset,
+            n_folds=3,
+            supervised=False,
+            random_state=1,
+        )
+        assert len(result.folds) == 3
+
+    def test_too_small_dataset_rejected(self, small_dataset):
+        tiny = small_dataset.subset(range(5))
+        with pytest.raises(ConfigurationError):
+            cross_validate_detector(
+                lambda: KMeansDetector(n_clusters=2, random_state=0), tiny, n_folds=5
+            )
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def results(self, train_matrix, train_categories, test_matrix, small_split):
+        _, test = small_split
+        detectors = {
+            "kmeans": KMeansDetector(n_clusters=20, random_state=0),
+            "pca": PcaSubspaceDetector(threshold_mode="percentile"),
+        }
+        output = {}
+        for name, detector in detectors.items():
+            result = evaluate_detector(
+                detector,
+                train_matrix,
+                train_categories,
+                test_matrix,
+                [str(category) for category in test.categories],
+                with_confusion=(name == "kmeans"),
+            )
+            result.name = name
+            output[name] = result
+        return output
+
+    def test_result_to_dict_is_json_compatible(self, results):
+        payload = result_to_dict(results["kmeans"])
+        json.dumps(payload)
+        assert payload["name"] == "kmeans"
+        assert "confusion" in payload
+        assert "detection_rate" in payload["metrics"]
+
+    def test_save_and_load_json(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        save_results_json(results, path, metadata={"experiment": "unit-test"})
+        loaded = load_results_json(path)
+        assert set(loaded["results"]) == {"kmeans", "pca"}
+        assert loaded["metadata"]["experiment"] == "unit-test"
+        assert "generated_at" in loaded
+
+    def test_empty_results_rejected(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            save_results_json({}, tmp_path / "empty.json")
+        with pytest.raises(DataValidationError):
+            render_markdown_report({})
+
+    def test_missing_json_rejected(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            load_results_json(tmp_path / "nope.json")
+
+    def test_markdown_report_contents(self, results):
+        report = render_markdown_report(results, title="Test report", metadata={"seed": 0})
+        assert report.startswith("# Test report")
+        assert "## Overall comparison" in report
+        assert "kmeans" in report and "pca" in report
+        assert "Confusion matrix: kmeans" in report
+        assert "**seed**: 0" in report
+
+    def test_save_markdown_report(self, results, tmp_path):
+        path = tmp_path / "report.md"
+        save_markdown_report(results, path)
+        assert path.exists()
+        assert "Overall comparison" in path.read_text()

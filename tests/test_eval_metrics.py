@@ -1,0 +1,171 @@
+"""Tests for repro.eval.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    BinaryMetrics,
+    auc,
+    binary_metrics,
+    confusion_matrix,
+    detection_rate_at_fpr,
+    per_category_detection_rates,
+    roc_auc,
+    roc_curve,
+)
+from repro.exceptions import DataValidationError
+
+
+class TestBinaryMetrics:
+    def test_perfect_detector(self):
+        metrics = binary_metrics([1, 1, 0, 0], [1, 1, 0, 0])
+        assert metrics.detection_rate == 1.0
+        assert metrics.false_positive_rate == 0.0
+        assert metrics.precision == 1.0
+        assert metrics.f1 == 1.0
+        assert metrics.accuracy == 1.0
+
+    def test_always_alarm_detector(self):
+        metrics = binary_metrics([1, 0, 0, 0], [1, 1, 1, 1])
+        assert metrics.detection_rate == 1.0
+        assert metrics.false_positive_rate == 1.0
+        assert metrics.precision == pytest.approx(0.25)
+
+    def test_never_alarm_detector(self):
+        metrics = binary_metrics([1, 1, 0, 0], [0, 0, 0, 0])
+        assert metrics.detection_rate == 0.0
+        assert metrics.false_positive_rate == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_counts(self):
+        metrics = binary_metrics([1, 1, 0, 0, 1], [1, 0, 1, 0, 1])
+        assert metrics.true_positives == 2
+        assert metrics.false_negatives == 1
+        assert metrics.false_positives == 1
+        assert metrics.true_negatives == 1
+        assert metrics.n_attacks == 3
+        assert metrics.n_normal == 2
+
+    def test_no_attacks_edge_case(self):
+        metrics = binary_metrics([0, 0], [0, 1])
+        assert metrics.detection_rate == 0.0
+        assert metrics.false_positive_rate == 0.5
+
+    def test_boolean_input_accepted(self):
+        metrics = binary_metrics([True, False], [True, False])
+        assert metrics.accuracy == 1.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DataValidationError):
+            binary_metrics([1, 0], [1])
+
+    def test_as_dict_keys(self):
+        keys = set(binary_metrics([1, 0], [1, 0]).as_dict())
+        assert keys == {
+            "detection_rate",
+            "false_positive_rate",
+            "precision",
+            "recall",
+            "f1",
+            "accuracy",
+        }
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_predictions(self):
+        labels = ["normal", "dos", "probe", "normal"]
+        matrix, names = confusion_matrix(labels, labels)
+        assert names[0] == "normal"
+        np.testing.assert_array_equal(matrix, np.diag(np.diag(matrix)))
+        assert matrix.sum() == 4
+
+    def test_off_diagonal_counts(self):
+        matrix, names = confusion_matrix(["normal", "dos"], ["dos", "dos"])
+        normal_row = names.index("normal")
+        dos_col = names.index("dos")
+        assert matrix[normal_row, dos_col] == 1
+
+    def test_explicit_label_order(self):
+        matrix, names = confusion_matrix(
+            ["dos", "normal"], ["dos", "normal"], labels=["normal", "dos", "u2r"]
+        )
+        assert names == ["normal", "dos", "u2r"]
+        assert matrix.shape == (3, 3)
+
+    def test_unknown_label_outside_explicit_set_rejected(self):
+        with pytest.raises(DataValidationError):
+            confusion_matrix(["normal"], ["alien"], labels=["normal"])
+
+
+class TestPerCategoryRates:
+    def test_rates_per_category(self):
+        categories = ["normal", "normal", "dos", "dos", "probe"]
+        predictions = [0, 1, 1, 1, 0]
+        rates = per_category_detection_rates(categories, predictions)
+        assert rates["dos"] == 1.0
+        assert rates["probe"] == 0.0
+        assert rates["normal"] == 0.5  # the FPR shows up under "normal"
+
+    def test_all_categories_present(self):
+        rates = per_category_detection_rates(["dos", "r2l"], [1, 0])
+        assert set(rates) == {"dos", "r2l"}
+
+
+class TestRocCurve:
+    def test_perfect_scores_give_unit_auc(self):
+        y = [0, 0, 1, 1]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert auc(fpr, tpr) == pytest.approx(1.0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_random_scores_give_half_auc(self, rng):
+        y = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_scores_give_zero_auc(self):
+        y = [0, 0, 1, 1]
+        scores = [0.9, 0.8, 0.2, 0.1]
+        assert roc_auc(y, scores) == pytest.approx(0.0)
+
+    def test_monotone_curve(self, rng):
+        y = rng.integers(0, 2, 500)
+        scores = rng.random(500) + y * 0.3
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= -1e-12)
+        assert np.all(np.diff(tpr) >= -1e-12)
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(DataValidationError):
+            roc_curve([], [])
+
+    def test_tied_scores_handled(self):
+        y = [0, 1, 0, 1]
+        scores = [0.5, 0.5, 0.5, 0.5]
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert roc_auc(y, scores) == pytest.approx(0.5)
+
+
+class TestAucHelpers:
+    def test_auc_of_diagonal_is_half(self):
+        x = np.linspace(0, 1, 11)
+        assert auc(x, x) == pytest.approx(0.5)
+
+    def test_auc_with_single_point_is_zero(self):
+        assert auc([0.5], [0.5]) == 0.0
+
+    def test_detection_rate_at_fpr(self):
+        y = [0] * 90 + [1] * 10
+        scores = list(np.linspace(0, 0.5, 90)) + list(np.linspace(0.9, 1.0, 10))
+        assert detection_rate_at_fpr(y, scores, target_fpr=0.01) == pytest.approx(1.0)
+
+    def test_detection_rate_at_fpr_zero_when_impossible(self):
+        y = [0, 1]
+        scores = [1.0, 0.0]
+        assert detection_rate_at_fpr(y, scores, target_fpr=0.0) == 0.0

@@ -1,0 +1,130 @@
+"""Integration tests exercising the whole pipeline through the public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    AttackInjection,
+    GhsomConfig,
+    GhsomDetector,
+    KddSyntheticGenerator,
+    OnlineDetector,
+    PreprocessingPipeline,
+    SomTrainingConfig,
+    StreamingPipeline,
+    TrafficSimulator,
+    binary_metrics,
+    load_detector,
+    save_detector,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return GhsomConfig(
+        tau1=0.35,
+        tau2=0.1,
+        max_depth=2,
+        max_map_size=49,
+        max_growth_rounds=15,
+        min_samples_for_expansion=25,
+        training=SomTrainingConfig(epochs=4),
+        random_state=0,
+    )
+
+
+class TestPublicApi:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing public symbol {name}"
+
+    def test_quickstart_docstring_flow(self, quick_config):
+        generator = KddSyntheticGenerator(random_state=0)
+        train, test = generator.generate_train_test(800, 400)
+        pipeline = PreprocessingPipeline()
+        detector = GhsomDetector(quick_config, random_state=0)
+        detector.fit(pipeline.fit_transform(train), train.categories)
+        alarms = detector.predict(pipeline.transform(test))
+        metrics = binary_metrics(test.is_attack.astype(int), alarms)
+        assert metrics.detection_rate > 0.85
+        assert metrics.false_positive_rate < 0.15
+
+
+class TestSyntheticEndToEnd:
+    def test_detector_persist_and_reuse(self, quick_config, tmp_path):
+        """Train, save, load in a 'different process', and keep identical behaviour."""
+        generator = KddSyntheticGenerator(random_state=13)
+        train, test = generator.generate_train_test(700, 300)
+        pipeline = PreprocessingPipeline()
+        X_train = pipeline.fit_transform(train)
+        X_test = pipeline.transform(test)
+        detector = GhsomDetector(quick_config, random_state=0)
+        detector.fit(X_train, train.categories)
+        path = tmp_path / "detector.json"
+        save_detector(detector, path)
+        reloaded = load_detector(path)
+        np.testing.assert_array_equal(reloaded.predict(X_test), detector.predict(X_test))
+
+    def test_different_test_mix_still_detected(self, quick_config):
+        """Attacks over-represented at test time (KDD-style mismatch) are still caught."""
+        generator = KddSyntheticGenerator(random_state=29)
+        train, test = generator.generate_train_test(
+            900,
+            400,
+            test_mix={"normal": 0.4, "neptune": 0.2, "portsweep": 0.2, "guess_passwd": 0.2},
+        )
+        pipeline = PreprocessingPipeline()
+        detector = GhsomDetector(quick_config, random_state=0)
+        detector.fit(pipeline.fit_transform(train), train.categories)
+        metrics = binary_metrics(
+            test.is_attack.astype(int), detector.predict(pipeline.transform(test))
+        )
+        assert metrics.detection_rate > 0.8
+
+
+class TestNetsimEndToEnd:
+    def test_detection_on_simulated_raw_traffic(self, quick_config):
+        """Full raw-trace path: simulate packets/flows, extract features, detect attacks."""
+        train_sim = TrafficSimulator(duration_seconds=180.0, sessions_per_second=3.0, random_state=1)
+        train_dataset = train_sim.run()
+        test_sim = TrafficSimulator(
+            duration_seconds=180.0,
+            sessions_per_second=3.0,
+            injections=[
+                AttackInjection("neptune", 40.0),
+                AttackInjection("portsweep", 100.0),
+            ],
+            random_state=2,
+        )
+        test_dataset = test_sim.run()
+        pipeline = PreprocessingPipeline()
+        X_train = pipeline.fit_transform(train_dataset)
+        X_test = pipeline.transform(test_dataset)
+        detector = GhsomDetector(quick_config, random_state=0)
+        detector.fit(X_train)  # one-class: the training trace is attack-free
+        predictions = detector.predict(X_test)
+        truth = test_dataset.is_attack.astype(int)
+        metrics = binary_metrics(truth, predictions)
+        assert metrics.detection_rate > 0.7
+        assert metrics.false_positive_rate < 0.3
+
+
+class TestStreamingEndToEnd:
+    def test_online_pipeline_on_mixed_stream(self, quick_config):
+        generator = KddSyntheticGenerator(random_state=41)
+        normal = generator.generate_normal(800)
+        pipeline = PreprocessingPipeline().fit(normal)
+        detector = GhsomDetector(quick_config, random_state=0).fit(pipeline.transform(normal))
+        stream = generator.generate(1500)
+        X = pipeline.transform(stream)
+        y = stream.is_attack.astype(int)
+        streaming = StreamingPipeline(OnlineDetector(detector), window_size=250)
+        reports = streaming.run(X, y)
+        summary = streaming.summary()
+        assert len(reports) == 6
+        assert summary["mean_detection_rate"] > 0.75
+        assert summary["mean_false_positive_rate"] < 0.2

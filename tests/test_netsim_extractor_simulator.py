@@ -1,0 +1,181 @@
+"""Tests for repro.netsim.extractor and repro.netsim.simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.netsim.attacks import PortScanAttack, SynFloodAttack
+from repro.netsim.events import ConnectionEvent
+from repro.netsim.extractor import KddFeatureExtractor
+from repro.netsim.hosts import NetworkModel
+from repro.netsim.simulator import ATTACK_REGISTRY, AttackInjection, TrafficSimulator
+
+
+def _event(timestamp, dst_ip="10.0.1.1", service="http", flag="SF", src_ip="10.0.0.1", src_port=40000):
+    return ConnectionEvent(
+        timestamp=timestamp,
+        duration=0.1,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=80,
+        protocol="tcp",
+        service=service,
+        flag=flag,
+        src_bytes=100,
+        dst_bytes=200,
+    )
+
+
+class TestKddFeatureExtractor:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SimulationError):
+            KddFeatureExtractor().extract([])
+
+    def test_dataset_shape_and_labels(self):
+        events = [_event(float(index)) for index in range(10)]
+        dataset = KddFeatureExtractor().extract(events)
+        assert len(dataset) == 10
+        assert dataset.schema.n_features == 41
+        assert set(map(str, dataset.labels)) == {"normal"}
+
+    def test_count_feature_reflects_time_window(self):
+        """Three connections to the same host within 2 s: the last one sees count=2."""
+        events = [_event(0.0), _event(0.5), _event(1.0)]
+        dataset = KddFeatureExtractor(time_window_seconds=2.0).extract(events)
+        counts = dataset.column("count").astype(float)
+        np.testing.assert_allclose(counts, [0.0, 1.0, 2.0])
+
+    def test_count_resets_outside_window(self):
+        events = [_event(0.0), _event(10.0)]
+        dataset = KddFeatureExtractor(time_window_seconds=2.0).extract(events)
+        assert dataset.column("count").astype(float)[1] == 0.0
+
+    def test_serror_rate_from_syn_errors(self):
+        events = [_event(0.0, flag="S0"), _event(0.5, flag="S0"), _event(1.0)]
+        dataset = KddFeatureExtractor().extract(events)
+        serror = dataset.column("serror_rate").astype(float)
+        assert serror[2] == pytest.approx(1.0)
+
+    def test_diff_srv_rate_for_scanning_behaviour(self):
+        events = [
+            _event(0.0, service="http"),
+            _event(0.2, service="smtp"),
+            _event(0.4, service="ftp"),
+            _event(0.6, service="telnet"),
+        ]
+        dataset = KddFeatureExtractor().extract(events)
+        diff_srv = dataset.column("diff_srv_rate").astype(float)
+        assert diff_srv[3] == pytest.approx(1.0)
+
+    def test_dst_host_count_accumulates(self):
+        events = [_event(float(index) * 10.0) for index in range(5)]
+        dataset = KddFeatureExtractor().extract(events)
+        dst_host_count = dataset.column("dst_host_count").astype(float)
+        np.testing.assert_allclose(dst_host_count, [0.0, 1.0, 2.0, 3.0, 4.0])
+
+    def test_dst_host_window_is_bounded(self):
+        events = [_event(float(index)) for index in range(30)]
+        dataset = KddFeatureExtractor(host_window_size=10).extract(events)
+        assert dataset.column("dst_host_count").astype(float).max() <= 10.0
+
+    def test_same_src_port_rate(self):
+        events = [_event(0.0, src_port=1234), _event(10.0, src_port=1234), _event(20.0, src_port=9999)]
+        dataset = KddFeatureExtractor().extract(events)
+        rate = dataset.column("dst_host_same_src_port_rate").astype(float)
+        assert rate[1] == pytest.approx(1.0)
+        assert rate[2] == pytest.approx(0.0)
+
+    def test_content_features_copied(self):
+        event = _event(0.0)
+        event.content["num_failed_logins"] = 3.0
+        dataset = KddFeatureExtractor().extract([event])
+        assert dataset.column("num_failed_logins").astype(float)[0] == 3.0
+
+    def test_events_are_sorted_by_extractor(self):
+        events = [_event(5.0), _event(1.0), _event(3.0)]
+        dataset = KddFeatureExtractor().extract(events)
+        # After sorting, the last record (t=5) sees the two earlier ones in its host window.
+        assert dataset.column("dst_host_count").astype(float).max() == 2.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            KddFeatureExtractor(time_window_seconds=0.0)
+        with pytest.raises(SimulationError):
+            KddFeatureExtractor(host_window_size=0)
+
+    def test_syn_flood_produces_high_counts_and_serror(self):
+        network = NetworkModel(random_state=0)
+        events = SynFloodAttack(network, n_connections=300, duration_seconds=5.0, random_state=0).generate()
+        dataset = KddFeatureExtractor().extract(events)
+        assert dataset.column("count").astype(float).max() > 50
+        assert dataset.column("serror_rate").astype(float)[len(dataset) // 2 :].mean() > 0.9
+
+    def test_port_scan_produces_reject_rates(self):
+        network = NetworkModel(random_state=0)
+        events = PortScanAttack(network, n_ports=100, random_state=0).generate()
+        dataset = KddFeatureExtractor().extract(events)
+        assert dataset.column("dst_host_rerror_rate").astype(float)[-1] > 0.5
+
+
+class TestTrafficSimulator:
+    def test_run_produces_labelled_dataset(self):
+        simulator = TrafficSimulator(
+            duration_seconds=60.0,
+            sessions_per_second=2.0,
+            injections=[AttackInjection("portsweep", 20.0)],
+            random_state=0,
+        )
+        dataset = simulator.run()
+        counts = dataset.class_counts()
+        assert counts.get("probe", 0) > 0
+        assert counts.get("normal", 0) > 0
+
+    def test_registry_names_resolve(self):
+        network = NetworkModel(random_state=0)
+        for name in ATTACK_REGISTRY:
+            generator = AttackInjection(name, 0.0).resolve(network, 0)
+            assert generator.label == name
+
+    def test_unknown_attack_name_rejected(self):
+        network = NetworkModel(random_state=0)
+        with pytest.raises(SimulationError):
+            AttackInjection("slowloris", 0.0).resolve(network, 0)
+
+    def test_injection_outside_trace_rejected(self):
+        simulator = TrafficSimulator(duration_seconds=10.0, random_state=0)
+        with pytest.raises(SimulationError):
+            simulator.add_injection("neptune", 20.0)
+
+    def test_add_injection_and_instance_attacks(self):
+        network = NetworkModel(random_state=0)
+        simulator = TrafficSimulator(duration_seconds=30.0, network=network, random_state=0)
+        simulator.add_injection(SynFloodAttack(network, n_connections=50, random_state=1), 5.0)
+        dataset = simulator.run()
+        assert dataset.class_counts().get("dos", 0) >= 50
+
+    def test_run_with_events_returns_both(self):
+        simulator = TrafficSimulator(duration_seconds=20.0, random_state=0)
+        dataset, events = simulator.run_with_events()
+        assert len(dataset) == len(events)
+
+    def test_reproducible_with_seed(self):
+        first = TrafficSimulator(duration_seconds=30.0, random_state=4).run()
+        second = TrafficSimulator(duration_seconds=30.0, random_state=4).run()
+        assert list(map(str, first.labels)) == list(map(str, second.labels))
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            TrafficSimulator(duration_seconds=0.0)
+
+    def test_events_sorted_in_time(self):
+        simulator = TrafficSimulator(
+            duration_seconds=40.0,
+            injections=[AttackInjection("smurf", 10.0)],
+            random_state=0,
+        )
+        events = simulator.simulate_events()
+        times = [event.timestamp for event in events]
+        assert times == sorted(times)

@@ -1,0 +1,143 @@
+"""Tests for repro.netsim.traffic and repro.netsim.attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.netsim.attacks import (
+    BruteForceAttack,
+    BufferOverflowAttack,
+    NetworkScanAttack,
+    PortScanAttack,
+    SmurfAttack,
+    SynFloodAttack,
+)
+from repro.netsim.hosts import NetworkModel
+from repro.netsim.traffic import NormalTrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def network():
+    return NetworkModel(random_state=3)
+
+
+class TestNormalTrafficGenerator:
+    def test_events_sorted_and_within_duration(self, network):
+        generator = NormalTrafficGenerator(network, sessions_per_second=5.0, random_state=0)
+        events = generator.generate(30.0)
+        assert len(events) > 0
+        times = [event.timestamp for event in events]
+        assert times == sorted(times)
+        assert min(times) >= 0.0
+
+    def test_all_events_labelled_normal(self, network):
+        events = NormalTrafficGenerator(network, random_state=0).generate(20.0)
+        assert all(event.label == "normal" for event in events)
+
+    def test_rate_scales_volume(self, network):
+        slow = NormalTrafficGenerator(network, sessions_per_second=1.0, random_state=0).generate(60.0)
+        fast = NormalTrafficGenerator(network, sessions_per_second=10.0, random_state=0).generate(60.0)
+        assert len(fast) > 2 * len(slow)
+
+    def test_service_mix_is_diverse(self, network):
+        events = NormalTrafficGenerator(network, sessions_per_second=5.0, random_state=1).generate(120.0)
+        services = {event.service for event in events}
+        assert "http" in services
+        assert len(services) >= 4
+
+    def test_mostly_successful_connections(self, network):
+        events = NormalTrafficGenerator(network, sessions_per_second=5.0, random_state=2).generate(60.0)
+        success = sum(1 for event in events if event.flag == "SF")
+        assert success / len(events) > 0.9
+
+    def test_invalid_parameters_rejected(self, network):
+        with pytest.raises(SimulationError):
+            NormalTrafficGenerator(network, sessions_per_second=0.0)
+        with pytest.raises(SimulationError):
+            NormalTrafficGenerator(network, random_state=0).generate(0.0)
+
+    def test_start_time_offset(self, network):
+        events = NormalTrafficGenerator(network, random_state=0).generate(10.0, start_time=100.0)
+        assert all(100.0 <= event.timestamp < 110.0 for event in events)
+
+
+class TestSynFlood:
+    def test_event_signature(self, network):
+        events = SynFloodAttack(network, n_connections=100, random_state=0).generate(10.0)
+        assert len(events) == 100
+        assert all(event.label == "neptune" for event in events)
+        assert all(event.flag == "S0" for event in events)
+        assert all(event.src_bytes == 0 and event.dst_bytes == 0 for event in events)
+
+    def test_single_victim(self, network):
+        events = SynFloodAttack(network, n_connections=50, random_state=0).generate()
+        assert len({event.dst_ip for event in events}) == 1
+
+    def test_invalid_parameters_rejected(self, network):
+        with pytest.raises(SimulationError):
+            SynFloodAttack(network, n_connections=0)
+
+
+class TestSmurf:
+    def test_event_signature(self, network):
+        events = SmurfAttack(network, n_connections=80, random_state=0).generate(5.0)
+        assert all(event.protocol == "icmp" and event.service == "ecr_i" for event in events)
+        assert all(event.label == "smurf" for event in events)
+        assert np.mean([event.src_bytes for event in events]) == pytest.approx(1032.0, rel=0.05)
+
+    def test_many_spoofed_sources(self, network):
+        events = SmurfAttack(network, n_connections=200, random_state=0).generate()
+        assert len({event.src_ip for event in events}) > 10
+
+
+class TestPortScan:
+    def test_many_ports_one_host(self, network):
+        events = PortScanAttack(network, n_ports=60, random_state=0).generate(0.0)
+        assert len(events) == 60
+        assert len({event.dst_ip for event in events}) == 1
+        assert len({event.dst_port for event in events}) == 60
+        assert all(event.label == "portsweep" for event in events)
+
+    def test_mostly_rejected(self, network):
+        events = PortScanAttack(network, n_ports=100, random_state=0).generate()
+        rejected = sum(1 for event in events if event.is_rejected)
+        assert rejected / len(events) > 0.7
+
+
+class TestNetworkScan:
+    def test_many_hosts_probed(self, network):
+        events = NetworkScanAttack(network, random_state=0).generate(0.0)
+        assert len({event.dst_ip for event in events}) == len(network.all_internal_addresses())
+        assert all(event.label == "ipsweep" for event in events)
+
+    def test_host_limit_respected(self, network):
+        events = NetworkScanAttack(network, n_hosts=5, random_state=0).generate()
+        assert len({event.dst_ip for event in events}) == 5
+
+
+class TestBruteForce:
+    def test_failed_logins_recorded(self, network):
+        events = BruteForceAttack(network, n_attempts=20, random_state=0).generate(0.0)
+        assert len(events) == 20
+        assert all(event.label == "guess_passwd" for event in events)
+        failed = [event.content_value("num_failed_logins") for event in events[:-1]]
+        assert all(value >= 1 for value in failed)
+
+    def test_login_service_targeted(self, network):
+        events = BruteForceAttack(network, service="pop_3", random_state=0).generate()
+        assert all(event.service == "pop_3" for event in events)
+
+
+class TestBufferOverflow:
+    def test_root_shell_in_final_connection(self, network):
+        events = BufferOverflowAttack(network, n_connections=3, random_state=0).generate(0.0)
+        assert len(events) == 3
+        assert events[-1].content_value("root_shell") == 1.0
+        assert all(event.label == "buffer_overflow" for event in events)
+
+    def test_interactive_session_characteristics(self, network):
+        events = BufferOverflowAttack(network, random_state=0).generate()
+        assert all(event.service == "telnet" for event in events)
+        assert all(event.duration >= 30.0 for event in events)

@@ -1,0 +1,161 @@
+"""Tests for repro.streaming.alerts (incident aggregation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.streaming.alerts import AlertAggregator, Incident
+
+
+class TestAlertAggregatorBasics:
+    def test_no_alarms_means_no_incidents(self):
+        aggregator = AlertAggregator()
+        assert aggregator.aggregate([1.0, 2.0, 3.0], [0, 0, 0]) == []
+
+    def test_single_burst_becomes_one_incident(self):
+        times = [10.0, 11.0, 12.0, 13.0, 500.0]
+        alarms = [1, 1, 1, 1, 0]
+        incidents = AlertAggregator(gap_seconds=5.0, min_records=2).aggregate(times, alarms)
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident.start_time == 10.0
+        assert incident.end_time == 13.0
+        assert incident.n_records == 4
+        assert incident.duration == pytest.approx(3.0)
+
+    def test_gap_splits_incidents(self):
+        times = [0.0, 1.0, 2.0, 100.0, 101.0, 102.0]
+        alarms = [1] * 6
+        incidents = AlertAggregator(gap_seconds=10.0, min_records=2).aggregate(times, alarms)
+        assert len(incidents) == 2
+        assert incidents[0].end_time < incidents[1].start_time
+
+    def test_min_records_filters_noise(self):
+        times = [0.0, 50.0, 100.0, 101.0, 102.0, 103.0]
+        alarms = [1, 1, 1, 1, 1, 1]
+        incidents = AlertAggregator(gap_seconds=5.0, min_records=3).aggregate(times, alarms)
+        # The two isolated alarms at 0 and 50 are dropped; the burst survives.
+        assert len(incidents) == 1
+        assert incidents[0].n_records == 4
+
+    def test_unsorted_input_handled(self):
+        times = [12.0, 10.0, 11.0]
+        alarms = [1, 1, 1]
+        incidents = AlertAggregator(gap_seconds=5.0, min_records=2).aggregate(times, alarms)
+        assert len(incidents) == 1
+        assert incidents[0].start_time == 10.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DataValidationError):
+            AlertAggregator().aggregate([1.0, 2.0], [1])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AlertAggregator(gap_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            AlertAggregator(min_records=0)
+
+
+class TestCategoriesAndScores:
+    def test_dominant_category_and_counts(self):
+        times = [0.0, 1.0, 2.0, 3.0]
+        alarms = [1, 1, 1, 1]
+        categories = ["dos", "dos", "dos", "dos"]
+        incidents = AlertAggregator(gap_seconds=5.0, min_records=2).aggregate(
+            times, alarms, categories=categories
+        )
+        assert incidents[0].dominant_category == "dos"
+        assert incidents[0].category_counts == {"dos": 4}
+
+    def test_category_change_splits_incident(self):
+        times = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        alarms = [1] * 6
+        categories = ["dos", "dos", "dos", "probe", "probe", "probe"]
+        incidents = AlertAggregator(gap_seconds=10.0, min_records=2).aggregate(
+            times, alarms, categories=categories
+        )
+        assert len(incidents) == 2
+        assert {incident.dominant_category for incident in incidents} == {"dos", "probe"}
+
+    def test_category_split_can_be_disabled(self):
+        times = [0.0, 1.0, 2.0, 3.0]
+        alarms = [1] * 4
+        categories = ["dos", "probe", "dos", "probe"]
+        incidents = AlertAggregator(
+            gap_seconds=10.0, min_records=2, split_by_category=False
+        ).aggregate(times, alarms, categories=categories)
+        assert len(incidents) == 1
+        assert incidents[0].category_counts == {"dos": 2, "probe": 2}
+
+    def test_peak_score_recorded(self):
+        times = [0.0, 1.0, 2.0]
+        alarms = [1, 1, 1]
+        scores = [1.5, 4.0, 2.0]
+        incidents = AlertAggregator(gap_seconds=5.0, min_records=2).aggregate(
+            times, alarms, scores=scores
+        )
+        assert incidents[0].peak_score == pytest.approx(4.0)
+
+    def test_as_row_matches_headers(self):
+        incident = Incident(0, 1.0, 2.0, 5, "dos", {"dos": 5}, 3.0)
+        assert len(incident.as_row()) == len(Incident.headers())
+
+
+class TestSummary:
+    def test_empty_summary(self):
+        assert AlertAggregator().summarize([]) == {"n_incidents": 0, "n_alarmed_records": 0}
+
+    def test_summary_fields(self):
+        incidents = [
+            Incident(0, 0.0, 10.0, 20, "dos", {"dos": 20}, 5.0),
+            Incident(1, 100.0, 102.0, 4, "probe", {"probe": 4}, 2.0),
+        ]
+        summary = AlertAggregator().summarize(incidents)
+        assert summary["n_incidents"] == 2
+        assert summary["n_alarmed_records"] == 24
+        assert summary["categories"] == {"dos": 1, "probe": 1}
+        assert summary["longest_duration"] == pytest.approx(10.0)
+        assert summary["largest_incident"] == 20
+
+    def test_end_to_end_with_detector(self, rng):
+        """Incident aggregation on a realistic alarm stream from the traffic simulator."""
+        from repro.core.config import GhsomConfig, SomTrainingConfig
+        from repro.core.detector import GhsomDetector
+        from repro.data.preprocess import PreprocessingPipeline
+        from repro.netsim import AttackInjection, NetworkModel, TrafficSimulator
+
+        network = NetworkModel(random_state=5)
+        calibration = TrafficSimulator(
+            duration_seconds=300.0, sessions_per_second=3.0, network=network, random_state=5
+        ).run()
+        pipeline = PreprocessingPipeline().fit(calibration)
+        detector = GhsomDetector(
+            GhsomConfig(tau1=0.3, tau2=0.1, max_depth=2, max_map_size=64,
+                        training=SomTrainingConfig(epochs=5), random_state=0),
+            random_state=0,
+        ).fit(pipeline.transform(calibration))
+        simulator = TrafficSimulator(
+            duration_seconds=150.0,
+            sessions_per_second=3.0,
+            network=network,
+            injections=[AttackInjection("neptune", 60.0)],
+            random_state=6,
+        )
+        dataset, events = simulator.run_with_events()
+        alarms = detector.predict(pipeline.transform(dataset))
+        timestamps = np.array([event.timestamp for event in events])
+        truth = dataset.is_attack.astype(int)
+        # The SYN flood itself must be caught almost completely ...
+        assert alarms[truth == 1].mean() > 0.9
+        incidents = AlertAggregator(gap_seconds=10.0, min_records=5).aggregate(timestamps, alarms)
+        assert incidents, "the injected SYN flood must produce at least one incident"
+        # ... and some incident must cover the injection window (the flood runs 60-80s).
+        covering = [
+            incident
+            for incident in incidents
+            if incident.start_time <= 80.0 and incident.end_time >= 62.0
+        ]
+        assert covering
+        assert max(incident.n_records for incident in covering) > 50

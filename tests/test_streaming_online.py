@@ -1,0 +1,192 @@
+"""Tests for repro.streaming.online_detector and repro.streaming.pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import KMeansDetector
+from repro.core.config import GhsomConfig, SomTrainingConfig
+from repro.core.detector import GhsomDetector
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.streaming.online_detector import OnlineDetector
+from repro.streaming.pipeline import StreamingPipeline, make_drifting_stream
+
+
+@pytest.fixture(scope="module")
+def stream_setup():
+    """A fitted detector plus a preprocessed traffic stream with known labels."""
+    generator = KddSyntheticGenerator(random_state=31)
+    normal = generator.generate_normal(800)
+    pipeline = PreprocessingPipeline().fit(normal)
+    config = GhsomConfig(
+        tau1=0.35,
+        tau2=0.1,
+        max_depth=2,
+        max_map_size=49,
+        training=SomTrainingConfig(epochs=4),
+        random_state=0,
+    )
+    detector = GhsomDetector(config, random_state=0).fit(pipeline.transform(normal))
+    stream = generator.generate(1200)
+    X = pipeline.transform(stream)
+    y = stream.is_attack.astype(int)
+    return detector, X, y
+
+
+class TestOnlineDetectorBasics:
+    def test_invalid_parameters_rejected(self, stream_setup):
+        detector, _, _ = stream_setup
+        with pytest.raises(ConfigurationError):
+            OnlineDetector(detector, adaptation="quantum")
+        with pytest.raises(ConfigurationError):
+            OnlineDetector(detector, buffer_size=1)
+        with pytest.raises(ConfigurationError):
+            OnlineDetector(detector, warmup_size=1)
+
+    def test_process_returns_decisions(self, stream_setup):
+        detector, X, _ = stream_setup
+        online = OnlineDetector(detector)
+        result = online.process(X[:100])
+        assert result.predictions.shape == (100,)
+        assert result.scores.shape == (100,)
+        assert set(np.unique(result.predictions)).issubset({0, 1})
+
+    def test_attacks_detected_online(self, stream_setup):
+        detector, X, y = stream_setup
+        online = OnlineDetector(detector, adaptation="threshold")
+        predictions = np.concatenate(
+            [online.process(X[start : start + 200]).predictions for start in range(0, 1200, 200)]
+        )
+        attack_recall = predictions[y == 1].mean()
+        assert attack_recall > 0.8
+
+    def test_score_samples_does_not_update_state(self, stream_setup):
+        detector, X, _ = stream_setup
+        online = OnlineDetector(detector)
+        before = online.score_ewma.n_updates
+        online.score_samples(X[:50])
+        assert online.score_ewma.n_updates == before
+
+    def test_n_processed_counter(self, stream_setup):
+        detector, X, _ = stream_setup
+        online = OnlineDetector(detector)
+        online.process(X[:100])
+        online.process(X[100:150])
+        assert online.n_processed == 150
+
+
+class TestWarmup:
+    def test_unfitted_detector_warms_up_then_scores(self, stream_setup):
+        _, X, _ = stream_setup
+        fresh = KMeansDetector(n_clusters=20, random_state=0)
+        online = OnlineDetector(fresh, warmup_size=200)
+        first = online.process(X[:150])
+        assert first.extra.get("warming_up")
+        assert not online.is_ready
+        second = online.process(X[150:400])
+        assert online.is_ready
+        third = online.process(X[400:500])
+        assert not third.extra.get("warming_up")
+
+    def test_score_samples_during_warmup_raises(self, stream_setup):
+        _, X, _ = stream_setup
+        online = OnlineDetector(KMeansDetector(n_clusters=10, random_state=0), warmup_size=500)
+        online.process(X[:100])
+        with pytest.raises(NotFittedError):
+            online.score_samples(X[:10])
+
+
+class TestAdaptation:
+    def test_static_mode_keeps_scale_at_one(self, stream_setup):
+        detector, X, _ = stream_setup
+        online = OnlineDetector(detector, adaptation="none")
+        result = online.process(X[:300])
+        assert result.effective_scale == 1.0
+
+    def test_threshold_adaptation_raises_scale_under_benign_drift(self, stream_setup):
+        detector, _, _ = stream_setup
+        generator = KddSyntheticGenerator(random_state=77)
+        pipeline = PreprocessingPipeline().fit(generator.generate_normal(400))
+        drifted = generator.generate_normal(800)
+        # Benign drift: scale up the byte counts of normal traffic.
+        raw = drifted.raw.copy()
+        for feature in ("src_bytes", "dst_bytes"):
+            column = drifted.schema.index_of(feature)
+            raw[:, column] = raw[:, column].astype(float) * 4.0
+        drifted_dataset = type(drifted)(raw, drifted.labels, schema=drifted.schema)
+        X_drifted = pipeline.transform(drifted_dataset)
+        online = OnlineDetector(detector, adaptation="threshold", ewma_alpha=0.05)
+        scales = [online.process(X_drifted[start : start + 200]).effective_scale for start in range(0, 800, 200)]
+        assert scales[-1] >= scales[0]
+
+    def test_refit_mode_counts_refits(self, stream_setup):
+        detector, X, _ = stream_setup
+        online = OnlineDetector(detector, adaptation="refit", buffer_size=500)
+        for start in range(0, 1200, 300):
+            online.process(X[start : start + 300])
+        assert online.n_refits >= 0  # refitting only happens when drift fires
+
+
+class TestStreamingPipeline:
+    def test_reports_cover_stream(self, stream_setup):
+        detector, X, y = stream_setup
+        pipeline = StreamingPipeline(OnlineDetector(detector), window_size=300)
+        reports = pipeline.run(X, y)
+        assert len(reports) == 4
+        assert sum(report.n_records for report in reports) == X.shape[0]
+
+    def test_summary_aggregates(self, stream_setup):
+        detector, X, y = stream_setup
+        pipeline = StreamingPipeline(OnlineDetector(detector), window_size=400)
+        pipeline.run(X, y)
+        summary = pipeline.summary()
+        assert summary["n_windows"] == 3
+        assert 0.0 <= summary["mean_detection_rate"] <= 1.0
+        assert 0.0 <= summary["mean_false_positive_rate"] <= 1.0
+
+    def test_empty_summary(self, stream_setup):
+        detector, _, _ = stream_setup
+        pipeline = StreamingPipeline(OnlineDetector(detector))
+        assert pipeline.summary() == {"n_windows": 0}
+
+    def test_invalid_window_size_rejected(self, stream_setup):
+        detector, _, _ = stream_setup
+        with pytest.raises(ConfigurationError):
+            StreamingPipeline(OnlineDetector(detector), window_size=5)
+
+
+class TestMakeDriftingStream:
+    def test_stream_shape_and_drift_point(self):
+        X, y, drift_index = make_drifting_stream(
+            lambda seed: KddSyntheticGenerator(random_state=seed),
+            n_before=400,
+            n_after=400,
+            attack_fraction=0.1,
+            random_state=3,
+        )
+        assert X.shape[0] == 800
+        assert y.shape[0] == 800
+        assert drift_index == 400
+        assert 0.02 < y.mean() < 0.25
+
+    def test_drift_changes_normal_traffic_statistics(self):
+        X, y, drift_index = make_drifting_stream(
+            lambda seed: KddSyntheticGenerator(random_state=seed),
+            n_before=400,
+            n_after=400,
+            drift_scale=3.0,
+            random_state=3,
+        )
+        normal_before = X[:drift_index][y[:drift_index] == 0]
+        normal_after = X[drift_index:][y[drift_index:] == 0]
+        # The drifted phase must look different on average for normal traffic.
+        assert np.linalg.norm(normal_after.mean(axis=0) - normal_before.mean(axis=0)) > 0.05
+
+    def test_too_small_phases_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_drifting_stream(
+                lambda seed: KddSyntheticGenerator(random_state=seed), n_before=10, n_after=10
+            )

@@ -1,0 +1,57 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        first = ensure_rng(42).random(5)
+        second = ensure_rng(42).random(5)
+        np.testing.assert_allclose(first, second)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed_accepted(self):
+        seed = np.int64(7)
+        first = ensure_rng(seed).random(3)
+        second = ensure_rng(7).random(3)
+        np.testing.assert_allclose(first, second)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count_respected(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count_allowed(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(123, 2)
+        assert not np.allclose(children[0].random(10), children[1].random(10))
+
+    def test_spawning_is_reproducible(self):
+        first = [child.random(4) for child in spawn_rngs(9, 3)]
+        second = [child.random(4) for child in spawn_rngs(9, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_allclose(a, b)

@@ -1,0 +1,57 @@
+"""Tests for repro.utils.timer."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timer import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("step"):
+            time.sleep(0.01)
+        with watch.measure("step"):
+            time.sleep(0.01)
+        assert watch.total("step") >= 0.02
+        assert watch.counts["step"] == 2
+
+    def test_unknown_label_is_zero(self):
+        watch = Stopwatch()
+        assert watch.total("never") == 0.0
+        assert watch.mean("never") == 0.0
+
+    def test_mean_divides_by_count(self):
+        watch = Stopwatch()
+        watch.durations["x"] = 4.0
+        watch.counts["x"] = 2
+        assert watch.mean("x") == 2.0
+
+    def test_summary_is_a_copy(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            pass
+        summary = watch.summary()
+        summary["a"] = -1.0
+        assert watch.total("a") >= 0.0
+
+    def test_exception_inside_measure_still_records(self):
+        watch = Stopwatch()
+        try:
+            with watch.measure("fail"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert watch.counts["fail"] == 1
+
+
+class TestTimed:
+    def test_elapsed_filled_in(self):
+        with timed() as elapsed:
+            time.sleep(0.01)
+        assert elapsed[0] >= 0.01
+
+    def test_elapsed_is_zero_before_exit(self):
+        with timed() as elapsed:
+            assert elapsed[0] == 0.0
