@@ -1,5 +1,6 @@
 """The paper's core contribution: the GHSOM model and detector."""
 
+from repro.core.compiled import CompiledGhsom, compile_ghsom
 from repro.core.config import GhsomConfig, SomTrainingConfig
 from repro.core.detector import BaseAnomalyDetector, GhsomDetector
 from repro.core.ensemble import EnsembleDetector
@@ -32,6 +33,8 @@ from repro.core.som import Som
 from repro.core.thresholds import GlobalThreshold, PerUnitThreshold, make_threshold_strategy
 
 __all__ = [
+    "CompiledGhsom",
+    "compile_ghsom",
     "GhsomConfig",
     "SomTrainingConfig",
     "BaseAnomalyDetector",

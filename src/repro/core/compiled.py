@@ -1,0 +1,307 @@
+"""Compiled flat-array inference for fitted GHSOM trees.
+
+A fitted :class:`~repro.core.ghsom.Ghsom` is a tree of SOM layers; the
+recursive descent in :meth:`Ghsom.assign` is correct but pays a per-sample
+Python tax (one ``LeafAssignment`` dataclass per record, per-object attribute
+reads in every consumer).  For batch scoring — the hot path of the anomaly
+detector — that tax dominates the actual distance arithmetic.
+
+:class:`CompiledGhsom` flattens the hierarchy once, at compile time, into a
+handful of contiguous numpy arrays:
+
+* ``codebook`` — every layer's weight matrix stacked into one ``(U, d)``
+  array, with ``node_offsets`` delimiting each layer's slice;
+* ``child_of_unit`` — for every global unit row, the node index of the child
+  layer expanded from it (or ``-1`` when the unit is a leaf);
+* ``leaf_of_unit`` — for every global unit row, its row in the *leaf table*
+  (or ``-1`` for internal units);
+* the leaf table itself — parallel arrays mapping leaf row to ``(node_id,
+  unit)`` leaf key, depth, and owning node.
+
+Batch scoring then becomes a per-level vectorized distance + argmin over the
+*frontier* of samples still descending (a single flat argmin when the tree is
+one layer deep), with zero per-sample Python objects: the result is a pair of
+ndarrays ``(leaf_index, distance)``.  Leaf indices are stable integers, so any
+per-leaf quantity (threshold, label, purity) can be turned into an ``(L,)``
+lookup array once and applied to a batch with a single fancy-indexing
+operation — this is what :class:`~repro.core.detector.GhsomDetector` builds
+its vectorized scoring on.
+
+The compiled path reproduces the legacy semantics *exactly*, including the
+subtlety that best-matching-unit search always uses squared Euclidean
+distance while the reported quantization distance is the minimum under the
+configured metric (they can disagree for Manhattan / Chebyshev metrics).
+Equivalence is enforced bit-for-bit by the property tests in
+``tests/test_property_compiled.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distances import get_metric
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.utils.validation import check_array_2d
+
+LeafKey = Tuple[str, int]
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledGhsom:
+    """Flat-array snapshot of a fitted GHSOM, optimised for batch inference.
+
+    Instances are immutable snapshots produced by :func:`compile_ghsom` (or
+    :meth:`repro.core.ghsom.Ghsom.compile`, which caches one per fit) and
+    compare by identity (``eq=False``: the ndarray fields make element-wise
+    dataclass equality both ambiguous and unhashable).
+
+    Attributes
+    ----------
+    n_features:
+        Input dimensionality.
+    metric:
+        Name of the quantization-distance metric (BMU search always uses
+        squared Euclidean, matching the layer-level SOMs).
+    node_ids:
+        Path-like id of every layer, indexed by node index (root is 0).
+    node_depths:
+        Depth of every layer (root is 1).
+    node_offsets:
+        ``(n_nodes + 1,)`` prefix sums delimiting each layer's slice of
+        ``codebook``; layer ``i`` owns rows ``node_offsets[i]:node_offsets[i+1]``.
+    codebook:
+        ``(U, d)`` stacked weight matrix of every unit of every layer.
+    child_of_unit:
+        ``(U,)`` node index of the child layer expanded from each global unit
+        row, ``-1`` when the unit is a leaf.
+    leaf_of_unit:
+        ``(U,)`` leaf-table row of each global unit, ``-1`` for internal units.
+    leaf_node, leaf_unit, leaf_depth:
+        ``(L,)`` parallel arrays mapping leaf row to owning node index, local
+        unit index on that layer, and depth.
+    leaf_keys:
+        ``(node_id, unit)`` leaf identity per leaf row — the same hashable
+        keys the legacy path exposes via ``LeafAssignment.leaf_key``.
+    """
+
+    n_features: int
+    metric: str
+    node_ids: Tuple[str, ...]
+    node_depths: np.ndarray
+    node_offsets: np.ndarray
+    codebook: np.ndarray
+    child_of_unit: np.ndarray
+    leaf_of_unit: np.ndarray
+    leaf_node: np.ndarray
+    leaf_unit: np.ndarray
+    leaf_depth: np.ndarray
+    leaf_keys: Tuple[LeafKey, ...]
+    #: Precomputed ``|w|^2`` per global unit row, reused by every batch.
+    unit_norms: np.ndarray
+    _leaf_index_of: Dict[LeafKey, int] = field(repr=False)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of layers in the hierarchy."""
+        return len(self.node_ids)
+
+    @property
+    def n_units(self) -> int:
+        """Total units across all layers."""
+        return int(self.codebook.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf units (rows of the leaf table)."""
+        return len(self.leaf_keys)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest layer of the hierarchy."""
+        return int(self.node_depths.max())
+
+    def leaf_index_of(self, key: LeafKey) -> int:
+        """Leaf-table row of a ``(node_id, unit)`` key.
+
+        Raises
+        ------
+        KeyError
+            If the key does not name a leaf unit of this tree.
+        """
+        return self._leaf_index_of[key]
+
+    def keys_of(self, leaf_indices) -> List[LeafKey]:
+        """Leaf keys for a batch of leaf-table rows."""
+        keys = self.leaf_keys
+        return [keys[index] for index in np.asarray(leaf_indices, dtype=np.intp)]
+
+    def leaf_lookup(
+        self,
+        getter: Callable[[LeafKey], object],
+        dtype=float,
+    ) -> np.ndarray:
+        """Materialise a per-leaf quantity into an ``(L,)`` lookup array.
+
+        ``getter`` is called once per leaf key (not once per sample), so
+        dict-backed quantities such as per-unit thresholds or unit labels are
+        evaluated ``L`` times at compile time instead of ``n`` times per
+        scored batch.
+        """
+        return np.array([getter(key) for key in self.leaf_keys], dtype=dtype)
+
+    def describe(self) -> Dict[str, object]:
+        """Structural summary (used by the benchmark harness and docs)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "n_units": self.n_units,
+            "n_leaves": self.n_leaves,
+            "max_depth": self.max_depth,
+            "n_features": self.n_features,
+            "metric": self.metric,
+        }
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def assign_arrays(self, data) -> Tuple[np.ndarray, np.ndarray]:
+        """Leaf-table row and quantization distance for every sample.
+
+        Returns
+        -------
+        (leaf_index, distance):
+            ``leaf_index`` is an ``(n,)`` integer array of rows into the leaf
+            table; ``distance`` is the ``(n,)`` float array of distances under
+            the configured metric — both identical to what the legacy
+            recursive descent produces, with no per-sample Python objects.
+        """
+        matrix = check_array_2d(data, "data")
+        if matrix.shape[1] != self.n_features:
+            raise DataValidationError(
+                f"data has {matrix.shape[1]} features, the model expects {self.n_features}"
+            )
+        n = matrix.shape[0]
+        leaf_index = np.full(n, -1, dtype=np.intp)
+        distances = np.zeros(n, dtype=float)
+        # exact_metric is None when the squared-Euclidean BMU matrix already
+        # yields the quantization distance (possibly after a square root).
+        exact_metric = (
+            None if self.metric in ("euclidean", "sqeuclidean") else get_metric(self.metric)
+        )
+        # |x|^2 per sample, computed once and reused at every level (the
+        # legacy path recomputes it per node; row-wise sums are bitwise
+        # identical either way).
+        sample_norms = np.einsum("ij,ij->i", matrix, matrix)
+        # Frontier descent: `pending` holds the sample rows still travelling
+        # down the tree, `pending_node` the node each currently sits on.
+        pending = np.arange(n, dtype=np.intp)
+        pending_node = np.zeros(n, dtype=np.intp)
+        while pending.size:
+            next_rows: List[np.ndarray] = []
+            next_nodes: List[np.ndarray] = []
+            for node in np.unique(pending_node):
+                rows = pending[pending_node == node]
+                # Ascending sample order matches the legacy recursion's subset
+                # construction, keeping BLAS inputs — and therefore outputs —
+                # bitwise identical.
+                rows.sort()
+                start = int(self.node_offsets[node])
+                stop = int(self.node_offsets[node + 1])
+                block = self.codebook[start:stop]
+                at_root = rows.size == n
+                sub = matrix if at_root else matrix[rows]
+                # In-place |x - w|^2 = -2 x.w + |x|^2 + |w|^2: the same IEEE
+                # operations as `squared_euclidean` (negation and scaling by 2
+                # are exact, a - b == (-b) + a), with no (n, u) temporaries.
+                d2 = sub @ block.T
+                d2 *= -2.0
+                d2 += (sample_norms if at_root else sample_norms[rows])[:, None]
+                d2 += self.unit_norms[start:stop][None, :]
+                np.maximum(d2, 0.0, out=d2)
+                units = np.argmin(d2, axis=1)
+                global_units = start + units
+                children = self.child_of_unit[global_units]
+                at_leaf = children < 0
+                if at_leaf.any():
+                    leaf_rows = rows[at_leaf]
+                    leaf_index[leaf_rows] = self.leaf_of_unit[global_units[at_leaf]]
+                    if exact_metric is None:
+                        best = d2[at_leaf].min(axis=1)
+                        if self.metric == "euclidean":
+                            best = np.sqrt(best)
+                        distances[leaf_rows] = best
+                    else:
+                        distances[leaf_rows] = exact_metric(sub[at_leaf], block).min(axis=1)
+                descending = ~at_leaf
+                if descending.any():
+                    next_rows.append(rows[descending])
+                    next_nodes.append(children[descending])
+            if next_rows:
+                pending = np.concatenate(next_rows)
+                pending_node = np.concatenate(next_nodes).astype(np.intp, copy=False)
+            else:
+                pending = np.empty(0, dtype=np.intp)
+                pending_node = pending
+        return leaf_index, distances
+
+    def transform(self, data) -> np.ndarray:
+        """Quantization distance per sample (the raw anomaly score)."""
+        return self.assign_arrays(data)[1]
+
+
+def compile_ghsom(model) -> CompiledGhsom:
+    """Flatten a fitted :class:`~repro.core.ghsom.Ghsom` into a :class:`CompiledGhsom`.
+
+    The snapshot reflects the tree at compile time; refitting the model
+    requires recompiling (handled automatically by ``Ghsom.compile``).
+    """
+    if not getattr(model, "is_fitted", False):
+        raise NotFittedError("Ghsom must be fitted before it can be compiled")
+    nodes = list(model.iter_nodes())  # pre-order: parents precede children
+    node_index = {node.node_id: index for index, node in enumerate(nodes)}
+    unit_counts = [node.n_units for node in nodes]
+    node_offsets = np.zeros(len(nodes) + 1, dtype=np.intp)
+    np.cumsum(unit_counts, out=node_offsets[1:])
+    codebook = np.ascontiguousarray(
+        np.concatenate([node.layer.codebook for node in nodes], axis=0), dtype=float
+    )
+    total_units = int(node_offsets[-1])
+    child_of_unit = np.full(total_units, -1, dtype=np.intp)
+    leaf_of_unit = np.full(total_units, -1, dtype=np.intp)
+    leaf_node: List[int] = []
+    leaf_unit: List[int] = []
+    leaf_depth: List[int] = []
+    leaf_keys: List[LeafKey] = []
+    for index, node in enumerate(nodes):
+        start = int(node_offsets[index])
+        for unit, child in node.children.items():
+            child_of_unit[start + int(unit)] = node_index[child.node_id]
+        for unit in range(node.n_units):
+            if unit in node.children:
+                continue
+            leaf_of_unit[start + unit] = len(leaf_keys)
+            leaf_node.append(index)
+            leaf_unit.append(unit)
+            leaf_depth.append(node.depth)
+            leaf_keys.append((node.node_id, unit))
+    return CompiledGhsom(
+        n_features=int(model.n_features),
+        metric=str(model.config.training.metric),
+        node_ids=tuple(node.node_id for node in nodes),
+        node_depths=np.array([node.depth for node in nodes], dtype=np.intp),
+        node_offsets=node_offsets,
+        codebook=codebook,
+        child_of_unit=child_of_unit,
+        leaf_of_unit=leaf_of_unit,
+        leaf_node=np.array(leaf_node, dtype=np.intp),
+        leaf_unit=np.array(leaf_unit, dtype=np.intp),
+        leaf_depth=np.array(leaf_depth, dtype=np.intp),
+        leaf_keys=tuple(leaf_keys),
+        unit_norms=np.einsum("ij,ij->i", codebook, codebook),
+        _leaf_index_of={key: row for row, key in enumerate(leaf_keys)},
+    )

@@ -22,12 +22,14 @@ Every detector in this library (the GHSOM detector here and the baselines in
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.compiled import CompiledGhsom
 from repro.core.config import GhsomConfig
-from repro.core.ghsom import Ghsom, LeafAssignment
+from repro.core.ghsom import Ghsom
 from repro.core.labeling import UNLABELED, UnitLabeler
 from repro.core.thresholds import make_threshold_strategy
 from repro.exceptions import ConfigurationError, NotFittedError
@@ -51,14 +53,65 @@ def combine_label_and_distance_scores(
     labelled detectors meaningful.
     """
     ratios = np.asarray(ratios, dtype=float)
-    if labeler is None:
+    if labeler is None or ratios.size == 0:
         return ratios
-    scores = ratios.copy()
+    # Resolve label info once per *distinct* leaf, then broadcast to samples
+    # with integer indexing — batches revisit the same handful of leaves, so
+    # this replaces n ``info_of`` calls with one per unique key.
+    key_rows: Dict[object, int] = {}
+    sample_rows = np.empty(len(leaf_keys), dtype=np.intp)
     for index, key in enumerate(leaf_keys):
+        row = key_rows.setdefault(key, len(key_rows))
+        sample_rows[index] = row
+    is_attack = np.zeros(len(key_rows), dtype=bool)
+    purity = np.zeros(len(key_rows), dtype=float)
+    for key, row in key_rows.items():
         info = labeler.info_of(key)
-        if info.label not in ("normal", UNLABELED):
-            scores[index] = 1.0 + info.purity + 0.01 * min(ratios[index], 10.0)
+        if _is_attack_label(info.label):
+            is_attack[row] = True
+            purity[row] = info.purity
+    return _fold_attack_labels(ratios, is_attack[sample_rows], purity[sample_rows])
+
+
+def _is_attack_label(label: str) -> bool:
+    """Whether a unit label triggers the above-threshold score folding.
+
+    Single source of truth for the predicate, shared by the leaf-key path
+    above (used by the baselines) and the detector's compiled leaf tables —
+    keeping the two scoring paths from silently diverging.
+    """
+    return label not in ("normal", UNLABELED)
+
+
+def _fold_attack_labels(
+    ratios: np.ndarray, attack_mask: np.ndarray, purity: np.ndarray
+) -> np.ndarray:
+    """Core of :func:`combine_label_and_distance_scores` on pre-resolved arrays."""
+    scores = ratios.copy()
+    if attack_mask.any():
+        scores[attack_mask] = (
+            1.0 + purity[attack_mask] + 0.01 * np.minimum(ratios[attack_mask], 10.0)
+        )
     return scores
+
+
+@dataclass(frozen=True)
+class _LeafTables:
+    """Per-leaf lookup arrays aligned with a compiled GHSOM's leaf table.
+
+    Built once per fitted detector; every scoring call then reduces to
+    ``assign_arrays`` plus integer fancy-indexing into these arrays.
+    """
+
+    compiled: CompiledGhsom
+    threshold_source: object  # the strategy instance the table was built from
+    threshold_version: int  # its fit_version at build time (in-place refit check)
+    labeler_source: Optional[object]  # the labeler instance the table was built from
+    labeler_version: int  # its fit_version at build time
+    thresholds: np.ndarray  # (L,) calibrated distance threshold per leaf
+    labels: Optional[np.ndarray]  # (L,) object array of unit labels
+    is_attack: Optional[np.ndarray]  # (L,) label not in {normal, unlabeled}
+    purity: Optional[np.ndarray]  # (L,) label purity (attack leaves only)
 
 
 class BaseAnomalyDetector(abc.ABC):
@@ -142,6 +195,7 @@ class GhsomDetector(BaseAnomalyDetector):
         self.model: Optional[Ghsom] = None
         self.labeler: Optional[UnitLabeler] = None
         self.threshold_: Optional[object] = None
+        self._tables: Optional[_LeafTables] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -161,11 +215,12 @@ class GhsomDetector(BaseAnomalyDetector):
         if y is not None:
             labels = [str(label) for label in y]
             check_same_length(matrix, labels, "X", "y")
+        self._tables = None
         self.model = Ghsom(self.config, random_state=self.random_state)
         self.model.fit(matrix)
-        assignments = self.model.assign(matrix)
-        leaf_keys = [assignment.leaf_key for assignment in assignments]
-        distances = np.array([assignment.distance for assignment in assignments])
+        compiled = self.model.compile()
+        leaf_index, distances = compiled.assign_arrays(matrix)
+        leaf_keys = compiled.keys_of(leaf_index)
 
         if labels is not None:
             self.labeler = UnitLabeler(strategy=self.labeling_strategy)
@@ -187,9 +242,59 @@ class GhsomDetector(BaseAnomalyDetector):
         return self
 
     # ------------------------------------------------------------------ #
-    def _assignments(self, X) -> List[LeafAssignment]:
+    def _leaf_tables(self) -> _LeafTables:
+        """Compiled leaf lookup tables (built lazily, e.g. after deserialization).
+
+        Rebuilt whenever the compiled model changes, the threshold strategy /
+        labeler instance is swapped, or either is refitted *in place* (their
+        ``fit_version`` counters move), so sklearn-style recalibration takes
+        effect on the next scoring call just as it did on the pre-compiled
+        path.
+        """
+        compiled = self.model.compile()
+        if (
+            self._tables is not None
+            and self._tables.compiled is compiled
+            and self._tables.threshold_source is self.threshold_
+            and self._tables.threshold_version == getattr(self.threshold_, "fit_version", 0)
+            and self._tables.labeler_source is self.labeler
+            and self._tables.labeler_version == getattr(self.labeler, "fit_version", 0)
+        ):
+            return self._tables
+        thresholds = compiled.leaf_lookup(self.threshold_.threshold_for, dtype=float)
+        labels = is_attack = purity = None
+        if self.labeler is not None:
+            infos = [self.labeler.info_of(key) for key in compiled.leaf_keys]
+            labels = np.array([info.label for info in infos], dtype=object)
+            is_attack = np.array([_is_attack_label(info.label) for info in infos], dtype=bool)
+            purity = np.array(
+                [info.purity if flag else 0.0 for info, flag in zip(infos, is_attack)],
+                dtype=float,
+            )
+        self._tables = _LeafTables(
+            compiled=compiled,
+            threshold_source=self.threshold_,
+            threshold_version=getattr(self.threshold_, "fit_version", 0),
+            labeler_source=self.labeler,
+            labeler_version=getattr(self.labeler, "fit_version", 0),
+            thresholds=thresholds,
+            labels=labels,
+            is_attack=is_attack,
+            purity=purity,
+        )
+        return self._tables
+
+    def _score_arrays(self, X):
+        """Shared vectorized front half of every scoring method.
+
+        Returns ``(tables, leaf_index, ratios)`` where ``ratios`` are the
+        threshold-normalised distances.
+        """
         self._require_fitted(self.is_fitted)
-        return self.model.assign(check_array_2d(X, "X"))
+        tables = self._leaf_tables()
+        leaf_index, distances = self.model.assign_arrays(X)
+        ratios = distances / tables.thresholds[leaf_index]
+        return tables, leaf_index, ratios
 
     def score_samples(self, X) -> np.ndarray:
         """Threshold-normalised anomaly scores.
@@ -200,11 +305,12 @@ class GhsomDetector(BaseAnomalyDetector):
         :func:`combine_label_and_distance_scores`).  In both modes
         ``score > 1.0`` is exactly the alarm condition used by :meth:`predict`.
         """
-        assignments = self._assignments(X)
-        distances = [assignment.distance for assignment in assignments]
-        leaf_keys = [assignment.leaf_key for assignment in assignments]
-        ratios = self.threshold_.normalize(distances, leaf_keys)
-        return combine_label_and_distance_scores(ratios, leaf_keys, self.labeler)
+        tables, leaf_index, ratios = self._score_arrays(X)
+        if tables.is_attack is None:
+            return ratios
+        return _fold_attack_labels(
+            ratios, tables.is_attack[leaf_index], tables.purity[leaf_index]
+        )
 
     def predict(self, X) -> np.ndarray:
         """Binary anomaly decisions.
@@ -223,23 +329,20 @@ class GhsomDetector(BaseAnomalyDetector):
         threshold of a normal-labelled leaf, are reported as ``"unknown"`` —
         they are anomalous but resemble no training class.
         """
-        assignments = self._assignments(X)
-        leaf_keys = [assignment.leaf_key for assignment in assignments]
         if self.labeler is None:
             flags = self.predict(X)
             return ["anomaly" if flag else "normal" for flag in flags]
-        distances = [assignment.distance for assignment in assignments]
-        ratios = self.threshold_.normalize(distances, leaf_keys)
-        categories: List[str] = []
-        for key, ratio in zip(leaf_keys, ratios):
-            label = self.labeler.label_of(key)
-            if label == UNLABELED:
-                categories.append("unknown" if ratio > 1.0 else "normal")
-            elif label == "normal" and ratio > 1.0:
-                categories.append("unknown")
-            else:
-                categories.append(label)
-        return categories
+        tables, leaf_index, ratios = self._score_arrays(X)
+        # Fancy indexing allocates a fresh array, safe for in-place masking
+        # once all label masks are computed up front.
+        categories = tables.labels[leaf_index]
+        over = ratios > 1.0
+        unlabeled = categories == UNLABELED
+        was_normal = categories == "normal"
+        categories[unlabeled & over] = "unknown"
+        categories[unlabeled & ~over] = "normal"
+        categories[was_normal & over] = "unknown"
+        return categories.tolist()
 
     # ------------------------------------------------------------------ #
     # inspection

@@ -42,18 +42,47 @@ def euclidean(samples: np.ndarray, codebook: np.ndarray) -> np.ndarray:
     return np.sqrt(squared_euclidean(samples, codebook))
 
 
-def manhattan(samples: np.ndarray, codebook: np.ndarray) -> np.ndarray:
-    """Pairwise Manhattan (L1) distances."""
+#: Scratch budget (in float64 elements, ~128 MiB) for the broadcast L1/Linf
+#: kernels.  The ``(chunk, u, d)`` difference tensor is bounded by this, so a
+#: million-record batch no longer materialises an ``(n, u, d)`` tensor at once.
+_BROADCAST_BUDGET_ELEMENTS = 16 * 1024 * 1024
+
+
+def _chunked_broadcast_reduce(
+    samples: np.ndarray, codebook: np.ndarray, reduce_kind: str
+) -> np.ndarray:
+    """Reduce ``|samples[:, None, :] - codebook[None, :, :]|`` over features in chunks.
+
+    Each sample row's result is computed exactly as in the one-shot broadcast
+    (identical operations, identical values); only the number of rows in
+    flight at once is bounded, keeping peak scratch memory constant regardless
+    of the batch size.
+    """
     samples = np.atleast_2d(np.asarray(samples, dtype=float))
     codebook = np.atleast_2d(np.asarray(codebook, dtype=float))
-    return np.abs(samples[:, None, :] - codebook[None, :, :]).sum(axis=2)
+    n, d = samples.shape
+    u = codebook.shape[0]
+    per_row = max(u * d, 1)
+    chunk = max(1, _BROADCAST_BUDGET_ELEMENTS // per_row)
+    if chunk >= n:
+        diff = np.abs(samples[:, None, :] - codebook[None, :, :])
+        return diff.sum(axis=2) if reduce_kind == "sum" else diff.max(axis=2)
+    out = np.empty((n, u), dtype=float)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        diff = np.abs(samples[start:stop, None, :] - codebook[None, :, :])
+        out[start:stop] = diff.sum(axis=2) if reduce_kind == "sum" else diff.max(axis=2)
+    return out
+
+
+def manhattan(samples: np.ndarray, codebook: np.ndarray) -> np.ndarray:
+    """Pairwise Manhattan (L1) distances (bounded-memory chunked kernel)."""
+    return _chunked_broadcast_reduce(samples, codebook, "sum")
 
 
 def chebyshev(samples: np.ndarray, codebook: np.ndarray) -> np.ndarray:
-    """Pairwise Chebyshev (L-infinity) distances."""
-    samples = np.atleast_2d(np.asarray(samples, dtype=float))
-    codebook = np.atleast_2d(np.asarray(codebook, dtype=float))
-    return np.abs(samples[:, None, :] - codebook[None, :, :]).max(axis=2)
+    """Pairwise Chebyshev (L-infinity) distances (bounded-memory chunked kernel)."""
+    return _chunked_broadcast_reduce(samples, codebook, "max")
 
 
 _METRICS: Dict[str, DistanceFunction] = {

@@ -25,6 +25,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.compiled import CompiledGhsom, compile_ghsom
 from repro.core.config import GhsomConfig
 from repro.core.growing_som import GrowingSom
 from repro.core.quantization import dataset_quantization_error
@@ -124,6 +125,7 @@ class Ghsom:
         self.root: Optional[GhsomNode] = None
         self.qe0: float = 0.0
         self.n_features: Optional[int] = None
+        self._compiled: Optional[CompiledGhsom] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -140,6 +142,7 @@ class Ghsom:
     # ------------------------------------------------------------------ #
     def fit(self, data) -> "Ghsom":
         """Build the hierarchy on ``data``."""
+        self._compiled = None
         matrix = check_array_2d(data, "data", min_rows=2)
         self.n_features = matrix.shape[1]
         self.qe0 = dataset_quantization_error(matrix, metric=self.config.training.metric)
@@ -201,8 +204,50 @@ class Ghsom:
     # ------------------------------------------------------------------ #
     # inference
     # ------------------------------------------------------------------ #
+    def compile(self) -> CompiledGhsom:
+        """The flat-array inference engine for this tree (compiled once per fit).
+
+        The snapshot is cached; :meth:`fit` invalidates it.  See
+        :mod:`repro.core.compiled` for the representation.
+        """
+        self._check_fitted()
+        if self._compiled is None:
+            self._compiled = compile_ghsom(self)
+        return self._compiled
+
+    def assign_arrays(self, data) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized leaf assignment: ``(leaf_index, distance)`` ndarrays.
+
+        ``leaf_index`` rows index the compiled leaf table
+        (``self.compile().leaf_keys``); no per-sample Python objects are
+        created.  This is the fast path every batch consumer should use.
+        """
+        return self.compile().assign_arrays(data)
+
     def assign(self, data) -> List[LeafAssignment]:
         """Descend the hierarchy for every sample and return its leaf assignment."""
+        compiled = self.compile()
+        leaf_index, distances = compiled.assign_arrays(data)
+        keys = compiled.leaf_keys
+        depths = compiled.leaf_depth
+        return [
+            LeafAssignment(
+                node_id=keys[row][0],
+                unit=keys[row][1],
+                depth=int(depths[row]),
+                distance=float(distance),
+            )
+            for row, distance in zip(leaf_index, distances)
+        ]
+
+    def assign_legacy(self, data) -> List[LeafAssignment]:
+        """Reference recursive descent (kept for equivalence tests and benchmarks).
+
+        Materialises one :class:`LeafAssignment` per sample while walking the
+        tree node by node — the pre-compilation implementation of
+        :meth:`assign`, preserved verbatim so the compiled engine can be
+        checked against it bit for bit.
+        """
         self._check_fitted()
         matrix = check_array_2d(data, "data")
         if matrix.shape[1] != self.n_features:
@@ -244,11 +289,13 @@ class Ghsom:
 
     def transform(self, data) -> np.ndarray:
         """Distance of each sample to its leaf BMU (the raw anomaly score)."""
-        return np.array([assignment.distance for assignment in self.assign(data)])
+        return self.assign_arrays(data)[1]
 
     def leaf_keys(self, data) -> List[Tuple[str, int]]:
         """``(node_id, unit)`` leaf identity per sample."""
-        return [assignment.leaf_key for assignment in self.assign(data)]
+        compiled = self.compile()
+        leaf_index, _ = compiled.assign_arrays(data)
+        return compiled.keys_of(leaf_index)
 
     # ------------------------------------------------------------------ #
     # structure inspection

@@ -112,6 +112,9 @@ class UnitLabeler:
                     label = max(attack_votes)[1]
             fitted[key] = LeafLabel(label, total, purity)
         self._labels = fitted
+        # Bumped on every (re)fit so consumers caching derived per-leaf label
+        # tables can detect in-place relabelling of the same object.
+        self.fit_version = getattr(self, "fit_version", 0) + 1
         return self
 
     # ------------------------------------------------------------------ #

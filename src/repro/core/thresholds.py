@@ -67,6 +67,10 @@ class GlobalThreshold:
             raise ConfigurationError("cannot calibrate a threshold from zero distances")
         threshold = float(np.percentile(values, self.percentile))
         self._threshold = max(threshold, 1e-12)
+        # Bumped on every (re)calibration so consumers caching derived tables
+        # (e.g. the detector's per-leaf threshold arrays) can detect in-place
+        # refits of the same strategy object.
+        self.fit_version = getattr(self, "fit_version", 0) + 1
         return self
 
     def threshold_for(self, leaf_key: LeafKey) -> float:
@@ -173,6 +177,9 @@ class PerUnitThreshold:
             threshold = min(max(threshold, floor), self._fallback)
             thresholds[key] = max(threshold, 1e-12)
         self._thresholds = thresholds
+        # See GlobalThreshold.fit: lets table-caching consumers notice
+        # in-place recalibration.
+        self.fit_version = getattr(self, "fit_version", 0) + 1
         return self
 
     def threshold_for(self, leaf_key: LeafKey) -> float:

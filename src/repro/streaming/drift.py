@@ -11,9 +11,6 @@ re-fits).  Two standard change detectors are provided.
 from __future__ import annotations
 
 import abc
-from typing import Optional
-
-import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.streaming.window import SlidingWindow
@@ -25,6 +22,20 @@ class DriftDetector(abc.ABC):
     @abc.abstractmethod
     def update(self, value: float) -> bool:
         """Add one observation; return ``True`` when drift is detected."""
+
+    def update_many(self, values) -> bool:
+        """Feed a batch of observations; ``True`` when any of them fired.
+
+        The observations are applied in order with identical semantics to
+        calling :meth:`update` once per value (the detectors are inherently
+        sequential), and the batch keeps being consumed after the first alarm
+        so the internal state matches the one-by-one path exactly.  Accepts
+        any iterable of scalars, including lazy generators.
+        """
+        fired = False
+        for value in values:
+            fired = self.update(float(value)) or fired
+        return fired
 
     @abc.abstractmethod
     def reset(self) -> None:

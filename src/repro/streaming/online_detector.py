@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.detector import BaseAnomalyDetector
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.streaming.drift import DriftDetector, MeanShiftDetector
-from repro.streaming.window import EwmaEstimator, SlidingWindow
+from repro.streaming.window import EwmaEstimator, SlidingMatrixWindow
 from repro.utils.validation import check_array_2d
 
 
@@ -94,7 +94,7 @@ class OnlineDetector:
         self.warmup_size = int(warmup_size)
         self.score_ewma = EwmaEstimator(alpha=ewma_alpha)
         self.drift_detector = drift_detector or MeanShiftDetector()
-        self._buffer: List[np.ndarray] = []
+        self._buffer = SlidingMatrixWindow(self.buffer_size)
         self._warmup: List[np.ndarray] = []
         self._is_warmed_up = self._detector_is_fitted()
         self.n_processed = 0
@@ -138,11 +138,11 @@ class OnlineDetector:
         drift_detected = False
         refitted = False
         benign_mask = predictions == 0
-        for score in scores[benign_mask]:
-            self.score_ewma.update(float(score))
-            if self.drift_detector.update(float(score)):
-                drift_detected = True
-        self._extend_buffer(matrix[benign_mask])
+        benign_scores = scores[benign_mask]
+        if benign_scores.size:
+            self.score_ewma.update_many(benign_scores)
+            drift_detected = self.drift_detector.update_many(benign_scores)
+        self._buffer.extend(matrix[benign_mask])
         if drift_detected:
             self.n_drift_events += 1
             self.drift_detector.reset()
@@ -177,16 +177,9 @@ class OnlineDetector:
         )
 
     # ------------------------------------------------------------------ #
-    def _extend_buffer(self, rows: np.ndarray) -> None:
-        for row in rows:
-            self._buffer.append(np.asarray(row, dtype=float))
-        overflow = len(self._buffer) - self.buffer_size
-        if overflow > 0:
-            del self._buffer[:overflow]
-
     def _refit_from_buffer(self) -> None:
         """Refit the wrapped detector on the recent benign buffer and reset adaptation."""
-        buffer_matrix = np.stack(self._buffer, axis=0)
+        buffer_matrix = self._buffer.values()
         self.detector.fit(buffer_matrix)
         self.n_refits += 1
         self.score_ewma = EwmaEstimator(alpha=self.score_ewma.alpha)

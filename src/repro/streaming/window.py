@@ -36,9 +36,30 @@ class SlidingWindow:
         self._values.append(float(value))
 
     def extend(self, values: Iterable[float]) -> None:
-        """Add several values."""
-        for value in values:
-            self.append(value)
+        """Add a batch of values in one O(n) operation.
+
+        Equivalent to appending one by one (the deque evicts from the left as
+        it fills), but the conversion and eviction happen in bulk instead of
+        one Python call per value.
+        """
+        if isinstance(values, np.ndarray):
+            if values.ndim != 1:
+                # A matrix here almost certainly means the caller wanted the
+                # row buffer (SlidingMatrixWindow); flattening silently would
+                # pour n*d feature values into the scalar statistics.
+                raise ConfigurationError(
+                    f"SlidingWindow stores scalars; got an array of shape "
+                    f"{values.shape} (use SlidingMatrixWindow for row batches)"
+                )
+            array = values.astype(float)
+        else:
+            # Lazy iterables (generators) are part of the contract; fromiter
+            # consumes them without materialising an intermediate list.
+            array = np.fromiter((float(value) for value in values), dtype=float)
+        if array.size > self.capacity:
+            # Only the trailing `capacity` values can survive anyway.
+            array = array[-self.capacity :]
+        self._values.extend(array.tolist())
 
     def values(self) -> np.ndarray:
         """The current window contents, oldest first."""
@@ -61,6 +82,93 @@ class SlidingWindow:
     def clear(self) -> None:
         """Drop all stored values."""
         self._values.clear()
+
+
+class SlidingMatrixWindow:
+    """A fixed-capacity window of recent *row vectors* (a bounded record buffer).
+
+    The online detector keeps the last ``capacity`` benign records for
+    drift-triggered refits.  This is a preallocated circular buffer: a batch
+    of rows is absorbed with two slice writes at most (wrap-around), so
+    extending by ``n`` rows costs O(n) numpy work with no per-row Python.
+
+    The feature dimensionality is fixed by the first batch; later batches
+    must match it.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._data: Optional[np.ndarray] = None  # (capacity, d), allocated lazily
+        self._head = 0  # next write position
+        self._count = 0  # rows currently stored
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer holds ``capacity`` rows."""
+        return self._count == self.capacity
+
+    @property
+    def n_features(self) -> Optional[int]:
+        """Row dimensionality (``None`` until the first batch arrives)."""
+        return None if self._data is None else int(self._data.shape[1])
+
+    def extend(self, rows) -> None:
+        """Absorb a batch of rows, evicting the oldest when over capacity."""
+        batch = np.asarray(rows, dtype=float)
+        if batch.size == 0:
+            # Checked before the 1-D promotion: an empty 1-D input would
+            # otherwise become a phantom (1, 0) row and pin n_features to 0.
+            return
+        if batch.ndim == 1:
+            batch = batch.reshape(1, -1)
+        if batch.ndim != 2:
+            raise ConfigurationError(
+                f"rows must be a 2-D batch, got shape {batch.shape}"
+            )
+        if self._data is None:
+            self._data = np.empty((self.capacity, batch.shape[1]), dtype=float)
+        elif batch.shape[1] != self._data.shape[1]:
+            raise ConfigurationError(
+                f"rows have {batch.shape[1]} features, the buffer holds "
+                f"{self._data.shape[1]}"
+            )
+        if batch.shape[0] >= self.capacity:
+            self._data[:] = batch[-self.capacity :]
+            self._head = 0
+            self._count = self.capacity
+            return
+        first = min(batch.shape[0], self.capacity - self._head)
+        self._data[self._head : self._head + first] = batch[:first]
+        remainder = batch.shape[0] - first
+        if remainder:
+            self._data[:remainder] = batch[first:]
+        self._head = (self._head + batch.shape[0]) % self.capacity
+        self._count = min(self._count + batch.shape[0], self.capacity)
+
+    def values(self) -> np.ndarray:
+        """The buffered rows, oldest first, as a ``(len(self), d)`` copy."""
+        if self._data is None:
+            return np.zeros((0, 0), dtype=float)
+        if self._count == 0:
+            # Dimensionality is known: keep it in the empty result so callers
+            # can concatenate / inspect shape[1] safely.
+            return self._data[:0].copy()
+        if self._count < self.capacity:
+            # The buffer has never wrapped: rows 0..count are in order.
+            return self._data[: self._count].copy()
+        return np.concatenate(
+            [self._data[self._head :], self._data[: self._head]], axis=0
+        )
+
+    def clear(self) -> None:
+        """Drop all stored rows (the allocation and dimensionality are kept)."""
+        self._head = 0
+        self._count = 0
 
 
 class EwmaEstimator:

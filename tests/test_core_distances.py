@@ -66,6 +66,43 @@ class TestOtherMetrics:
         assert np.all(eucl <= manh + 1e-12)
 
 
+class TestChunkedBroadcastKernels:
+    """The L1/Linf kernels compute in bounded-memory chunks (identical values)."""
+
+    def test_manhattan_chunked_matches_one_shot(self, rng, monkeypatch):
+        from repro.core import distances as distances_module
+
+        samples, codebook = rng.random((23, 5)), rng.random((4, 5))
+        expected = manhattan(samples, codebook)
+        # Force many tiny chunks (budget of one (u, d) block => 1 row at a time).
+        monkeypatch.setattr(distances_module, "_BROADCAST_BUDGET_ELEMENTS", 20)
+        np.testing.assert_array_equal(manhattan(samples, codebook), expected)
+
+    def test_chebyshev_chunked_matches_one_shot(self, rng, monkeypatch):
+        from repro.core import distances as distances_module
+
+        samples, codebook = rng.random((17, 6)), rng.random((3, 6))
+        expected = chebyshev(samples, codebook)
+        monkeypatch.setattr(distances_module, "_BROADCAST_BUDGET_ELEMENTS", 18)
+        np.testing.assert_array_equal(chebyshev(samples, codebook), expected)
+
+    def test_chunk_boundary_exact_division(self, rng, monkeypatch):
+        from repro.core import distances as distances_module
+
+        # 8 samples, chunk of exactly 4 rows: boundary at an even division.
+        samples, codebook = rng.random((8, 2)), rng.random((2, 2))
+        expected = manhattan(samples, codebook)
+        monkeypatch.setattr(distances_module, "_BROADCAST_BUDGET_ELEMENTS", 4 * 2 * 2)
+        np.testing.assert_array_equal(manhattan(samples, codebook), expected)
+
+    def test_1d_inputs_still_promoted(self, monkeypatch):
+        from repro.core import distances as distances_module
+
+        monkeypatch.setattr(distances_module, "_BROADCAST_BUDGET_ELEMENTS", 1)
+        result = manhattan(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        np.testing.assert_allclose(result, [[3.0]])
+
+
 class TestRegistry:
     def test_all_metrics_listed(self):
         assert set(available_metrics()) == {"euclidean", "sqeuclidean", "manhattan", "chebyshev"}

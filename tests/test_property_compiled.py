@@ -1,0 +1,153 @@
+"""Property tests: compiled GHSOM inference is bit-identical to the legacy path.
+
+For randomly generated datasets, growth configurations and distance metrics,
+a fitted GHSOM's compiled engine must reproduce the legacy recursive descent
+*exactly* — same leaf keys, same distances (``np.array_equal``, not allclose),
+and at the detector level the same scores, predictions and categories.  This
+is the acceptance property of the compiled inference engine: it is a pure
+representation change, not an approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Ghsom, GhsomConfig, GhsomDetector, SomTrainingConfig
+from repro.core.labeling import UNLABELED
+
+# Fitting a GHSOM per example is expensive: few examples, generous deadline.
+FIT_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+METRICS = ("euclidean", "manhattan", "chebyshev")
+
+
+def _make_dataset(seed: int, n_clusters: int, n_features: int, n_samples: int) -> np.ndarray:
+    """Clustered data so random configs actually grow multi-level trees."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-2.0, 2.0, size=(n_clusters, n_features))
+    assignments = rng.integers(0, n_clusters, size=n_samples)
+    return centers[assignments] + rng.normal(0.0, 0.15, size=(n_samples, n_features))
+
+
+def _random_config(data) -> GhsomConfig:
+    return GhsomConfig(
+        tau1=data.draw(st.sampled_from([0.3, 0.5, 0.7])),
+        tau2=data.draw(st.sampled_from([0.05, 0.15, 0.4])),
+        max_depth=data.draw(st.integers(1, 3)),
+        max_map_size=data.draw(st.sampled_from([9, 16, 25])),
+        max_growth_rounds=4,
+        min_samples_for_expansion=data.draw(st.sampled_from([10, 25])),
+        training=SomTrainingConfig(
+            epochs=2, metric=data.draw(st.sampled_from(METRICS))
+        ),
+        random_state=data.draw(st.integers(0, 2**16)),
+    )
+
+
+class TestCompiledModelEquivalence:
+    @given(data=st.data())
+    @settings(**FIT_SETTINGS)
+    def test_assignments_bit_identical(self, data):
+        dataset = _make_dataset(
+            seed=data.draw(st.integers(0, 2**16)),
+            n_clusters=data.draw(st.integers(2, 4)),
+            n_features=data.draw(st.integers(2, 5)),
+            n_samples=data.draw(st.integers(60, 140)),
+        )
+        model = Ghsom(_random_config(data)).fit(dataset)
+        # Score both in-sample points and perturbed/outlying queries.
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        queries = np.concatenate(
+            [dataset[:40], dataset[:20] + rng.normal(0.0, 0.8, (20, dataset.shape[1]))]
+        )
+        legacy = model.assign_legacy(queries)
+        compiled = model.compile()
+        leaf_index, distances = model.assign_arrays(queries)
+
+        assert [compiled.leaf_keys[row] for row in leaf_index] == [
+            assignment.leaf_key for assignment in legacy
+        ]
+        np.testing.assert_array_equal(
+            distances, np.array([assignment.distance for assignment in legacy])
+        )
+        assert [int(compiled.leaf_depth[row]) for row in leaf_index] == [
+            assignment.depth for assignment in legacy
+        ]
+        # The dataclass fast path is built from the same arrays.
+        assert model.assign(queries) == legacy
+
+
+class TestCompiledDetectorEquivalence:
+    @staticmethod
+    def _legacy_scores(detector, X):
+        assignments = detector.model.assign_legacy(X)
+        distances = [assignment.distance for assignment in assignments]
+        leaf_keys = [assignment.leaf_key for assignment in assignments]
+        ratios = detector.threshold_.normalize(distances, leaf_keys)
+        if detector.labeler is None:
+            return np.asarray(ratios, dtype=float)
+        scores = np.asarray(ratios, dtype=float).copy()
+        for index, key in enumerate(leaf_keys):
+            info = detector.labeler.info_of(key)
+            if info.label not in ("normal", UNLABELED):
+                scores[index] = 1.0 + info.purity + 0.01 * min(ratios[index], 10.0)
+        return scores
+
+    @staticmethod
+    def _legacy_categories(detector, X):
+        assignments = detector.model.assign_legacy(X)
+        leaf_keys = [assignment.leaf_key for assignment in assignments]
+        distances = [assignment.distance for assignment in assignments]
+        ratios = detector.threshold_.normalize(distances, leaf_keys)
+        categories = []
+        for key, ratio in zip(leaf_keys, ratios):
+            label = detector.labeler.label_of(key)
+            if label == UNLABELED:
+                categories.append("unknown" if ratio > 1.0 else "normal")
+            elif label == "normal" and ratio > 1.0:
+                categories.append("unknown")
+            else:
+                categories.append(label)
+        return categories
+
+    @given(data=st.data())
+    @settings(**FIT_SETTINGS)
+    def test_scores_predictions_categories_identical(self, data):
+        n_features = data.draw(st.integers(2, 4))
+        dataset = _make_dataset(
+            seed=data.draw(st.integers(0, 2**16)),
+            n_clusters=3,
+            n_features=n_features,
+            n_samples=data.draw(st.integers(70, 120)),
+        )
+        labeled = data.draw(st.booleans())
+        labels = None
+        if labeled:
+            rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+            labels = list(rng.choice(["normal", "dos", "probe"], size=dataset.shape[0]))
+        strategy = data.draw(st.sampled_from(["per_unit", "global"]))
+        detector = GhsomDetector(
+            _random_config(data), threshold_strategy=strategy, random_state=0
+        )
+        detector.fit(dataset, labels)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        queries = np.concatenate(
+            [dataset[:30], dataset[:15] + rng.normal(0.0, 1.0, (15, n_features))]
+        )
+
+        expected_scores = self._legacy_scores(detector, queries)
+        np.testing.assert_array_equal(detector.score_samples(queries), expected_scores)
+        np.testing.assert_array_equal(
+            detector.predict(queries), (expected_scores > 1.0).astype(int)
+        )
+        if labeled:
+            assert detector.predict_category(queries) == self._legacy_categories(
+                detector, queries
+            )

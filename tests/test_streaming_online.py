@@ -146,6 +146,15 @@ class TestStreamingPipeline:
         assert summary["n_windows"] == 3
         assert 0.0 <= summary["mean_detection_rate"] <= 1.0
         assert 0.0 <= summary["mean_false_positive_rate"] <= 1.0
+        # Throughput is the aggregate total-records / total-seconds figure.
+        assert summary["total_seconds"] > 0.0
+        total_records = sum(report.n_records for report in pipeline.reports)
+        assert summary["records_per_second"] == pytest.approx(
+            total_records / summary["total_seconds"]
+        )
+        for report in pipeline.reports:
+            assert report.seconds >= 0.0
+            assert report.records_per_second >= 0.0
 
     def test_empty_summary(self, stream_setup):
         detector, _, _ = stream_setup
