@@ -1,0 +1,312 @@
+"""Serving benchmark — compiled artifacts (bundle v2) and the one-pass detect API.
+
+Measures the two serving-path costs PR 2 targets and writes them to
+``BENCH_serving.json`` at the repository root:
+
+* **cold-load-to-first-score latency** — parse a saved detector artifact and
+  score one batch.  A v1 artifact rebuilds the whole Python ``GhsomNode``
+  tree and recompiles it before the first score; a v2 artifact hydrates the
+  compiled flat arrays directly (zero ``GhsomNode`` constructions — the run
+  records whether the tree ever materialised).
+* **detect throughput** — one :meth:`GhsomDetector.detect` pass versus the
+  legacy three separate calls (``predict`` + ``score_samples`` +
+  ``predict_category``), i.e. three tree descents versus one; plus the
+  opt-in float32 serving mode with its observed score drift.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick  # fast
+
+or under pytest (quick mode)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from common import BENCH_SEED, default_ghsom_config
+
+from repro.core import GhsomDetector
+from repro.core.serialization import (
+    detector_from_dict,
+    detector_to_dict,
+    load_detector,
+    write_json_atomic,
+)
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.eval.tables import format_table
+
+#: Where the machine-readable results land (repo root, next to CHANGES.md).
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+N_TRAIN = 4000
+FULL_BATCH_SIZES = (1000, 10000, 50000)
+QUICK_BATCH_SIZES = (500, 2000)
+#: Batch scored immediately after a cold load (a realistic first request).
+FIRST_SCORE_BATCH = 256
+
+
+def three_pass_detect(detector: GhsomDetector, X: np.ndarray):
+    """The pre-detect() serving path: one tree descent per output."""
+    predictions = detector.predict(X)
+    scores = detector.score_samples(X)
+    categories = detector.predict_category(X)
+    return predictions, scores, categories
+
+
+def _time_best(function, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``function``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure_cold_load(path: Path, X_first: np.ndarray, repeats: int) -> Dict[str, object]:
+    """Parse ``path``, build a detector, score one batch; best-of-``repeats``."""
+    tree_materialized = True
+    elapsed = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        detector = load_detector(path)
+        detector.detect(X_first)
+        elapsed = min(elapsed, time.perf_counter() - started)
+        tree_materialized = detector.tree_is_materialized
+    return {"seconds": elapsed, "tree_materialized": tree_materialized}
+
+
+def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[str, object]:
+    """Fit one detector, save v1/v2 artifacts, time loads and detect paths."""
+    batch_sizes = QUICK_BATCH_SIZES if quick else FULL_BATCH_SIZES
+    n_train = 1500 if quick else N_TRAIN
+    repeats = 3 if quick else 5
+    generator = KddSyntheticGenerator(random_state=BENCH_SEED)
+    train = generator.generate(n_train)
+    test = generator.generate(max(batch_sizes))
+    pipeline = PreprocessingPipeline()
+    X_train = pipeline.fit_transform(train)
+    X_test = pipeline.transform(test)
+    overrides = dict(tau2=0.03, min_samples_for_expansion=25) if quick else {}
+    detector = GhsomDetector(default_ghsom_config(**overrides), random_state=BENCH_SEED)
+    detector.fit(X_train, [str(category) for category in train.categories])
+    topology = detector.model.compile().describe()
+    reference = detector.detect(X_test)  # also warms BLAS / the compiled path
+
+    # ---------------- cold-load-to-first-score latency ---------------- #
+    cold_load: Dict[str, object] = {}
+    with tempfile.TemporaryDirectory() as artifact_dir:
+        artifacts = {
+            "v1": Path(artifact_dir) / "detector_v1.json",
+            "v2": Path(artifact_dir) / "detector_v2.json",
+        }
+        write_json_atomic(detector_to_dict(detector, version=1), artifacts["v1"])
+        write_json_atomic(detector_to_dict(detector, version=2), artifacts["v2"])
+        X_first = X_test[:FIRST_SCORE_BATCH]
+        for version, path in artifacts.items():
+            measured = _measure_cold_load(path, X_first, repeats)
+            loaded = load_detector(path)
+            scores = loaded.detect(X_test).scores
+            cold_load[version] = {
+                "artifact_bytes": path.stat().st_size,
+                "cold_load_to_first_score_seconds": measured["seconds"],
+                "tree_materialized_after_score": measured["tree_materialized"],
+                "scores_byte_identical_to_in_memory": bool(
+                    np.array_equal(scores, reference.scores)
+                ),
+            }
+    cold_load["speedup_v2_over_v1"] = (
+        cold_load["v1"]["cold_load_to_first_score_seconds"]
+        / max(cold_load["v2"]["cold_load_to_first_score_seconds"], 1e-12)
+    )
+
+    # ---------------- one-pass vs three-pass throughput --------------- #
+    throughput: List[Dict[str, object]] = []
+    for batch_size in batch_sizes:
+        batch = X_test[:batch_size]
+        three_seconds = _time_best(lambda: three_pass_detect(detector, batch), repeats)
+        one_seconds = _time_best(lambda: detector.detect(batch), repeats)
+        result = detector.detect(batch)
+        agree = bool(
+            np.array_equal(result.predictions, detector.predict(batch))
+            and np.array_equal(result.scores, detector.score_samples(batch))
+            and result.categories == detector.predict_category(batch)
+        )
+        throughput.append(
+            {
+                "batch_size": batch_size,
+                "three_pass_seconds": three_seconds,
+                "detect_seconds": one_seconds,
+                "speedup": three_seconds / max(one_seconds, 1e-12),
+                "detect_records_per_second": batch_size / max(one_seconds, 1e-12),
+                "agrees_with_three_calls": agree,
+            }
+        )
+
+    # ---------------- float32 serving mode ---------------------------- #
+    f32_detector = detector_from_dict(detector_to_dict(detector), dtype="float32")
+    batch = X_test[: max(batch_sizes)]
+    f64_seconds = _time_best(lambda: detector.detect(batch), repeats)
+    f32_seconds = _time_best(lambda: f32_detector.detect(batch), repeats)
+    f64_result = detector.detect(batch)
+    f32_result = f32_detector.detect(batch)
+    # Numeric drift and leaf flips are different failure modes: a sample
+    # near-equidistant between two units can land on the other leaf under
+    # float32 (its score then jumps to the other leaf's threshold/label),
+    # while samples keeping their leaf see only rounding-level drift.
+    same_leaf = f32_result.leaf_index == f64_result.leaf_index
+    rel_diff = np.abs(f32_result.scores - f64_result.scores) / np.maximum(
+        np.abs(f64_result.scores), 1e-12
+    )
+    float32 = {
+        "batch_size": int(batch.shape[0]),
+        "float64_seconds": f64_seconds,
+        "float32_seconds": f32_seconds,
+        "speedup": f64_seconds / max(f32_seconds, 1e-12),
+        "max_relative_score_diff_same_leaf": float(
+            rel_diff[same_leaf].max() if same_leaf.any() else 0.0
+        ),
+        "leaf_agreement_fraction": float(np.mean(same_leaf)),
+        "prediction_agreement_fraction": float(
+            np.mean(f32_result.predictions == f64_result.predictions)
+        ),
+    }
+
+    payload = {
+        "benchmark": "serving",
+        "quick": quick,
+        "seed": BENCH_SEED,
+        "n_train": n_train,
+        "topology": topology,
+        "cold_load": cold_load,
+        "detect_throughput": throughput,
+        "float32": float32,
+    }
+    write_json_atomic(payload, output_path)
+    return payload
+
+
+def print_report(payload: Dict[str, object]) -> None:
+    """Render the JSON payload as the usual benchmark tables."""
+    cold = payload["cold_load"]
+    print(
+        format_table(
+            [
+                [
+                    version,
+                    cold[version]["artifact_bytes"],
+                    cold[version]["cold_load_to_first_score_seconds"],
+                    "yes" if cold[version]["tree_materialized_after_score"] else "no",
+                    "yes" if cold[version]["scores_byte_identical_to_in_memory"] else "NO",
+                ]
+                for version in ("v1", "v2")
+            ],
+            ["format", "bytes", "cold_load_s", "tree_built", "byte_identical"],
+            title=(
+                "Cold load to first score "
+                f"(v2 is {cold['speedup_v2_over_v1']:.1f}x faster)"
+            ),
+        )
+    )
+    print()
+    print(
+        format_table(
+            [
+                [
+                    row["batch_size"],
+                    row["three_pass_seconds"],
+                    row["detect_seconds"],
+                    round(row["speedup"], 2),
+                    int(row["detect_records_per_second"]),
+                    "yes" if row["agrees_with_three_calls"] else "NO",
+                ]
+                for row in payload["detect_throughput"]
+            ],
+            ["batch", "three_pass_s", "detect_s", "speedup", "detect_rec/s", "agrees"],
+            title="detect(): one descent vs predict+score_samples+predict_category",
+        )
+    )
+    print()
+    f32 = payload["float32"]
+    print(
+        format_table(
+            [
+                [
+                    f32["batch_size"],
+                    f32["float64_seconds"],
+                    f32["float32_seconds"],
+                    round(f32["speedup"], 2),
+                    f"{f32['max_relative_score_diff_same_leaf']:.2e}",
+                    f32["leaf_agreement_fraction"],
+                    f32["prediction_agreement_fraction"],
+                ]
+            ],
+            [
+                "batch",
+                "float64_s",
+                "float32_s",
+                "speedup",
+                "rel_diff_same_leaf",
+                "leaf_agree",
+                "pred_agree",
+            ],
+            title="Opt-in float32 serving (float64 stays the bit-exact default)",
+        )
+    )
+
+
+def test_serving_benchmark(tmp_path):
+    """Quick-mode run under pytest: the acceptance gates for the serving path.
+
+    Writes its JSON to a temp dir so the committed full-run
+    ``BENCH_serving.json`` is never overwritten by a quick pass (use the CLI
+    to refresh the real artifact).
+    """
+    payload = run_benchmark(quick=True, output_path=tmp_path / "BENCH_serving.json")
+    print()
+    print_report(payload)
+    cold = payload["cold_load"]
+    # A v1 load must rebuild the tree; a v2 load must never touch it...
+    assert cold["v1"]["tree_materialized_after_score"]
+    assert not cold["v2"]["tree_materialized_after_score"]
+    # ...and both must reproduce the in-memory detector bit for bit.
+    assert cold["v1"]["scores_byte_identical_to_in_memory"]
+    assert cold["v2"]["scores_byte_identical_to_in_memory"]
+    # detect() must agree with the three separate calls and never be slower.
+    for row in payload["detect_throughput"]:
+        assert row["agrees_with_three_calls"]
+        assert row["speedup"] > 1.0
+    # float32 mode: documented tolerance holds and decisions barely move.
+    assert payload["float32"]["max_relative_score_diff_same_leaf"] < 1e-3
+    assert payload["float32"]["leaf_agreement_fraction"] > 0.99
+    assert payload["float32"]["prediction_agreement_fraction"] > 0.99
+    # The compiled artifact must not cost more bytes than the tree format.
+    assert cold["v2"]["artifact_bytes"] < 1.25 * cold["v1"]["artifact_bytes"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sizes, fewer repeats")
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT_PATH, help="where to write the JSON report"
+    )
+    args = parser.parse_args()
+    payload = run_benchmark(quick=args.quick, output_path=args.output)
+    print_report(payload)
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

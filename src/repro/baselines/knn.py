@@ -132,6 +132,3 @@ class KnnDetector(BaseAnomalyDetector):
             )
         return self._mean_knn_distance(matrix) / self._threshold
 
-    def predict_category(self, X) -> List[str]:
-        """k-NN has no class model; anomalies are reported as ``"anomaly"``."""
-        return super().predict_category(X)

@@ -163,6 +163,3 @@ class LofDetector(BaseAnomalyDetector):
             )
         return self._query_lof(matrix) / self._threshold
 
-    def predict_category(self, X) -> List[str]:
-        """LOF has no class model; anomalies are reported as ``"anomaly"``."""
-        return super().predict_category(X)

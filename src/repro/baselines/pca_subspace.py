@@ -234,6 +234,3 @@ class PcaSubspaceDetector(BaseAnomalyDetector):
             return np.zeros_like(self._eigenvalues)
         return self._eigenvalues / total
 
-    def predict_category(self, X) -> List[str]:
-        """PCA has no class model; anomalies are reported as ``"anomaly"``."""
-        return super().predict_category(X)

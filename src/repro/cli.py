@@ -37,7 +37,7 @@ import numpy as np
 from repro.baselines import KMeansDetector, KnnDetector, LofDetector, PcaSubspaceDetector, SomDetector
 from repro.core import GhsomConfig, GhsomDetector, SomTrainingConfig
 from repro.core.inspection import describe_tree
-from repro.core.serialization import detector_from_dict, detector_to_dict
+from repro.core.serialization import detector_from_dict, detector_to_dict, write_json_atomic
 from repro.data.loader import load_csv, save_csv
 from repro.data.preprocess import PreprocessingPipeline
 from repro.data.synthetic import KddSyntheticGenerator
@@ -47,31 +47,47 @@ from repro.eval.reporting import save_markdown_report, save_results_json
 from repro.eval.tables import format_table
 from repro.exceptions import ReproError
 
-BUNDLE_FORMAT_VERSION = 1
+#: Bundle v2 embeds the compiled flat arrays + per-leaf tables (detector
+#: format v2), so ``detect`` serves without rebuilding the Python tree; v1
+#: bundles are still read.
+BUNDLE_FORMAT_VERSION = 2
+SUPPORTED_BUNDLE_VERSIONS = (1, 2)
 
 
 # --------------------------------------------------------------------------- #
 # bundle helpers (pipeline + detector in one JSON document)
 # --------------------------------------------------------------------------- #
 def save_bundle(pipeline: PreprocessingPipeline, detector: GhsomDetector, path: Path) -> None:
-    """Write the preprocessing pipeline and the fitted detector as one JSON bundle."""
+    """Write the preprocessing pipeline and the fitted detector as one JSON bundle.
+
+    The write is atomic (temp file + rename): a crash mid-save can never
+    leave a truncated, unloadable bundle behind.
+    """
     payload = {
         "kind": "repro_bundle",
         "format_version": BUNDLE_FORMAT_VERSION,
         "pipeline": pipeline.to_dict(),
         "detector": detector_to_dict(detector),
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload))
+    write_json_atomic(payload, path)
 
 
-def load_bundle(path: Path):
-    """Load a bundle written by :func:`save_bundle`."""
+def load_bundle(path: Path, *, dtype: str = "float64"):
+    """Load a bundle written by :func:`save_bundle` (any supported version).
+
+    ``dtype="float32"`` opts into the narrowed serving mode on the loaded
+    detector (see :meth:`repro.core.CompiledGhsom.astype` for the tolerance
+    contract); the float64 default is bit-exact.
+    """
     payload = json.loads(Path(path).read_text())
     if payload.get("kind") != "repro_bundle":
         raise ReproError(f"{path} is not a repro model bundle")
+    if payload.get("format_version") not in SUPPORTED_BUNDLE_VERSIONS:
+        raise ReproError(
+            f"{path} has unsupported bundle version {payload.get('format_version')!r}"
+        )
     pipeline = PreprocessingPipeline.from_dict(payload["pipeline"])
-    detector = detector_from_dict(payload["detector"])
+    detector = detector_from_dict(payload["detector"], dtype=dtype)
     return pipeline, detector
 
 
@@ -142,17 +158,27 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
-    pipeline, detector = load_bundle(Path(args.model))
+    pipeline, detector = load_bundle(
+        Path(args.model), dtype="float32" if args.float32 else "float64"
+    )
     dataset = load_csv(args.input)
+    if len(dataset) == 0:
+        # load_csv already rejects empty files; this keeps the alarm-rate
+        # division safe (and the exit contract identical) should it ever
+        # start returning empty datasets.
+        raise ReproError(f"{args.input} contains no records")
     X = pipeline.transform(dataset)
-    alarms = detector.predict(X)
-    scores = detector.score_samples(X)
-    categories = detector.predict_category(X)
+    # One pass: scores, decisions and categories all come from a single
+    # tree descent instead of one per method call.
+    result = detector.detect(X)
+    alarms, scores, categories = result.predictions, result.scores, result.categories
     n_alarms = int(alarms.sum())
     print(f"scored {len(dataset)} records: {n_alarms} alarms ({n_alarms / len(dataset):.2%})")
-    # If the input carries labels, also report detection quality.
+    # If the input carries attack labels, also report detection quality —
+    # unless the operator said the labels are not to be trusted.
     true_categories = [str(category) for category in dataset.categories]
-    if any(category != "normal" for category in true_categories) or not args.assume_unlabeled:
+    labels_present = any(category != "normal" for category in true_categories)
+    if not args.assume_unlabeled and labels_present:
         metrics = binary_metrics(dataset.is_attack.astype(int), alarms)
         print(
             format_table(
@@ -309,6 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--assume-unlabeled",
         action="store_true",
         help="do not compute quality metrics from labels in the input",
+    )
+    detect.add_argument(
+        "--float32",
+        action="store_true",
+        help="serve in float32 (faster on large models; scores drift ~1e-4 relative)",
     )
     detect.set_defaults(handler=cmd_detect)
 

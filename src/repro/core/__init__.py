@@ -2,7 +2,7 @@
 
 from repro.core.compiled import CompiledGhsom, compile_ghsom
 from repro.core.config import GhsomConfig, SomTrainingConfig
-from repro.core.detector import BaseAnomalyDetector, GhsomDetector
+from repro.core.detector import BaseAnomalyDetector, DetectionResult, GhsomDetector
 from repro.core.ensemble import EnsembleDetector
 from repro.core.ghsom import Ghsom, GhsomNode, LeafAssignment
 from repro.core.grid import MapGrid
@@ -38,6 +38,7 @@ __all__ = [
     "GhsomConfig",
     "SomTrainingConfig",
     "BaseAnomalyDetector",
+    "DetectionResult",
     "GhsomDetector",
     "EnsembleDetector",
     "Ghsom",

@@ -155,6 +155,50 @@ class CompiledGhsom:
         """
         return np.array([getter(key) for key in self.leaf_keys], dtype=dtype)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Arithmetic dtype of the serving codebook (``float64`` unless cast)."""
+        return self.codebook.dtype
+
+    def astype(self, dtype) -> "CompiledGhsom":
+        """A snapshot with the codebook cast to ``dtype`` (opt-in float32 serving).
+
+        ``float64`` (the default everywhere) is bit-exact against the legacy
+        recursive path.  ``float32`` halves codebook memory traffic for large
+        trees at the cost of exactness: the expanded ``|x-w|^2`` form loses
+        low-order bits to cancellation in single precision, so scores drift
+        with a relative error on the order of ``1e-4`` (the test gate allows
+        up to ``1e-3``); a sample near-equidistant between two units can
+        additionally flip to the other leaf, taking that leaf's threshold and
+        label with it — observed on well under 1% of records on the synthetic
+        KDD workload.  ``benchmarks/bench_serving.py`` records both effects
+        per run.
+        Distances are still returned as ``float64`` arrays so downstream
+        threshold arithmetic is unchanged.
+
+        Returns ``self`` when the codebook already has the requested dtype.
+        """
+        requested = np.dtype(dtype)
+        if requested == self.codebook.dtype:
+            return self
+        codebook = np.ascontiguousarray(self.codebook, dtype=requested)
+        return CompiledGhsom(
+            n_features=self.n_features,
+            metric=self.metric,
+            node_ids=self.node_ids,
+            node_depths=self.node_depths,
+            node_offsets=self.node_offsets,
+            codebook=codebook,
+            child_of_unit=self.child_of_unit,
+            leaf_of_unit=self.leaf_of_unit,
+            leaf_node=self.leaf_node,
+            leaf_unit=self.leaf_unit,
+            leaf_depth=self.leaf_depth,
+            leaf_keys=self.leaf_keys,
+            unit_norms=np.einsum("ij,ij->i", codebook, codebook),
+            _leaf_index_of=self._leaf_index_of,
+        )
+
     def describe(self) -> Dict[str, object]:
         """Structural summary (used by the benchmark harness and docs)."""
         return {
@@ -164,6 +208,7 @@ class CompiledGhsom:
             "max_depth": self.max_depth,
             "n_features": self.n_features,
             "metric": self.metric,
+            "dtype": str(self.dtype),
         }
 
     # ------------------------------------------------------------------ #
@@ -185,9 +230,12 @@ class CompiledGhsom:
             raise DataValidationError(
                 f"data has {matrix.shape[1]} features, the model expects {self.n_features}"
             )
+        # Float32 serving mode: run the whole descent in the codebook's dtype
+        # (see :meth:`astype`); the float64 default leaves the matrix untouched.
+        matrix = np.ascontiguousarray(matrix, dtype=self.codebook.dtype)
         n = matrix.shape[0]
         leaf_index = np.full(n, -1, dtype=np.intp)
-        distances = np.zeros(n, dtype=float)
+        distances = np.zeros(n, dtype=self.codebook.dtype)
         # exact_metric is None when the squared-Euclidean BMU matrix already
         # yields the quantization distance (possibly after a square root).
         exact_metric = (
@@ -247,7 +295,9 @@ class CompiledGhsom:
             else:
                 pending = np.empty(0, dtype=np.intp)
                 pending_node = pending
-        return leaf_index, distances
+        # Distances surface as float64 regardless of serving dtype so the
+        # threshold arithmetic downstream never changes representation.
+        return leaf_index, distances.astype(np.float64, copy=False)
 
     def transform(self, data) -> np.ndarray:
         """Quantization distance per sample (the raw anomaly score)."""

@@ -17,13 +17,17 @@ Every detector in this library (the GHSOM detector here and the baselines in
     Binary decisions: 1 for anomaly, 0 for normal.
 ``predict_category(X)``
     Best-effort class labels (only meaningful when ``fit`` saw labels).
+``detect(X)``
+    All of the above in one :class:`DetectionResult`, computed from a single
+    scoring pass — the serving entry point (the CLI, the streaming wrapper and
+    the evaluation harness all go through it).
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +39,37 @@ from repro.core.thresholds import make_threshold_strategy
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_array_2d, check_same_length
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Everything a serving consumer needs about one scored batch.
+
+    Produced by :meth:`BaseAnomalyDetector.detect` so that callers needing
+    scores *and* decisions *and* class labels (the CLI ``detect`` command, the
+    evaluation harness, the streaming wrapper) pay for one scoring pass
+    instead of one per method call.
+
+    Attributes
+    ----------
+    scores:
+        Threshold-normalised anomaly scores (1.0 = at the alarm threshold).
+    predictions:
+        Binary decisions, 1 for anomaly — always ``(scores > 1.0)``.
+    categories:
+        Best-effort class label per record.
+    leaf_index:
+        Compiled leaf-table row per record for detectors with a leaf topology
+        (:class:`GhsomDetector`); ``None`` for detectors without one.
+    """
+
+    scores: np.ndarray
+    predictions: np.ndarray
+    categories: List[str]
+    leaf_index: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return int(self.scores.shape[0])
 
 
 def combine_label_and_distance_scores(
@@ -114,6 +149,69 @@ class _LeafTables:
     purity: Optional[np.ndarray]  # (L,) label purity (attack leaves only)
 
 
+def build_leaf_tables(
+    compiled: CompiledGhsom,
+    threshold_strategy,
+    labeler: Optional[UnitLabeler],
+) -> _LeafTables:
+    """Materialise the per-leaf scoring tables for a compiled model.
+
+    Called by the detector whenever its cached tables are stale; the
+    serialization layer stores the resulting arrays in v2 artifacts so a
+    loaded detector skips even this (cheap) per-leaf evaluation.
+    """
+    thresholds = compiled.leaf_lookup(threshold_strategy.threshold_for, dtype=float)
+    labels = is_attack = purity = None
+    if labeler is not None:
+        infos = [labeler.info_of(key) for key in compiled.leaf_keys]
+        labels = np.array([info.label for info in infos], dtype=object)
+        is_attack = np.array([_is_attack_label(info.label) for info in infos], dtype=bool)
+        purity = np.array(
+            [info.purity if flag else 0.0 for info, flag in zip(infos, is_attack)],
+            dtype=float,
+        )
+    return _LeafTables(
+        compiled=compiled,
+        threshold_source=threshold_strategy,
+        threshold_version=threshold_strategy.fit_version,
+        labeler_source=labeler,
+        labeler_version=0 if labeler is None else labeler.fit_version,
+        thresholds=thresholds,
+        labels=labels,
+        is_attack=is_attack,
+        purity=purity,
+    )
+
+
+def restore_leaf_tables(
+    compiled: CompiledGhsom,
+    threshold_strategy,
+    labeler: Optional[UnitLabeler],
+    *,
+    thresholds: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    is_attack: Optional[np.ndarray] = None,
+    purity: Optional[np.ndarray] = None,
+) -> _LeafTables:
+    """Rebuild leaf tables from arrays stored in a v2 model artifact.
+
+    The tables are pinned to the freshly deserialized strategy / labeler
+    objects at their current ``fit_version``, so any later in-place refit
+    invalidates them exactly as it would invalidate live-built tables.
+    """
+    return _LeafTables(
+        compiled=compiled,
+        threshold_source=threshold_strategy,
+        threshold_version=threshold_strategy.fit_version,
+        labeler_source=labeler,
+        labeler_version=0 if labeler is None else labeler.fit_version,
+        thresholds=np.asarray(thresholds, dtype=float),
+        labels=None if labels is None else np.asarray(labels, dtype=object),
+        is_attack=None if is_attack is None else np.asarray(is_attack, dtype=bool),
+        purity=None if purity is None else np.asarray(purity, dtype=float),
+    )
+
+
 class BaseAnomalyDetector(abc.ABC):
     """Abstract base class for all anomaly detectors in this library."""
 
@@ -135,6 +233,29 @@ class BaseAnomalyDetector(abc.ABC):
     def predict_category(self, X) -> List[str]:
         """Class labels per sample; defaults to anomaly/normal if no labels were seen."""
         return ["anomaly" if flag else "normal" for flag in self.predict(X)]
+
+    def detect(self, X) -> DetectionResult:
+        """Scores, decisions and categories from one scoring pass.
+
+        The base implementation scores once and derives the decisions from the
+        scores; detectors whose ``predict_category`` carries real class
+        information (an overridden method) are routed through it so the result
+        never disagrees with the individual calls.  :class:`GhsomDetector`
+        overrides this wholesale with a true single-pass implementation.
+        """
+        scores = np.asarray(self.score_samples(X), dtype=float)
+        predictions = (scores > 1.0).astype(int)
+        overridden = type(self).predict_category is not BaseAnomalyDetector.predict_category
+        # Labeler-carrying detectors (the SOM/k-means baselines) fall back to
+        # the default anomaly/normal labels when fitted without labels; derive
+        # those directly from the scores we already have instead of paying
+        # their predict_category override a second scoring pass for them.
+        unlabeled = hasattr(self, "labeler") and getattr(self, "labeler") is None
+        if overridden and not unlabeled:
+            categories = self.predict_category(X)
+        else:
+            categories = ["anomaly" if flag else "normal" for flag in predictions]
+        return DetectionResult(scores=scores, predictions=predictions, categories=categories)
 
     def _require_fitted(self, condition: bool) -> None:
         if not condition:
@@ -192,20 +313,94 @@ class GhsomDetector(BaseAnomalyDetector):
         self.labeling_strategy = labeling_strategy
         self.calibrate_on_normal_only = calibrate_on_normal_only
         self.random_state = random_state
-        self.model: Optional[Ghsom] = None
         self.labeler: Optional[UnitLabeler] = None
         self.threshold_: Optional[object] = None
+        self._model: Optional[Ghsom] = None
+        #: Deferred tree hydration hook: a v2 model artifact restores the
+        #: compiled arrays eagerly and parks the (expensive) ``GhsomNode`` tree
+        #: rebuild here; it runs only if ``model`` is actually accessed.
+        self._model_loader: Optional[Callable[[], Ghsom]] = None
+        #: Compiled snapshot serving in place of ``model.compile()`` — set when
+        #: the detector was hydrated from flat arrays or switched to a non-default
+        #: serving dtype; ``None`` means "compile from the fitted tree".
+        self._compiled: Optional[CompiledGhsom] = None
         self._tables: Optional[_LeafTables] = None
 
     # ------------------------------------------------------------------ #
     @property
+    def model(self) -> Optional[Ghsom]:
+        """The fitted GHSOM tree, hydrating it from a loaded artifact on first use.
+
+        Scoring never touches this: a detector loaded from a v2 artifact
+        serves straight from its compiled arrays, and the Python node tree is
+        rebuilt lazily only for consumers that genuinely need it (structure
+        inspection, refitting workflows).
+        """
+        if self._model is None and self._model_loader is not None:
+            loader, self._model_loader = self._model_loader, None
+            self._model = loader()
+        return self._model
+
+    @model.setter
+    def model(self, value: Optional[Ghsom]) -> None:
+        self._model = value
+        self._model_loader = None
+
+    @property
+    def tree_is_materialized(self) -> bool:
+        """Whether the Python ``GhsomNode`` tree currently exists in memory.
+
+        ``False`` for a freshly loaded v2 artifact (even after scoring): the
+        serving path runs entirely on the compiled arrays.
+        """
+        return self._model is not None
+
+    @property
     def is_fitted(self) -> bool:
-        return self.model is not None and self.threshold_ is not None
+        has_model = (
+            self._model is not None
+            or self._model_loader is not None
+            or self._compiled is not None
+        )
+        return has_model and self.threshold_ is not None
 
     @property
     def is_labeled(self) -> bool:
         """Whether the detector was trained with class labels."""
         return self.labeler is not None
+
+    @property
+    def serving_dtype(self) -> np.dtype:
+        """Arithmetic dtype of the serving path (``float64`` unless opted out)."""
+        self._require_fitted(self.is_fitted)
+        return self._compiled_model().dtype
+
+    def set_serving_dtype(self, dtype) -> "GhsomDetector":
+        """Switch the serving path to ``dtype`` (e.g. ``"float32"``) in place.
+
+        Float32 serving halves codebook memory traffic at the cost of
+        bit-exactness — see :meth:`CompiledGhsom.astype` for the tolerance
+        contract.  ``float64`` restores the default, bit-exact path (for a
+        detector whose only source is an already-narrowed snapshot, the tree
+        is rehydrated to recover full precision).
+        """
+        self._require_fitted(self.is_fitted)
+        requested = np.dtype(dtype)
+        current = self._compiled_model()
+        if requested == current.dtype:
+            return self
+        if current.dtype == np.dtype("float64"):
+            # Narrowing from the exact source keeps the documented tolerance.
+            self._compiled = current.astype(requested)
+        elif requested == np.dtype("float64") and self.model is not None:
+            # Upcasting a narrowed codebook cannot recover the lost bits;
+            # recompile from the tree (the property access above hydrated a
+            # lazily loaded one) instead.
+            self._compiled = None
+        else:
+            self._compiled = current.astype(requested)
+        self._tables = None
+        return self
 
     # ------------------------------------------------------------------ #
     def fit(self, X, y: Optional[Sequence[str]] = None) -> "GhsomDetector":
@@ -216,6 +411,7 @@ class GhsomDetector(BaseAnomalyDetector):
             labels = [str(label) for label in y]
             check_same_length(matrix, labels, "X", "y")
         self._tables = None
+        self._compiled = None
         self.model = Ghsom(self.config, random_state=self.random_state)
         self.model.fit(matrix)
         compiled = self.model.compile()
@@ -242,6 +438,17 @@ class GhsomDetector(BaseAnomalyDetector):
         return self
 
     # ------------------------------------------------------------------ #
+    def _compiled_model(self) -> CompiledGhsom:
+        """The compiled snapshot the serving path runs on.
+
+        A detector hydrated from a v2 artifact (or switched to a non-default
+        serving dtype) serves from its stored arrays; a tree-backed detector
+        compiles its fitted tree (cached per fit by ``Ghsom.compile``).
+        """
+        if self._compiled is not None:
+            return self._compiled
+        return self.model.compile()
+
     def _leaf_tables(self) -> _LeafTables:
         """Compiled leaf lookup tables (built lazily, e.g. after deserialization).
 
@@ -251,50 +458,70 @@ class GhsomDetector(BaseAnomalyDetector):
         effect on the next scoring call just as it did on the pre-compiled
         path.
         """
-        compiled = self.model.compile()
+        compiled = self._compiled_model()
         if (
             self._tables is not None
             and self._tables.compiled is compiled
             and self._tables.threshold_source is self.threshold_
-            and self._tables.threshold_version == getattr(self.threshold_, "fit_version", 0)
+            and self._tables.threshold_version == self.threshold_.fit_version
             and self._tables.labeler_source is self.labeler
-            and self._tables.labeler_version == getattr(self.labeler, "fit_version", 0)
+            and self._tables.labeler_version
+            == (0 if self.labeler is None else self.labeler.fit_version)
         ):
             return self._tables
-        thresholds = compiled.leaf_lookup(self.threshold_.threshold_for, dtype=float)
-        labels = is_attack = purity = None
-        if self.labeler is not None:
-            infos = [self.labeler.info_of(key) for key in compiled.leaf_keys]
-            labels = np.array([info.label for info in infos], dtype=object)
-            is_attack = np.array([_is_attack_label(info.label) for info in infos], dtype=bool)
-            purity = np.array(
-                [info.purity if flag else 0.0 for info, flag in zip(infos, is_attack)],
-                dtype=float,
-            )
-        self._tables = _LeafTables(
-            compiled=compiled,
-            threshold_source=self.threshold_,
-            threshold_version=getattr(self.threshold_, "fit_version", 0),
-            labeler_source=self.labeler,
-            labeler_version=getattr(self.labeler, "fit_version", 0),
-            thresholds=thresholds,
-            labels=labels,
-            is_attack=is_attack,
-            purity=purity,
-        )
+        self._tables = build_leaf_tables(compiled, self.threshold_, self.labeler)
         return self._tables
 
     def _score_arrays(self, X):
         """Shared vectorized front half of every scoring method.
 
         Returns ``(tables, leaf_index, ratios)`` where ``ratios`` are the
-        threshold-normalised distances.
+        threshold-normalised distances.  This is the *single*
+        ``assign_arrays`` pass everything in :meth:`detect` derives from.
         """
         self._require_fitted(self.is_fitted)
         tables = self._leaf_tables()
-        leaf_index, distances = self.model.assign_arrays(X)
+        leaf_index, distances = tables.compiled.assign_arrays(X)
         ratios = distances / tables.thresholds[leaf_index]
         return tables, leaf_index, ratios
+
+    def detect(self, X) -> DetectionResult:
+        """Scores, decisions, categories and leaf rows from **one** descent.
+
+        A single :meth:`CompiledGhsom.assign_arrays` pass feeds every output:
+        the serving path (CLI ``detect``, :class:`OnlineDetector`, the
+        evaluation harness) costs one tree descent per batch instead of the
+        three that separate ``predict`` / ``score_samples`` /
+        ``predict_category`` calls would pay.  Each individual method is the
+        corresponding field of this result.
+        """
+        tables, leaf_index, ratios = self._score_arrays(X)
+        if tables.is_attack is None:
+            scores = ratios
+        else:
+            scores = _fold_attack_labels(
+                ratios, tables.is_attack[leaf_index], tables.purity[leaf_index]
+            )
+        predictions = (scores > 1.0).astype(int)
+        if tables.labels is None:
+            categories = ["anomaly" if flag else "normal" for flag in predictions]
+        else:
+            # Fancy indexing allocates a fresh array, safe for in-place masking
+            # once all label masks are computed up front.
+            labels = tables.labels[leaf_index]
+            over = ratios > 1.0
+            unlabeled = labels == UNLABELED
+            was_normal = labels == "normal"
+            labels[unlabeled & over] = "unknown"
+            labels[unlabeled & ~over] = "normal"
+            labels[was_normal & over] = "unknown"
+            categories = labels.tolist()
+        return DetectionResult(
+            scores=scores,
+            predictions=predictions,
+            categories=categories,
+            leaf_index=leaf_index,
+        )
 
     def score_samples(self, X) -> np.ndarray:
         """Threshold-normalised anomaly scores.
@@ -327,22 +554,10 @@ class GhsomDetector(BaseAnomalyDetector):
 
         Records that land on unlabeled leaves, or that exceed the distance
         threshold of a normal-labelled leaf, are reported as ``"unknown"`` —
-        they are anomalous but resemble no training class.
+        they are anomalous but resemble no training class.  Equal to
+        ``detect(X).categories``.
         """
-        if self.labeler is None:
-            flags = self.predict(X)
-            return ["anomaly" if flag else "normal" for flag in flags]
-        tables, leaf_index, ratios = self._score_arrays(X)
-        # Fancy indexing allocates a fresh array, safe for in-place masking
-        # once all label masks are computed up front.
-        categories = tables.labels[leaf_index]
-        over = ratios > 1.0
-        unlabeled = categories == UNLABELED
-        was_normal = categories == "normal"
-        categories[unlabeled & over] = "unknown"
-        categories[unlabeled & ~over] = "normal"
-        categories[was_normal & over] = "unknown"
-        return categories.tolist()
+        return self.detect(X).categories
 
     # ------------------------------------------------------------------ #
     # inspection

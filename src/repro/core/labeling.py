@@ -72,6 +72,10 @@ class UnitLabeler:
         self.min_purity = min_purity
         self.min_count = min_count
         self._labels: Optional[Dict[LeafKey, LeafLabel]] = None
+        #: Bumped on every (re)fit so consumers caching derived per-leaf label
+        #: tables can detect in-place relabelling of the same object.  Declared
+        #: eagerly so deserialized labelers carry it too.
+        self.fit_version = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -112,9 +116,7 @@ class UnitLabeler:
                     label = max(attack_votes)[1]
             fitted[key] = LeafLabel(label, total, purity)
         self._labels = fitted
-        # Bumped on every (re)fit so consumers caching derived per-leaf label
-        # tables can detect in-place relabelling of the same object.
-        self.fit_version = getattr(self, "fit_version", 0) + 1
+        self.fit_version += 1
         return self
 
     # ------------------------------------------------------------------ #

@@ -4,18 +4,40 @@ Models are serialised to a single JSON document (codebooks stored as nested
 lists).  JSON keeps the artefacts human-inspectable and avoids pickle's code
 execution concerns; the models involved are small (a few hundred units of a
 few dozen dimensions), so the size overhead of a text format is irrelevant.
+
+Two artifact format versions exist:
+
+* **v1** — the original tree-shaped payload: the GHSOM is stored as a nested
+  ``root`` node dict and loading rebuilds the full Python ``GhsomNode`` tree
+  (and recompiles it before the first score).  Still read, never written.
+* **v2** (current) — additionally embeds the **compiled flat arrays**
+  (stacked codebook, topology arrays, leaf table — see
+  :class:`~repro.core.compiled.CompiledGhsom`) and, for detectors, the
+  per-leaf scoring tables (thresholds, labels, attack flags, purity).
+  Loading hydrates a scoring-ready detector straight from these arrays: no
+  ``GhsomNode`` objects are constructed and nothing is recompiled before the
+  first score.  The tree payload is still stored, and the loaded detector
+  rebuilds it lazily only if a consumer actually asks for ``detector.model``
+  (structure inspection, refit workflows).
+
+All files are written atomically: the payload goes to a temporary file in the
+target directory first and is renamed into place, so a crash mid-write can
+never leave a truncated, unloadable artifact behind.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro.core.compiled import CompiledGhsom
 from repro.core.config import GhsomConfig
-from repro.core.detector import GhsomDetector
+from repro.core.detector import GhsomDetector, restore_leaf_tables
 from repro.core.ghsom import Ghsom, GhsomNode
 from repro.core.growing_som import GrowingSom
 from repro.core.labeling import UnitLabeler
@@ -26,28 +48,126 @@ PathLike = Union[str, Path]
 
 #: Format marker written into every artefact so loads can fail fast on
 #: incompatible files.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Format versions the readers accept (v1 artifacts remain loadable).
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
+
+
+def _check_version(data: Dict[str, object]) -> int:
+    version = data.get("format_version")
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        raise SerializationError(f"unsupported format version {version!r}")
+    return int(version)  # type: ignore[arg-type]
+
+
+def _check_writer_version(version: int) -> int:
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        raise SerializationError(
+            f"cannot write format version {version!r}; "
+            f"supported versions are {SUPPORTED_FORMAT_VERSIONS}"
+        )
+    return int(version)
+
+
+# --------------------------------------------------------------------------- #
+# compiled flat arrays (format v2)
+# --------------------------------------------------------------------------- #
+def compiled_to_dict(compiled: CompiledGhsom) -> Dict[str, object]:
+    """Serialise a :class:`CompiledGhsom` snapshot to a JSON-compatible dict.
+
+    Only the defining arrays are stored; derived quantities (unit norms, the
+    leaf-key index) are recomputed on load, and ``leaf_keys`` themselves are
+    reconstructed from ``node_ids`` + the leaf table.  The codebook is always
+    written from the float64 representation so artifacts stay bit-exact
+    regardless of any serving-dtype cast applied in memory.
+    """
+    if compiled.dtype != np.dtype("float64"):
+        raise SerializationError(
+            "refusing to serialise a narrowed compiled model "
+            f"(dtype={compiled.dtype}); serialise the float64 snapshot and "
+            "opt into float32 at load time instead"
+        )
+    return {
+        "n_features": int(compiled.n_features),
+        "metric": compiled.metric,
+        "node_ids": list(compiled.node_ids),
+        "node_depths": compiled.node_depths.tolist(),
+        "node_offsets": compiled.node_offsets.tolist(),
+        "codebook": compiled.codebook.tolist(),
+        "child_of_unit": compiled.child_of_unit.tolist(),
+        "leaf_of_unit": compiled.leaf_of_unit.tolist(),
+        "leaf_node": compiled.leaf_node.tolist(),
+        "leaf_unit": compiled.leaf_unit.tolist(),
+        "leaf_depth": compiled.leaf_depth.tolist(),
+    }
+
+
+def compiled_from_dict(data: Dict[str, object], *, dtype: str = "float64") -> CompiledGhsom:
+    """Rebuild a :class:`CompiledGhsom` from :func:`compiled_to_dict` output.
+
+    ``dtype`` selects the serving precision: the default ``"float64"``
+    reproduces the saved model bit-exactly; ``"float32"`` opts into the
+    narrowed serving mode (see :meth:`CompiledGhsom.astype`).
+    """
+    node_ids = tuple(str(node_id) for node_id in data["node_ids"])
+    codebook = np.ascontiguousarray(np.asarray(data["codebook"], dtype=float))
+    leaf_node = np.asarray(data["leaf_node"], dtype=np.intp)
+    leaf_unit = np.asarray(data["leaf_unit"], dtype=np.intp)
+    leaf_keys = tuple(
+        (node_ids[node], int(unit)) for node, unit in zip(leaf_node, leaf_unit)
+    )
+    compiled = CompiledGhsom(
+        n_features=int(data["n_features"]),
+        metric=str(data["metric"]),
+        node_ids=node_ids,
+        node_depths=np.asarray(data["node_depths"], dtype=np.intp),
+        node_offsets=np.asarray(data["node_offsets"], dtype=np.intp),
+        codebook=codebook,
+        child_of_unit=np.asarray(data["child_of_unit"], dtype=np.intp),
+        leaf_of_unit=np.asarray(data["leaf_of_unit"], dtype=np.intp),
+        leaf_node=leaf_node,
+        leaf_unit=leaf_unit,
+        leaf_depth=np.asarray(data["leaf_depth"], dtype=np.intp),
+        leaf_keys=leaf_keys,
+        unit_norms=np.einsum("ij,ij->i", codebook, codebook),
+        _leaf_index_of={key: row for row, key in enumerate(leaf_keys)},
+    )
+    return compiled.astype(dtype)
 
 
 # --------------------------------------------------------------------------- #
 # GHSOM model
 # --------------------------------------------------------------------------- #
-def _node_to_dict(node: GhsomNode) -> Dict[str, object]:
-    return {
+def _node_to_dict(node: GhsomNode, *, include_codebook: bool = True) -> Dict[str, object]:
+    payload: Dict[str, object] = {
         "node_id": node.node_id,
         "depth": node.depth,
         "parent_unit": node.parent_unit,
         "rows": node.layer.grid.rows,
         "cols": node.layer.grid.cols,
         "parent_qe": node.layer.parent_qe,
-        "codebook": node.layer.codebook.tolist(),
         "unit_qe": np.asarray(node.unit_qe, dtype=float).tolist(),
         "unit_count": np.asarray(node.unit_count, dtype=int).tolist(),
-        "children": {str(unit): _node_to_dict(child) for unit, child in node.children.items()},
+        "children": {
+            str(unit): _node_to_dict(child, include_codebook=include_codebook)
+            for unit, child in node.children.items()
+        },
     }
+    if include_codebook:
+        # v1 payloads carry each layer's codebook inline; v2 payloads store
+        # every codebook exactly once, in the compiled stacked array, and the
+        # tree nodes reference their slice of it by node id.
+        payload["codebook"] = node.layer.codebook.tolist()
+    return payload
 
 
-def _node_from_dict(data: Dict[str, object], config: GhsomConfig, n_features: int) -> GhsomNode:
+def _node_from_dict(
+    data: Dict[str, object],
+    config: GhsomConfig,
+    n_features: int,
+    codebooks: Optional[Dict[str, np.ndarray]] = None,
+) -> GhsomNode:
     rows = int(data["rows"])
     cols = int(data["cols"])
     layer = GrowingSom(
@@ -56,7 +176,15 @@ def _node_from_dict(data: Dict[str, object], config: GhsomConfig, n_features: in
         parent_qe=float(data["parent_qe"]),
         random_state=config.random_state,
     )
-    codebook = np.asarray(data["codebook"], dtype=float)
+    if "codebook" in data:
+        codebook = np.asarray(data["codebook"], dtype=float)
+    elif codebooks is not None and str(data["node_id"]) in codebooks:
+        codebook = np.array(codebooks[str(data["node_id"])], dtype=float)
+    else:
+        raise SerializationError(
+            f"node {data.get('node_id')!r} has no inline codebook and no "
+            "compiled codebook slice to restore it from"
+        )
     layer._replace_map(layer.grid.__class__(rows, cols), codebook)  # reuse swap helper
     layer.som._fitted = True
     layer._fitted = True
@@ -69,44 +197,81 @@ def _node_from_dict(data: Dict[str, object], config: GhsomConfig, n_features: in
         unit_count=np.asarray(data["unit_count"], dtype=int),
     )
     for unit, child_data in dict(data.get("children", {})).items():
-        node.children[int(unit)] = _node_from_dict(child_data, config, n_features)
+        node.children[int(unit)] = _node_from_dict(child_data, config, n_features, codebooks)
     return node
 
 
-def ghsom_to_dict(model: Ghsom) -> Dict[str, object]:
-    """Serialise a fitted :class:`Ghsom` to a JSON-compatible dict."""
+def _codebook_slices(compiled: CompiledGhsom) -> Dict[str, np.ndarray]:
+    """Per-node views into the compiled stacked codebook, keyed by node id."""
+    offsets = compiled.node_offsets
+    return {
+        node_id: compiled.codebook[int(offsets[index]) : int(offsets[index + 1])]
+        for index, node_id in enumerate(compiled.node_ids)
+    }
+
+
+def ghsom_to_dict(model: Ghsom, *, version: int = FORMAT_VERSION) -> Dict[str, object]:
+    """Serialise a fitted :class:`Ghsom` to a JSON-compatible dict.
+
+    ``version=1`` writes the legacy tree-only payload (used by the round-trip
+    regression tests and the serving benchmark to exercise the v1 reader);
+    the default v2 payload additionally embeds the compiled flat arrays.
+    """
+    _check_writer_version(version)
     if not model.is_fitted:
         raise SerializationError("cannot serialise an unfitted Ghsom")
-    return {
-        "format_version": FORMAT_VERSION,
+    payload: Dict[str, object] = {
+        "format_version": version,
         "kind": "ghsom",
         "config": model.config.to_dict(),
         "qe0": model.qe0,
         "n_features": model.n_features,
-        "root": _node_to_dict(model.root),
+        # v2 stores every codebook once, in the compiled stacked array; the
+        # tree payload keeps only structure + per-unit statistics.
+        "root": _node_to_dict(model.root, include_codebook=version < 2),
     }
+    if version >= 2:
+        payload["compiled"] = compiled_to_dict(model.compile())
+    return payload
 
 
-def ghsom_from_dict(data: Dict[str, object]) -> Ghsom:
-    """Rebuild a :class:`Ghsom` from :func:`ghsom_to_dict` output."""
+def ghsom_from_dict(
+    data: Dict[str, object], *, compiled: Optional[CompiledGhsom] = None
+) -> Ghsom:
+    """Rebuild a :class:`Ghsom` from :func:`ghsom_to_dict` output.
+
+    v2 payloads hydrate the compiled inference engine directly from the
+    stored arrays, so the first ``assign_arrays`` call after loading skips
+    the compile step.  An already-hydrated float64 ``compiled`` snapshot may
+    be passed in place of the payload's ``"compiled"`` entry (the detector
+    loader does this so its lazy tree hydration does not have to keep the
+    parsed JSON arrays alive).
+    """
     if data.get("kind") != "ghsom":
         raise SerializationError(f"payload is not a ghsom model (kind={data.get('kind')!r})")
-    if data.get("format_version") != FORMAT_VERSION:
-        raise SerializationError(
-            f"unsupported format version {data.get('format_version')!r}"
-        )
+    version = _check_version(data)
     config = GhsomConfig.from_dict(dict(data["config"]))
     model = Ghsom(config)
     model.qe0 = float(data["qe0"])
     model.n_features = int(data["n_features"])
-    model.root = _node_from_dict(dict(data["root"]), config, model.n_features)
+    if compiled is None and version >= 2 and data.get("compiled") is not None:
+        compiled = compiled_from_dict(dict(data["compiled"]))
+    if compiled is not None and compiled.dtype != np.dtype("float64"):
+        raise SerializationError(
+            "cannot rebuild a tree from a narrowed compiled snapshot "
+            f"(dtype={compiled.dtype}); pass the float64 snapshot"
+        )
+    codebooks = _codebook_slices(compiled) if compiled is not None else None
+    model.root = _node_from_dict(dict(data["root"]), config, model.n_features, codebooks)
+    if compiled is not None:
+        model._compiled = compiled
     return model
 
 
 def save_ghsom(model: Ghsom, path: PathLike) -> None:
-    """Write a fitted GHSOM to ``path`` as JSON."""
+    """Write a fitted GHSOM to ``path`` as JSON (atomically)."""
     payload = ghsom_to_dict(model)
-    _write_json(payload, path)
+    write_json_atomic(payload, path)
 
 
 def load_ghsom(path: PathLike) -> Ghsom:
@@ -117,14 +282,23 @@ def load_ghsom(path: PathLike) -> Ghsom:
 # --------------------------------------------------------------------------- #
 # GHSOM detector (model + labels + thresholds)
 # --------------------------------------------------------------------------- #
-def detector_to_dict(detector: GhsomDetector) -> Dict[str, object]:
-    """Serialise a fitted :class:`GhsomDetector` (model, labels, thresholds)."""
+def detector_to_dict(
+    detector: GhsomDetector, *, version: int = FORMAT_VERSION
+) -> Dict[str, object]:
+    """Serialise a fitted :class:`GhsomDetector` (model, labels, thresholds).
+
+    The default v2 payload embeds the compiled arrays plus the per-leaf
+    scoring tables so :func:`detector_from_dict` can return a scoring-ready
+    detector without touching the tree; ``version=1`` writes the legacy
+    payload for compatibility testing.
+    """
+    _check_writer_version(version)
     if not detector.is_fitted:
         raise SerializationError("cannot serialise an unfitted GhsomDetector")
-    return {
-        "format_version": FORMAT_VERSION,
+    payload: Dict[str, object] = {
+        "format_version": version,
         "kind": "ghsom_detector",
-        "model": ghsom_to_dict(detector.model),
+        "model": ghsom_to_dict(detector.model, version=version),
         "labeler": detector.labeler.to_dict() if detector.labeler is not None else None,
         "threshold": detector.threshold_.to_dict(),
         "threshold_strategy_name": detector.threshold_strategy_name,
@@ -132,49 +306,153 @@ def detector_to_dict(detector: GhsomDetector) -> Dict[str, object]:
         "labeling_strategy": detector.labeling_strategy,
         "calibrate_on_normal_only": detector.calibrate_on_normal_only,
     }
+    if version >= 2:
+        # Generators are process-local state; only reproducible seeds persist.
+        random_state = detector.random_state
+        payload["random_state"] = (
+            int(random_state) if isinstance(random_state, (int, np.integer)) else None
+        )
+        tables = detector._leaf_tables()
+        payload["leaf_tables"] = {
+            "thresholds": np.asarray(tables.thresholds, dtype=float).tolist(),
+            "labels": None if tables.labels is None else [str(v) for v in tables.labels],
+            "is_attack": None if tables.is_attack is None else tables.is_attack.astype(bool).tolist(),
+            "purity": None if tables.purity is None else tables.purity.tolist(),
+        }
+    return payload
 
 
-def detector_from_dict(data: Dict[str, object]) -> GhsomDetector:
-    """Rebuild a :class:`GhsomDetector` from :func:`detector_to_dict` output."""
+def detector_from_dict(
+    data: Dict[str, object], *, dtype: str = "float64"
+) -> GhsomDetector:
+    """Rebuild a :class:`GhsomDetector` from :func:`detector_to_dict` output.
+
+    For v2 payloads the returned detector serves straight from the embedded
+    compiled arrays and leaf tables — no ``GhsomNode`` objects are built and
+    no compile pass runs before the first score; the tree payload is parked
+    behind a lazy loader that only fires when ``detector.model`` is accessed.
+    v1 payloads fall back to the legacy full tree rebuild.
+
+    ``dtype`` selects the serving precision (``"float32"`` opts into the
+    narrowed mode documented on :meth:`CompiledGhsom.astype`); scores are
+    bit-exact against the saved detector only at the default ``"float64"``.
+    """
     if data.get("kind") != "ghsom_detector":
         raise SerializationError(
             f"payload is not a ghsom detector (kind={data.get('kind')!r})"
         )
-    model = ghsom_from_dict(dict(data["model"]))
+    version = _check_version(data)
+    model_payload = dict(data["model"])
+    config = GhsomConfig.from_dict(dict(model_payload["config"]))
+    random_state = data.get("random_state")
     detector = GhsomDetector(
-        config=model.config,
+        config=config,
         threshold_strategy=str(data.get("threshold_strategy_name", "per_unit")),
         threshold_kwargs=dict(data.get("threshold_kwargs", {})),
         labeling_strategy=str(data.get("labeling_strategy", "majority")),
         calibrate_on_normal_only=bool(data.get("calibrate_on_normal_only", True)),
+        random_state=None if random_state is None else int(random_state),
     )
-    detector.model = model
     labeler_payload: Optional[Dict[str, object]] = data.get("labeler")  # type: ignore[assignment]
     detector.labeler = UnitLabeler.from_dict(labeler_payload) if labeler_payload else None
     detector.threshold_ = threshold_from_dict(dict(data["threshold"]))
+    if version >= 2 and model_payload.get("compiled") is not None:
+        # Keep the exact float64 snapshot for lazy tree hydration even when
+        # serving narrowed; when dtype is float64, astype returns it as-is.
+        exact = compiled_from_dict(dict(model_payload["compiled"]))
+        compiled = exact.astype(dtype)
+        detector._compiled = compiled
+        # The loader closure carries only the tree-structure payload plus the
+        # in-memory float64 arrays — not the parsed JSON codebook lists, which
+        # would otherwise stay resident for the detector's whole lifetime.
+        tree_payload = {
+            key: value for key, value in model_payload.items() if key != "compiled"
+        }
+        detector._model_loader = lambda: ghsom_from_dict(tree_payload, compiled=exact)
+        tables_payload = data.get("leaf_tables")
+        if tables_payload is not None:
+            tables = dict(tables_payload)
+            detector._tables = restore_leaf_tables(
+                compiled,
+                detector.threshold_,
+                detector.labeler,
+                thresholds=np.asarray(tables["thresholds"], dtype=float),
+                labels=(
+                    None
+                    if tables.get("labels") is None
+                    else np.asarray(tables["labels"], dtype=object)
+                ),
+                is_attack=(
+                    None
+                    if tables.get("is_attack") is None
+                    else np.asarray(tables["is_attack"], dtype=bool)
+                ),
+                purity=(
+                    None
+                    if tables.get("purity") is None
+                    else np.asarray(tables["purity"], dtype=float)
+                ),
+            )
+    else:
+        detector.model = ghsom_from_dict(model_payload)
+        if np.dtype(dtype) != np.dtype("float64"):
+            detector.set_serving_dtype(dtype)
     return detector
 
 
 def save_detector(detector: GhsomDetector, path: PathLike) -> None:
-    """Write a fitted detector to ``path`` as JSON."""
-    _write_json(detector_to_dict(detector), path)
+    """Write a fitted detector to ``path`` as JSON (atomically)."""
+    write_json_atomic(detector_to_dict(detector), path)
 
 
-def load_detector(path: PathLike) -> GhsomDetector:
+def load_detector(path: PathLike, *, dtype: str = "float64") -> GhsomDetector:
     """Load a detector previously written by :func:`save_detector`."""
-    return detector_from_dict(_read_json(path))
+    return detector_from_dict(_read_json(path), dtype=dtype)
 
 
 # --------------------------------------------------------------------------- #
 # helpers
 # --------------------------------------------------------------------------- #
-def _write_json(payload: Dict[str, object], path: PathLike) -> None:
+def write_json_atomic(payload: Dict[str, object], path: PathLike) -> None:
+    """Serialise ``payload`` to ``path`` via a same-directory temp file + rename.
+
+    ``os.replace`` is atomic on POSIX and Windows for same-filesystem moves,
+    so readers only ever observe the old file or the complete new one — never
+    a truncated artifact from a crash mid-write.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     try:
-        path.write_text(json.dumps(payload))
+        text = json.dumps(payload)
     except (TypeError, ValueError) as exc:
         raise SerializationError(f"could not serialise model to {path}: {exc}") from exc
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates 0600 files; widen so the artifact stays readable by
+        # the same set of users as before (train as one user, serve as
+        # another).  An existing target keeps its mode; new files get the
+        # conventional 0644.  (Probing the umask via os.umask() would mutate
+        # process-global state and race with other threads.)
+        try:
+            mode = path.stat().st_mode & 0o777
+        except FileNotFoundError:
+            mode = 0o644
+        os.chmod(tmp_name, mode)
+        with os.fdopen(handle, "w") as stream:
+            stream.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+#: Backwards-compatible alias (pre-v2 name of the JSON writer).
+_write_json = write_json_atomic
 
 
 def _read_json(path: PathLike) -> Dict[str, object]:

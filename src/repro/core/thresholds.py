@@ -49,6 +49,11 @@ class GlobalThreshold:
             raise ConfigurationError(f"percentile must be in (0, 100], got {percentile}")
         self.percentile = float(percentile)
         self._threshold: Optional[float] = None
+        #: Bumped on every (re)calibration so consumers caching derived tables
+        #: (e.g. the detector's per-leaf threshold arrays) can detect in-place
+        #: refits of the same strategy object.  Declared here (not lazily in
+        #: ``fit``) so deserialized strategies carry it too.
+        self.fit_version = 0
 
     @property
     def is_fitted(self) -> bool:
@@ -67,10 +72,7 @@ class GlobalThreshold:
             raise ConfigurationError("cannot calibrate a threshold from zero distances")
         threshold = float(np.percentile(values, self.percentile))
         self._threshold = max(threshold, 1e-12)
-        # Bumped on every (re)calibration so consumers caching derived tables
-        # (e.g. the detector's per-leaf threshold arrays) can detect in-place
-        # refits of the same strategy object.
-        self.fit_version = getattr(self, "fit_version", 0) + 1
+        self.fit_version += 1
         return self
 
     def threshold_for(self, leaf_key: LeafKey) -> float:
@@ -145,6 +147,9 @@ class PerUnitThreshold:
         self.min_threshold_fraction = float(min_threshold_fraction)
         self._thresholds: Optional[Dict[LeafKey, float]] = None
         self._fallback: Optional[float] = None
+        #: See GlobalThreshold: declared eagerly so cached-table consumers can
+        #: rely on the attribute existing on deserialized strategies as well.
+        self.fit_version = 0
 
     @property
     def is_fitted(self) -> bool:
@@ -177,9 +182,7 @@ class PerUnitThreshold:
             threshold = min(max(threshold, floor), self._fallback)
             thresholds[key] = max(threshold, 1e-12)
         self._thresholds = thresholds
-        # See GlobalThreshold.fit: lets table-caching consumers notice
-        # in-place recalibration.
-        self.fit_version = getattr(self, "fit_version", 0) + 1
+        self.fit_version += 1
         return self
 
     def threshold_for(self, leaf_key: LeafKey) -> float:

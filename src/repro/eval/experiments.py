@@ -94,15 +94,17 @@ def evaluate_detector(
     with watch.measure("fit"):
         detector.fit(X_train, y_train)
     with watch.measure("score"):
-        scores = detector.score_samples(X_test)
-        predictions = detector.predict(X_test)
+        # Single-pass serving API: scores, decisions and (when needed)
+        # categories from one detection pass instead of one per call.
+        detection = detector.detect(X_test)
+    scores = detection.scores
+    predictions = detection.predictions
     result_metrics = binary_metrics(y_true, predictions)
     per_category = per_category_detection_rates(categories, predictions)
     area = roc_auc(y_true, scores)
     confusion = None
     if with_confusion:
-        predicted_categories = detector.predict_category(X_test)
-        confusion = confusion_matrix(categories, predicted_categories)
+        confusion = confusion_matrix(categories, detection.categories)
     return DetectorResult(
         name=getattr(detector, "name", type(detector).__name__),
         metrics=result_metrics,

@@ -41,6 +41,12 @@ class OnlineStepResult:
     drift_detected: bool
     refitted: bool
     effective_scale: float
+    #: Best-effort class label per record from the wrapped detector's single
+    #: detection pass (``None`` during warm-up).  Labels use the detector's
+    #: nominal threshold of 1.0; ``predictions`` above applies the adaptive
+    #: scale on top, so a drifted-but-benign record can be labelled with a
+    #: class yet not alarm.
+    categories: Optional[List[str]] = None
     extra: dict = field(default_factory=dict)
 
 
@@ -132,7 +138,10 @@ class OnlineDetector:
         self.n_processed += matrix.shape[0]
         if not self._is_warmed_up:
             return self._warmup_step(matrix)
-        scores = np.asarray(self.detector.score_samples(matrix), dtype=float)
+        # Single-pass serving: one detection pass yields scores *and* class
+        # labels (for GhsomDetector that is one tree descent total).
+        detection = self.detector.detect(matrix)
+        scores = np.asarray(detection.scores, dtype=float)
         scale = self._effective_scale()
         predictions = (scores > scale).astype(int)
         drift_detected = False
@@ -155,6 +164,7 @@ class OnlineDetector:
             drift_detected=drift_detected,
             refitted=refitted,
             effective_scale=scale,
+            categories=detection.categories,
         )
 
     def _warmup_step(self, matrix: np.ndarray) -> OnlineStepResult:

@@ -146,6 +146,85 @@ class TestTrainDetectInspect:
         assert lines[0] == "record_index,alarm,score,predicted_category"
         assert len(lines) == len(load_csv(data_dir / "test.csv")) + 1
 
+    def test_assume_unlabeled_suppresses_metrics_on_labelled_input(
+        self, trained_model_path, data_dir, capsys
+    ):
+        """--assume-unlabeled must win even when the input contains attack labels."""
+        code = main(
+            [
+                "detect",
+                "--model", str(trained_model_path),
+                "--input", str(data_dir / "test.csv"),
+                "--assume-unlabeled",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scored" in out
+        assert "detection_rate" not in out
+
+    def test_all_normal_input_prints_no_metrics_table(
+        self, trained_model_path, tmp_path, capsys
+    ):
+        """Inputs without attack labels have nothing to compute quality against."""
+        normal_csv = tmp_path / "normal.csv"
+        assert main(
+            ["generate", "--records", "120", "--normal-only", "--output", str(normal_csv)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["detect", "--model", str(trained_model_path), "--input", str(normal_csv)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scored" in out
+        assert "detection_rate" not in out
+
+    def test_empty_input_fails_cleanly(self, trained_model_path, data_dir, tmp_path, capsys):
+        """A header-only CSV must produce a clean error, not a ZeroDivisionError."""
+        empty_csv = tmp_path / "empty.csv"
+        header = (data_dir / "test.csv").read_text().splitlines()[0]
+        empty_csv.write_text(header + "\n")
+        code = main(
+            ["detect", "--model", str(trained_model_path), "--input", str(empty_csv)]
+        )
+        assert code == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_detect_runs_exactly_one_assignment_pass(
+        self, trained_model_path, data_dir, monkeypatch, capsys
+    ):
+        """The serving path must descend the tree once per invocation, not thrice."""
+        from repro.core.compiled import CompiledGhsom
+
+        calls = []
+        original = CompiledGhsom.assign_arrays
+
+        def counting(self, data):
+            calls.append(len(np.asarray(data)))
+            return original(self, data)
+
+        monkeypatch.setattr(CompiledGhsom, "assign_arrays", counting)
+        assert main(
+            ["detect", "--model", str(trained_model_path), "--input", str(data_dir / "test.csv")]
+        ) == 0
+        assert len(calls) == 1
+
+    def test_detect_float32_mode(self, trained_model_path, data_dir, tmp_path, capsys):
+        output = tmp_path / "alarms32.csv"
+        code = main(
+            [
+                "detect",
+                "--model", str(trained_model_path),
+                "--input", str(data_dir / "test.csv"),
+                "--float32",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        assert len(output.read_text().strip().splitlines()) == len(
+            load_csv(data_dir / "test.csv")
+        ) + 1
+
     def test_inspect_prints_topology(self, trained_model_path, capsys):
         assert main(["inspect", "--model", str(trained_model_path)]) == 0
         out = capsys.readouterr().out
