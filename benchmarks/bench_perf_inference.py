@@ -22,13 +22,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 from pathlib import Path
 from typing import Dict, List
 
 import numpy as np
 
-from common import BENCH_SEED, default_ghsom_config
+from common import BENCH_SEED, default_ghsom_config, time_best
 
 from repro.core import GhsomDetector
 from repro.core.labeling import UNLABELED
@@ -82,16 +81,6 @@ def legacy_score_samples(detector: GhsomDetector, X: np.ndarray) -> np.ndarray:
     return scores
 
 
-def _time_best(function, repeats: int) -> float:
-    """Best-of-``repeats`` wall-clock seconds for one call of ``function``."""
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        function()
-        best = min(best, time.perf_counter() - started)
-    return best
-
-
 def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[str, object]:
     """Fit the detector line-up, time both scoring paths, write the JSON report."""
     batch_sizes = QUICK_BATCH_SIZES if quick else FULL_BATCH_SIZES
@@ -118,10 +107,10 @@ def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[
             # Same repeat count for both paths: best-of-N estimates the noise
             # floor, so an asymmetric N would bias the recorded speedup.
             repeats = 2 if quick else 3
-            legacy_seconds = _time_best(
+            legacy_seconds = time_best(
                 lambda: legacy_score_samples(detector, batch), repeats=repeats
             )
-            compiled_seconds = _time_best(
+            compiled_seconds = time_best(
                 lambda: detector.score_samples(batch), repeats=repeats
             )
             identical = bool(

@@ -34,7 +34,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from common import BENCH_SEED, default_ghsom_config
+from common import BENCH_SEED, default_ghsom_config, time_best
 
 from repro.core import GhsomDetector
 from repro.core.serialization import (
@@ -63,16 +63,6 @@ def three_pass_detect(detector: GhsomDetector, X: np.ndarray):
     scores = detector.score_samples(X)
     categories = detector.predict_category(X)
     return predictions, scores, categories
-
-
-def _time_best(function, repeats: int) -> float:
-    """Best-of-``repeats`` wall-clock seconds for one call of ``function``."""
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        function()
-        best = min(best, time.perf_counter() - started)
-    return best
 
 
 def _measure_cold_load(path: Path, X_first: np.ndarray, repeats: int) -> Dict[str, object]:
@@ -136,8 +126,8 @@ def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[
     throughput: List[Dict[str, object]] = []
     for batch_size in batch_sizes:
         batch = X_test[:batch_size]
-        three_seconds = _time_best(lambda: three_pass_detect(detector, batch), repeats)
-        one_seconds = _time_best(lambda: detector.detect(batch), repeats)
+        three_seconds = time_best(lambda: three_pass_detect(detector, batch), repeats)
+        one_seconds = time_best(lambda: detector.detect(batch), repeats)
         result = detector.detect(batch)
         agree = bool(
             np.array_equal(result.predictions, detector.predict(batch))
@@ -158,8 +148,8 @@ def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[
     # ---------------- float32 serving mode ---------------------------- #
     f32_detector = detector_from_dict(detector_to_dict(detector), dtype="float32")
     batch = X_test[: max(batch_sizes)]
-    f64_seconds = _time_best(lambda: detector.detect(batch), repeats)
-    f32_seconds = _time_best(lambda: f32_detector.detect(batch), repeats)
+    f64_seconds = time_best(lambda: detector.detect(batch), repeats)
+    f32_seconds = time_best(lambda: f32_detector.detect(batch), repeats)
     f64_result = detector.detect(batch)
     f32_result = f32_detector.detect(batch)
     # Numeric drift and leaf flips are different failure modes: a sample

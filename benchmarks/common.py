@@ -8,6 +8,8 @@ describe what is specific to their experiment.
 
 from __future__ import annotations
 
+import time
+
 from typing import Dict, Optional
 
 import numpy as np
@@ -102,3 +104,17 @@ def make_oneclass_workload(
         "y_test": test.is_attack.astype(int),
         "test_categories": [str(category) for category in test.categories],
     }
+
+
+def time_best(function, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``function``.
+
+    Best-of (not mean-of) so transient load spikes on shared machines do not
+    inflate the measurement; shared by every timing benchmark.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best

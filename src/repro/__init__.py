@@ -12,6 +12,8 @@ intrusion / traffic-anomaly detection system:
   and a KDD feature extractor (the raw-trace substrate);
 * :mod:`repro.baselines` -- flat SOM, k-means, PCA-subspace and k-NN baseline
   detectors;
+* :mod:`repro.serving` -- sharded serving on the compiled flat arrays
+  (root-subtree shards, batch router, serial/thread/process backends);
 * :mod:`repro.streaming` -- online detection with adaptive thresholds and
   drift handling;
 * :mod:`repro.eval` -- metrics, the experiment runner and parameter sweeps

@@ -13,7 +13,11 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import SomTrainingConfig
-from repro.core.detector import BaseAnomalyDetector, combine_label_and_distance_scores
+from repro.core.detector import (
+    BaseAnomalyDetector,
+    alarm_decisions,
+    combine_label_and_distance_scores,
+)
 from repro.core.labeling import UNLABELED, UnitLabeler
 from repro.core.som import Som
 from repro.core.thresholds import make_threshold_strategy
@@ -132,7 +136,7 @@ class SomDetector(BaseAnomalyDetector):
 
     def predict(self, X) -> np.ndarray:
         """Binary decisions (attack-labelled unit or distance above threshold)."""
-        return (self.score_samples(X) > 1.0).astype(int)
+        return alarm_decisions(self.score_samples(X))
 
     def predict_category(self, X) -> List[str]:
         """Per-record class labels (requires labelled training data)."""

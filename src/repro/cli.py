@@ -72,13 +72,32 @@ def save_bundle(pipeline: PreprocessingPipeline, detector: GhsomDetector, path: 
     write_json_atomic(payload, path)
 
 
-def load_bundle(path: Path, *, dtype: str = "float64"):
+def load_bundle(
+    path: Path,
+    *,
+    dtype: str = "float64",
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    shard_backend: Optional[str] = None,
+):
     """Load a bundle written by :func:`save_bundle` (any supported version).
 
     ``dtype="float32"`` opts into the narrowed serving mode on the loaded
     detector (see :meth:`repro.core.CompiledGhsom.astype` for the tolerance
     contract); the float64 default is bit-exact.
+
+    ``shards=K`` hydrates the detector for sharded serving: the v2 artifact's
+    shard manifest partitions the compiled arrays into K root-subtree shards
+    executed on ``shard_backend`` (default ``"thread"``) with ``workers``
+    workers (see :mod:`repro.serving`) — scores stay byte-identical to the
+    unsharded float64 engine.  ``workers`` / ``shard_backend`` without
+    ``shards`` is rejected rather than silently ignored.
     """
+    if not shards and (workers is not None or shard_backend is not None):
+        raise ReproError(
+            "workers/shard_backend only apply to sharded serving; pass shards=K "
+            "(CLI: --shards) to enable it"
+        )
     payload = json.loads(Path(path).read_text())
     if payload.get("kind") != "repro_bundle":
         raise ReproError(f"{path} is not a repro model bundle")
@@ -88,6 +107,10 @@ def load_bundle(path: Path, *, dtype: str = "float64"):
         )
     pipeline = PreprocessingPipeline.from_dict(payload["pipeline"])
     detector = detector_from_dict(payload["detector"], dtype=dtype)
+    if shards:
+        detector.set_sharding(
+            shards, backend=shard_backend or "thread", workers=workers
+        )
     return pipeline, detector
 
 
@@ -159,7 +182,11 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def cmd_detect(args: argparse.Namespace) -> int:
     pipeline, detector = load_bundle(
-        Path(args.model), dtype="float32" if args.float32 else "float64"
+        Path(args.model),
+        dtype="float32" if args.float32 else "float64",
+        shards=args.shards,
+        workers=args.workers,
+        shard_backend=args.shard_backend,
     )
     dataset = load_csv(args.input)
     if len(dataset) == 0:
@@ -168,9 +195,20 @@ def cmd_detect(args: argparse.Namespace) -> int:
         # start returning empty datasets.
         raise ReproError(f"{args.input} contains no records")
     X = pipeline.transform(dataset)
+    sharding = detector.sharding
+    if sharding is not None:
+        print(
+            f"sharded serving: {sharding['n_shards']} shards on the "
+            f"{sharding['backend']} backend ({sharding['workers']} workers)"
+        )
     # One pass: scores, decisions and categories all come from a single
-    # tree descent instead of one per method call.
-    result = detector.detect(X)
+    # tree descent instead of one per method call.  Sharded serving is
+    # disabled again afterwards so pooled workers never linger into
+    # interpreter shutdown.
+    try:
+        result = detector.detect(X)
+    finally:
+        detector.set_sharding(None)
     alarms, scores, categories = result.predictions, result.scores, result.categories
     n_alarms = int(alarms.sum())
     print(f"scored {len(dataset)} records: {n_alarms} alarms ({n_alarms / len(dataset):.2%})")
@@ -340,6 +378,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--float32",
         action="store_true",
         help="serve in float32 (faster on large models; scores drift ~1e-4 relative)",
+    )
+    detect.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="serve through K root-subtree shards (scores stay byte-identical)",
+    )
+    detect.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the shard backend (default: usable CPU cores)",
+    )
+    detect.add_argument(
+        "--shard-backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="how sharded sub-batches execute (default: thread; requires --shards)",
     )
     detect.set_defaults(handler=cmd_detect)
 

@@ -2,7 +2,13 @@
 
 from repro.core.compiled import CompiledGhsom, compile_ghsom
 from repro.core.config import GhsomConfig, SomTrainingConfig
-from repro.core.detector import BaseAnomalyDetector, DetectionResult, GhsomDetector
+from repro.core.detector import (
+    ALARM_THRESHOLD,
+    BaseAnomalyDetector,
+    DetectionResult,
+    GhsomDetector,
+    alarm_decisions,
+)
 from repro.core.ensemble import EnsembleDetector
 from repro.core.ghsom import Ghsom, GhsomNode, LeafAssignment
 from repro.core.grid import MapGrid
@@ -37,6 +43,8 @@ __all__ = [
     "compile_ghsom",
     "GhsomConfig",
     "SomTrainingConfig",
+    "ALARM_THRESHOLD",
+    "alarm_decisions",
     "BaseAnomalyDetector",
     "DetectionResult",
     "GhsomDetector",

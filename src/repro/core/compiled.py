@@ -233,68 +233,17 @@ class CompiledGhsom:
         # Float32 serving mode: run the whole descent in the codebook's dtype
         # (see :meth:`astype`); the float64 default leaves the matrix untouched.
         matrix = np.ascontiguousarray(matrix, dtype=self.codebook.dtype)
-        n = matrix.shape[0]
-        leaf_index = np.full(n, -1, dtype=np.intp)
-        distances = np.zeros(n, dtype=self.codebook.dtype)
-        # exact_metric is None when the squared-Euclidean BMU matrix already
-        # yields the quantization distance (possibly after a square root).
-        exact_metric = (
-            None if self.metric in ("euclidean", "sqeuclidean") else get_metric(self.metric)
+        entry_nodes = np.zeros(matrix.shape[0], dtype=np.intp)
+        leaf_index, distances = frontier_descent(
+            matrix,
+            entry_nodes,
+            codebook=self.codebook,
+            node_offsets=self.node_offsets,
+            child_of_unit=self.child_of_unit,
+            leaf_of_unit=self.leaf_of_unit,
+            unit_norms=self.unit_norms,
+            metric=self.metric,
         )
-        # |x|^2 per sample, computed once and reused at every level (the
-        # legacy path recomputes it per node; row-wise sums are bitwise
-        # identical either way).
-        sample_norms = np.einsum("ij,ij->i", matrix, matrix)
-        # Frontier descent: `pending` holds the sample rows still travelling
-        # down the tree, `pending_node` the node each currently sits on.
-        pending = np.arange(n, dtype=np.intp)
-        pending_node = np.zeros(n, dtype=np.intp)
-        while pending.size:
-            next_rows: List[np.ndarray] = []
-            next_nodes: List[np.ndarray] = []
-            for node in np.unique(pending_node):
-                rows = pending[pending_node == node]
-                # Ascending sample order matches the legacy recursion's subset
-                # construction, keeping BLAS inputs — and therefore outputs —
-                # bitwise identical.
-                rows.sort()
-                start = int(self.node_offsets[node])
-                stop = int(self.node_offsets[node + 1])
-                block = self.codebook[start:stop]
-                at_root = rows.size == n
-                sub = matrix if at_root else matrix[rows]
-                # In-place |x - w|^2 = -2 x.w + |x|^2 + |w|^2: the same IEEE
-                # operations as `squared_euclidean` (negation and scaling by 2
-                # are exact, a - b == (-b) + a), with no (n, u) temporaries.
-                d2 = sub @ block.T
-                d2 *= -2.0
-                d2 += (sample_norms if at_root else sample_norms[rows])[:, None]
-                d2 += self.unit_norms[start:stop][None, :]
-                np.maximum(d2, 0.0, out=d2)
-                units = np.argmin(d2, axis=1)
-                global_units = start + units
-                children = self.child_of_unit[global_units]
-                at_leaf = children < 0
-                if at_leaf.any():
-                    leaf_rows = rows[at_leaf]
-                    leaf_index[leaf_rows] = self.leaf_of_unit[global_units[at_leaf]]
-                    if exact_metric is None:
-                        best = d2[at_leaf].min(axis=1)
-                        if self.metric == "euclidean":
-                            best = np.sqrt(best)
-                        distances[leaf_rows] = best
-                    else:
-                        distances[leaf_rows] = exact_metric(sub[at_leaf], block).min(axis=1)
-                descending = ~at_leaf
-                if descending.any():
-                    next_rows.append(rows[descending])
-                    next_nodes.append(children[descending])
-            if next_rows:
-                pending = np.concatenate(next_rows)
-                pending_node = np.concatenate(next_nodes).astype(np.intp, copy=False)
-            else:
-                pending = np.empty(0, dtype=np.intp)
-                pending_node = pending
         # Distances surface as float64 regardless of serving dtype so the
         # threshold arithmetic downstream never changes representation.
         return leaf_index, distances.astype(np.float64, copy=False)
@@ -302,6 +251,95 @@ class CompiledGhsom:
     def transform(self, data) -> np.ndarray:
         """Quantization distance per sample (the raw anomaly score)."""
         return self.assign_arrays(data)[1]
+
+
+def frontier_descent(
+    matrix: np.ndarray,
+    entry_nodes: np.ndarray,
+    *,
+    codebook: np.ndarray,
+    node_offsets: np.ndarray,
+    child_of_unit: np.ndarray,
+    leaf_of_unit: np.ndarray,
+    unit_norms: np.ndarray,
+    metric: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-level vectorized BMU descent over a flat-array hierarchy.
+
+    The core inference loop shared by :meth:`CompiledGhsom.assign_arrays`
+    (every sample enters at node 0) and the sharded serving engine in
+    :mod:`repro.serving` (each sample enters at its subtree's root node).
+    Factoring the loop out — rather than duplicating it per engine — is what
+    makes the sharded path byte-identical to the unsharded one by
+    construction: both run the exact same IEEE operations on the exact same
+    row groupings.
+
+    ``matrix`` must already be validated and cast to ``codebook.dtype``;
+    ``entry_nodes`` holds the node index each sample starts its descent on.
+    Returns ``(leaf_index, distances)`` with ``distances`` still in the
+    codebook dtype (callers widen to float64 at their boundary).
+    """
+    n = matrix.shape[0]
+    leaf_index = np.full(n, -1, dtype=np.intp)
+    distances = np.zeros(n, dtype=codebook.dtype)
+    # exact_metric is None when the squared-Euclidean BMU matrix already
+    # yields the quantization distance (possibly after a square root).
+    exact_metric = None if metric in ("euclidean", "sqeuclidean") else get_metric(metric)
+    # |x|^2 per sample, computed once and reused at every level (the
+    # legacy path recomputes it per node; row-wise sums are bitwise
+    # identical either way).
+    sample_norms = np.einsum("ij,ij->i", matrix, matrix)
+    # Frontier descent: `pending` holds the sample rows still travelling
+    # down the tree, `pending_node` the node each currently sits on.
+    pending = np.arange(n, dtype=np.intp)
+    pending_node = np.ascontiguousarray(entry_nodes, dtype=np.intp)
+    while pending.size:
+        next_rows: List[np.ndarray] = []
+        next_nodes: List[np.ndarray] = []
+        for node in np.unique(pending_node):
+            rows = pending[pending_node == node]
+            # Ascending sample order matches the legacy recursion's subset
+            # construction, keeping BLAS inputs — and therefore outputs —
+            # bitwise identical.
+            rows.sort()
+            start = int(node_offsets[node])
+            stop = int(node_offsets[node + 1])
+            block = codebook[start:stop]
+            whole_batch = rows.size == n
+            sub = matrix if whole_batch else matrix[rows]
+            # In-place |x - w|^2 = -2 x.w + |x|^2 + |w|^2: the same IEEE
+            # operations as `squared_euclidean` (negation and scaling by 2
+            # are exact, a - b == (-b) + a), with no (n, u) temporaries.
+            d2 = sub @ block.T
+            d2 *= -2.0
+            d2 += (sample_norms if whole_batch else sample_norms[rows])[:, None]
+            d2 += unit_norms[start:stop][None, :]
+            np.maximum(d2, 0.0, out=d2)
+            units = np.argmin(d2, axis=1)
+            global_units = start + units
+            children = child_of_unit[global_units]
+            at_leaf = children < 0
+            if at_leaf.any():
+                leaf_rows = rows[at_leaf]
+                leaf_index[leaf_rows] = leaf_of_unit[global_units[at_leaf]]
+                if exact_metric is None:
+                    best = d2[at_leaf].min(axis=1)
+                    if metric == "euclidean":
+                        best = np.sqrt(best)
+                    distances[leaf_rows] = best
+                else:
+                    distances[leaf_rows] = exact_metric(sub[at_leaf], block).min(axis=1)
+            descending = ~at_leaf
+            if descending.any():
+                next_rows.append(rows[descending])
+                next_nodes.append(children[descending])
+        if next_rows:
+            pending = np.concatenate(next_rows)
+            pending_node = np.concatenate(next_nodes).astype(np.intp, copy=False)
+        else:
+            pending = np.empty(0, dtype=np.intp)
+            pending_node = pending
+    return leaf_index, distances
 
 
 def compile_ghsom(model) -> CompiledGhsom:

@@ -41,6 +41,24 @@ from repro.utils.rng import RandomState
 from repro.utils.validation import check_array_2d, check_same_length
 
 
+#: Nominal alarm threshold on the normalised score scale: a score of exactly
+#: 1.0 sits *at* the calibrated threshold and does **not** alarm.
+ALARM_THRESHOLD = 1.0
+
+
+def alarm_decisions(scores, threshold: float = ALARM_THRESHOLD) -> np.ndarray:
+    """Binary alarm decisions from threshold-normalised scores.
+
+    The single source of truth for the decision rule: a record alarms only
+    when its score is *strictly above* the threshold.  Every decision path in
+    the library — batch ``predict``, the single-pass ``detect``, and the
+    streaming wrapper's adaptive rule (where ``threshold`` is the effective
+    scale) — goes through this function, so a score landing exactly on the
+    boundary receives the same verdict everywhere.
+    """
+    return (np.asarray(scores, dtype=float) > float(threshold)).astype(int)
+
+
 @dataclass(frozen=True)
 class DetectionResult:
     """Everything a serving consumer needs about one scored batch.
@@ -228,7 +246,7 @@ class BaseAnomalyDetector(abc.ABC):
 
     def predict(self, X) -> np.ndarray:
         """Binary anomaly decisions derived from the normalised scores."""
-        return (self.score_samples(X) > 1.0).astype(int)
+        return alarm_decisions(self.score_samples(X))
 
     def predict_category(self, X) -> List[str]:
         """Class labels per sample; defaults to anomaly/normal if no labels were seen."""
@@ -244,7 +262,7 @@ class BaseAnomalyDetector(abc.ABC):
         overrides this wholesale with a true single-pass implementation.
         """
         scores = np.asarray(self.score_samples(X), dtype=float)
-        predictions = (scores > 1.0).astype(int)
+        predictions = alarm_decisions(scores)
         overridden = type(self).predict_category is not BaseAnomalyDetector.predict_category
         # Labeler-carrying detectors (the SOM/k-means baselines) fall back to
         # the default anomaly/normal labels when fitted without labels; derive
@@ -325,6 +343,15 @@ class GhsomDetector(BaseAnomalyDetector):
         #: serving dtype; ``None`` means "compile from the fitted tree".
         self._compiled: Optional[CompiledGhsom] = None
         self._tables: Optional[_LeafTables] = None
+        #: Sharded-serving configuration: ``(n_shards, backend, workers)`` when
+        #: :meth:`set_sharding` enabled it, ``None`` for the unsharded engine.
+        #: The spec survives refits — the engine itself is rebuilt lazily
+        #: against the new compiled snapshot on the next scoring call.
+        self._shard_spec: Optional[tuple] = None
+        self._sharded = None  # the live ShardedGhsom engine, built lazily
+        #: Subtree layout restored from a v2 artifact's shard manifest; lets
+        #: :meth:`set_sharding` skip re-deriving the plan from the arrays.
+        self._shard_manifest: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -400,7 +427,90 @@ class GhsomDetector(BaseAnomalyDetector):
         else:
             self._compiled = current.astype(requested)
         self._tables = None
+        self._close_sharded()  # rebuilt lazily against the re-cast snapshot
         return self
+
+    # ------------------------------------------------------------------ #
+    # sharded serving
+    # ------------------------------------------------------------------ #
+    @property
+    def sharding(self) -> Optional[Dict[str, object]]:
+        """The active sharded-serving configuration, or ``None`` if unsharded."""
+        if self._shard_spec is None:
+            return None
+        n_shards, backend, _ = self._shard_spec
+        return {"n_shards": n_shards, "backend": backend.name, "workers": backend.workers}
+
+    def set_sharding(
+        self,
+        n_shards: Optional[int],
+        *,
+        backend: object = "serial",
+        workers: Optional[int] = None,
+    ) -> "GhsomDetector":
+        """Serve ``detect`` through K root-subtree shards (``None``/0 disables).
+
+        The compiled model is partitioned by root-level BMU into ``n_shards``
+        self-contained subtree shards executed on ``backend`` (``"serial"``,
+        ``"thread"``, ``"process"``, or a :class:`~repro.serving.ShardBackend`
+        instance); scores stay byte-identical to the unsharded float64 engine
+        — see :mod:`repro.serving`.  The configuration survives refits: the
+        engine is rebuilt against the new compiled snapshot on the next
+        scoring call, which is what keeps a sharded
+        :class:`~repro.streaming.OnlineDetector` sharded across drift-
+        triggered refits.
+        """
+        from repro.serving.backends import make_backend
+
+        self._close_sharded()
+        if not n_shards:
+            self._shard_spec = None
+            return self
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        # Resolve the backend eagerly so a bad name fails here, not mid-batch.
+        resolved = make_backend(backend, workers)
+        self._shard_spec = (int(n_shards), resolved, None)
+        return self
+
+    def _close_sharded(self) -> None:
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
+
+    def _serving_engine(self):
+        """The engine ``_score_arrays`` descends with: sharded or compiled.
+
+        The sharded engine is rebuilt whenever the compiled snapshot it was
+        sliced from is replaced (refit, dtype switch, artifact reload).
+        """
+        compiled = self._compiled_model()
+        if self._shard_spec is None:
+            return compiled
+        if self._sharded is None or self._sharded.source is not compiled:
+            from repro.serving.planner import plan_shards, subtrees_from_manifest
+            from repro.serving.router import ShardedGhsom
+
+            n_shards, backend, _ = self._shard_spec
+            plan = None
+            manifest = self._shard_manifest
+            if manifest is not None and int(manifest.get("n_leaves", -1)) == compiled.n_leaves:
+                plan = plan_shards(
+                    compiled, n_shards, subtrees=subtrees_from_manifest(manifest)
+                )
+            tables = self._leaf_tables()
+            self._close_sharded()
+            self._sharded = ShardedGhsom.from_compiled(
+                compiled,
+                n_shards,
+                backend=backend,
+                plan=plan,
+                thresholds=tables.thresholds,
+                labels=tables.labels,
+                is_attack=tables.is_attack,
+                purity=tables.purity,
+            )
+        return self._sharded
 
     # ------------------------------------------------------------------ #
     def fit(self, X, y: Optional[Sequence[str]] = None) -> "GhsomDetector":
@@ -412,6 +522,8 @@ class GhsomDetector(BaseAnomalyDetector):
             check_same_length(matrix, labels, "X", "y")
         self._tables = None
         self._compiled = None
+        self._close_sharded()  # the spec survives; the engine rebuilds lazily
+        self._shard_manifest = None  # layout of the previous tree, now stale
         self.model = Ghsom(self.config, random_state=self.random_state)
         self.model.fit(matrix)
         compiled = self.model.compile()
@@ -481,7 +593,10 @@ class GhsomDetector(BaseAnomalyDetector):
         """
         self._require_fitted(self.is_fitted)
         tables = self._leaf_tables()
-        leaf_index, distances = tables.compiled.assign_arrays(X)
+        # The sharded engine (when configured) returns global leaf rows and
+        # distances byte-identical to the compiled engine, so everything
+        # downstream of this call is oblivious to the partitioning.
+        leaf_index, distances = self._serving_engine().assign_arrays(X)
         ratios = distances / tables.thresholds[leaf_index]
         return tables, leaf_index, ratios
 
@@ -502,7 +617,7 @@ class GhsomDetector(BaseAnomalyDetector):
             scores = _fold_attack_labels(
                 ratios, tables.is_attack[leaf_index], tables.purity[leaf_index]
             )
-        predictions = (scores > 1.0).astype(int)
+        predictions = alarm_decisions(scores)
         if tables.labels is None:
             categories = ["anomaly" if flag else "normal" for flag in predictions]
         else:
@@ -547,7 +662,7 @@ class GhsomDetector(BaseAnomalyDetector):
         the distance criterion applies.  Both are captured by the combined
         score exceeding 1.0.
         """
-        return (self.score_samples(X) > 1.0).astype(int)
+        return alarm_decisions(self.score_samples(X))
 
     def predict_category(self, X) -> List[str]:
         """Per-record class labels (requires labelled training data).

@@ -43,6 +43,7 @@ from repro.core.growing_som import GrowingSom
 from repro.core.labeling import UnitLabeler
 from repro.core.thresholds import threshold_from_dict
 from repro.exceptions import SerializationError
+from repro.serving.planner import manifest_from_compiled
 
 PathLike = Union[str, Path]
 
@@ -319,6 +320,10 @@ def detector_to_dict(
             "is_attack": None if tables.is_attack is None else tables.is_attack.astype(bool).tolist(),
             "purity": None if tables.purity is None else tables.purity.tolist(),
         }
+        # The partition-independent subtree layout: lets ``load_bundle`` /
+        # ``set_sharding`` slice worker shards straight from the stored
+        # arrays instead of re-deriving the plan (see repro.serving.planner).
+        payload["shard_manifest"] = manifest_from_compiled(tables.compiled)
     return payload
 
 
@@ -356,6 +361,11 @@ def detector_from_dict(
     labeler_payload: Optional[Dict[str, object]] = data.get("labeler")  # type: ignore[assignment]
     detector.labeler = UnitLabeler.from_dict(labeler_payload) if labeler_payload else None
     detector.threshold_ = threshold_from_dict(dict(data["threshold"]))
+    manifest_payload = data.get("shard_manifest")
+    if manifest_payload is not None:
+        # Kept verbatim: set_sharding() uses it to slice worker shards
+        # without re-deriving the subtree layout from the arrays.
+        detector._shard_manifest = dict(manifest_payload)
     if version >= 2 and model_payload.get("compiled") is not None:
         # Keep the exact float64 snapshot for lazy tree hydration even when
         # serving narrowed; when dtype is float64, astype returns it as-is.
@@ -442,6 +452,12 @@ def write_json_atomic(payload: Dict[str, object], path: PathLike) -> None:
         os.chmod(tmp_name, mode)
         with os.fdopen(handle, "w") as stream:
             stream.write(text)
+            # Flush user- and OS-level buffers before the rename: without the
+            # fsync, a system crash shortly after os.replace can persist the
+            # rename but not the data on some filesystems, leaving exactly
+            # the truncated artifact this function promises to prevent.
+            stream.flush()
+            os.fsync(stream.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -449,10 +465,6 @@ def write_json_atomic(payload: Dict[str, object], path: PathLike) -> None:
         except OSError:
             pass
         raise
-
-
-#: Backwards-compatible alias (pre-v2 name of the JSON writer).
-_write_json = write_json_atomic
 
 
 def _read_json(path: PathLike) -> Dict[str, object]:

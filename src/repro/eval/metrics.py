@@ -23,6 +23,23 @@ from repro.exceptions import DataValidationError
 from repro.utils.validation import check_same_length
 
 
+def _resolve_trapezoid(module=np):
+    """The trapezoid-rule integrator of ``module``.
+
+    NumPy 2.0 renamed ``np.trapz`` to ``np.trapezoid`` (and NumPy 2.x removed
+    the old name); picking whichever exists keeps :func:`auc` working on both
+    major versions.  The ``module`` parameter exists purely so the fallback
+    selection is unit-testable without installing a second NumPy.
+    """
+    function = getattr(module, "trapezoid", None)
+    if function is not None:
+        return function
+    return module.trapz
+
+
+_trapezoid = _resolve_trapezoid()
+
+
 def _as_binary(values: Sequence) -> np.ndarray:
     array = np.asarray(values)
     if array.dtype == bool:
@@ -216,7 +233,7 @@ def auc(fpr: Sequence[float], tpr: Sequence[float]) -> float:
     if x.size < 2:
         return 0.0
     order = np.argsort(x)
-    return float(np.trapezoid(y[order], x[order]))
+    return float(_trapezoid(y[order], x[order]))
 
 
 def roc_auc(y_true: Sequence, scores: Sequence[float]) -> float:

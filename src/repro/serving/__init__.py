@@ -1,0 +1,63 @@
+"""Sharded serving on the compiled flat arrays.
+
+A fitted GHSOM is naturally partitionable: after the root-level BMU step a
+sample's whole descent happens inside the subtree hanging off its root unit,
+so the subtrees are independent **shards**.  This package turns that property
+into a serving subsystem:
+
+* :mod:`repro.serving.planner` — discovers the root subtrees of a
+  :class:`~repro.core.compiled.CompiledGhsom` (each one a contiguous slice of
+  the flat arrays) and balances them across ``K`` shards; the subtree layout
+  is also what the v2 artifact stores as its *shard manifest*;
+* :mod:`repro.serving.shards` — materialises each shard as a self-contained
+  bundle of arrays (codebook slice, local topology, leaf-table segment,
+  per-leaf scoring tables, global-leaf-row remap) that can score its
+  sub-batches without the rest of the tree;
+* :mod:`repro.serving.backends` — pluggable shard executors: serial, thread
+  pool (BLAS releases the GIL) and process pool (fork-shared read-only
+  arrays);
+* :mod:`repro.serving.router` — :class:`ShardedGhsom`, which runs the root
+  distance + argmin once, dispatches each sub-batch to its shard, and merges
+  results back into input order.
+
+The merged output is **byte-identical** to the unsharded float64 engine: the
+router replicates the root step of :meth:`CompiledGhsom.assign_arrays`
+exactly, and shards descend via the same
+:func:`~repro.core.compiled.frontier_descent` loop the unsharded engine uses
+(see ``tests/test_serving_sharded.py`` for the property tests enforcing it).
+"""
+
+from repro.serving.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
+from repro.serving.planner import (
+    RootSubtree,
+    ShardPlan,
+    manifest_from_compiled,
+    plan_shards,
+    subtrees_from_compiled,
+    subtrees_from_manifest,
+)
+from repro.serving.router import ShardedGhsom
+from repro.serving.shards import SubtreeShard, build_shards
+
+__all__ = [
+    "ShardBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "RootSubtree",
+    "ShardPlan",
+    "plan_shards",
+    "subtrees_from_compiled",
+    "subtrees_from_manifest",
+    "manifest_from_compiled",
+    "SubtreeShard",
+    "build_shards",
+    "ShardedGhsom",
+]

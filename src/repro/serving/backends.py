@@ -1,0 +1,223 @@
+"""Pluggable shard executors: serial, thread pool, process pool.
+
+A backend runs a list of shard tasks — ``(shard_index, sub_matrix,
+entry_nodes)`` triples — and returns their ``(local_leaf, distances)``
+results in task order.  The router treats the three implementations
+identically; they only trade off where the work happens:
+
+* :class:`SerialBackend` — in-process loop; the zero-overhead baseline and
+  the default for small models.
+* :class:`ThreadPoolBackend` — one thread per in-flight shard.  The descent's
+  hot operation is a BLAS GEMM, which releases the GIL, so shards genuinely
+  overlap on multi-core machines with zero serialization cost.
+* :class:`ProcessPoolBackend` — one OS process per worker.  Workers receive
+  the (read-only) shard arrays once — inherited via fork where available, so
+  the codebook pages are shared copy-on-write rather than copied — and only
+  the routed sub-batches cross the process boundary per call.
+
+Backends hold no shard state between calls except the lazily created pools;
+``close()`` releases them (also invoked by the owning detector when sharding
+is reconfigured).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.serving.shards import SubtreeShard
+
+#: One shard task: (shard index, routed sub-batch, local entry nodes).
+ShardTask = Tuple[int, np.ndarray, np.ndarray]
+#: One shard result: (local leaf rows, distances in the serving dtype).
+ShardResult = Tuple[np.ndarray, np.ndarray]
+
+
+def _default_workers() -> int:
+    """Worker count matching the usable cores (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+class ShardBackend:
+    """Interface of a shard executor (the serial implementation)."""
+
+    name = "serial"
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def run(
+        self, shards: Sequence[SubtreeShard], tasks: Sequence[ShardTask]
+    ) -> List[ShardResult]:
+        """Execute every task and return results in task order."""
+        return [
+            shards[index].assign_entries(matrix, entries)
+            for index, matrix, entries in tasks
+        ]
+
+    def close(self) -> None:
+        """Release any pooled resources (a no-op for the serial backend)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(ShardBackend):
+    """Run shards one after another in the calling thread."""
+
+
+class _PooledBackend(ShardBackend):
+    """Shared pool lifecycle for the thread and process backends."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self._workers = int(workers) if workers is not None else _default_workers()
+        self._pool: Optional[Executor] = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "_PooledBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ThreadPoolBackend(_PooledBackend):
+    """Run shards on a thread pool (BLAS releases the GIL during the GEMMs)."""
+
+    name = "thread"
+
+    def run(
+        self, shards: Sequence[SubtreeShard], tasks: Sequence[ShardTask]
+    ) -> List[ShardResult]:
+        if len(tasks) <= 1:
+            return ShardBackend.run(self, shards, tasks)
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-shard"
+            )
+        futures = [
+            self._pool.submit(shards[index].assign_entries, matrix, entries)
+            for index, matrix, entries in tasks
+        ]
+        return [future.result() for future in futures]
+
+
+# ---- process pool ---------------------------------------------------------- #
+#: Shards visible inside process-pool workers, set once by the initializer.
+#: Under a fork context the initargs travel to the child through inherited
+#: (copy-on-write) memory — the shard arrays are shared, not pickled; under
+#: spawn they are pickled exactly once per worker.
+_WORKER_SHARDS: Optional[Tuple[SubtreeShard, ...]] = None
+
+
+def _worker_init(shards: Tuple[SubtreeShard, ...]) -> None:
+    global _WORKER_SHARDS
+    _WORKER_SHARDS = shards
+
+
+def _worker_run(index: int, matrix: np.ndarray, entries: np.ndarray) -> ShardResult:
+    assert _WORKER_SHARDS is not None, "process-pool worker was not initialised"
+    return _WORKER_SHARDS[index].assign_entries(matrix, entries)
+
+
+class ProcessPoolBackend(_PooledBackend):
+    """Run shards on a process pool with shared read-only shard arrays.
+
+    The pool is (re)built whenever it is asked to serve a different shard
+    tuple than the one its workers were initialised with, so a refitted or
+    re-sharded detector never scores against stale worker state.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        super().__init__(workers)
+        self._pool_shards: Optional[Tuple[SubtreeShard, ...]] = None
+
+    def _ensure_pool(self, shards: Sequence[SubtreeShard]) -> Executor:
+        shards = tuple(shards)
+        # Compare by identity: the router passes its own stable tuple, so a
+        # different tuple means different arrays and stale workers.
+        if self._pool is not None and self._pool_shards != shards:
+            self.close()
+        if self._pool is None:
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - spawn-only platforms (Windows/macOS)
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(shards,),
+            )
+            self._pool_shards = shards
+        return self._pool
+
+    def close(self) -> None:
+        super().close()
+        self._pool_shards = None
+
+    def run(
+        self, shards: Sequence[SubtreeShard], tasks: Sequence[ShardTask]
+    ) -> List[ShardResult]:
+        if not tasks:
+            return []
+        pool = self._ensure_pool(shards)
+        futures = [
+            pool.submit(_worker_run, index, matrix, entries)
+            for index, matrix, entries in tasks
+        ]
+        return [future.result() for future in futures]
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadPoolBackend,
+    "process": ProcessPoolBackend,
+}
+
+
+def make_backend(
+    backend: Union[str, ShardBackend], workers: Optional[int] = None
+) -> ShardBackend:
+    """Resolve a backend name (or pass through an instance).
+
+    ``workers`` only applies to the pooled backends; passing it alongside an
+    already-constructed instance is rejected to avoid silently ignoring it.
+    """
+    if isinstance(backend, ShardBackend):
+        if workers is not None:
+            raise ConfigurationError(
+                "workers cannot be overridden on an already-constructed backend"
+            )
+        return backend
+    factory = _BACKENDS.get(str(backend))
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown shard backend {backend!r}; available: {sorted(_BACKENDS)}"
+        )
+    if factory is SerialBackend:
+        if workers is not None and workers != 1:
+            raise ConfigurationError("the serial backend always uses 1 worker")
+        return SerialBackend()
+    return factory(workers)

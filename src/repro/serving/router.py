@@ -1,0 +1,201 @@
+"""The sharded serving engine: root-step routing + shard dispatch + merge.
+
+:class:`ShardedGhsom` exposes the same ``assign_arrays`` contract as
+:class:`~repro.core.compiled.CompiledGhsom` — ``(leaf_index, distances)`` in
+global leaf rows and float64 — but executes the descent in three steps:
+
+1. **route** — run the root-level distance + argmin once over the whole
+   batch, exactly as the unsharded engine's first frontier iteration does
+   (same expanded ``|x-w|^2`` arithmetic on the same contiguous root block).
+   Samples whose best root unit is a leaf are finished right here;
+2. **dispatch** — group the remaining rows by the shard that owns their root
+   unit and execute each sub-batch on the configured backend;
+3. **merge** — scatter shard results back into input order, remapping local
+   leaf rows through each shard's ``leaf_global_row``.
+
+Because routing replicates the root step bit-for-bit and shards run the
+shared :func:`~repro.core.compiled.frontier_descent` loop on the same row
+groupings, the merged output is byte-identical to the unsharded float64
+engine for every shard count and backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.compiled import CompiledGhsom
+from repro.core.distances import get_metric
+from repro.exceptions import DataValidationError
+from repro.serving.backends import ShardBackend, make_backend
+from repro.serving.planner import ShardPlan, plan_shards
+from repro.serving.shards import SubtreeShard, build_shards
+from repro.utils.validation import check_array_2d
+
+
+class ShardedGhsom:
+    """A compiled GHSOM partitioned into root subtrees behind one router.
+
+    Build instances with :meth:`from_compiled`; the constructor takes the
+    already-materialised pieces.  The engine keeps a reference to its source
+    :class:`CompiledGhsom` (``source``) so owners can detect staleness after
+    a refit, but scoring itself only touches the root block and the shards.
+    """
+
+    def __init__(
+        self,
+        *,
+        source: CompiledGhsom,
+        plan: ShardPlan,
+        shards: Tuple[SubtreeShard, ...],
+        backend: ShardBackend,
+    ) -> None:
+        self.source = source
+        self.plan = plan
+        self.shards = tuple(shards)
+        self.backend = backend
+        self.metric = source.metric
+        self.n_features = source.n_features
+        n_root_units = int(source.node_offsets[1])
+        #: Root-layer slices (views into the source arrays: the root block is
+        #: the one piece every worker topology shares).
+        self._root_codebook = source.codebook[:n_root_units]
+        self._root_unit_norms = source.unit_norms[:n_root_units]
+        self._root_child = source.child_of_unit[:n_root_units]
+        self._root_leaf_row = source.leaf_of_unit[:n_root_units]
+        #: Root unit -> owning shard (-1 for leaf root units) and the local
+        #: entry node of its subtree inside that shard.
+        self._shard_of_unit = np.full(n_root_units, -1, dtype=np.intp)
+        self._entry_of_unit = np.full(n_root_units, -1, dtype=np.intp)
+        for shard in self.shards:
+            self._shard_of_unit[shard.root_units] = shard.shard_id
+            self._entry_of_unit[shard.root_units] = shard.entry_local_node
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_compiled(
+        cls,
+        compiled: CompiledGhsom,
+        n_shards: int,
+        *,
+        backend: Union[str, ShardBackend] = "serial",
+        workers: Optional[int] = None,
+        plan: Optional[ShardPlan] = None,
+        thresholds: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        is_attack: Optional[np.ndarray] = None,
+        purity: Optional[np.ndarray] = None,
+    ) -> "ShardedGhsom":
+        """Plan, slice and wire a sharded engine for ``compiled``.
+
+        ``plan`` may be supplied when the subtree layout came from an
+        artifact's shard manifest; the per-leaf scoring tables, when given,
+        are segmented into the shards so each one is fully self-contained.
+        """
+        if plan is None:
+            plan = plan_shards(compiled, n_shards)
+        shards = build_shards(
+            compiled,
+            plan,
+            thresholds=thresholds,
+            labels=labels,
+            is_attack=is_attack,
+            purity=purity,
+        )
+        return cls(
+            source=compiled,
+            plan=plan,
+            shards=shards,
+            backend=make_backend(backend, workers),
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_leaves(self) -> int:
+        return self.source.n_leaves
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Serving dtype (that of the source snapshot)."""
+        return self.source.dtype
+
+    def describe(self) -> Dict[str, object]:
+        """Structural + balance summary (benchmark harness and docs)."""
+        summary = dict(self.source.describe())
+        summary.update(self.plan.describe())
+        summary["backend"] = self.backend.name
+        summary["workers"] = self.backend.workers
+        return summary
+
+    def close(self) -> None:
+        """Release the backend's pooled resources."""
+        self.backend.close()
+
+    # ------------------------------------------------------------------ #
+    def assign_arrays(self, data) -> Tuple[np.ndarray, np.ndarray]:
+        """Leaf rows and distances, byte-identical to the unsharded engine.
+
+        See the module docstring for the route / dispatch / merge structure.
+        """
+        matrix = check_array_2d(data, "data")
+        if matrix.shape[1] != self.n_features:
+            raise DataValidationError(
+                f"data has {matrix.shape[1]} features, the model expects {self.n_features}"
+            )
+        matrix = np.ascontiguousarray(matrix, dtype=self._root_codebook.dtype)
+        n = matrix.shape[0]
+        leaf_index = np.full(n, -1, dtype=np.intp)
+        distances = np.zeros(n, dtype=self._root_codebook.dtype)
+        # --- route: the unsharded engine's first frontier iteration ------- #
+        sample_norms = np.einsum("ij,ij->i", matrix, matrix)
+        d2 = matrix @ self._root_codebook.T
+        d2 *= -2.0
+        d2 += sample_norms[:, None]
+        d2 += self._root_unit_norms[None, :]
+        np.maximum(d2, 0.0, out=d2)
+        units = np.argmin(d2, axis=1)
+        at_leaf = self._root_child[units] < 0
+        if at_leaf.any():
+            leaf_rows = np.flatnonzero(at_leaf)
+            leaf_index[leaf_rows] = self._root_leaf_row[units[at_leaf]]
+            if self.metric in ("euclidean", "sqeuclidean"):
+                best = d2[at_leaf].min(axis=1)
+                if self.metric == "euclidean":
+                    best = np.sqrt(best)
+                distances[leaf_rows] = best
+            else:
+                exact_metric = get_metric(self.metric)
+                distances[leaf_rows] = exact_metric(
+                    matrix[at_leaf], self._root_codebook
+                ).min(axis=1)
+        # --- dispatch: one task per shard with routed samples ------------- #
+        sample_shard = self._shard_of_unit[units]
+        tasks = []
+        task_rows = []
+        for shard in self.shards:
+            # flatnonzero yields ascending rows — the same ordering the
+            # unsharded frontier uses, so shard-side BLAS inputs match.
+            rows = np.flatnonzero(sample_shard == shard.shard_id)
+            if rows.size == 0:
+                continue
+            entries = self._entry_of_unit[units[rows]]
+            tasks.append((shard.shard_id, matrix[rows], entries))
+            task_rows.append(rows)
+        # --- merge: scatter results back into input order ----------------- #
+        if tasks:
+            results = self.backend.run(self.shards, tasks)
+            for (shard_id, _, _), rows, (local_leaf, shard_distances) in zip(
+                tasks, task_rows, results
+            ):
+                leaf_index[rows] = self.shards[shard_id].leaf_global_row[local_leaf]
+                distances[rows] = shard_distances
+        return leaf_index, distances.astype(np.float64, copy=False)
+
+    def transform(self, data) -> np.ndarray:
+        """Quantization distance per sample (the raw anomaly score)."""
+        return self.assign_arrays(data)[1]

@@ -1,0 +1,194 @@
+"""Self-contained subtree shards of a compiled GHSOM.
+
+A :class:`SubtreeShard` carries everything one worker needs to finish the
+descent of the samples routed to it: its own codebook slice, local topology
+arrays, its segment of the leaf table with per-leaf scoring tables, and the
+``leaf_global_row`` remap that makes merged results indistinguishable from
+the unsharded engine's.  Shards are plain dataclasses of ndarrays, so they
+pickle cleanly into process-pool workers and share read-only pages across
+forked ones.
+
+Scoring inside a shard runs the exact
+:func:`~repro.core.compiled.frontier_descent` loop of the unsharded engine —
+same arithmetic, same per-node row grouping — which is what keeps the merged
+output byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.compiled import CompiledGhsom, frontier_descent
+from repro.serving.planner import RootSubtree, ShardPlan
+
+
+@dataclass(frozen=True, eq=False)
+class SubtreeShard:
+    """One shard: a group of root subtrees flattened into local arrays.
+
+    Node, unit and leaf indices inside the shard are *local* (0-based over
+    the shard's own arrays); ``leaf_global_row`` maps local leaf rows back to
+    the global leaf table, and ``root_units`` / ``entry_local_node`` tell the
+    router where each owned root unit's descent enters the shard.
+    """
+
+    shard_id: int
+    metric: str
+    n_features: int
+    #: Global root-layer unit rows owned by this shard, with the local node
+    #: index each one's descent enters at (parallel arrays).
+    root_units: np.ndarray
+    entry_local_node: np.ndarray
+    #: Local flat-array hierarchy (same layout as ``CompiledGhsom``).
+    node_offsets: np.ndarray
+    codebook: np.ndarray
+    child_of_unit: np.ndarray
+    leaf_of_unit: np.ndarray
+    unit_norms: np.ndarray
+    #: Local leaf row -> global leaf-table row.
+    leaf_global_row: np.ndarray
+    #: Per-leaf scoring-table segments (present when the owning detector has
+    #: them): a worker holding the shard can score to final ratios/labels
+    #: without any global state.
+    thresholds: Optional[np.ndarray] = None
+    labels: Optional[np.ndarray] = None
+    is_attack: Optional[np.ndarray] = None
+    purity: Optional[np.ndarray] = None
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.node_offsets.shape[0] - 1)
+
+    @property
+    def n_units(self) -> int:
+        return int(self.codebook.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.leaf_global_row.shape[0])
+
+    def assign_entries(
+        self, matrix: np.ndarray, entry_nodes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Descend the shard for a routed sub-batch.
+
+        ``matrix`` is the router-prepared sub-batch (already validated and
+        cast to the serving dtype); ``entry_nodes`` holds each row's local
+        entry node.  Returns local leaf rows plus distances in the serving
+        dtype — the router remaps and widens them.
+        """
+        return frontier_descent(
+            matrix,
+            entry_nodes,
+            codebook=self.codebook,
+            node_offsets=self.node_offsets,
+            child_of_unit=self.child_of_unit,
+            leaf_of_unit=self.leaf_of_unit,
+            unit_norms=self.unit_norms,
+            metric=self.metric,
+        )
+
+
+def build_shard(
+    compiled: CompiledGhsom,
+    shard_id: int,
+    members: Sequence[RootSubtree],
+    *,
+    thresholds: Optional[np.ndarray] = None,
+    labels: Optional[np.ndarray] = None,
+    is_attack: Optional[np.ndarray] = None,
+    purity: Optional[np.ndarray] = None,
+) -> SubtreeShard:
+    """Materialise one shard by slicing the compiled arrays.
+
+    Every subtree is a contiguous run of nodes / units / leaf rows, so the
+    shard's arrays are concatenations of slices with the node, unit and leaf
+    indices remapped to the shard-local space.  The optional scoring tables
+    are global ``(L,)`` arrays; the shard keeps only its own segments.
+    """
+    node_ranges = [(subtree.entry_node, subtree.node_stop) for subtree in members]
+    local_nodes = np.concatenate(
+        [np.arange(start, stop, dtype=np.intp) for start, stop in node_ranges]
+    ) if members else np.empty(0, dtype=np.intp)
+    node_map = np.full(compiled.n_nodes, -1, dtype=np.intp)
+    node_map[local_nodes] = np.arange(local_nodes.size, dtype=np.intp)
+
+    offsets = compiled.node_offsets
+    unit_counts = offsets[local_nodes + 1] - offsets[local_nodes] if members else np.empty(0, dtype=np.intp)
+    node_offsets = np.zeros(local_nodes.size + 1, dtype=np.intp)
+    np.cumsum(unit_counts, out=node_offsets[1:])
+
+    def gather_units(source: np.ndarray) -> np.ndarray:
+        if not members:
+            return np.empty((0,) + source.shape[1:], dtype=source.dtype)
+        return np.concatenate(
+            [source[subtree.unit_start : subtree.unit_stop] for subtree in members]
+        )
+
+    # Codebook slices stay row-contiguous, so per-node GEMM inputs are the
+    # same contiguous blocks the unsharded engine feeds BLAS.
+    codebook = np.ascontiguousarray(gather_units(compiled.codebook))
+    unit_norms = gather_units(compiled.unit_norms)
+    child_global = gather_units(compiled.child_of_unit)
+    child_of_unit = np.where(child_global >= 0, node_map[child_global], -1)
+
+    leaf_ranges = [(subtree.leaf_start, subtree.leaf_stop) for subtree in members]
+    leaf_global_row = np.concatenate(
+        [np.arange(start, stop, dtype=np.intp) for start, stop in leaf_ranges]
+    ) if members else np.empty(0, dtype=np.intp)
+    leaf_map = np.full(compiled.n_leaves, -1, dtype=np.intp)
+    leaf_map[leaf_global_row] = np.arange(leaf_global_row.size, dtype=np.intp)
+    leaf_global = gather_units(compiled.leaf_of_unit)
+    leaf_of_unit = np.where(leaf_global >= 0, leaf_map[leaf_global], -1)
+
+    def gather_leaves(table: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        if table is None:
+            return None
+        return np.asarray(table)[leaf_global_row]
+
+    return SubtreeShard(
+        shard_id=int(shard_id),
+        metric=compiled.metric,
+        n_features=compiled.n_features,
+        root_units=np.array([subtree.root_unit for subtree in members], dtype=np.intp),
+        entry_local_node=node_map[
+            np.array([subtree.entry_node for subtree in members], dtype=np.intp)
+        ] if members else np.empty(0, dtype=np.intp),
+        node_offsets=node_offsets,
+        codebook=codebook,
+        child_of_unit=child_of_unit,
+        leaf_of_unit=leaf_of_unit,
+        unit_norms=unit_norms,
+        leaf_global_row=leaf_global_row,
+        thresholds=gather_leaves(thresholds),
+        labels=gather_leaves(labels),
+        is_attack=gather_leaves(is_attack),
+        purity=gather_leaves(purity),
+    )
+
+
+def build_shards(
+    compiled: CompiledGhsom,
+    plan: ShardPlan,
+    *,
+    thresholds: Optional[np.ndarray] = None,
+    labels: Optional[np.ndarray] = None,
+    is_attack: Optional[np.ndarray] = None,
+    purity: Optional[np.ndarray] = None,
+) -> Tuple[SubtreeShard, ...]:
+    """Materialise every shard of a plan (see :func:`build_shard`)."""
+    return tuple(
+        build_shard(
+            compiled,
+            shard_id,
+            plan.members_of(shard_id),
+            thresholds=thresholds,
+            labels=labels,
+            is_attack=is_attack,
+            purity=purity,
+        )
+        for shard_id in range(plan.n_shards)
+    )

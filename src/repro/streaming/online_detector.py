@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.detector import BaseAnomalyDetector
+from repro.core.detector import BaseAnomalyDetector, alarm_decisions
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.streaming.drift import DriftDetector, MeanShiftDetector
 from repro.streaming.window import EwmaEstimator, SlidingMatrixWindow
@@ -138,12 +138,20 @@ class OnlineDetector:
         self.n_processed += matrix.shape[0]
         if not self._is_warmed_up:
             return self._warmup_step(matrix)
+        return self._scoring_step(matrix)
+
+    def _scoring_step(self, matrix: np.ndarray) -> OnlineStepResult:
+        """Score one batch with the fitted detector and run the adaptation loop."""
         # Single-pass serving: one detection pass yields scores *and* class
         # labels (for GhsomDetector that is one tree descent total).
         detection = self.detector.detect(matrix)
         scores = np.asarray(detection.scores, dtype=float)
         scale = self._effective_scale()
-        predictions = (scores > scale).astype(int)
+        # The shared decision rule: strictly above the (scaled) threshold
+        # alarms, so a score exactly on the boundary gets the same verdict
+        # here as on the batch `predict` path (`alarm_decisions` is the
+        # single source of truth for the comparison).
+        predictions = alarm_decisions(scores, scale)
         drift_detected = False
         refitted = False
         benign_mask = predictions == 0
@@ -168,7 +176,15 @@ class OnlineDetector:
         )
 
     def _warmup_step(self, matrix: np.ndarray) -> OnlineStepResult:
-        """Accumulate warm-up records; fit the detector once enough arrived."""
+        """Accumulate warm-up records; fit the detector once enough arrived.
+
+        The batch that completes warm-up is *not* reported as all-normal
+        zeros: the detector is fitted inside this very call, so the batch is
+        immediately scored with it and real predictions / scores / categories
+        are returned (flagged with ``extra["warmup_completed"]``).  Only
+        batches that leave the detector still unfitted get the placeholder
+        all-normal result.
+        """
         self._warmup.append(matrix)
         total = sum(block.shape[0] for block in self._warmup)
         if total >= self.warmup_size:
@@ -176,7 +192,10 @@ class OnlineDetector:
             self.detector.fit(warmup_matrix)
             self._warmup = []
             self._is_warmed_up = True
-        # During warm-up everything is reported as normal (no model yet).
+            result = self._scoring_step(matrix)
+            result.extra["warmup_completed"] = True
+            return result
+        # Still warming up: everything is reported as normal (no model yet).
         return OnlineStepResult(
             predictions=np.zeros(matrix.shape[0], dtype=int),
             scores=np.zeros(matrix.shape[0]),

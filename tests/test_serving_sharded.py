@@ -1,0 +1,405 @@
+"""Tests for the sharded serving subsystem (repro.serving).
+
+The acceptance property of the whole package: routing a batch through K
+root-subtree shards — any K, any backend — must reproduce the unsharded
+float64 engine *byte for byte*: same leaf rows, same distances, same scores,
+predictions and categories.  Sharding is a pure execution-plan change, not an
+approximation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import load_bundle, save_bundle
+from repro.core import Ghsom, GhsomConfig, GhsomDetector, SomTrainingConfig
+from repro.core.serialization import detector_from_dict, detector_to_dict
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.serving import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardedGhsom,
+    ThreadPoolBackend,
+    build_shards,
+    make_backend,
+    manifest_from_compiled,
+    plan_shards,
+    subtrees_from_compiled,
+    subtrees_from_manifest,
+)
+
+# Fitting a GHSOM per example is expensive: few examples, generous deadline.
+FIT_SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+METRICS = ("euclidean", "manhattan", "chebyshev")
+
+
+def _make_dataset(seed: int, n_clusters: int, n_features: int, n_samples: int) -> np.ndarray:
+    """Clustered data so random configs actually grow multi-level trees."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-2.0, 2.0, size=(n_clusters, n_features))
+    assignments = rng.integers(0, n_clusters, size=n_samples)
+    return centers[assignments] + rng.normal(0.0, 0.15, size=(n_samples, n_features))
+
+
+def _random_config(data) -> GhsomConfig:
+    return GhsomConfig(
+        tau1=data.draw(st.sampled_from([0.3, 0.5])),
+        tau2=data.draw(st.sampled_from([0.05, 0.15])),
+        max_depth=data.draw(st.integers(1, 3)),
+        max_map_size=data.draw(st.sampled_from([9, 16, 25])),
+        max_growth_rounds=4,
+        min_samples_for_expansion=data.draw(st.sampled_from([10, 25])),
+        training=SomTrainingConfig(epochs=2, metric=data.draw(st.sampled_from(METRICS))),
+        random_state=data.draw(st.integers(0, 2**16)),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Preprocessed train/test matrices plus training labels."""
+    generator = KddSyntheticGenerator(random_state=23)
+    train = generator.generate(1000)
+    test = generator.generate(600)
+    pipeline = PreprocessingPipeline()
+    return {
+        "X_train": pipeline.fit_transform(train),
+        "X_test": pipeline.transform(test),
+        "y_train": [str(category) for category in train.categories],
+    }
+
+
+@pytest.fixture(scope="module")
+def detector_config():
+    return GhsomConfig(
+        tau1=0.35,
+        tau2=0.05,
+        max_depth=3,
+        max_map_size=36,
+        min_samples_for_expansion=30,
+        training=SomTrainingConfig(epochs=3),
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def labelled_detector(workload, detector_config):
+    detector = GhsomDetector(detector_config, random_state=0)
+    return detector.fit(workload["X_train"], workload["y_train"])
+
+
+@pytest.fixture(scope="module")
+def compiled(labelled_detector):
+    return labelled_detector.model.compile()
+
+
+# --------------------------------------------------------------------------- #
+# planner
+# --------------------------------------------------------------------------- #
+class TestPlanner:
+    def test_subtrees_partition_the_arrays(self, compiled):
+        subtrees = subtrees_from_compiled(compiled)
+        n_root_units = int(compiled.node_offsets[1])
+        # Every internal root unit owns exactly one subtree.
+        internal = [u for u in range(n_root_units) if compiled.child_of_unit[u] >= 0]
+        assert [s.root_unit for s in subtrees] == internal
+        # Subtree node/unit/leaf ranges are disjoint and cover every non-root
+        # node, every non-root unit and every non-root-level leaf.
+        nodes = sorted(
+            n for s in subtrees for n in range(s.entry_node, s.node_stop)
+        )
+        assert nodes == list(range(1, compiled.n_nodes))
+        units = sorted(u for s in subtrees for u in range(s.unit_start, s.unit_stop))
+        assert units == list(range(n_root_units, compiled.n_units))
+        leaves = sorted(l for s in subtrees for l in range(s.leaf_start, s.leaf_stop))
+        root_leaves = int(np.sum(compiled.leaf_of_unit[:n_root_units] >= 0))
+        assert len(leaves) == compiled.n_leaves - root_leaves
+        # A subtree's leaf segment really belongs to its node range.
+        for subtree in subtrees:
+            owned = compiled.leaf_node[subtree.leaf_start : subtree.leaf_stop]
+            assert np.all((owned >= subtree.entry_node) & (owned < subtree.node_stop))
+
+    def test_plan_balances_and_clamps(self, compiled):
+        subtrees = subtrees_from_compiled(compiled)
+        plan = plan_shards(compiled, 2)
+        assert plan.n_shards == min(2, len(subtrees))
+        # Every subtree lands on exactly one shard.
+        assert sorted(
+            s.root_unit for shard in range(plan.n_shards) for s in plan.members_of(shard)
+        ) == sorted(s.root_unit for s in subtrees)
+        # Asking for more shards than subtrees clamps instead of erroring.
+        oversized = plan_shards(compiled, len(subtrees) + 10)
+        assert oversized.n_shards == len(subtrees)
+        # Every effective shard has at least one subtree (LPT never leaves
+        # a shard empty when shards <= subtrees).
+        for shard in range(oversized.n_shards):
+            assert oversized.members_of(shard)
+        with pytest.raises(ConfigurationError):
+            plan_shards(compiled, 0)
+
+    def test_depth_one_tree_has_no_subtrees(self):
+        data = np.random.default_rng(0).normal(0.0, 1.0, (300, 4))
+        config = GhsomConfig(
+            tau1=0.5, max_depth=1, max_map_size=16,
+            training=SomTrainingConfig(epochs=2), random_state=0,
+        )
+        compiled = Ghsom(config).fit(data).compile()
+        assert subtrees_from_compiled(compiled) == ()
+        engine = ShardedGhsom.from_compiled(compiled, 4)
+        assert engine.n_shards == 0
+        reference = compiled.assign_arrays(data)
+        leaf, dist = engine.assign_arrays(data)
+        np.testing.assert_array_equal(leaf, reference[0])
+        np.testing.assert_array_equal(dist, reference[1])
+
+
+class TestManifest:
+    def test_round_trips_through_json(self, compiled):
+        manifest = manifest_from_compiled(compiled)
+        restored = subtrees_from_manifest(json.loads(json.dumps(manifest)))
+        assert restored == subtrees_from_compiled(compiled)
+
+    def test_rejects_unknown_version(self, compiled):
+        manifest = manifest_from_compiled(compiled)
+        manifest["version"] = 99
+        with pytest.raises(SerializationError):
+            subtrees_from_manifest(manifest)
+
+    def test_detector_artifact_carries_manifest(self, labelled_detector):
+        payload = detector_to_dict(labelled_detector)
+        manifest = payload["shard_manifest"]
+        assert subtrees_from_manifest(manifest) == subtrees_from_compiled(
+            labelled_detector.model.compile()
+        )
+        # ...and the loaded detector keeps it for set_sharding().
+        loaded = detector_from_dict(payload)
+        assert loaded._shard_manifest == manifest
+
+
+# --------------------------------------------------------------------------- #
+# shards
+# --------------------------------------------------------------------------- #
+class TestShardSelfContainment:
+    def test_shard_arrays_match_global_segments(self, labelled_detector, compiled):
+        tables = labelled_detector._leaf_tables()
+        plan = plan_shards(compiled, 2)
+        shards = build_shards(
+            compiled,
+            plan,
+            thresholds=tables.thresholds,
+            labels=tables.labels,
+            is_attack=tables.is_attack,
+            purity=tables.purity,
+        )
+        seen_leaves = []
+        for shard in shards:
+            assert shard.codebook.shape == (shard.n_units, compiled.n_features)
+            np.testing.assert_array_equal(
+                shard.codebook, compiled.codebook[
+                    np.concatenate([
+                        np.arange(s.unit_start, s.unit_stop)
+                        for s in plan.members_of(shard.shard_id)
+                    ])
+                ],
+            )
+            # Local child/leaf indices stay inside the shard.
+            assert shard.child_of_unit.max(initial=-1) < shard.n_nodes
+            assert shard.leaf_of_unit.max(initial=-1) < shard.n_leaves
+            # Per-leaf scoring tables are the global segments, remapped.
+            np.testing.assert_array_equal(
+                shard.thresholds, tables.thresholds[shard.leaf_global_row]
+            )
+            np.testing.assert_array_equal(
+                shard.labels, tables.labels[shard.leaf_global_row]
+            )
+            np.testing.assert_array_equal(
+                shard.is_attack, tables.is_attack[shard.leaf_global_row]
+            )
+            np.testing.assert_array_equal(
+                shard.purity, tables.purity[shard.leaf_global_row]
+            )
+            seen_leaves.extend(shard.leaf_global_row.tolist())
+        # Shards jointly own every non-root-level leaf exactly once.
+        assert len(seen_leaves) == len(set(seen_leaves))
+
+
+# --------------------------------------------------------------------------- #
+# router + backends: byte-identity
+# --------------------------------------------------------------------------- #
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_engine_equivalence_across_shard_counts(self, compiled, workload, backend):
+        X = workload["X_test"]
+        reference = compiled.assign_arrays(X)
+        n_subtrees = len(subtrees_from_compiled(compiled))
+        for n_shards in {1, 2, max(1, n_subtrees)}:
+            engine = ShardedGhsom.from_compiled(
+                compiled, n_shards, backend=backend, workers=2 if backend != "serial" else None
+            )
+            leaf, dist = engine.assign_arrays(X)
+            np.testing.assert_array_equal(leaf, reference[0])
+            np.testing.assert_array_equal(dist, reference[1])
+            assert dist.dtype == np.float64
+            engine.close()
+
+    def test_process_backend_equivalence(self, compiled, workload):
+        X = workload["X_test"][:200]
+        reference = compiled.assign_arrays(X)
+        with ProcessPoolBackend(workers=2) as backend:
+            engine = ShardedGhsom.from_compiled(compiled, 2, backend=backend)
+            for _ in range(2):  # second call reuses the worker pool
+                leaf, dist = engine.assign_arrays(X)
+                np.testing.assert_array_equal(leaf, reference[0])
+                np.testing.assert_array_equal(dist, reference[1])
+
+    def test_detector_detect_byte_identical(self, labelled_detector, workload):
+        X = workload["X_test"]
+        reference = labelled_detector.detect(X)
+        try:
+            for n_shards in (1, 3):
+                labelled_detector.set_sharding(n_shards)
+                result = labelled_detector.detect(X)
+                np.testing.assert_array_equal(result.scores, reference.scores)
+                np.testing.assert_array_equal(result.predictions, reference.predictions)
+                np.testing.assert_array_equal(result.leaf_index, reference.leaf_index)
+                assert result.categories == reference.categories
+        finally:
+            labelled_detector.set_sharding(None)
+
+    def test_one_class_detector_byte_identical(self, workload, detector_config):
+        detector = GhsomDetector(detector_config, random_state=0).fit(workload["X_train"])
+        X = workload["X_test"]
+        reference = detector.detect(X)
+        detector.set_sharding(4, backend="thread", workers=2)
+        result = detector.detect(X)
+        np.testing.assert_array_equal(result.scores, reference.scores)
+        assert result.categories == reference.categories
+        detector.set_sharding(None)
+
+    def test_float32_sharded_matches_float32_unsharded(self, labelled_detector, workload):
+        X = workload["X_test"]
+        payload = detector_to_dict(labelled_detector)
+        narrowed = detector_from_dict(payload, dtype="float32")
+        reference = narrowed.detect(X)
+        narrowed.set_sharding(3)
+        result = narrowed.detect(X)
+        np.testing.assert_array_equal(result.scores, reference.scores)
+        np.testing.assert_array_equal(result.leaf_index, reference.leaf_index)
+        narrowed.set_sharding(None)
+
+    def test_sharding_survives_refit(self, workload, detector_config):
+        detector = GhsomDetector(detector_config, random_state=0).fit(workload["X_train"])
+        detector.set_sharding(3)
+        X = workload["X_test"]
+        _ = detector.detect(X)
+        detector.fit(workload["X_train"][:400])
+        assert detector.sharding == {"n_shards": 3, "backend": "serial", "workers": 1}
+        fresh = GhsomDetector(detector_config, random_state=0).fit(workload["X_train"][:400])
+        np.testing.assert_array_equal(detector.detect(X).scores, fresh.detect(X).scores)
+
+    def test_set_sharding_validation(self, labelled_detector):
+        with pytest.raises(ConfigurationError):
+            labelled_detector.set_sharding(-1)
+        with pytest.raises(ConfigurationError):
+            labelled_detector.set_sharding(2, backend="quantum")
+        assert labelled_detector.sharding is None  # failed calls leave it unsharded
+
+    def test_make_backend_rejects_bad_worker_overrides(self):
+        with pytest.raises(ConfigurationError):
+            make_backend("serial", workers=4)
+        with pytest.raises(ConfigurationError):
+            make_backend(SerialBackend(), workers=2)
+        with pytest.raises(ConfigurationError):
+            make_backend("thread", workers=0)
+        backend = make_backend("thread", workers=3)
+        assert isinstance(backend, ThreadPoolBackend) and backend.workers == 3
+
+
+class TestShardedBundle:
+    def test_load_bundle_with_shards(self, tmp_path, labelled_detector, workload):
+        pipeline = PreprocessingPipeline()
+        pipeline.fit_transform(KddSyntheticGenerator(random_state=23).generate(1000))
+        path = tmp_path / "bundle.json"
+        save_bundle(pipeline, labelled_detector, path)
+        _, plain = load_bundle(path)
+        _, sharded = load_bundle(path, shards=3, workers=2, shard_backend="thread")
+        assert sharded.sharding == {"n_shards": 3, "backend": "thread", "workers": 2}
+        X = workload["X_test"]
+        reference = plain.detect(X)
+        result = sharded.detect(X)
+        np.testing.assert_array_equal(result.scores, reference.scores)
+        assert result.categories == reference.categories
+        # The manifest — not a tree rebuild — provided the shard layout.
+        assert not sharded.tree_is_materialized
+        sharded.set_sharding(None)
+
+    def test_workers_without_shards_is_rejected(self, tmp_path, labelled_detector):
+        from repro.exceptions import ReproError
+
+        pipeline = PreprocessingPipeline()
+        pipeline.fit_transform(KddSyntheticGenerator(random_state=23).generate(200))
+        path = tmp_path / "bundle.json"
+        save_bundle(pipeline, labelled_detector, path)
+        # workers / shard_backend only make sense with shards=K: reject the
+        # call instead of silently serving unsharded.
+        with pytest.raises(ReproError):
+            load_bundle(path, workers=4)
+        with pytest.raises(ReproError):
+            load_bundle(path, shard_backend="process")
+
+
+# --------------------------------------------------------------------------- #
+# hypothesis: the acceptance property over random models
+# --------------------------------------------------------------------------- #
+class TestShardedProperty:
+    @given(data=st.data())
+    @settings(**FIT_SETTINGS)
+    def test_sharded_detect_byte_identical(self, data):
+        dataset = _make_dataset(
+            seed=data.draw(st.integers(0, 2**16)),
+            n_clusters=data.draw(st.integers(2, 4)),
+            n_features=data.draw(st.integers(2, 5)),
+            n_samples=data.draw(st.integers(80, 160)),
+        )
+        config = _random_config(data)
+        labelled = data.draw(st.booleans())
+        threshold_strategy = data.draw(st.sampled_from(["per_unit", "global"]))
+        labels = None
+        if labelled:
+            rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+            labels = [
+                data_label
+                for data_label in rng.choice(
+                    ["normal", "dos", "probe"], size=dataset.shape[0]
+                )
+            ]
+        detector = GhsomDetector(
+            config, threshold_strategy=threshold_strategy, random_state=0
+        ).fit(dataset, labels)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        queries = np.concatenate(
+            [dataset[:50], dataset[:25] + rng.normal(0.0, 0.8, (25, dataset.shape[1]))]
+        )
+        reference = detector.detect(queries)
+        n_subtrees = len(subtrees_from_compiled(detector.model.compile()))
+        try:
+            for n_shards in {1, 2, max(1, n_subtrees)}:
+                detector.set_sharding(n_shards)
+                result = detector.detect(queries)
+                np.testing.assert_array_equal(result.scores, reference.scores)
+                np.testing.assert_array_equal(result.predictions, reference.predictions)
+                np.testing.assert_array_equal(result.leaf_index, reference.leaf_index)
+                assert result.categories == reference.categories
+        finally:
+            detector.set_sharding(None)

@@ -91,12 +91,106 @@ class TestWarmup:
         third = online.process(X[400:500])
         assert not third.extra.get("warming_up")
 
+    def test_completing_batch_is_scored_with_fresh_detector(self, stream_setup):
+        _, X, _ = stream_setup
+        fresh = KMeansDetector(n_clusters=20, random_state=0)
+        online = OnlineDetector(fresh, warmup_size=200)
+        online.process(X[:150])
+        completing = online.process(X[150:400])
+        # The detector was fitted inside this very call, so the batch must
+        # carry real scores — not the all-normal placeholder zeros.
+        assert completing.extra.get("warmup_completed")
+        assert not completing.extra.get("warming_up")
+        assert np.any(completing.scores > 0.0)
+        assert completing.categories is not None
+        assert len(completing.categories) == 250
+        # ...and the scores are exactly what the fitted detector reports.
+        np.testing.assert_array_equal(
+            completing.scores, fresh.detect(X[150:400]).scores
+        )
+
+    def test_completing_batch_updates_adaptation_state(self, stream_setup):
+        _, X, _ = stream_setup
+        online = OnlineDetector(KMeansDetector(n_clusters=20, random_state=0), warmup_size=100)
+        result = online.process(X[:120])
+        assert result.extra.get("warmup_completed")
+        # Benign records of the completing batch already feed the EWMA/buffer.
+        assert online.score_ewma.n_updates > 0
+
     def test_score_samples_during_warmup_raises(self, stream_setup):
         _, X, _ = stream_setup
         online = OnlineDetector(KMeansDetector(n_clusters=10, random_state=0), warmup_size=500)
         online.process(X[:100])
         with pytest.raises(NotFittedError):
             online.score_samples(X[:10])
+
+
+class TestBoundaryDecisionAlignment:
+    """The batch and streaming paths share one decision rule.
+
+    Both go through :func:`repro.core.detector.alarm_decisions`: a score
+    *strictly above* the threshold alarms, so a score sitting exactly on the
+    boundary is "normal" on every path.
+    """
+
+    class _ConstantScoreDetector:
+        """Stub detector returning a fixed score vector (is_fitted duck-typing)."""
+
+        is_fitted = True
+
+        def __init__(self, scores):
+            self._scores = np.asarray(scores, dtype=float)
+
+        def fit(self, X, y=None):
+            return self
+
+        def score_samples(self, X):
+            return self._scores[: np.asarray(X).shape[0]]
+
+        def predict(self, X):
+            from repro.core.detector import alarm_decisions
+
+            return alarm_decisions(self.score_samples(X))
+
+        def detect(self, X):
+            from repro.core.detector import DetectionResult, alarm_decisions
+
+            scores = self.score_samples(X)
+            predictions = alarm_decisions(scores)
+            return DetectionResult(
+                scores=scores,
+                predictions=predictions,
+                categories=["anomaly" if flag else "normal" for flag in predictions],
+            )
+
+    def test_score_exactly_at_threshold_is_normal_on_both_paths(self):
+        from repro.core.detector import alarm_decisions
+
+        scores = np.array([0.5, 1.0, 1.0 + 1e-12, 2.0])
+        stub = self._ConstantScoreDetector(scores)
+        batch = np.zeros((4, 3))
+        batch_decisions = stub.predict(batch)
+        online = OnlineDetector(stub, adaptation="none")
+        streaming_decisions = online.process(batch).predictions
+        expected = [0, 0, 1, 1]  # exactly-at-threshold does NOT alarm
+        assert batch_decisions.tolist() == expected
+        assert streaming_decisions.tolist() == expected
+        assert alarm_decisions(scores).tolist() == expected
+
+    def test_score_exactly_at_adaptive_scale_is_normal(self):
+        stub = self._ConstantScoreDetector(np.array([1.3]))
+        online = OnlineDetector(stub, adaptation="threshold")
+        # Force a known adaptive scale and verify the strict comparison.
+        online._effective_scale = lambda: 1.3
+        result = online.process(np.zeros((1, 3)))
+        assert result.effective_scale == 1.3
+        assert result.predictions.tolist() == [0]
+
+    def test_ghsom_boundary_score_agrees_between_batch_and_stream(self, stream_setup):
+        detector, X, _ = stream_setup
+        online = OnlineDetector(detector, adaptation="none")
+        step = online.process(X[:200])
+        np.testing.assert_array_equal(step.predictions, detector.predict(X[:200]))
 
 
 class TestAdaptation:
