@@ -16,6 +16,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import (
     AlertAggregator,
     AttackInjection,
@@ -33,6 +35,18 @@ from repro.streaming.alerts import Incident
 #: Raw alarms use the calibrated threshold (1.0); incidents use this tier.
 HIGH_CONFIDENCE_SCORE = 2.0
 
+#: Set REPRO_EXAMPLES_QUICK=1 (the examples smoke test does) to shrink the
+#: workload so the script finishes in seconds while exercising every step.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+
+DURATION = 150.0 if QUICK else 400.0
+ATTACKS = (
+    (("portsweep", 40.0), ("neptune", 90.0))
+    if QUICK
+    else (("portsweep", 60.0), ("neptune", 180.0), ("guess_passwd", 300.0))
+)
+N_MEMBERS = 2 if QUICK else 3
+
 
 def make_member(seed: int) -> GhsomDetector:
     config = GhsomConfig(
@@ -40,7 +54,7 @@ def make_member(seed: int) -> GhsomDetector:
         tau2=0.05,
         max_depth=3,
         max_map_size=100,
-        training=SomTrainingConfig(epochs=8),
+        training=SomTrainingConfig(epochs=3 if QUICK else 8),
         random_state=seed,
     )
     return GhsomDetector(config, random_state=seed)
@@ -51,24 +65,25 @@ def main() -> None:
 
     # Calibrate the ensemble on an attack-free window of the same network.
     calibration = TrafficSimulator(
-        duration_seconds=400.0, sessions_per_second=3.0, network=network, random_state=20
+        duration_seconds=DURATION, sessions_per_second=3.0, network=network, random_state=20
     ).run()
     pipeline = PreprocessingPipeline()
     X_calibration = pipeline.fit_transform(calibration)
-    ensemble = EnsembleDetector([lambda s=seed: make_member(s) for seed in (0, 1, 2)])
+    ensemble = EnsembleDetector(
+        [lambda s=seed: make_member(s) for seed in range(N_MEMBERS)]
+    )
     ensemble.fit(X_calibration)
-    print(f"calibrated a 3-member GHSOM ensemble on {len(calibration)} benign connections")
+    print(
+        f"calibrated a {N_MEMBERS}-member GHSOM ensemble on "
+        f"{len(calibration)} benign connections"
+    )
 
-    # Monitor a window with three injected attack episodes.
+    # Monitor a window with injected attack episodes.
     simulator = TrafficSimulator(
-        duration_seconds=400.0,
+        duration_seconds=DURATION,
         sessions_per_second=3.0,
         network=network,
-        injections=[
-            AttackInjection("portsweep", start_time=60.0),
-            AttackInjection("neptune", start_time=180.0),
-            AttackInjection("guess_passwd", start_time=300.0),
-        ],
+        injections=[AttackInjection(name, start_time=start) for name, start in ATTACKS],
         random_state=21,
     )
     monitored, events = simulator.run_with_events()
@@ -89,11 +104,12 @@ def main() -> None:
         scores=scores,
     )
     print()
+    injected = ", ".join(f"{name} at {start:.0f}s" for name, start in ATTACKS)
     print(
         format_table(
             [incident.as_row() for incident in incidents],
             Incident.headers(),
-            title="Incidents (attacks injected at 60s, 180s and 300s)",
+            title=f"Incidents (injected: {injected})",
         )
     )
     print()

@@ -12,6 +12,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import (
     GhsomConfig,
     GhsomDetector,
@@ -28,18 +30,24 @@ from repro.eval.experiments import DetectorResult, ExperimentRunner
 
 CATEGORIES = ("normal", "dos", "probe", "r2l", "u2r")
 
+#: Set REPRO_EXAMPLES_QUICK=1 (the examples smoke test does) to shrink the
+#: workload so the script finishes in seconds while exercising every step.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+
 
 def main() -> None:
-    runner = ExperimentRunner(n_train=4000, n_test=2000, random_state=0)
+    n_train, n_test = (700, 350) if QUICK else (4000, 2000)
+    epochs = 2 if QUICK else 5
+    runner = ExperimentRunner(n_train=n_train, n_test=n_test, random_state=0)
     detectors = {
         "ghsom": GhsomDetector(
-            GhsomConfig(tau1=0.3, tau2=0.05, max_depth=3, training=SomTrainingConfig(epochs=5)),
+            GhsomConfig(tau1=0.3, tau2=0.05, max_depth=3, training=SomTrainingConfig(epochs=epochs)),
             random_state=0,
         ),
-        "som": SomDetector(10, 10, training=SomTrainingConfig(epochs=10), random_state=0),
-        "kmeans": KMeansDetector(n_clusters=60, random_state=0),
+        "som": SomDetector(10, 10, training=SomTrainingConfig(epochs=2 if QUICK else 10), random_state=0),
+        "kmeans": KMeansDetector(n_clusters=20 if QUICK else 60, random_state=0),
         "pca": PcaSubspaceDetector(threshold_mode="percentile"),
-        "knn": KnnDetector(max_reference_size=3000, random_state=0),
+        "knn": KnnDetector(max_reference_size=500 if QUICK else 3000, random_state=0),
     }
     results = runner.run(detectors, with_confusion=True)
 

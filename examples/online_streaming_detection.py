@@ -12,11 +12,17 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import GhsomConfig, GhsomDetector, KddSyntheticGenerator, OnlineDetector, StreamingPipeline
 from repro.eval.tables import format_series, format_table
 from repro.streaming.pipeline import make_drifting_stream
 
-WINDOW = 500
+#: Set REPRO_EXAMPLES_QUICK=1 (the examples smoke test does) to shrink the
+#: workload so the script finishes in seconds while exercising every step.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+
+WINDOW = 200 if QUICK else 500
 
 
 def run_mode(adaptation: str, X, y, X_calibration):
@@ -29,15 +35,16 @@ def run_mode(adaptation: str, X, y, X_calibration):
 
 
 def main() -> None:
+    half = 800 if QUICK else 3000
     X, y, drift_index = make_drifting_stream(
         lambda seed: KddSyntheticGenerator(random_state=seed),
-        n_before=3000,
-        n_after=3000,
+        n_before=half,
+        n_after=half,
         drift_scale=2.5,
         attack_fraction=0.1,
         random_state=0,
     )
-    calibration = X[:drift_index][y[:drift_index] == 0][:2500]
+    calibration = X[:drift_index][y[:drift_index] == 0][: 600 if QUICK else 2500]
     print(f"stream: {X.shape[0]} records, drift begins at record {drift_index}")
 
     static_reports, static_summary = run_mode("none", X, y, calibration)

@@ -12,15 +12,22 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import GhsomConfig, GhsomDetector, KddSyntheticGenerator, PreprocessingPipeline, SomTrainingConfig
 from repro.eval.metrics import detection_rate_at_fpr
 from repro.eval.sweeps import tau_sensitivity_sweep
 from repro.eval.tables import format_table
 
+#: Set REPRO_EXAMPLES_QUICK=1 (the examples smoke test does) to shrink the
+#: workload so the script finishes in seconds while exercising every step.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+
 
 def main() -> None:
     generator = KddSyntheticGenerator(random_state=0)
-    train, test = generator.generate_train_test(2500, 1200)
+    n_train, n_test = (700, 400) if QUICK else (2500, 1200)
+    train, test = generator.generate_train_test(n_train, n_test)
     pipeline = PreprocessingPipeline()
     X_train = pipeline.fit_transform(train)
     X_test = pipeline.transform(test)
@@ -28,14 +35,16 @@ def main() -> None:
     y_test = test.is_attack.astype(int)
 
     # --- tau sweep -------------------------------------------------------------
-    base = GhsomConfig(max_depth=3, max_map_size=100, training=SomTrainingConfig(epochs=4))
+    base = GhsomConfig(
+        max_depth=3, max_map_size=100, training=SomTrainingConfig(epochs=2 if QUICK else 4)
+    )
     rows = tau_sensitivity_sweep(
         X_train,
         y_train,
         X_test,
         y_test,
-        tau1_values=(0.5, 0.3, 0.2),
-        tau2_values=(0.1, 0.05),
+        tau1_values=(0.5, 0.3) if QUICK else (0.5, 0.3, 0.2),
+        tau2_values=(0.1,) if QUICK else (0.1, 0.05),
         base_config=base,
         random_state=0,
     )
@@ -52,7 +61,7 @@ def main() -> None:
     )
 
     # --- threshold-strategy ablation (one-class mode) ---------------------------
-    normal_train = generator.generate_normal(2500)
+    normal_train = generator.generate_normal(700 if QUICK else 2500)
     oneclass_pipeline = PreprocessingPipeline().fit(normal_train)
     X_normal = oneclass_pipeline.transform(normal_train)
     X_eval = oneclass_pipeline.transform(test)

@@ -11,6 +11,7 @@ split, and saves / reloads the trained model.
 
 from __future__ import annotations
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -26,10 +27,16 @@ from repro import (
 )
 
 
+#: Set REPRO_EXAMPLES_QUICK=1 (the examples smoke test does) to shrink the
+#: workload so the script finishes in seconds while exercising every step.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+
+
 def main() -> None:
     # 1. Data: a labelled KDD-style traffic dataset (stand-in for KDD Cup 99).
     generator = KddSyntheticGenerator(random_state=0)
-    train, test = generator.generate_train_test(n_train=4000, n_test=2000)
+    n_train, n_test = (800, 400) if QUICK else (4000, 2000)
+    train, test = generator.generate_train_test(n_train=n_train, n_test=n_test)
     print(f"training records: {len(train)}, test records: {len(test)}")
     print(f"training class mix: {train.class_counts()}")
 
@@ -55,13 +62,24 @@ def main() -> None:
         )
     )
 
-    # 5. Persistence: the whole detector (hierarchy, labels, thresholds) is one JSON file.
+    # 5. Persistence: the whole detector (hierarchy, labels, thresholds) is one
+    # JSON file — or, with format="binary", a JSON + .npz pair whose arrays
+    # are memory-mapped on load for near-instant cold starts.
     with tempfile.TemporaryDirectory() as directory:
         path = Path(directory) / "ghsom_detector.json"
         save_detector(detector, path)
         reloaded = load_detector(path)
         assert (reloaded.predict(X_test) == alarms).all()
         print(f"\nmodel saved to and reloaded from {path.name}: predictions identical")
+
+        binary_path = Path(directory) / "ghsom_detector_binary.json"
+        save_detector(detector, binary_path, format="binary")
+        mmap_loaded = load_detector(binary_path)
+        assert (mmap_loaded.predict(X_test) == alarms).all()
+        print(
+            f"binary artifact ({binary_path.name} + "
+            f"{binary_path.stem}.npz) mmap-loaded: predictions identical"
+        )
 
 
 if __name__ == "__main__":

@@ -14,6 +14,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro import (
@@ -28,28 +30,39 @@ from repro import (
 )
 from repro.netsim import NetworkModel
 
+#: Set REPRO_EXAMPLES_QUICK=1 (the examples smoke test does) to shrink the
+#: workload so the script finishes in seconds while exercising every step.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+
+DURATION = 150.0 if QUICK else 600.0
+ATTACKS = (
+    (("neptune", 40.0), ("portsweep", 100.0))
+    if QUICK
+    else (
+        ("neptune", 80.0),
+        ("portsweep", 220.0),
+        ("guess_passwd", 360.0),
+        ("smurf", 480.0),
+    )
+)
+
 
 def main() -> None:
     network = NetworkModel(n_internal_hosts=40, n_external_hosts=150, n_servers=8, random_state=1)
 
     # --- Calibration window: one attack-free period of normal operations ------
     calibration_sim = TrafficSimulator(
-        duration_seconds=600.0, sessions_per_second=3.0, network=network, random_state=10
+        duration_seconds=DURATION, sessions_per_second=3.0, network=network, random_state=10
     )
     calibration = calibration_sim.run()
     print(f"calibration window: {len(calibration)} connections, classes {calibration.class_counts()}")
 
-    # --- Monitored window: same network, four injected attack episodes --------
+    # --- Monitored window: same network, injected attack episodes -------------
     monitored_sim = TrafficSimulator(
-        duration_seconds=600.0,
+        duration_seconds=DURATION,
         sessions_per_second=3.0,
         network=network,
-        injections=[
-            AttackInjection("neptune", start_time=80.0),
-            AttackInjection("portsweep", start_time=220.0),
-            AttackInjection("guess_passwd", start_time=360.0),
-            AttackInjection("smurf", start_time=480.0),
-        ],
+        injections=[AttackInjection(name, start_time=start) for name, start in ATTACKS],
         random_state=11,
     )
     monitored, events = monitored_sim.run_with_events()
@@ -86,7 +99,7 @@ def main() -> None:
 
     # --- Alarm timeline: when did the detector fire? ---------------------------
     timestamps = np.array([event.timestamp for event in events])
-    bins = np.arange(0.0, 601.0, 60.0)
+    bins = np.arange(0.0, DURATION + 1.0, 30.0 if QUICK else 60.0)
     rows = []
     for start, stop in zip(bins[:-1], bins[1:]):
         mask = (timestamps >= start) & (timestamps < stop)
@@ -101,11 +114,12 @@ def main() -> None:
             ]
         )
     print()
+    injected = ", ".join(f"{name} at {start:.0f}s" for name, start in ATTACKS)
     print(
         format_table(
             rows,
             ["interval", "connections", "true_attack_fraction", "alarm_fraction"],
-            title="Alarm timeline (attacks injected at 80s, 220s, 360s, 480s)",
+            title=f"Alarm timeline (injected: {injected})",
         )
     )
 

@@ -37,7 +37,16 @@ import numpy as np
 from repro.baselines import KMeansDetector, KnnDetector, LofDetector, PcaSubspaceDetector, SomDetector
 from repro.core import GhsomConfig, GhsomDetector, SomTrainingConfig
 from repro.core.inspection import describe_tree
-from repro.core.serialization import detector_from_dict, detector_to_dict, write_json_atomic
+from repro.core.serialization import (
+    BINARY_FORMAT_VERSION,
+    check_artifact_format,
+    detector_binary_payload,
+    detector_from_dict,
+    detector_to_dict,
+    sidecar_path_for,
+    write_binary_sidecar,
+    write_json_atomic,
+)
 from repro.data.loader import load_csv, save_csv
 from repro.data.preprocess import PreprocessingPipeline
 from repro.data.synthetic import KddSyntheticGenerator
@@ -48,27 +57,52 @@ from repro.eval.tables import format_table
 from repro.exceptions import ReproError
 
 #: Bundle v2 embeds the compiled flat arrays + per-leaf tables (detector
-#: format v2), so ``detect`` serves without rebuilding the Python tree; v1
-#: bundles are still read.
+#: format v2), so ``detect`` serves without rebuilding the Python tree;
+#: bundle v3 (``--format binary``) moves the arrays into an ``.npz`` sidecar
+#: next to the JSON, memory-mapped at load.  v1/v2 bundles are still read.
 BUNDLE_FORMAT_VERSION = 2
-SUPPORTED_BUNDLE_VERSIONS = (1, 2)
+BUNDLE_BINARY_FORMAT_VERSION = BINARY_FORMAT_VERSION
+SUPPORTED_BUNDLE_VERSIONS = (1, 2, 3)
 
 
 # --------------------------------------------------------------------------- #
 # bundle helpers (pipeline + detector in one JSON document)
 # --------------------------------------------------------------------------- #
-def save_bundle(pipeline: PreprocessingPipeline, detector: GhsomDetector, path: Path) -> None:
-    """Write the preprocessing pipeline and the fitted detector as one JSON bundle.
+def save_bundle(
+    pipeline: PreprocessingPipeline,
+    detector: GhsomDetector,
+    path: Path,
+    *,
+    format: str = "json",
+) -> None:
+    """Write the preprocessing pipeline and the fitted detector as one bundle.
 
-    The write is atomic (temp file + rename): a crash mid-save can never
+    ``format="json"`` (default) produces the single-document v2 bundle;
+    ``format="binary"`` produces the v3 pair — the JSON bundle (metadata,
+    pipeline, tree structure, integrity header) plus an ``.npz`` array
+    sidecar next to it that ``load_bundle`` memory-maps.  Every file is
+    written atomically (temp file + rename): a crash mid-save can never
     leave a truncated, unloadable bundle behind.
     """
-    payload = {
-        "kind": "repro_bundle",
-        "format_version": BUNDLE_FORMAT_VERSION,
-        "pipeline": pipeline.to_dict(),
-        "detector": detector_to_dict(detector),
-    }
+    path = Path(path)
+    if check_artifact_format(format) == "binary":
+        detector_payload, arrays = detector_binary_payload(detector)
+        # The sidecar header lives on the *detector* payload (where the
+        # reader resolves it) and the sidecar shares the bundle's stem.
+        write_binary_sidecar(detector_payload, arrays, path)
+        payload = {
+            "kind": "repro_bundle",
+            "format_version": BUNDLE_BINARY_FORMAT_VERSION,
+            "pipeline": pipeline.to_dict(),
+            "detector": detector_payload,
+        }
+    else:
+        payload = {
+            "kind": "repro_bundle",
+            "format_version": BUNDLE_FORMAT_VERSION,
+            "pipeline": pipeline.to_dict(),
+            "detector": detector_to_dict(detector),
+        }
     write_json_atomic(payload, path)
 
 
@@ -79,14 +113,21 @@ def load_bundle(
     shards: Optional[int] = None,
     workers: Optional[int] = None,
     shard_backend: Optional[str] = None,
+    mmap: bool = True,
+    verify: bool = False,
 ):
     """Load a bundle written by :func:`save_bundle` (any supported version).
+
+    The bundle version is auto-detected from the JSON header; a v3 (binary)
+    bundle memory-maps the ``.npz`` sidecar next to the JSON file
+    (``mmap=False`` reads it eagerly; ``verify=True`` additionally checks
+    the sidecar's SHA-256 against the integrity header).
 
     ``dtype="float32"`` opts into the narrowed serving mode on the loaded
     detector (see :meth:`repro.core.CompiledGhsom.astype` for the tolerance
     contract); the float64 default is bit-exact.
 
-    ``shards=K`` hydrates the detector for sharded serving: the v2 artifact's
+    ``shards=K`` hydrates the detector for sharded serving: the artifact's
     shard manifest partitions the compiled arrays into K root-subtree shards
     executed on ``shard_backend`` (default ``"thread"``) with ``workers``
     workers (see :mod:`repro.serving`) — scores stay byte-identical to the
@@ -98,7 +139,8 @@ def load_bundle(
             "workers/shard_backend only apply to sharded serving; pass shards=K "
             "(CLI: --shards) to enable it"
         )
-    payload = json.loads(Path(path).read_text())
+    path = Path(path)
+    payload = json.loads(path.read_text())
     if payload.get("kind") != "repro_bundle":
         raise ReproError(f"{path} is not a repro model bundle")
     if payload.get("format_version") not in SUPPORTED_BUNDLE_VERSIONS:
@@ -106,7 +148,13 @@ def load_bundle(
             f"{path} has unsupported bundle version {payload.get('format_version')!r}"
         )
     pipeline = PreprocessingPipeline.from_dict(payload["pipeline"])
-    detector = detector_from_dict(payload["detector"], dtype=dtype)
+    detector = detector_from_dict(
+        payload["detector"],
+        dtype=dtype,
+        sidecar_dir=path.parent,
+        mmap=mmap,
+        verify=verify,
+    )
     if shards:
         detector.set_sharding(
             shards, backend=shard_backend or "thread", workers=workers
@@ -170,13 +218,19 @@ def cmd_train(args: argparse.Namespace) -> int:
     )
     labels = None if args.one_class else [str(category) for category in dataset.categories]
     detector.fit(X_train, labels)
-    save_bundle(pipeline, detector, Path(args.model))
+    model_path = Path(args.model)
+    save_bundle(pipeline, detector, model_path, format=args.format)
     topology = detector.topology_summary()
     print(f"trained GHSOM on {len(dataset)} records ({'one-class' if args.one_class else 'labelled'})")
     print(
         f"topology: {topology['n_maps']} maps, {topology['n_units']} units, depth {topology['depth']}"
     )
     print(f"model bundle written to {args.model}")
+    if args.format == "binary":
+        print(
+            f"binary array sidecar written to {sidecar_path_for(model_path)} "
+            "(keep it next to the bundle; detect/inspect mmap it on load)"
+        )
     return 0
 
 
@@ -361,6 +415,16 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=5)
     train.add_argument(
         "--threshold-strategy", choices=("per_unit", "global"), default="per_unit"
+    )
+    train.add_argument(
+        "--format",
+        choices=("json", "binary"),
+        default="json",
+        help=(
+            "artifact format: json = single self-contained document; "
+            "binary = JSON metadata + .npz array sidecar, memory-mapped on "
+            "load for O(metadata) cold starts (detect/inspect auto-detect)"
+        ),
     )
     train.add_argument("--seed", type=int, default=0)
     train.set_defaults(handler=cmd_train)

@@ -104,6 +104,79 @@ class CompiledGhsom:
     _leaf_index_of: Dict[LeafKey, int] = field(repr=False)
 
     # ------------------------------------------------------------------ #
+    # construction from stored arrays
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        n_features: int,
+        metric: str,
+        node_ids: Sequence[str],
+        node_depths,
+        node_offsets,
+        codebook,
+        child_of_unit,
+        leaf_of_unit,
+        leaf_node,
+        leaf_unit,
+        leaf_depth,
+        unit_norms=None,
+    ) -> "CompiledGhsom":
+        """Assemble a snapshot from its defining arrays (deserialization).
+
+        The entry point for every artifact reader: v2 payloads pass parsed
+        JSON lists, the v3 binary reader passes read-only memory-mapped
+        views.  Arrays already carrying the target dtype are adopted
+        *without copying* — the inference path never writes to the defining
+        arrays, so memmap-backed (and otherwise read-only) inputs are served
+        from directly and their pages fault in on first use.  ``unit_norms``
+        is derived data: passing the stored value avoids touching every
+        codebook page at load time; when omitted (v2 JSON payloads do not
+        store it) it is recomputed from the codebook.
+        """
+        def adopt(array, dtype) -> np.ndarray:
+            # asanyarray + conditional conversion keeps np.memmap instances
+            # intact when dtype and layout already match (always true for
+            # sidecars written by this library) — the subclass is what lets
+            # downstream consumers pickle these arrays by file reference.
+            array = np.asanyarray(array)
+            if array.dtype != dtype or not array.flags["C_CONTIGUOUS"]:
+                array = np.ascontiguousarray(array, dtype=dtype)
+            return array
+
+        node_ids = tuple(str(node_id) for node_id in node_ids)
+        codebook = adopt(codebook, np.dtype(float))
+        leaf_node = adopt(leaf_node, np.dtype(np.intp))
+        leaf_unit = adopt(leaf_unit, np.dtype(np.intp))
+        # tolist() first: iterating a memmap element-wise pays a Python-level
+        # __getitem__ per leaf, which is most of a v3 artifact's load time.
+        leaf_keys = tuple(
+            (node_ids[node], unit)
+            for node, unit in zip(leaf_node.tolist(), leaf_unit.tolist())
+        )
+        if unit_norms is None:
+            unit_norms = np.einsum("ij,ij->i", codebook, codebook)
+        else:
+            unit_norms = adopt(unit_norms, np.dtype(float))
+        return cls(
+            n_features=int(n_features),
+            metric=str(metric),
+            node_ids=node_ids,
+            node_depths=adopt(node_depths, np.dtype(np.intp)),
+            node_offsets=adopt(node_offsets, np.dtype(np.intp)),
+            codebook=codebook,
+            child_of_unit=adopt(child_of_unit, np.dtype(np.intp)),
+            leaf_of_unit=adopt(leaf_of_unit, np.dtype(np.intp)),
+            leaf_node=leaf_node,
+            leaf_unit=leaf_unit,
+            leaf_depth=adopt(leaf_depth, np.dtype(np.intp)),
+            leaf_keys=leaf_keys,
+            unit_norms=unit_norms,
+            _leaf_index_of={key: row for row, key in enumerate(leaf_keys)},
+        )
+
+    # ------------------------------------------------------------------ #
     # structure
     # ------------------------------------------------------------------ #
     @property

@@ -1,37 +1,49 @@
 """Saving and loading trained models.
 
-Models are serialised to a single JSON document (codebooks stored as nested
-lists).  JSON keeps the artefacts human-inspectable and avoids pickle's code
-execution concerns; the models involved are small (a few hundred units of a
-few dozen dimensions), so the size overhead of a text format is irrelevant.
-
-Two artifact format versions exist:
+Model metadata is always serialised to a JSON document (human-inspectable,
+no pickle code-execution concerns).  Three artifact format versions exist:
 
 * **v1** — the original tree-shaped payload: the GHSOM is stored as a nested
   ``root`` node dict and loading rebuilds the full Python ``GhsomNode`` tree
   (and recompiles it before the first score).  Still read, never written.
-* **v2** (current) — additionally embeds the **compiled flat arrays**
+* **v2** (default) — additionally embeds the **compiled flat arrays**
   (stacked codebook, topology arrays, leaf table — see
   :class:`~repro.core.compiled.CompiledGhsom`) and, for detectors, the
-  per-leaf scoring tables (thresholds, labels, attack flags, purity).
-  Loading hydrates a scoring-ready detector straight from these arrays: no
-  ``GhsomNode`` objects are constructed and nothing is recompiled before the
-  first score.  The tree payload is still stored, and the loaded detector
-  rebuilds it lazily only if a consumer actually asks for ``detector.model``
-  (structure inspection, refit workflows).
+  per-leaf scoring tables (thresholds, labels, attack flags, purity) as JSON
+  lists.  Loading hydrates a scoring-ready detector straight from these
+  arrays: no ``GhsomNode`` objects are constructed and nothing is recompiled
+  before the first score.  The tree payload is still stored, and the loaded
+  detector rebuilds it lazily only if a consumer actually asks for
+  ``detector.model`` (structure inspection, refit workflows).
+* **v3** (binary, opt-in via ``format="binary"``) — the JSON document keeps
+  all metadata (config, thresholds strategy state, tree structure, shard
+  manifest) plus an **integrity header**, while every compiled array and
+  per-leaf scoring table moves to an ``.npz`` sidecar written atomically
+  next to the JSON.  Loading memory-maps the sidecar
+  (:func:`repro.utils.mmapio.mmap_npz`), so cold start is O(metadata): the
+  codebook pages fault in on first score instead of being parsed out of
+  JSON.  Scores are byte-identical to v2 float64 across every load path.
+  The JSON header records the sidecar's file name (resolved relative to the
+  JSON file — the pair must be moved together), byte count and per-member
+  CRC-32s (both always checked at load, catching truncation and stale
+  pairings even when sizes happen to match) and SHA-256 (checked on
+  ``verify=True`` loads, catching corruption CRC-32 cannot).
 
-All files are written atomically: the payload goes to a temporary file in the
-target directory first and is renamed into place, so a crash mid-write can
-never leave a truncated, unloadable artifact behind.
+All artifact files — JSON and binary sidecars alike — are written atomically
+(same-directory temp file + fsync + ``os.replace``; see
+:func:`repro.utils.mmapio.atomic_write`), so a crash mid-write can never
+leave a truncated, unloadable file under the target name.  A v3 save writes
+the sidecar first and the JSON referencing it second: a crash between the
+two leaves the old JSON pointing at a replaced sidecar, which the size /
+checksum checks then report as a mismatch instead of serving silently wrong
+arrays.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,15 +56,37 @@ from repro.core.labeling import UnitLabeler
 from repro.core.thresholds import threshold_from_dict
 from repro.exceptions import SerializationError
 from repro.serving.planner import manifest_from_compiled
+from repro.utils.mmapio import (
+    atomic_write,
+    load_npz,
+    mmap_npz,
+    npz_member_crcs,
+    sha256_of_file,
+    write_npz_atomic,
+)
 
 PathLike = Union[str, Path]
 
-#: Format marker written into every artefact so loads can fail fast on
-#: incompatible files.
+#: Format marker written into every JSON-only artefact so loads can fail
+#: fast on incompatible files.
 FORMAT_VERSION = 2
 
+#: The binary (npz-sidecar) format written by ``format="binary"`` saves.
+BINARY_FORMAT_VERSION = 3
+
 #: Format versions the readers accept (v1 artifacts remain loadable).
-SUPPORTED_FORMAT_VERSIONS = (1, 2)
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3)
+
+#: Versions the JSON-dict writers (:func:`ghsom_to_dict`,
+#: :func:`detector_to_dict`) can produce; v3 splits its arrays into a binary
+#: sidecar and is written through :func:`save_ghsom` / :func:`save_detector`.
+JSON_WRITER_VERSIONS = (1, 2)
+
+#: File suffix of the binary array sidecar written next to a v3 JSON file.
+SIDECAR_SUFFIX = ".npz"
+
+#: Sidecar container formats the v3 reader understands.
+_SIDECAR_FORMATS = ("npz",)
 
 
 def _check_version(data: Dict[str, object]) -> int:
@@ -63,17 +97,66 @@ def _check_version(data: Dict[str, object]) -> int:
 
 
 def _check_writer_version(version: int) -> int:
-    if version not in SUPPORTED_FORMAT_VERSIONS:
+    if version == BINARY_FORMAT_VERSION:
         raise SerializationError(
-            f"cannot write format version {version!r}; "
-            f"supported versions are {SUPPORTED_FORMAT_VERSIONS}"
+            "format v3 stores its arrays in a binary sidecar and cannot be "
+            "written as a single JSON dict; use save_ghsom/save_detector "
+            "with format='binary'"
+        )
+    if version not in JSON_WRITER_VERSIONS:
+        raise SerializationError(
+            f"cannot write format version {version!r}; the JSON-dict writers "
+            f"support versions {JSON_WRITER_VERSIONS} (v{BINARY_FORMAT_VERSION} "
+            "is written via save_ghsom/save_detector with format='binary')"
         )
     return int(version)
 
 
+def check_artifact_format(format: str) -> str:
+    if format not in ("json", "binary"):
+        raise SerializationError(
+            f"unknown artifact format {format!r}; choose 'json' or 'binary'"
+        )
+    return format
+
+
 # --------------------------------------------------------------------------- #
-# compiled flat arrays (format v2)
+# compiled flat arrays (formats v2 and v3)
 # --------------------------------------------------------------------------- #
+#: Array attributes of :class:`CompiledGhsom` stored in artifacts, in a fixed
+#: order shared by the v2 JSON payload and the v3 sidecar member names.
+#: ``unit_norms`` is derived data stored only by v3: recomputing it at load
+#: time would touch every codebook page and defeat the lazy mapping.
+_COMPILED_ARRAY_FIELDS = (
+    "node_depths",
+    "node_offsets",
+    "codebook",
+    "child_of_unit",
+    "leaf_of_unit",
+    "leaf_node",
+    "leaf_unit",
+    "leaf_depth",
+)
+_SIDECAR_COMPILED_FIELDS = _COMPILED_ARRAY_FIELDS + ("unit_norms",)
+
+#: Per-leaf scoring-table sidecar member names (v3 detectors).  Labels are
+#: stored as a fixed-width unicode array; the loader restores the object
+#: dtype the in-memory tables use.
+_SIDECAR_LEAF_THRESHOLDS = "leaf_thresholds"
+_SIDECAR_LEAF_LABELS = "leaf_labels"
+_SIDECAR_LEAF_IS_ATTACK = "leaf_is_attack"
+_SIDECAR_LEAF_PURITY = "leaf_purity"
+
+
+def _refuse_narrowed(compiled: CompiledGhsom) -> None:
+    if compiled.dtype != np.dtype("float64"):
+        raise SerializationError(
+            "refusing to serialise a narrowed compiled model "
+            f"(dtype={compiled.dtype}); serialise the float64 snapshot and "
+            "opt into float32 at load time instead"
+        )
+
+
 def compiled_to_dict(compiled: CompiledGhsom) -> Dict[str, object]:
     """Serialise a :class:`CompiledGhsom` snapshot to a JSON-compatible dict.
 
@@ -83,25 +166,15 @@ def compiled_to_dict(compiled: CompiledGhsom) -> Dict[str, object]:
     written from the float64 representation so artifacts stay bit-exact
     regardless of any serving-dtype cast applied in memory.
     """
-    if compiled.dtype != np.dtype("float64"):
-        raise SerializationError(
-            "refusing to serialise a narrowed compiled model "
-            f"(dtype={compiled.dtype}); serialise the float64 snapshot and "
-            "opt into float32 at load time instead"
-        )
-    return {
+    _refuse_narrowed(compiled)
+    payload: Dict[str, object] = {
         "n_features": int(compiled.n_features),
         "metric": compiled.metric,
         "node_ids": list(compiled.node_ids),
-        "node_depths": compiled.node_depths.tolist(),
-        "node_offsets": compiled.node_offsets.tolist(),
-        "codebook": compiled.codebook.tolist(),
-        "child_of_unit": compiled.child_of_unit.tolist(),
-        "leaf_of_unit": compiled.leaf_of_unit.tolist(),
-        "leaf_node": compiled.leaf_node.tolist(),
-        "leaf_unit": compiled.leaf_unit.tolist(),
-        "leaf_depth": compiled.leaf_depth.tolist(),
     }
+    for name in _COMPILED_ARRAY_FIELDS:
+        payload[name] = getattr(compiled, name).tolist()
+    return payload
 
 
 def compiled_from_dict(data: Dict[str, object], *, dtype: str = "float64") -> CompiledGhsom:
@@ -111,30 +184,200 @@ def compiled_from_dict(data: Dict[str, object], *, dtype: str = "float64") -> Co
     reproduces the saved model bit-exactly; ``"float32"`` opts into the
     narrowed serving mode (see :meth:`CompiledGhsom.astype`).
     """
-    node_ids = tuple(str(node_id) for node_id in data["node_ids"])
-    codebook = np.ascontiguousarray(np.asarray(data["codebook"], dtype=float))
-    leaf_node = np.asarray(data["leaf_node"], dtype=np.intp)
-    leaf_unit = np.asarray(data["leaf_unit"], dtype=np.intp)
-    leaf_keys = tuple(
-        (node_ids[node], int(unit)) for node, unit in zip(leaf_node, leaf_unit)
-    )
-    compiled = CompiledGhsom(
+    compiled = CompiledGhsom.from_arrays(
         n_features=int(data["n_features"]),
         metric=str(data["metric"]),
-        node_ids=node_ids,
-        node_depths=np.asarray(data["node_depths"], dtype=np.intp),
-        node_offsets=np.asarray(data["node_offsets"], dtype=np.intp),
-        codebook=codebook,
-        child_of_unit=np.asarray(data["child_of_unit"], dtype=np.intp),
-        leaf_of_unit=np.asarray(data["leaf_of_unit"], dtype=np.intp),
-        leaf_node=leaf_node,
-        leaf_unit=leaf_unit,
-        leaf_depth=np.asarray(data["leaf_depth"], dtype=np.intp),
-        leaf_keys=leaf_keys,
-        unit_norms=np.einsum("ij,ij->i", codebook, codebook),
-        _leaf_index_of={key: row for row, key in enumerate(leaf_keys)},
+        node_ids=data["node_ids"],
+        **{name: data[name] for name in _COMPILED_ARRAY_FIELDS},
     )
     return compiled.astype(dtype)
+
+
+def compiled_to_arrays(
+    compiled: CompiledGhsom,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Split a compiled snapshot into JSON metadata + binary sidecar arrays.
+
+    The v3 counterpart of :func:`compiled_to_dict`: the returned metadata
+    dict carries only scalars and node ids; every array (including the
+    derived ``unit_norms``, so loading never has to touch the codebook)
+    goes into the arrays mapping under its attribute name.
+    """
+    _refuse_narrowed(compiled)
+    meta: Dict[str, object] = {
+        "n_features": int(compiled.n_features),
+        "metric": compiled.metric,
+        "node_ids": list(compiled.node_ids),
+    }
+    arrays = {name: getattr(compiled, name) for name in _SIDECAR_COMPILED_FIELDS}
+    return meta, arrays
+
+
+def compiled_from_arrays(
+    meta: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+    *,
+    dtype: str = "float64",
+) -> CompiledGhsom:
+    """Rebuild a compiled snapshot from v3 metadata + sidecar arrays.
+
+    Memory-mapped inputs are adopted without copying (see
+    :meth:`CompiledGhsom.from_arrays`), so the codebook stays on disk until
+    the first score touches it.
+    """
+    missing = [name for name in _SIDECAR_COMPILED_FIELDS if name not in arrays]
+    if missing:
+        raise SerializationError(
+            f"binary sidecar is missing compiled arrays {missing}; the file "
+            "is incomplete or does not belong to this artifact"
+        )
+    compiled = CompiledGhsom.from_arrays(
+        n_features=int(meta["n_features"]),
+        metric=str(meta["metric"]),
+        node_ids=meta["node_ids"],
+        unit_norms=arrays["unit_norms"],
+        **{name: arrays[name] for name in _COMPILED_ARRAY_FIELDS},
+    )
+    return compiled.astype(dtype)
+
+
+# --------------------------------------------------------------------------- #
+# sidecar plumbing (format v3)
+# --------------------------------------------------------------------------- #
+def sidecar_path_for(json_path: PathLike) -> Path:
+    """The sidecar path a binary save writes next to ``json_path``.
+
+    Single owner of the naming rule (same stem, ``.npz`` suffix) so the
+    writers, the CLI messaging and the benchmarks cannot drift apart.
+    """
+    json_path = Path(json_path)
+    return json_path.parent / (json_path.stem + SIDECAR_SUFFIX)
+
+
+def write_binary_sidecar(
+    payload: Dict[str, object], arrays: Dict[str, np.ndarray], json_path: PathLike
+) -> Path:
+    """Write ``arrays`` as the ``.npz`` sidecar of the JSON file at ``json_path``.
+
+    The sidecar lands atomically next to the JSON file (see
+    :func:`sidecar_path_for`) and its integrity header — relative file name,
+    byte count, SHA-256, per-member CRC-32s — is stamped into
+    ``payload["sidecar"]``.  Callers write the JSON *after* this returns so
+    the header always describes the bytes on disk.  Returns the sidecar
+    path.
+    """
+    json_path = Path(json_path)
+    sidecar_path = sidecar_path_for(json_path)
+    if sidecar_path == json_path:
+        # A JSON path ending in .npz would collide with its own sidecar and
+        # the second write would silently destroy the first.
+        raise SerializationError(
+            f"binary artifact path {json_path} collides with its sidecar "
+            f"name; choose a path whose suffix is not {SIDECAR_SUFFIX!r} "
+            "(conventionally .json)"
+        )
+    digest = write_npz_atomic(arrays, sidecar_path)
+    payload["sidecar"] = {
+        "format": "npz",
+        "path": sidecar_path.name,
+        "bytes": int(digest["bytes"]),
+        "sha256": str(digest["sha256"]),
+        "crc32": {name: int(value) for name, value in digest["crc32"].items()},
+    }
+    return sidecar_path
+
+
+def open_sidecar(
+    data: Dict[str, object],
+    sidecar_dir: Optional[PathLike],
+    *,
+    mmap: bool = True,
+    verify: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Resolve, check and open the binary sidecar of a v3 JSON payload.
+
+    ``sidecar_dir`` is the directory the JSON file was read from (the
+    sidecar path in the header is a bare file name relative to it).  The
+    byte count and the per-member CRC-32s recorded in the header are always
+    checked — catching truncation and stale JSON/sidecar pairings (even
+    same-size ones) for the cost of a ``stat`` plus the zip-directory parse
+    the open needs anyway — while the SHA-256 is checked only when
+    ``verify=True`` (it must read the whole file, which defeats the lazy
+    mapping's O(metadata) cold load).
+    """
+    header = data.get("sidecar")
+    if not isinstance(header, dict):
+        raise SerializationError(
+            "v3 artifact has no sidecar header; the JSON file is incomplete"
+        )
+    container = header.get("format", "npz")
+    if container not in _SIDECAR_FORMATS:
+        raise SerializationError(
+            f"unsupported sidecar format {container!r}; "
+            f"this reader understands {_SIDECAR_FORMATS}"
+        )
+    name = str(header.get("path", ""))
+    if not name or Path(name).name != name:
+        raise SerializationError(
+            f"invalid sidecar path {name!r} in artifact header "
+            "(must be a bare file name next to the JSON file)"
+        )
+    if sidecar_dir is None:
+        raise SerializationError(
+            "this payload stores its arrays in a binary sidecar; load it "
+            "through load_detector()/load_ghsom()/load_bundle() (or pass "
+            "sidecar_dir=) so the sidecar file can be located"
+        )
+    path = Path(sidecar_dir) / name
+    if not path.exists():
+        raise SerializationError(
+            f"missing binary sidecar {path}: a v3 artifact is a JSON + "
+            f"{SIDECAR_SUFFIX} pair — keep the two files together"
+        )
+    # The always-on checks must never silently degrade: a v3 header without
+    # them is as suspect as a failing one.
+    expected_bytes = header.get("bytes")
+    if expected_bytes is None:
+        raise SerializationError(
+            f"artifact header records no byte count for sidecar {path}; "
+            "the JSON file is incomplete or was tampered with"
+        )
+    actual_bytes = path.stat().st_size
+    if int(expected_bytes) != actual_bytes:
+        raise SerializationError(
+            f"binary sidecar {path} is {actual_bytes} bytes but the "
+            f"artifact header records {expected_bytes}: the sidecar is "
+            "truncated or does not belong to this JSON file"
+        )
+    expected_crcs = header.get("crc32")
+    if expected_crcs is None:
+        raise SerializationError(
+            f"artifact header records no member checksums for sidecar {path}; "
+            "the JSON file is incomplete or was tampered with"
+        )
+    actual_crcs = npz_member_crcs(path)
+    if actual_crcs != {name: int(value) for name, value in expected_crcs.items()}:
+        raise SerializationError(
+            f"binary sidecar {path} does not match the artifact header "
+            "(member checksums differ): the sidecar was replaced after "
+            "this JSON file was written — re-save the artifact pair"
+        )
+    if verify:
+        expected_hash = header.get("sha256")
+        if expected_hash is None:
+            # A verify request must never silently degrade to no check.
+            raise SerializationError(
+                f"verification requested but the artifact header records no "
+                f"sha256 for sidecar {path}; the JSON file is incomplete or "
+                "was tampered with"
+            )
+        if sha256_of_file(path) != expected_hash:
+            raise SerializationError(
+                f"binary sidecar {path} fails its integrity check "
+                "(sha256 mismatch): the file is corrupt or does not belong "
+                "to this JSON artifact"
+            )
+    return mmap_npz(path) if mmap else load_npz(path)
 
 
 # --------------------------------------------------------------------------- #
@@ -156,9 +399,9 @@ def _node_to_dict(node: GhsomNode, *, include_codebook: bool = True) -> Dict[str
         },
     }
     if include_codebook:
-        # v1 payloads carry each layer's codebook inline; v2 payloads store
-        # every codebook exactly once, in the compiled stacked array, and the
-        # tree nodes reference their slice of it by node id.
+        # v1 payloads carry each layer's codebook inline; v2/v3 payloads
+        # store every codebook exactly once, in the compiled stacked array,
+        # and the tree nodes reference their slice of it by node id.
         payload["codebook"] = node.layer.codebook.tolist()
     return payload
 
@@ -211,14 +454,10 @@ def _codebook_slices(compiled: CompiledGhsom) -> Dict[str, np.ndarray]:
     }
 
 
-def ghsom_to_dict(model: Ghsom, *, version: int = FORMAT_VERSION) -> Dict[str, object]:
-    """Serialise a fitted :class:`Ghsom` to a JSON-compatible dict.
-
-    ``version=1`` writes the legacy tree-only payload (used by the round-trip
-    regression tests and the serving benchmark to exercise the v1 reader);
-    the default v2 payload additionally embeds the compiled flat arrays.
-    """
-    _check_writer_version(version)
+def _ghsom_payload(
+    model: Ghsom, version: int, arrays: Optional[Dict[str, np.ndarray]]
+) -> Dict[str, object]:
+    """Shared GHSOM payload builder; ``arrays`` collects sidecar data (v3)."""
     if not model.is_fitted:
         raise SerializationError("cannot serialise an unfitted Ghsom")
     payload: Dict[str, object] = {
@@ -227,26 +466,46 @@ def ghsom_to_dict(model: Ghsom, *, version: int = FORMAT_VERSION) -> Dict[str, o
         "config": model.config.to_dict(),
         "qe0": model.qe0,
         "n_features": model.n_features,
-        # v2 stores every codebook once, in the compiled stacked array; the
+        # v2/v3 store every codebook once, in the compiled stacked array; the
         # tree payload keeps only structure + per-unit statistics.
         "root": _node_to_dict(model.root, include_codebook=version < 2),
     }
-    if version >= 2:
+    if version == 2:
         payload["compiled"] = compiled_to_dict(model.compile())
+    elif version >= 3:
+        meta, compiled_arrays = compiled_to_arrays(model.compile())
+        payload["compiled"] = meta
+        arrays.update(compiled_arrays)
     return payload
 
 
+def ghsom_to_dict(model: Ghsom, *, version: int = FORMAT_VERSION) -> Dict[str, object]:
+    """Serialise a fitted :class:`Ghsom` to a JSON-compatible dict.
+
+    ``version=1`` writes the legacy tree-only payload (used by the round-trip
+    regression tests and the serving benchmark to exercise the v1 reader);
+    the default v2 payload additionally embeds the compiled flat arrays.
+    The binary v3 format cannot be expressed as a single dict — use
+    :func:`save_ghsom` with ``format="binary"``.
+    """
+    _check_writer_version(version)
+    return _ghsom_payload(model, version, None)
+
+
 def ghsom_from_dict(
-    data: Dict[str, object], *, compiled: Optional[CompiledGhsom] = None
+    data: Dict[str, object],
+    *,
+    compiled: Optional[CompiledGhsom] = None,
+    arrays: Optional[Dict[str, np.ndarray]] = None,
 ) -> Ghsom:
-    """Rebuild a :class:`Ghsom` from :func:`ghsom_to_dict` output.
+    """Rebuild a :class:`Ghsom` from a stored payload.
 
     v2 payloads hydrate the compiled inference engine directly from the
-    stored arrays, so the first ``assign_arrays`` call after loading skips
-    the compile step.  An already-hydrated float64 ``compiled`` snapshot may
-    be passed in place of the payload's ``"compiled"`` entry (the detector
+    embedded arrays; v3 payloads need their sidecar ``arrays`` (resolved by
+    :func:`load_ghsom`) for the same.  An already-hydrated float64
+    ``compiled`` snapshot may be passed in place of either (the detector
     loader does this so its lazy tree hydration does not have to keep the
-    parsed JSON arrays alive).
+    parsed payload arrays alive).
     """
     if data.get("kind") != "ghsom":
         raise SerializationError(f"payload is not a ghsom model (kind={data.get('kind')!r})")
@@ -255,7 +514,15 @@ def ghsom_from_dict(
     model = Ghsom(config)
     model.qe0 = float(data["qe0"])
     model.n_features = int(data["n_features"])
-    if compiled is None and version >= 2 and data.get("compiled") is not None:
+    if compiled is None and version >= 3:
+        if arrays is None:
+            raise SerializationError(
+                "format v3 stores its arrays in a binary sidecar; load the "
+                "model through load_ghsom()/load_detector() so the sidecar "
+                "can be resolved"
+            )
+        compiled = compiled_from_arrays(dict(data["compiled"]), arrays)
+    if compiled is None and version == 2 and data.get("compiled") is not None:
         compiled = compiled_from_dict(dict(data["compiled"]))
     if compiled is not None and compiled.dtype != np.dtype("float64"):
         raise SerializationError(
@@ -269,37 +536,50 @@ def ghsom_from_dict(
     return model
 
 
-def save_ghsom(model: Ghsom, path: PathLike) -> None:
-    """Write a fitted GHSOM to ``path`` as JSON (atomically)."""
-    payload = ghsom_to_dict(model)
-    write_json_atomic(payload, path)
+def save_ghsom(model: Ghsom, path: PathLike, *, format: str = "json") -> None:
+    """Write a fitted GHSOM to ``path`` (atomically).
+
+    ``format="json"`` writes the default single-document v2 artifact;
+    ``format="binary"`` writes the v3 pair — metadata JSON at ``path`` plus
+    an ``.npz`` array sidecar next to it.
+    """
+    if check_artifact_format(format) == "binary":
+        arrays: Dict[str, np.ndarray] = {}
+        payload = _ghsom_payload(model, BINARY_FORMAT_VERSION, arrays)
+        write_binary_sidecar(payload, arrays, path)
+        write_json_atomic(payload, path)
+    else:
+        write_json_atomic(ghsom_to_dict(model), path)
 
 
-def load_ghsom(path: PathLike) -> Ghsom:
-    """Load a GHSOM previously written by :func:`save_ghsom`."""
-    return ghsom_from_dict(_read_json(path))
+def load_ghsom(path: PathLike, *, mmap: bool = True, verify: bool = False) -> Ghsom:
+    """Load a GHSOM previously written by :func:`save_ghsom` (any version).
+
+    The format is auto-detected from the JSON header.  For v3 artifacts
+    ``mmap=False`` opts out of memory-mapping (arrays are read eagerly) and
+    ``verify=True`` additionally checks the sidecar's SHA-256.
+    """
+    path = Path(path)
+    data = _read_json(path)
+    arrays = None
+    if data.get("format_version") == BINARY_FORMAT_VERSION:
+        arrays = open_sidecar(data, path.parent, mmap=mmap, verify=verify)
+    return ghsom_from_dict(data, arrays=arrays)
 
 
 # --------------------------------------------------------------------------- #
 # GHSOM detector (model + labels + thresholds)
 # --------------------------------------------------------------------------- #
-def detector_to_dict(
-    detector: GhsomDetector, *, version: int = FORMAT_VERSION
+def _detector_payload(
+    detector: GhsomDetector, version: int, arrays: Optional[Dict[str, np.ndarray]]
 ) -> Dict[str, object]:
-    """Serialise a fitted :class:`GhsomDetector` (model, labels, thresholds).
-
-    The default v2 payload embeds the compiled arrays plus the per-leaf
-    scoring tables so :func:`detector_from_dict` can return a scoring-ready
-    detector without touching the tree; ``version=1`` writes the legacy
-    payload for compatibility testing.
-    """
-    _check_writer_version(version)
+    """Shared detector payload builder; ``arrays`` collects sidecar data (v3)."""
     if not detector.is_fitted:
         raise SerializationError("cannot serialise an unfitted GhsomDetector")
     payload: Dict[str, object] = {
         "format_version": version,
         "kind": "ghsom_detector",
-        "model": ghsom_to_dict(detector.model, version=version),
+        "model": _ghsom_payload(detector.model, version, arrays),
         "labeler": detector.labeler.to_dict() if detector.labeler is not None else None,
         "threshold": detector.threshold_.to_dict(),
         "threshold_strategy_name": detector.threshold_strategy_name,
@@ -314,12 +594,25 @@ def detector_to_dict(
             int(random_state) if isinstance(random_state, (int, np.integer)) else None
         )
         tables = detector._leaf_tables()
-        payload["leaf_tables"] = {
-            "thresholds": np.asarray(tables.thresholds, dtype=float).tolist(),
-            "labels": None if tables.labels is None else [str(v) for v in tables.labels],
-            "is_attack": None if tables.is_attack is None else tables.is_attack.astype(bool).tolist(),
-            "purity": None if tables.purity is None else tables.purity.tolist(),
-        }
+        if version == 2:
+            payload["leaf_tables"] = {
+                "thresholds": np.asarray(tables.thresholds, dtype=float).tolist(),
+                "labels": None if tables.labels is None else [str(v) for v in tables.labels],
+                "is_attack": None if tables.is_attack is None else tables.is_attack.astype(bool).tolist(),
+                "purity": None if tables.purity is None else tables.purity.tolist(),
+            }
+        else:
+            # v3: the numeric tables ride in the sidecar; labels travel as a
+            # fixed-width unicode array (npz stores those without pickle).
+            arrays[_SIDECAR_LEAF_THRESHOLDS] = np.asarray(tables.thresholds, dtype=float)
+            labelled = tables.labels is not None
+            if labelled:
+                arrays[_SIDECAR_LEAF_LABELS] = np.asarray(
+                    [str(v) for v in tables.labels]
+                )
+                arrays[_SIDECAR_LEAF_IS_ATTACK] = tables.is_attack.astype(bool)
+                arrays[_SIDECAR_LEAF_PURITY] = np.asarray(tables.purity, dtype=float)
+            payload["leaf_tables"] = {"storage": "sidecar", "labelled": labelled}
         # The partition-independent subtree layout: lets ``load_bundle`` /
         # ``set_sharding`` slice worker shards straight from the stored
         # arrays instead of re-deriving the plan (see repro.serving.planner).
@@ -327,16 +620,66 @@ def detector_to_dict(
     return payload
 
 
-def detector_from_dict(
-    data: Dict[str, object], *, dtype: str = "float64"
-) -> GhsomDetector:
-    """Rebuild a :class:`GhsomDetector` from :func:`detector_to_dict` output.
+def detector_to_dict(
+    detector: GhsomDetector, *, version: int = FORMAT_VERSION
+) -> Dict[str, object]:
+    """Serialise a fitted :class:`GhsomDetector` (model, labels, thresholds).
 
-    For v2 payloads the returned detector serves straight from the embedded
+    The default v2 payload embeds the compiled arrays plus the per-leaf
+    scoring tables so :func:`detector_from_dict` can return a scoring-ready
+    detector without touching the tree; ``version=1`` writes the legacy
+    payload for compatibility testing.  The binary v3 format cannot be
+    expressed as a single dict — use :func:`save_detector` with
+    ``format="binary"``.
+    """
+    _check_writer_version(version)
+    return _detector_payload(detector, version, None)
+
+
+def detector_binary_payload(
+    detector: GhsomDetector,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """The v3 JSON payload + sidecar arrays of a fitted detector.
+
+    The payload carries no ``sidecar`` header yet — writers call
+    :func:`write_binary_sidecar` (which stamps it) before serialising the
+    JSON.  Exposed for composite artifacts such as the CLI bundle, which
+    nests the detector payload inside its own JSON document while sharing
+    one sidecar file.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    payload = _detector_payload(detector, BINARY_FORMAT_VERSION, arrays)
+    return payload, arrays
+
+
+def _restored_labels(labels: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """Sidecar label array (fixed-width unicode) -> the object dtype used in memory."""
+    if labels is None:
+        return None
+    return np.asarray(np.asarray(labels).tolist(), dtype=object)
+
+
+def detector_from_dict(
+    data: Dict[str, object],
+    *,
+    dtype: str = "float64",
+    sidecar_dir: Optional[PathLike] = None,
+    arrays: Optional[Dict[str, np.ndarray]] = None,
+    mmap: bool = True,
+    verify: bool = False,
+) -> GhsomDetector:
+    """Rebuild a :class:`GhsomDetector` from a stored payload (any version).
+
+    For v2/v3 payloads the returned detector serves straight from the stored
     compiled arrays and leaf tables — no ``GhsomNode`` objects are built and
     no compile pass runs before the first score; the tree payload is parked
     behind a lazy loader that only fires when ``detector.model`` is accessed.
     v1 payloads fall back to the legacy full tree rebuild.
+
+    v3 payloads additionally need their binary sidecar: pass ``sidecar_dir``
+    (the directory the JSON was read from — :func:`load_detector` does) or a
+    pre-opened ``arrays`` mapping.  ``mmap`` / ``verify`` control how the
+    sidecar is opened (see :func:`open_sidecar`).
 
     ``dtype`` selects the serving precision (``"float32"`` opts into the
     narrowed mode documented on :meth:`CompiledGhsom.astype`); scores are
@@ -347,6 +690,8 @@ def detector_from_dict(
             f"payload is not a ghsom detector (kind={data.get('kind')!r})"
         )
     version = _check_version(data)
+    if version >= 3 and arrays is None:
+        arrays = open_sidecar(data, sidecar_dir, mmap=mmap, verify=verify)
     model_payload = dict(data["model"])
     config = GhsomConfig.from_dict(dict(model_payload["config"]))
     random_state = data.get("random_state")
@@ -369,19 +714,33 @@ def detector_from_dict(
     if version >= 2 and model_payload.get("compiled") is not None:
         # Keep the exact float64 snapshot for lazy tree hydration even when
         # serving narrowed; when dtype is float64, astype returns it as-is.
-        exact = compiled_from_dict(dict(model_payload["compiled"]))
+        if version >= 3:
+            exact = compiled_from_arrays(dict(model_payload["compiled"]), arrays)
+        else:
+            exact = compiled_from_dict(dict(model_payload["compiled"]))
         compiled = exact.astype(dtype)
         detector._compiled = compiled
         # The loader closure carries only the tree-structure payload plus the
-        # in-memory float64 arrays — not the parsed JSON codebook lists, which
-        # would otherwise stay resident for the detector's whole lifetime.
+        # in-memory float64 arrays — not the parsed JSON codebook lists (or
+        # the open sidecar mapping), which would otherwise stay resident for
+        # the detector's whole lifetime.
         tree_payload = {
             key: value for key, value in model_payload.items() if key != "compiled"
         }
         detector._model_loader = lambda: ghsom_from_dict(tree_payload, compiled=exact)
-        tables_payload = data.get("leaf_tables")
-        if tables_payload is not None:
-            tables = dict(tables_payload)
+        # Normalise both storage layouts to one {thresholds, labels,
+        # is_attack, purity} dict so table restoration itself has a single
+        # code path regardless of where the arrays came from.
+        if version >= 3:
+            tables = {
+                "thresholds": arrays.get(_SIDECAR_LEAF_THRESHOLDS),
+                "labels": _restored_labels(arrays.get(_SIDECAR_LEAF_LABELS)),
+                "is_attack": arrays.get(_SIDECAR_LEAF_IS_ATTACK),
+                "purity": arrays.get(_SIDECAR_LEAF_PURITY),
+            }
+        else:
+            tables = dict(data.get("leaf_tables") or {})
+        if tables.get("thresholds") is not None:
             detector._tables = restore_leaf_tables(
                 compiled,
                 detector.threshold_,
@@ -410,61 +769,61 @@ def detector_from_dict(
     return detector
 
 
-def save_detector(detector: GhsomDetector, path: PathLike) -> None:
-    """Write a fitted detector to ``path`` as JSON (atomically)."""
-    write_json_atomic(detector_to_dict(detector), path)
+def save_detector(
+    detector: GhsomDetector, path: PathLike, *, format: str = "json"
+) -> None:
+    """Write a fitted detector to ``path`` (atomically).
+
+    ``format="json"`` writes the default single-document v2 artifact;
+    ``format="binary"`` writes the v3 pair — metadata JSON at ``path`` plus
+    an ``.npz`` array sidecar next to it (sidecar first, then the JSON whose
+    header records the sidecar's size and SHA-256).
+    """
+    if check_artifact_format(format) == "binary":
+        payload, arrays = detector_binary_payload(detector)
+        write_binary_sidecar(payload, arrays, path)
+        write_json_atomic(payload, path)
+    else:
+        write_json_atomic(detector_to_dict(detector), path)
 
 
-def load_detector(path: PathLike, *, dtype: str = "float64") -> GhsomDetector:
-    """Load a detector previously written by :func:`save_detector`."""
-    return detector_from_dict(_read_json(path), dtype=dtype)
+def load_detector(
+    path: PathLike,
+    *,
+    dtype: str = "float64",
+    mmap: bool = True,
+    verify: bool = False,
+) -> GhsomDetector:
+    """Load a detector previously written by :func:`save_detector` (any version).
+
+    The format is auto-detected from the JSON header.  For v3 artifacts the
+    ``.npz`` sidecar next to the JSON is memory-mapped (``mmap=False`` reads
+    it eagerly instead) and ``verify=True`` additionally checks its SHA-256
+    against the integrity header.
+    """
+    path = Path(path)
+    return detector_from_dict(
+        _read_json(path), dtype=dtype, sidecar_dir=path.parent, mmap=mmap, verify=verify
+    )
 
 
 # --------------------------------------------------------------------------- #
 # helpers
 # --------------------------------------------------------------------------- #
 def write_json_atomic(payload: Dict[str, object], path: PathLike) -> None:
-    """Serialise ``payload`` to ``path`` via a same-directory temp file + rename.
+    """Serialise ``payload`` to ``path`` via the shared atomic-write path.
 
-    ``os.replace`` is atomic on POSIX and Windows for same-filesystem moves,
-    so readers only ever observe the old file or the complete new one — never
-    a truncated artifact from a crash mid-write.
+    Same-directory temp file + fsync + ``os.replace`` (see
+    :func:`repro.utils.mmapio.atomic_write`), so readers only ever observe
+    the old file or the complete new one — never a truncated artifact from a
+    crash mid-write.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     try:
         text = json.dumps(payload)
     except (TypeError, ValueError) as exc:
         raise SerializationError(f"could not serialise model to {path}: {exc}") from exc
-    handle, tmp_name = tempfile.mkstemp(
-        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
-    )
-    try:
-        # mkstemp creates 0600 files; widen so the artifact stays readable by
-        # the same set of users as before (train as one user, serve as
-        # another).  An existing target keeps its mode; new files get the
-        # conventional 0644.  (Probing the umask via os.umask() would mutate
-        # process-global state and race with other threads.)
-        try:
-            mode = path.stat().st_mode & 0o777
-        except FileNotFoundError:
-            mode = 0o644
-        os.chmod(tmp_name, mode)
-        with os.fdopen(handle, "w") as stream:
-            stream.write(text)
-            # Flush user- and OS-level buffers before the rename: without the
-            # fsync, a system crash shortly after os.replace can persist the
-            # rename but not the data on some filesystems, leaving exactly
-            # the truncated artifact this function promises to prevent.
-            stream.flush()
-            os.fsync(stream.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    atomic_write(path, lambda stream: stream.write(text))
 
 
 def _read_json(path: PathLike) -> Dict[str, object]:

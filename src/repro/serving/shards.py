@@ -12,17 +12,27 @@ Scoring inside a shard runs the exact
 :func:`~repro.core.compiled.frontier_descent` loop of the unsharded engine —
 same arithmetic, same per-node row grouping — which is what keeps the merged
 output byte-identical.
+
+When the source model was loaded from a v3 binary artifact, shard slicing
+preserves the memory mapping: a shard whose subtrees form one contiguous run
+keeps codebook/norm *views* into the single file mapping instead of copying
+its slice, so a K-shard load maps the artifact once.  Shards also pickle
+memmap-backed arrays **by reference** (``__getstate__`` swaps them for
+``(path, dtype, shape, offset)`` descriptors; ``__setstate__`` re-opens the
+mapping) — process-pool workers on spawn platforms re-open the sidecar
+instead of receiving a serialized copy of the codebook.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.compiled import CompiledGhsom, frontier_descent
 from repro.serving.planner import RootSubtree, ShardPlan
+from repro.utils.mmapio import array_from_portable, array_to_portable
 
 
 @dataclass(frozen=True, eq=False)
@@ -69,6 +79,22 @@ class SubtreeShard:
     @property
     def n_leaves(self) -> int:
         return int(self.leaf_global_row.shape[0])
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Memmap-backed arrays travel as (path, dtype, shape, offset)
+        # references — a worker re-opens the artifact mapping instead of
+        # receiving the codebook bytes through the pickle stream.
+        state: Dict[str, object] = {}
+        for field_info in fields(self):
+            value = getattr(self, field_info.name)
+            state[field_info.name] = (
+                array_to_portable(value) if isinstance(value, np.ndarray) else value
+            )
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, array_from_portable(value))
 
     def assign_entries(
         self, matrix: np.ndarray, entry_nodes: np.ndarray
@@ -124,13 +150,25 @@ def build_shard(
     def gather_units(source: np.ndarray) -> np.ndarray:
         if not members:
             return np.empty((0,) + source.shape[1:], dtype=source.dtype)
+        if len(members) == 1:
+            # One contiguous run: keep the slice as a *view*.  For a
+            # memmap-backed source this is what lets a K-shard load share the
+            # single file mapping instead of copying K codebook slices.
+            subtree = members[0]
+            return source[subtree.unit_start : subtree.unit_stop]
         return np.concatenate(
             [source[subtree.unit_start : subtree.unit_stop] for subtree in members]
         )
 
     # Codebook slices stay row-contiguous, so per-node GEMM inputs are the
-    # same contiguous blocks the unsharded engine feeds BLAS.
-    codebook = np.ascontiguousarray(gather_units(compiled.codebook))
+    # same contiguous blocks the unsharded engine feeds BLAS.  The
+    # contiguity check (rather than an unconditional ascontiguousarray, whose
+    # subok=False would downcast) keeps single-run slices of a memory-mapped
+    # codebook as np.memmap views — shards of a v3 artifact then share the
+    # one file mapping and pickle by reference.
+    codebook = gather_units(compiled.codebook)
+    if not codebook.flags["C_CONTIGUOUS"]:
+        codebook = np.ascontiguousarray(codebook)
     unit_norms = gather_units(compiled.unit_norms)
     child_global = gather_units(compiled.child_of_unit)
     child_of_unit = np.where(child_global >= 0, node_map[child_global], -1)

@@ -128,6 +128,65 @@ class TestTrainDetectInspect:
             detector.predict(pipeline.transform(test)),
         )
 
+    def test_train_binary_format_writes_pair_and_detects(self, data_dir, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        code = main(
+            [
+                "train",
+                "--train", str(data_dir / "train.csv"),
+                "--model", str(model_path),
+                "--format", "binary",
+                "--max-map-size", "49",
+                "--max-depth", "2",
+                "--epochs", "3",
+                "--min-expansion", "40",
+            ]
+        )
+        assert code == 0
+        assert "binary array sidecar" in capsys.readouterr().out
+        sidecar = tmp_path / "model.npz"
+        assert sidecar.exists()
+        # detect and inspect auto-detect the format from the JSON header.
+        assert main(["detect", "--model", str(model_path), "--input", str(data_dir / "test.csv")]) == 0
+        assert main(["inspect", "--model", str(model_path)]) == 0
+
+    def test_binary_bundle_scores_identical_to_json_bundle(self, data_dir, tmp_path):
+        args = [
+            "--train", str(data_dir / "train.csv"),
+            "--max-map-size", "49", "--max-depth", "2",
+            "--epochs", "3", "--min-expansion", "40",
+        ]
+        json_path = tmp_path / "json" / "model.json"
+        binary_path = tmp_path / "binary" / "model.json"
+        assert main(["train", *args, "--model", str(json_path)]) == 0
+        assert main(["train", *args, "--model", str(binary_path), "--format", "binary"]) == 0
+        test = load_csv(data_dir / "test.csv")
+        pipeline_j, detector_j = load_bundle(json_path)
+        pipeline_b, detector_b = load_bundle(binary_path, verify=True)
+        result_j = detector_j.detect(pipeline_j.transform(test))
+        result_b = detector_b.detect(pipeline_b.transform(test))
+        np.testing.assert_array_equal(result_b.scores, result_j.scores)
+        assert list(result_b.categories) == list(result_j.categories)
+
+    def test_detect_missing_sidecar_fails_cleanly(self, data_dir, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        assert main(
+            [
+                "train",
+                "--train", str(data_dir / "train.csv"),
+                "--model", str(model_path),
+                "--format", "binary",
+                "--max-map-size", "49", "--max-depth", "2",
+                "--epochs", "3", "--min-expansion", "40",
+            ]
+        ) == 0
+        (tmp_path / "model.npz").unlink()
+        capsys.readouterr()
+        code = main(["detect", "--model", str(model_path), "--input", str(data_dir / "test.csv")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "missing binary sidecar" in err
+
     def test_detect_prints_metrics_and_writes_output(self, trained_model_path, data_dir, tmp_path, capsys):
         output = tmp_path / "alarms.csv"
         code = main(
