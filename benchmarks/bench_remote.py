@@ -1,0 +1,296 @@
+"""Distributed-serving benchmark — loopback TCP shard workers.
+
+Measures the remote backend of :mod:`repro.serving.remote` against the
+in-process engines on the standard repeated-batch workload and writes the
+results to ``BENCH_remote.json`` at the repository root.  Two real
+``repro-ids shard-worker`` subprocesses are spawned on 127.0.0.1, so the
+numbers include everything a multi-host deployment pays except the physical
+network: pickling routed sub-batches, framing, socket round trips, and the
+result merge.
+
+* **equivalence** — every remote configuration's scores must be
+  byte-identical to the unsharded float64 engine (the hard gate: remote
+  workers run the same ``frontier_descent`` on the same row groupings over
+  CRC-validated identical arrays);
+* **round-trip overhead** — remote throughput vs the unsharded engine and
+  vs the serial sharded path isolates what the wire costs on one machine.
+  On a single host the remote backend is expected to *lose* to in-process
+  serving (that is not what it is for); the recorded ratio is the floor a
+  multi-host deployment must clear through parallelism;
+* **provisioning** — the by-reference config (workers hold the artifact,
+  the wire carries region descriptors) vs by-value (arrays streamed).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_remote.py          # full
+    PYTHONPATH=src python benchmarks/bench_remote.py --quick  # fast
+
+or under pytest (quick mode)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_remote.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from common import BENCH_SEED, default_ghsom_config, time_best
+
+from repro.core import GhsomDetector
+from repro.core.serialization import write_json_atomic
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.eval.tables import format_table
+from repro.serving import RemoteBackend, ShardedGhsom, subtrees_from_compiled
+
+#: Where the machine-readable results land (repo root, next to CHANGES.md).
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_remote.json"
+
+N_TRAIN = 4000
+FULL_BATCH_SIZE = 10000
+QUICK_BATCH_SIZE = 2000
+N_WORKERS = 2
+
+_LISTEN_RE = re.compile(r"listening on ([0-9.]+):(\d+)")
+
+
+class LoopbackWorker:
+    """One ``repro-ids shard-worker`` subprocess on an ephemeral port."""
+
+    def __init__(self, model_path: Optional[Path]) -> None:
+        src_dir = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_dir if not existing else src_dir + os.pathsep + existing
+        command = [sys.executable, "-m", "repro.cli", "shard-worker", "--listen", "127.0.0.1:0"]
+        if model_path is not None:
+            command += ["--model", str(model_path)]
+        self.process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        # Scan for the banner rather than demanding it first: stderr is
+        # merged into stdout, so an interpreter warning must not read as a
+        # failed start.
+        seen: List[str] = []
+        match = None
+        while True:
+            line = self.process.stdout.readline()
+            if not line:
+                break  # EOF: the worker exited before listening
+            seen.append(line)
+            match = _LISTEN_RE.search(line)
+            if match:
+                break
+        if not match:
+            self.process.kill()
+            raise RuntimeError(f"worker failed to start: {''.join(seen)!r}")
+        self.address: Tuple[str, int] = (match.group(1), int(match.group(2)))
+
+    def stop(self) -> None:
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+
+
+def run_benchmark(
+    quick: bool = False,
+    output_path: Path = OUTPUT_PATH,
+    batch_size: int = 0,
+) -> Dict[str, object]:
+    """Fit one detector, save a v3 bundle, and race remote vs local serving."""
+    batch_size = batch_size or (QUICK_BATCH_SIZE if quick else FULL_BATCH_SIZE)
+    n_train = 1500 if quick else N_TRAIN
+    repeats = 3 if quick else 5
+
+    generator = KddSyntheticGenerator(random_state=BENCH_SEED)
+    train = generator.generate(n_train)
+    test = generator.generate(batch_size)
+    pipeline = PreprocessingPipeline()
+    X_train = pipeline.fit_transform(train)
+    batch = pipeline.transform(test)
+    overrides = dict(tau2=0.03, min_samples_for_expansion=25) if quick else {}
+    detector = GhsomDetector(default_ghsom_config(**overrides), random_state=BENCH_SEED)
+    detector.fit(X_train, [str(category) for category in train.categories])
+
+    with tempfile.TemporaryDirectory(prefix="bench_remote_") as tmp:
+        from repro.cli import load_bundle, save_bundle
+
+        bundle = Path(tmp) / "model.json"
+        save_bundle(pipeline, detector, bundle, format="binary")
+        # The engine must score through the *loaded* (memory-mapped) snapshot:
+        # by-reference provisioning only applies to shards that are views into
+        # the v3 sidecar, exactly as a serving host would hold them.
+        _, served = load_bundle(bundle)
+        compiled = served._compiled_model()
+        n_subtrees = len(subtrees_from_compiled(compiled))
+
+        reference = compiled.assign_arrays(batch)
+        baseline_seconds = time_best(lambda: compiled.assign_arrays(batch), repeats)
+
+        # (row label, n_shards, worker gets --model) — by-reference needs the
+        # worker to hold the artifact AND single-subtree shards (views into
+        # the mmapped sidecar); the K=4 row measures mixed/by-value shipping.
+        configs = [
+            ("serial", 4, None),
+            ("remote", 4, True),
+            ("remote", max(4, n_subtrees), True),
+        ]
+        if not quick:
+            configs.append(("remote", 4, False))  # workers without the artifact
+
+        rows: List[Dict[str, object]] = []
+        for backend_name, n_shards, worker_has_model in configs:
+            workers: List[LoopbackWorker] = []
+            try:
+                if backend_name == "remote":
+                    workers = [
+                        LoopbackWorker(bundle if worker_has_model else None)
+                        for _ in range(N_WORKERS)
+                    ]
+                    backend = RemoteBackend([worker.address for worker in workers])
+                else:
+                    backend = backend_name
+                engine = ShardedGhsom.from_compiled(
+                    compiled, n_shards, backend=backend
+                )
+                try:
+                    leaf, dist = engine.assign_arrays(batch)  # warms + provisions
+                    identical = bool(
+                        np.array_equal(leaf, reference[0])
+                        and np.array_equal(dist, reference[1])
+                    )
+                    seconds = time_best(lambda: engine.assign_arrays(batch), repeats)
+                    row: Dict[str, object] = {
+                        "backend": backend_name,
+                        "n_shards_requested": n_shards,
+                        "n_shards_effective": engine.n_shards,
+                        "workers": engine.backend.workers,
+                        "seconds": seconds,
+                        "records_per_second": batch_size / max(seconds, 1e-12),
+                        "speedup_vs_unsharded": baseline_seconds / max(seconds, 1e-12),
+                        "byte_identical": identical,
+                    }
+                    if backend_name == "remote":
+                        row["worker_has_model"] = bool(worker_has_model)
+                        row["stats"] = dict(engine.backend.stats)
+                    rows.append(row)
+                finally:
+                    engine.close()
+            finally:
+                for worker in workers:
+                    worker.stop()
+
+    payload = {
+        "benchmark": "remote_serving",
+        "quick": quick,
+        "seed": BENCH_SEED,
+        "n_train": n_train,
+        "batch_size": batch_size,
+        "n_loopback_workers": N_WORKERS,
+        "topology": compiled.describe(),
+        "n_root_subtrees": n_subtrees,
+        "unsharded": {
+            "seconds": baseline_seconds,
+            "records_per_second": batch_size / max(baseline_seconds, 1e-12),
+        },
+        "sharded": rows,
+    }
+    write_json_atomic(payload, output_path)
+    return payload
+
+
+def print_report(payload: Dict[str, object]) -> None:
+    unsharded = payload["unsharded"]
+    print(
+        format_table(
+            [
+                [
+                    row["backend"],
+                    f"{row['n_shards_effective']}/{row['n_shards_requested']}",
+                    row["workers"],
+                    (
+                        "-"
+                        if "stats" not in row
+                        else "ref"
+                        if row["stats"]["provision_reference"]
+                        else "value"
+                    ),
+                    row["seconds"],
+                    int(row["records_per_second"]),
+                    round(row["speedup_vs_unsharded"], 2),
+                    "yes" if row["byte_identical"] else "NO",
+                ]
+                for row in payload["sharded"]
+            ],
+            ["backend", "shards", "workers", "provision", "seconds", "rec/s", "speedup", "identical"],
+            title=(
+                f"Remote serving over {payload['n_loopback_workers']} loopback "
+                f"workers, {payload['batch_size']}-record batch (unsharded "
+                f"baseline {int(unsharded['records_per_second'])} rec/s)"
+            ),
+        )
+    )
+
+
+def test_remote_benchmark(tmp_path):
+    """Quick-mode run under pytest: the acceptance gates for remote serving.
+
+    Writes its JSON to a temp dir so the committed full-run
+    ``BENCH_remote.json`` is never overwritten by a quick pass.
+    """
+    payload = run_benchmark(quick=True, output_path=tmp_path / "BENCH_remote.json")
+    print()
+    print_report(payload)
+    remote_rows = [row for row in payload["sharded"] if row["backend"] == "remote"]
+    assert remote_rows, "no remote configurations ran"
+    for row in payload["sharded"]:
+        # Hard gate: remote execution reproduces the unsharded engine exactly.
+        assert row["byte_identical"], row
+    for row in remote_rows:
+        # Every task genuinely crossed the wire — failover would mask a
+        # broken worker setup as a (slow) passing benchmark.
+        assert row["stats"]["remote_tasks"] > 0, row
+        assert row["stats"]["failover_tasks"] == 0, row
+        # Loopback round trips cost real time, but the overhead must stay
+        # bounded: a sub-1/20th-of-baseline remote path means something is
+        # pathologically wrong (e.g. reconnecting or re-provisioning per
+        # batch) rather than just wire-bound.
+        assert row["speedup_vs_unsharded"] > 0.05, row
+    by_reference = [
+        row
+        for row in remote_rows
+        if row["worker_has_model"] and row["stats"]["provision_reference"]
+    ]
+    assert by_reference, "no configuration exercised by-reference provisioning"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sizes, fewer repeats")
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT_PATH, help="where to write the JSON report"
+    )
+    args = parser.parse_args()
+    payload = run_benchmark(quick=args.quick, output_path=args.output)
+    print_report(payload)
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

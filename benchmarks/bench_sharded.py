@@ -54,12 +54,15 @@ FULL_BATCH_SIZE = 10000
 QUICK_BATCH_SIZE = 2000
 
 #: (backend, n_shards, workers) configurations measured against the
-#: unsharded baseline.  ``workers=None`` means "usable cores".
+#: unsharded baseline.  Worker counts are explicit for every pooled config:
+#: a ``None`` here would silently mean "usable cores", which on a small
+#: machine under-provisions the K=8 row and mis-reports the parallelism the
+#: numbers were measured at.
 FULL_CONFIGS = (
     ("serial", 4, None),
     ("thread", 2, 2),
     ("thread", 4, 4),
-    ("thread", 8, None),
+    ("thread", 8, 8),
     ("process", 4, 4),
 )
 QUICK_CONFIGS = (

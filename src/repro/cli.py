@@ -20,6 +20,10 @@ writing Python:
     (or save) the comparison report.
 ``repro-ids inspect``
     Print the topology and layer tree of a saved model bundle.
+``repro-ids shard-worker``
+    Serve shard tasks over TCP for distributed detection: start one worker
+    per host, then point ``repro-ids detect --shard-backend remote
+    --remote-workers HOST:PORT,...`` at them.
 
 Run ``repro-ids <command> --help`` for the options of each command.
 """
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -113,6 +118,7 @@ def load_bundle(
     shards: Optional[int] = None,
     workers: Optional[int] = None,
     shard_backend: Optional[str] = None,
+    remote_workers: Optional[str] = None,
     mmap: bool = True,
     verify: bool = False,
 ):
@@ -131,13 +137,31 @@ def load_bundle(
     shard manifest partitions the compiled arrays into K root-subtree shards
     executed on ``shard_backend`` (default ``"thread"``) with ``workers``
     workers (see :mod:`repro.serving`) — scores stay byte-identical to the
-    unsharded float64 engine.  ``workers`` / ``shard_backend`` without
-    ``shards`` is rejected rather than silently ignored.
+    unsharded float64 engine.  ``shard_backend="remote"`` dispatches shard
+    tasks to ``repro-ids shard-worker`` processes listed in
+    ``remote_workers`` (``"HOST:PORT[,HOST:PORT...]"``); tasks a worker
+    cannot finish fail over to a local serial backend, so results stay
+    complete and byte-identical.  ``workers`` / ``shard_backend`` /
+    ``remote_workers`` without ``shards`` is rejected rather than silently
+    ignored.
     """
-    if not shards and (workers is not None or shard_backend is not None):
+    if not shards and (
+        workers is not None or shard_backend is not None or remote_workers is not None
+    ):
         raise ReproError(
-            "workers/shard_backend only apply to sharded serving; pass shards=K "
-            "(CLI: --shards) to enable it"
+            "workers/shard_backend/remote_workers only apply to sharded serving; "
+            "pass shards=K (CLI: --shards) to enable it"
+        )
+    if remote_workers is not None and shard_backend not in (None, "remote"):
+        raise ReproError(
+            f"remote_workers conflicts with shard_backend={shard_backend!r}; "
+            "remote worker addresses imply --shard-backend remote"
+        )
+    if shard_backend == "remote" and remote_workers is None:
+        raise ReproError(
+            "the remote shard backend needs worker addresses; pass "
+            "remote_workers='HOST:PORT[,HOST:PORT...]' (CLI: --remote-workers) "
+            "with one repro-ids shard-worker per address"
         )
     path = Path(path)
     payload = json.loads(path.read_text())
@@ -156,9 +180,10 @@ def load_bundle(
         verify=verify,
     )
     if shards:
-        detector.set_sharding(
-            shards, backend=shard_backend or "thread", workers=workers
-        )
+        backend = shard_backend or "thread"
+        if remote_workers is not None:
+            backend = f"remote:{remote_workers}"
+        detector.set_sharding(shards, backend=backend, workers=workers)
     return pipeline, detector
 
 
@@ -241,6 +266,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         shards=args.shards,
         workers=args.workers,
         shard_backend=args.shard_backend,
+        remote_workers=args.remote_workers,
     )
     dataset = load_csv(args.input)
     if len(dataset) == 0:
@@ -295,6 +321,71 @@ def cmd_detect(args: argparse.Namespace) -> int:
             for index, (alarm, score, category) in enumerate(zip(alarms, scores, categories)):
                 handle.write(f"{index},{int(alarm)},{float(score):.6f},{category}\n")
         print(f"\nper-record decisions written to {output}")
+    return 0
+
+
+def cmd_shard_worker(args: argparse.Namespace) -> int:
+    """Run one distributed-serving worker until interrupted.
+
+    With ``--model`` the worker validates the artifact pair on its disk
+    (fail fast, before a coordinator depends on it) and advertises the v3
+    sidecar's fingerprint so coordinators can provision shards *by
+    reference* — the wire then carries region descriptors instead of
+    codebook bytes.  ``--shards K`` additionally validates the bundle is
+    servable sharded at K and pre-reads the sidecar, so the first
+    provisioning request lands on a warm page cache.  Without ``--model``
+    the worker still serves any coordinator, receiving its shards by value.
+    """
+    from repro.serving.remote import ShardWorkerServer
+    from repro.serving.transport import parse_address
+
+    host, port = parse_address(args.listen)
+    if args.shards and args.model is None:
+        # Same convention as load_bundle: an inapplicable flag is rejected,
+        # never silently ignored (the operator believes the worker is
+        # validated and warm when nothing happened).
+        raise ReproError(
+            "--shards validates and warms a local model artifact; pass "
+            "--model alongside it (a worker without --model serves shards "
+            "by value only)"
+        )
+    if args.model is not None:
+        model_path = Path(args.model)
+        # Fail fast on a broken or missing artifact; optionally prove the
+        # shard manifest plans cleanly at the requested K (and touch the
+        # sidecar so first-provision page faults land on a warm cache).
+        pipeline, detector = load_bundle(
+            model_path,
+            shards=args.shards,
+            shard_backend="serial" if args.shards else None,
+        )
+        del pipeline, detector
+        sidecar = sidecar_path_for(model_path)
+        if args.shards and sidecar.exists():
+            # Warm the page cache in fixed-size chunks: the sidecar can be
+            # larger than this host's RAM, so never materialise it whole.
+            with sidecar.open("rb") as stream:
+                while stream.read(1 << 22):
+                    pass
+    server = ShardWorkerServer(host, port, model_path=args.model)
+    mode = (
+        "by-reference/by-value provisioning"
+        if server.sidecar_path is not None
+        else "by-value provisioning only"
+        if args.model
+        else "by-value provisioning only (no --model)"
+    )
+    print(
+        f"shard worker listening on {server.address[0]}:{server.address[1]} "
+        f"(pid {os.getpid()}, {mode})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -458,11 +549,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument(
         "--shard-backend",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "remote"),
         default=None,
         help="how sharded sub-batches execute (default: thread; requires --shards)",
     )
+    detect.add_argument(
+        "--remote-workers",
+        metavar="HOST:PORT[,HOST:PORT...]",
+        default=None,
+        help=(
+            "shard-worker addresses for --shard-backend remote (one "
+            "repro-ids shard-worker per address; unreachable workers fail "
+            "over to local serial execution)"
+        ),
+    )
     detect.set_defaults(handler=cmd_detect)
+
+    shard_worker = subparsers.add_parser(
+        "shard-worker",
+        help="serve shard tasks over TCP for distributed detection",
+    )
+    shard_worker.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="address to listen on (PORT 0 binds an ephemeral port, printed at startup)",
+    )
+    shard_worker.add_argument(
+        "--model",
+        default=None,
+        help=(
+            "model bundle on this host; a v3 (binary) bundle enables "
+            "by-reference shard provisioning (validated against the "
+            "coordinator's per-member CRC-32s)"
+        ),
+    )
+    shard_worker.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="validate --model serves sharded at K and pre-read the sidecar (warm start)",
+    )
+    shard_worker.set_defaults(handler=cmd_shard_worker)
 
     evaluate = subparsers.add_parser("evaluate", help="compare detectors on a train/test pair")
     evaluate.add_argument("--train", required=True)

@@ -287,6 +287,34 @@ def write_binary_sidecar(
     return sidecar_path
 
 
+def artifact_sidecar_header(json_path: PathLike) -> Optional[Tuple[Path, Dict[str, object]]]:
+    """The sidecar path + integrity header recorded by an artifact JSON.
+
+    Accepts any artifact JSON this package writes — a bare detector/ghsom
+    payload or a CLI bundle (whose detector payload nests one level down) —
+    and returns ``(sidecar_path, header)`` with the path resolved next to
+    the JSON file, or ``None`` for a JSON-only (v1/v2) artifact.  This is
+    how a shard worker started with ``--model`` discovers the sidecar it
+    advertises for by-reference provisioning, without hydrating the model.
+    """
+    json_path = Path(json_path)
+    data = _read_json(json_path)
+    header = data.get("sidecar")
+    if not isinstance(header, dict):
+        nested = data.get("detector")
+        if isinstance(nested, dict):
+            header = nested.get("sidecar")
+    if not isinstance(header, dict):
+        return None
+    name = str(header.get("path", ""))
+    if not name or Path(name).name != name:
+        raise SerializationError(
+            f"invalid sidecar path {name!r} in artifact header "
+            "(must be a bare file name next to the JSON file)"
+        )
+    return json_path.parent / name, dict(header)
+
+
 def open_sidecar(
     data: Dict[str, object],
     sidecar_dir: Optional[PathLike],

@@ -32,5 +32,15 @@ class SerializationError(ReproError):
     """Raised when a model cannot be saved to or loaded from disk."""
 
 
+class ServingError(ReproError):
+    """Raised when a serving backend cannot execute its shard tasks.
+
+    Wraps worker-side failures (a crashed process-pool worker, a dead remote
+    host, a refused provisioning request) with the backend name and the task
+    that failed, so operators see an actionable message instead of a raw
+    executor traceback.
+    """
+
+
 class SimulationError(ReproError):
     """Raised when the network traffic simulator is asked to do something invalid."""

@@ -18,7 +18,13 @@ into a serving subsystem:
   arrays);
 * :mod:`repro.serving.router` — :class:`ShardedGhsom`, which runs the root
   distance + argmin once, dispatches each sub-batch to its shard, and merges
-  results back into input order.
+  results back into input order;
+* :mod:`repro.serving.transport` / :mod:`repro.serving.remote` — the
+  distributed tier: a framed TCP protocol with multiplexed per-worker
+  connections, :class:`RemoteBackend` (ships shard tasks to workers on other
+  hosts, with by-reference or by-value shard provisioning and local
+  failover) and :class:`ShardWorkerServer` (the ``repro-ids shard-worker``
+  process).
 
 The merged output is **byte-identical** to the unsharded float64 engine: the
 router replicates the root step of :meth:`CompiledGhsom.assign_arrays`
@@ -42,14 +48,27 @@ from repro.serving.planner import (
     subtrees_from_compiled,
     subtrees_from_manifest,
 )
+from repro.serving.remote import RemoteBackend, ShardWorkerServer
 from repro.serving.router import ShardedGhsom
 from repro.serving.shards import SubtreeShard, build_shards
+from repro.serving.transport import (
+    PROTOCOL_VERSION,
+    TransportError,
+    WorkerConnection,
+    parse_address,
+)
 
 __all__ = [
     "ShardBackend",
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "RemoteBackend",
+    "ShardWorkerServer",
+    "WorkerConnection",
+    "TransportError",
+    "PROTOCOL_VERSION",
+    "parse_address",
     "make_backend",
     "RootSubtree",
     "ShardPlan",

@@ -24,12 +24,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ReproError, ServingError
 from repro.serving.shards import SubtreeShard
 
 #: One shard task: (shard index, routed sub-batch, local entry nodes).
@@ -44,6 +50,25 @@ def _default_workers() -> int:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # platforms without sched_getaffinity
         return max(1, os.cpu_count() or 1)
+
+
+def same_shard_objects(
+    previous: Optional[Tuple[SubtreeShard, ...]], current: Tuple[SubtreeShard, ...]
+) -> bool:
+    """Whether two shard tuples hold the *same objects* in the same order.
+
+    The staleness rule shared by every provisioned backend (process pool,
+    remote workers): element-wise identity.  Rebuilt-but-equal shards are
+    different arrays and mean stale worker state (an ``==`` check would stop
+    refreshing the day ``SubtreeShard`` grew an ``__eq__``), while a fresh
+    list/tuple of the same shard objects is *not* stale and must not torch a
+    warm pool.
+    """
+    return (
+        previous is not None
+        and len(previous) == len(current)
+        and all(a is b for a, b in zip(previous, current))
+    )
 
 
 class ShardBackend:
@@ -99,6 +124,67 @@ class _PooledBackend(ShardBackend):
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _wrapped_failure(self, index: int, matrix: np.ndarray, exc: Exception) -> ServingError:
+        return ServingError(
+            f"{self.name} shard backend failed while scoring shard "
+            f"{index} ({matrix.shape[0]} records on "
+            f"{self.workers} workers): {type(exc).__name__}: {exc}"
+        )
+
+    def _submit_all(self, tasks: Sequence[ShardTask], submit_one) -> List[Future]:
+        """Submit every task, wrapping *dispatch-time* pool failures.
+
+        ``Executor.submit`` itself raises (e.g. ``BrokenProcessPool``) once a
+        worker died mid-dispatch — that failure needs the same
+        :class:`ServingError` surface and broken-pool cleanup as a failure
+        surfacing through ``future.result()``, or the pool stays broken and
+        every later ``run`` dies at submit time forever.
+        """
+        futures: List[Future] = []
+        try:
+            for task in tasks:
+                futures.append(submit_one(task))
+        except Exception as exc:
+            for future in futures:
+                future.cancel()
+            if isinstance(exc, BrokenExecutor):
+                self.close()
+            index, matrix, _ = tasks[len(futures)]
+            raise self._wrapped_failure(index, matrix, exc) from exc
+        return futures
+
+    def _collect(
+        self, tasks: Sequence[ShardTask], futures: Sequence[Future]
+    ) -> List[ShardResult]:
+        """Gather futures in task order, wrapping worker failures.
+
+        A raw ``future.result()`` surfaces pool internals — a bare
+        ``BrokenProcessPool`` or a remote-formatted worker traceback with no
+        hint of *which* shard died on *how much* data.  Library errors
+        (:class:`ReproError`) pass through untouched; anything else is
+        wrapped in a :class:`ServingError` naming the backend, the shard and
+        the task size — the same error surface the remote backend's failover
+        reports through.  A broken executor is closed so the next call
+        rebuilds a fresh pool instead of failing forever.
+        """
+        results: List[ShardResult] = []
+        try:
+            for (index, matrix, _), future in zip(tasks, futures):
+                try:
+                    results.append(future.result())
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    raise self._wrapped_failure(index, matrix, exc) from exc
+        except BaseException as error:
+            for future in futures:
+                future.cancel()
+            exc_cause = error.__cause__
+            if isinstance(error, BrokenExecutor) or isinstance(exc_cause, BrokenExecutor):
+                self.close()
+            raise
+        return results
+
 
 class ThreadPoolBackend(_PooledBackend):
     """Run shards on a thread pool (BLAS releases the GIL during the GEMMs)."""
@@ -109,16 +195,24 @@ class ThreadPoolBackend(_PooledBackend):
         self, shards: Sequence[SubtreeShard], tasks: Sequence[ShardTask]
     ) -> List[ShardResult]:
         if len(tasks) <= 1:
-            return ShardBackend.run(self, shards, tasks)
+            # Inline fast path — same error surface as the pooled one.
+            try:
+                return ShardBackend.run(self, shards, tasks)
+            except ReproError:
+                raise
+            except Exception as exc:
+                index, matrix, _ = tasks[0]
+                raise self._wrapped_failure(index, matrix, exc) from exc
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self._workers, thread_name_prefix="repro-shard"
             )
-        futures = [
-            self._pool.submit(shards[index].assign_entries, matrix, entries)
-            for index, matrix, entries in tasks
-        ]
-        return [future.result() for future in futures]
+        pool = self._pool
+        futures = self._submit_all(
+            tasks,
+            lambda task: pool.submit(shards[task[0]].assign_entries, task[1], task[2]),
+        )
+        return self._collect(tasks, futures)
 
 
 # ---- process pool ---------------------------------------------------------- #
@@ -155,9 +249,7 @@ class ProcessPoolBackend(_PooledBackend):
 
     def _ensure_pool(self, shards: Sequence[SubtreeShard]) -> Executor:
         shards = tuple(shards)
-        # Compare by identity: the router passes its own stable tuple, so a
-        # different tuple means different arrays and stale workers.
-        if self._pool is not None and self._pool_shards != shards:
+        if self._pool is not None and not same_shard_objects(self._pool_shards, shards):
             self.close()
         if self._pool is None:
             if "fork" in multiprocessing.get_all_start_methods():
@@ -183,11 +275,10 @@ class ProcessPoolBackend(_PooledBackend):
         if not tasks:
             return []
         pool = self._ensure_pool(shards)
-        futures = [
-            pool.submit(_worker_run, index, matrix, entries)
-            for index, matrix, entries in tasks
-        ]
-        return [future.result() for future in futures]
+        futures = self._submit_all(
+            tasks, lambda task: pool.submit(_worker_run, task[0], task[1], task[2])
+        )
+        return self._collect(tasks, futures)
 
 
 _BACKENDS = {
@@ -195,6 +286,9 @@ _BACKENDS = {
     "thread": ThreadPoolBackend,
     "process": ProcessPoolBackend,
 }
+#: Backend names make_backend understands ("remote" resolves lazily — the
+#: remote backend lives in its own module to keep this one socket-free).
+BACKEND_NAMES = tuple(sorted(_BACKENDS)) + ("remote",)
 
 
 def make_backend(
@@ -204,6 +298,8 @@ def make_backend(
 
     ``workers`` only applies to the pooled backends; passing it alongside an
     already-constructed instance is rejected to avoid silently ignoring it.
+    The remote backend is addressed as ``"remote:HOST:PORT[,HOST:PORT...]"``
+    (its worker count is the address list, so ``workers`` is rejected).
     """
     if isinstance(backend, ShardBackend):
         if workers is not None:
@@ -211,10 +307,28 @@ def make_backend(
                 "workers cannot be overridden on an already-constructed backend"
             )
         return backend
-    factory = _BACKENDS.get(str(backend))
+    name = str(backend)
+    if name == "remote" or name.startswith("remote:"):
+        if workers is not None:
+            raise ConfigurationError(
+                "the remote backend's worker count is its address list; "
+                "drop workers= and list one HOST:PORT per worker"
+            )
+        spec = name.partition(":")[2]
+        if not spec:
+            raise ConfigurationError(
+                "the remote backend needs worker addresses: pass "
+                "'remote:HOST:PORT[,HOST:PORT...]' (CLI: --shard-backend "
+                "remote --remote-workers HOST:PORT,...) or construct "
+                "repro.serving.RemoteBackend directly"
+            )
+        from repro.serving.remote import RemoteBackend
+
+        return RemoteBackend.from_spec(spec)
+    factory = _BACKENDS.get(name)
     if factory is None:
         raise ConfigurationError(
-            f"unknown shard backend {backend!r}; available: {sorted(_BACKENDS)}"
+            f"unknown shard backend {backend!r}; available: {list(BACKEND_NAMES)}"
         )
     if factory is SerialBackend:
         if workers is not None and workers != 1:

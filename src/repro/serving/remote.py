@@ -1,0 +1,747 @@
+"""Distributed shard serving: the remote backend and the shard worker.
+
+This module turns the shard manifest from a single-host optimisation into
+the system's horizontal-scaling substrate.  It has two halves:
+
+* :class:`RemoteBackend` — a :class:`~repro.serving.backends.ShardBackend`
+  that dispatches the router's shard tasks to worker processes on other
+  hosts over TCP (see :mod:`repro.serving.transport` for the framed
+  protocol).  One persistent, multiplexed connection per worker; tasks for
+  different shards are pipelined concurrently.
+* :class:`ShardWorkerServer` — the worker side, started via ``repro-ids
+  shard-worker --listen HOST:PORT [--model bundle.json]``.  Each coordinator
+  connection is provisioned with a shard set once, then streams ``run``
+  requests against it.
+
+**Provisioning** has two paths.  *By reference*: when the coordinator's
+shards are views into a v3 binary artifact's memory-mapped sidecar and the
+worker holds its own copy of that artifact, the wire carries only
+``(dtype, shape, offset)`` descriptors plus the sidecar's fingerprint
+(size + per-member CRC-32s, the same integrity data the v3 JSON header
+records); the worker validates its local sidecar against the fingerprint
+and maps the same regions — refusing on any mismatch, because mapping
+different bytes would silently break byte-identity.  *By value*: for
+in-memory models or workers without the artifact, shard arrays are
+streamed in full.
+
+**Failover**: a dead, refusing or timed-out worker never surfaces as a
+partial result.  Its tasks are re-run on a local fallback backend (serial
+by default), so ``detect`` always returns the complete, byte-identical
+answer — remote workers only ever make it faster, never wrong.  Results
+are byte-identical to the serial backend by construction: workers run the
+same :func:`~repro.core.compiled.frontier_descent` loop on the same row
+groupings over the same array bytes.  That construction assumes a
+*homogeneous numerical stack* across hosts — same NumPy/BLAS builds on
+comparable CPUs — because the per-level GEMM is exactly as reproducible as
+the library computing it; deploy heterogeneous fleets only with the same
+pinned builds everywhere (the loopback CI gate runs coordinator and
+workers on one stack, which is the supported configuration).
+
+The transport pickles frames, so point the backend only at workers you
+trust — the process-pool trust model stretched across a private network.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SerializationError, ServingError
+from repro.serving.backends import (
+    ShardBackend,
+    ShardResult,
+    ShardTask,
+    _default_workers,
+    make_backend,
+    same_shard_objects,
+)
+from repro.serving.shards import SubtreeShard
+from repro.serving.transport import (
+    PROTOCOL_VERSION,
+    SidecarRef,
+    TransportError,
+    WorkerConnection,
+    parse_address,
+    recv_frame,
+    send_frame,
+    server_handshake,
+)
+from repro.utils.mmapio import MmapRef, fingerprints_match, sidecar_fingerprint
+
+
+# --------------------------------------------------------------------------- #
+# shard wire forms
+# --------------------------------------------------------------------------- #
+def _shard_states(shards: Sequence[SubtreeShard]) -> List[Dict[str, object]]:
+    """Portable per-shard field states (memmap arrays as :class:`MmapRef`)."""
+    return [shard.__getstate__() for shard in shards]
+
+
+def _reference_wire(
+    shards: Sequence[SubtreeShard],
+    states: Sequence[Dict[str, object]],
+) -> Optional[Tuple[str, Dict[str, object], List[Dict[str, object]]]]:
+    """The by-reference wire form, or ``None`` when shards aren't mappable.
+
+    By-reference provisioning needs every memory-mapped shard array to live
+    in one file (the artifact's sidecar) — then the wire carries
+    ``(sidecar path, fingerprint, states-with-SidecarRefs)`` and a worker
+    holding a byte-identical copy of the sidecar maps the same regions.
+    Returns ``None`` when no array is memmap-backed (in-memory model), the
+    refs span multiple files, or the file on disk no longer serves the
+    coordinator's live bytes (see below).
+
+    The region descriptors promise workers "map these offsets and you hold
+    exactly the bytes the coordinator serves".  That promise is verified
+    here, not assumed: every referenced region is re-read from the file and
+    compared against the live mapped array, because an atomically replaced
+    artifact (new inode, possibly same size) leaves the coordinator serving
+    the *old* mapping while the path — and therefore the fingerprint and
+    every worker check — describes the *new* file.  One sequential read of
+    the shard regions per provisioning epoch; on any mismatch the caller
+    falls back to by-value, which streams the true live bytes.
+    """
+    paths = {
+        value.path
+        for state in states
+        for value in state.values()
+        if isinstance(value, MmapRef)
+    }
+    if len(paths) != 1:
+        return None
+    path = next(iter(paths))
+    try:
+        with open(path, "rb") as stream:
+            for shard, state in zip(shards, states):
+                for name, value in state.items():
+                    if not isinstance(value, MmapRef):
+                        continue
+                    live = np.ascontiguousarray(getattr(shard, name))
+                    if not _region_matches(stream, value.offset, live):
+                        return None
+    except OSError:
+        return None
+    ref_states = [
+        {
+            name: (
+                SidecarRef(
+                    dtype=value.dtype,
+                    shape=value.shape,
+                    offset=value.offset,
+                    file_bytes=value.file_bytes,
+                )
+                if isinstance(value, MmapRef)
+                else value
+            )
+            for name, value in state.items()
+        }
+        for state in states
+    ]
+    return path, sidecar_fingerprint(path), ref_states
+
+
+def _region_matches(stream, offset: int, live: np.ndarray) -> bool:
+    """Whether the file region at ``offset`` equals the live array's bytes.
+
+    Fixed-size chunks: the members being compared can rival the host's RAM
+    (the sidecar is mmap-served precisely because it may not fit), so the
+    comparison must never materialise a whole region.
+    """
+    view = memoryview(live).cast("B")
+    stream.seek(int(offset))
+    position = 0
+    while position < len(view):
+        chunk = stream.read(min(1 << 22, len(view) - position))
+        if not chunk or chunk != view[position : position + len(chunk)]:
+            return False
+        position += len(chunk)
+    return True
+
+
+def _value_wire(shards: Sequence[SubtreeShard]) -> List[Dict[str, object]]:
+    """The by-value wire form: every array travels as its bytes.
+
+    Memmap-backed arrays are re-exposed as plain ndarray views over the
+    mapping (``.view(np.ndarray)``), which pickle by value — the worker
+    receives the exact bytes the coordinator serves from, so results stay
+    byte-identical without the worker needing the artifact file.
+    """
+    states = []
+    for shard in shards:
+        state: Dict[str, object] = {}
+        for field_info in fields(SubtreeShard):
+            value = getattr(shard, field_info.name)
+            if isinstance(value, np.ndarray):
+                value = np.asarray(value).view(np.ndarray)
+            state[field_info.name] = value
+        states.append(state)
+    return states
+
+
+def _shard_from_state(
+    state: Dict[str, object], sidecar_path: Optional[Path]
+) -> SubtreeShard:
+    """Rebuild a shard from a provisioned wire state on the worker side."""
+    restored: Dict[str, object] = {}
+    for name, value in state.items():
+        if isinstance(value, SidecarRef):
+            if sidecar_path is None:
+                raise ServingError(
+                    "by-reference shard state received but this worker has no "
+                    "model artifact; restart it with --model"
+                )
+            value = MmapRef(
+                path=str(sidecar_path),
+                dtype=value.dtype,
+                shape=tuple(value.shape),
+                offset=int(value.offset),
+                file_bytes=int(value.file_bytes),
+                file_id=None,  # the worker's copy is a different inode
+            ).restore()
+        restored[name] = value
+    shard = SubtreeShard.__new__(SubtreeShard)
+    shard.__setstate__(restored)
+    return shard
+
+
+# --------------------------------------------------------------------------- #
+# coordinator side: the remote backend
+# --------------------------------------------------------------------------- #
+class RemoteBackend(ShardBackend):
+    """Run shard tasks on remote worker processes over TCP.
+
+    Slots in behind the same ``run(shards, tasks)`` seam as the in-process
+    backends.  Tasks are spread round-robin over the live workers and
+    pipelined concurrently on each persistent connection; any task a worker
+    cannot finish — connection refused, death mid-batch, a provisioning
+    refusal, a timeout — fails over to ``fallback`` (a local backend, serial
+    by default), so the merged result is always complete and byte-identical.
+
+    ``provisioning`` selects how workers receive the shard set: ``"auto"``
+    (by reference when the shards map a v3 sidecar and the worker advertises
+    a matching copy, by value otherwise), ``"reference"`` (strict: error
+    rather than stream arrays), or ``"value"`` (always stream).
+
+    Dead workers are reconnected (and re-provisioned) on the next ``run``
+    call, so a restarted worker rejoins the pool without coordinator
+    restarts.  ``stats`` counts remote/failed-over tasks and provisioning
+    modes for observability and tests.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        addresses: Union[str, Sequence[Union[str, Tuple[str, int]]]],
+        *,
+        fallback: Union[str, ShardBackend] = "serial",
+        provisioning: str = "auto",
+        connect_timeout: float = 10.0,
+        task_timeout: float = 120.0,
+        reconnect_backoff: float = 30.0,
+    ) -> None:
+        if isinstance(addresses, str):
+            addresses = [part for part in addresses.split(",") if part.strip()]
+        parsed = tuple(
+            address if isinstance(address, tuple) else parse_address(address)
+            for address in addresses
+        )
+        if not parsed:
+            raise ConfigurationError(
+                "the remote backend needs at least one worker address "
+                "(HOST:PORT)"
+            )
+        if provisioning not in ("auto", "reference", "value"):
+            raise ConfigurationError(
+                f"unknown provisioning mode {provisioning!r}; "
+                "expected auto, reference or value"
+            )
+        self._addresses = parsed
+        self._fallback = make_backend(fallback)
+        self._provisioning = provisioning
+        self._connect_timeout = float(connect_timeout)
+        self._task_timeout = float(task_timeout)
+        self._reconnect_backoff = float(reconnect_backoff)
+        self._connections: Dict[Tuple[str, int], WorkerConnection] = {}
+        #: Monotonic deadline before which a failed address is not re-dialed
+        #: (a dead host must not add a connect timeout to every batch).
+        self._retry_at: Dict[Tuple[str, int], float] = {}
+        #: The shard tuple the current epoch was provisioned for, compared
+        #: element-wise by identity (same contract as the process pool's
+        #: staleness check — see ``same_shard_objects``).
+        self._epoch_shards: Optional[Tuple[SubtreeShard, ...]] = None
+        self._epoch = -1
+        self._wire_reference: Optional[Tuple[str, Dict[str, object], List[Dict[str, object]]]] = None
+        self._wire_value: Optional[List[Dict[str, object]]] = None
+        self.stats: Dict[str, int] = {
+            "remote_tasks": 0,
+            "failover_tasks": 0,
+            "provision_reference": 0,
+            "provision_value": 0,
+            "connects": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec: str, **kwargs) -> "RemoteBackend":
+        """Build a backend from a ``HOST:PORT[,HOST:PORT...]`` spec string."""
+        return cls(spec, **kwargs)
+
+    @property
+    def workers(self) -> int:
+        return len(self._addresses)
+
+    @property
+    def addresses(self) -> Tuple[Tuple[str, int], ...]:
+        return self._addresses
+
+    def close(self) -> None:
+        for connection in self._connections.values():
+            connection.close()
+        self._connections.clear()
+        self._epoch_shards = None
+        self._wire_reference = None
+        self._wire_value = None
+        self._fallback.close()
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self, shards: Sequence[SubtreeShard], tasks: Sequence[ShardTask]
+    ) -> List[ShardResult]:
+        if not tasks:
+            return []
+        shards = tuple(shards)
+        connections = self._ensure_workers(shards)
+        results: List[Optional[ShardResult]] = [None] * len(tasks)
+        failed: List[int] = []
+        pending: List[Tuple[int, WorkerConnection, Future]] = []
+        if connections:
+            for position, (index, matrix, entries) in enumerate(tasks):
+                connection = connections[position % len(connections)]
+                try:
+                    future = connection.submit(
+                        "run",
+                        epoch=self._epoch,
+                        shard=int(index),
+                        matrix=matrix,
+                        entries=entries,
+                    )
+                except ServingError:
+                    self._drop(connection)
+                    failed.append(position)
+                    continue
+                pending.append((position, connection, future))
+        else:
+            failed = list(range(len(tasks)))
+        for position, connection, future in pending:
+            try:
+                leaf, distances = future.result(timeout=self._task_timeout)
+                results[position] = (np.asarray(leaf), np.asarray(distances))
+                self.stats["remote_tasks"] += 1
+            except (ServingError, FutureTimeoutError):
+                # Timed-out workers are dropped entirely: a late response to
+                # an abandoned request must never be mistaken for a fresh one.
+                self._drop(connection)
+                failed.append(position)
+        if failed:
+            failed.sort()
+            recovered = self._fallback.run(shards, [tasks[i] for i in failed])
+            for position, result in zip(failed, recovered):
+                results[position] = result
+            self.stats["failover_tasks"] += len(failed)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    def _ensure_workers(
+        self, shards: Tuple[SubtreeShard, ...]
+    ) -> List[WorkerConnection]:
+        """Connect + provision every reachable worker for this shard tuple.
+
+        Staleness is element-wise identity: different shard *objects* mean
+        different arrays and stale worker state; a fresh tuple of the same
+        objects does not force re-provisioning.
+        """
+        if not same_shard_objects(self._epoch_shards, shards):
+            self._epoch += 1
+            self._epoch_shards = shards
+            # The reference wire costs a sequential sidecar read (live-bytes
+            # validation); don't pay it when it can never be used.
+            self._wire_reference = (
+                None
+                if self._provisioning == "value"
+                else _reference_wire(shards, _shard_states(shards))
+            )
+            self._wire_value = None  # materialised lazily (it copies arrays)
+        if self._provisioning == "reference" and self._wire_reference is None:
+            # Strict mode is a promise to never stream arrays — an
+            # unmappable shard set must surface, not degrade to local
+            # serving behind the operator's back.
+            raise ServingError(
+                "by-reference provisioning requires shards backed by a v3 "
+                "binary artifact's memory-mapped sidecar; load the model "
+                "from a --format binary artifact or use provisioning='value'"
+            )
+        live: List[WorkerConnection] = []
+        for address in self._addresses:
+            connection = self._connections.get(address)
+            if connection is not None and not connection.is_alive:
+                self._drop(connection)
+                connection = None
+            if connection is None:
+                if time.monotonic() < self._retry_at.get(address, 0.0):
+                    continue  # recently failed; don't re-dial every batch
+                try:
+                    connection = WorkerConnection(
+                        address, connect_timeout=self._connect_timeout
+                    )
+                except TransportError:
+                    self._retry_at[address] = time.monotonic() + self._reconnect_backoff
+                    continue  # unreachable right now; retried after backoff
+                self._retry_at.pop(address, None)
+                self._connections[address] = connection
+                self.stats["connects"] += 1
+            if connection.provisioned_epoch != self._epoch:
+                try:
+                    self._provision(connection, shards)
+                    connection.provisioned_epoch = self._epoch
+                except (ServingError, FutureTimeoutError) as exc:
+                    self._drop(connection)
+                    if (
+                        self._provisioning == "reference"
+                        and isinstance(exc, ServingError)
+                        and not isinstance(exc, TransportError)
+                    ):
+                        # Strict mode: a worker *refusing* the reference
+                        # (CRC mismatch, no artifact) is the answer the
+                        # operator asked for — never paper over it with
+                        # local serving.  A dead connection (TransportError)
+                        # still fails over like any other backend failure.
+                        raise
+                    # A worker that accepts connections but cannot be
+                    # provisioned (wedged process, stalling proxy) must not
+                    # re-cost a full provision attempt on every batch.
+                    self._retry_at[address] = time.monotonic() + self._reconnect_backoff
+                    continue
+            live.append(connection)
+        return live
+
+    def _provision(
+        self, connection: WorkerConnection, shards: Tuple[SubtreeShard, ...]
+    ) -> None:
+        """Ship the current shard set to one worker (reference or value)."""
+        use_reference = False
+        if self._provisioning in ("auto", "reference") and self._wire_reference is not None:
+            if self._provisioning == "reference":
+                use_reference = True  # strict: the worker's refusal surfaces
+            else:
+                advertised = connection.info.get("sidecar")
+                _, fingerprint, _ = self._wire_reference
+                use_reference = isinstance(advertised, dict) and fingerprints_match(
+                    fingerprint, advertised
+                )
+        if use_reference:
+            _, fingerprint, states = self._wire_reference
+            try:
+                connection.call(
+                    "provision",
+                    timeout=self._task_timeout,
+                    mode="reference",
+                    epoch=self._epoch,
+                    sidecar=fingerprint,
+                    shards=states,
+                )
+                self.stats["provision_reference"] += 1
+                return
+            except ServingError:
+                if self._provisioning == "reference":
+                    raise  # strict mode: the refusal is the answer
+                # The worker's sidecar changed between handshake and
+                # provision; stream the arrays instead of giving it up.
+        if self._wire_value is None:
+            self._wire_value = _value_wire(shards)
+        connection.call(
+            "provision",
+            timeout=self._task_timeout,
+            mode="value",
+            epoch=self._epoch,
+            sidecar=None,
+            shards=self._wire_value,
+        )
+        self.stats["provision_value"] += 1
+
+    def _drop(self, connection: WorkerConnection) -> None:
+        connection.close()
+        if self._connections.get(connection.address) is connection:
+            del self._connections[connection.address]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        addresses = ",".join(f"{host}:{port}" for host, port in self._addresses)
+        return f"RemoteBackend({addresses})"
+
+
+# --------------------------------------------------------------------------- #
+# worker side: the TCP shard server
+# --------------------------------------------------------------------------- #
+class ShardWorkerServer:
+    """A shard worker: accepts coordinator connections and runs their tasks.
+
+    Each connection is handled on its own thread with its *own* provisioned
+    shard set (two coordinators never share or race state).  When
+    constructed with ``model_path`` (a bundle or detector artifact JSON),
+    the worker resolves the v3 sidecar next to it, validates the local file
+    against the artifact's integrity header, and advertises the sidecar
+    fingerprint during the handshake — enabling by-reference provisioning.
+
+    Pipelined ``run`` requests on one connection execute on a small
+    per-connection thread pool (``task_threads``, the GIL-releasing BLAS
+    descent overlaps), replying as they finish — the multiplexed client
+    matches responses by id, so ordering is free to differ.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``address``.  ``start()`` serves on a background thread (tests);
+    ``serve_forever()`` blocks (the CLI entrypoint).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        model_path: Optional[Union[str, Path]] = None,
+        task_threads: Optional[int] = None,
+    ) -> None:
+        if task_threads is None:
+            task_threads = min(8, _default_workers())
+        self._task_threads = max(1, int(task_threads))
+        self.model_path = Path(model_path) if model_path is not None else None
+        self.sidecar_path: Optional[Path] = None
+        if self.model_path is not None:
+            # Lazy import: repro.core.serialization imports repro.serving
+            # modules, so a top-level import here would be circular.
+            from repro.core.serialization import artifact_sidecar_header
+
+            resolved = artifact_sidecar_header(self.model_path)
+            if resolved is not None:
+                sidecar_path, header = resolved
+                if not sidecar_path.exists():
+                    raise ServingError(
+                        f"model artifact {self.model_path} records sidecar "
+                        f"{sidecar_path.name}, but the file is missing — keep "
+                        "the JSON + .npz pair together on the worker host"
+                    )
+                if not fingerprints_match(header, sidecar_fingerprint(sidecar_path)):
+                    raise ServingError(
+                        f"sidecar {sidecar_path} does not match the integrity "
+                        f"header of {self.model_path}: the worker's artifact "
+                        "copy is stale or corrupt — re-sync both files"
+                    )
+                self.sidecar_path = sidecar_path
+        self._listener = socket.create_server((host, int(port)), reuse_port=False)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._clients: set = set()
+        self._closed = False
+        self._serving_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    def worker_info(self) -> Dict[str, object]:
+        """The info dict advertised to coordinators during the handshake."""
+        sidecar = None
+        if self.sidecar_path is not None:
+            try:
+                sidecar = sidecar_fingerprint(self.sidecar_path)
+            except (OSError, SerializationError):
+                # File vanished or was corrupted since startup; the worker
+                # must keep serving by value, not brick on every handshake.
+                sidecar = None
+        return {
+            "pid": os.getpid(),
+            "protocol": PROTOCOL_VERSION,
+            "model": None if self.model_path is None else str(self.model_path),
+            "sidecar": sidecar,
+        }
+
+    def serve_forever(self) -> None:
+        """Accept coordinator connections until :meth:`shutdown`."""
+        while True:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by shutdown()
+            with self._lock:
+                if self._closed:
+                    client.close()
+                    return
+                self._clients.add(client)
+            # Daemon handler threads exit with their connection (shutdown
+            # closes the sockets); nothing to track or join.
+            threading.Thread(target=self._handle, args=(client,), daemon=True).start()
+
+    def start(self) -> "ShardWorkerServer":
+        """Serve on a daemon thread (in-process workers for tests/benchmarks)."""
+        self._serving_thread = threading.Thread(
+            target=self.serve_forever,
+            name=f"repro-shard-worker-{self.address[1]}",
+            daemon=True,
+        )
+        self._serving_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting and disconnect every coordinator."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            clients = list(self._clients)
+            self._clients.clear()
+        try:
+            # close() alone does not wake a thread blocked in accept() on
+            # Linux; shutdown() does, so serve_forever exits promptly.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._listener.close()
+        for client in clients:
+            try:
+                client.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            client.close()
+        if self._serving_thread is not None:
+            self._serving_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ShardWorkerServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    def _handle(self, client: socket.socket) -> None:
+        """Serve one coordinator connection until it closes.
+
+        ``provision``/``ping`` are handled inline (a coordinator awaits the
+        provision ack before dispatching tasks, so in-order handling keeps
+        the epoch protocol trivially correct); ``run`` requests are executed
+        on the connection's thread pool so pipelined shard tasks overlap,
+        each reply sent under a lock as its task finishes.
+        """
+        send_lock = threading.Lock()
+
+        def reply(request_id: object, payload: Dict[str, object]) -> None:
+            try:
+                with send_lock:
+                    send_frame(client, {"id": request_id, **payload})
+            except TransportError:
+                pass  # coordinator went away; nothing left to say
+
+        def execute(
+            run_shards: Tuple[SubtreeShard, ...], frame: Dict[str, object]
+        ) -> None:
+            try:
+                index = int(frame["shard"])
+                if not 0 <= index < len(run_shards):
+                    raise ServingError(
+                        f"shard index {index} out of range "
+                        f"(provisioned {len(run_shards)} shards)"
+                    )
+                result = run_shards[index].assign_entries(
+                    frame["matrix"], frame["entries"]
+                )
+            except Exception as exc:
+                reply(frame["id"], {"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+                return
+            reply(frame["id"], {"ok": True, "result": result})
+
+        pool = ThreadPoolExecutor(
+            max_workers=self._task_threads, thread_name_prefix="repro-worker-task"
+        )
+        try:
+            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if not server_handshake(client, self.worker_info()):
+                return
+            shards: Tuple[SubtreeShard, ...] = ()
+            epoch: Optional[int] = None
+            while True:
+                try:
+                    frame = recv_frame(client)
+                except TransportError:
+                    return  # coordinator went away (or sent garbage)
+                if not isinstance(frame, dict) or "id" not in frame or "op" not in frame:
+                    return
+                request_id = frame["id"]
+                try:
+                    operation = frame["op"]
+                    if operation == "ping":
+                        result: object = "pong"
+                    elif operation == "provision":
+                        shards = self._provisioned_shards(frame)
+                        epoch = int(frame["epoch"])
+                        result = {"n_shards": len(shards), "epoch": epoch}
+                    elif operation == "run":
+                        if epoch is None or int(frame["epoch"]) != epoch:
+                            raise ServingError(
+                                "connection is not provisioned for epoch "
+                                f"{frame.get('epoch')!r} (worker holds "
+                                f"{epoch!r}); provision before running tasks"
+                            )
+                        # Capture the current shard tuple: a later provision
+                        # on this connection must not swap arrays under an
+                        # in-flight task.
+                        pool.submit(execute, shards, frame)
+                        continue
+                    else:
+                        raise ServingError(f"unknown operation {operation!r}")
+                except Exception as exc:  # every failure becomes a reply
+                    reply(request_id, {"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+                    continue
+                reply(request_id, {"ok": True, "result": result})
+        except TransportError:
+            pass  # handshake reply pipe broke
+        finally:
+            with self._lock:
+                self._clients.discard(client)
+            client.close()
+            pool.shutdown(wait=True)
+
+    def _provisioned_shards(self, frame: Dict[str, object]) -> Tuple[SubtreeShard, ...]:
+        mode = frame.get("mode")
+        states = frame.get("shards")
+        if mode not in ("reference", "value") or not isinstance(states, list):
+            raise ServingError(f"malformed provision request (mode={mode!r})")
+        sidecar_path = None
+        if mode == "reference":
+            if self.sidecar_path is None:
+                raise ServingError(
+                    "this worker was started without a binary model artifact; "
+                    "by-reference provisioning is impossible — restart it with "
+                    "--model pointing at the v3 bundle, or let the coordinator "
+                    "stream shards by value"
+                )
+            expected = frame.get("sidecar")
+            if not isinstance(expected, dict):
+                raise ServingError(
+                    "by-reference provisioning needs the coordinator's sidecar "
+                    "fingerprint; none was sent"
+                )
+            if not fingerprints_match(expected, sidecar_fingerprint(self.sidecar_path)):
+                raise ServingError(
+                    f"sidecar mismatch: this worker's {self.sidecar_path} does "
+                    "not match the coordinator's artifact (size or per-member "
+                    "CRC-32s differ) — refusing by-reference provisioning; "
+                    "re-sync the model artifact to this host"
+                )
+            sidecar_path = self.sidecar_path
+        return tuple(
+            _shard_from_state(dict(state), sidecar_path) for state in states
+        )

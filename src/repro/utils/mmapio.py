@@ -307,6 +307,82 @@ def npz_member_crcs(path: PathLike) -> Dict[str, int]:
         raise SerializationError(f"binary sidecar {path} is not a valid npz file: {exc}") from exc
 
 
+def npz_member_offsets(path: PathLike) -> Dict[str, int]:
+    """Absolute file offset of each member's raw data (zip-directory parse).
+
+    Same cost class as :func:`npz_member_crcs`.  Used to pin the member
+    *layout* of a sidecar, not just its content: two files with identical
+    members in a different order share every CRC-32 and possibly the total
+    size, yet any byte-offset taken against one maps garbage in the other.
+    """
+    path = Path(path)
+    try:
+        with zipfile.ZipFile(path) as archive, open(path, "rb") as stream:
+            return {
+                info.filename[: -len(".npy")]: _member_data_offset(stream, info)
+                for info in archive.infolist()
+                if info.filename.endswith(".npy")
+            }
+    except zipfile.BadZipFile as exc:
+        raise SerializationError(f"binary sidecar {path} is not a valid npz file: {exc}") from exc
+
+
+def sidecar_fingerprint(path: PathLike) -> Dict[str, object]:
+    """Cheap content + layout fingerprint of a binary sidecar.
+
+    Size and per-member CRC-32s are the same checks
+    :func:`repro.core.serialization.open_sidecar` runs on every load (one
+    ``stat`` plus the zip-directory parse); the per-member data offsets
+    additionally pin the file *layout*.  The distributed-serving coordinator
+    sends this with a by-reference shard provisioning request and the remote
+    worker compares it against its *own* copy of the sidecar before mapping
+    any region — the region descriptors on the wire are absolute byte
+    offsets, which are only meaningful if the worker's members sit at the
+    same offsets with the same bytes (a re-packed zip with reordered members
+    can preserve size and every CRC while moving the data).
+    """
+    path = Path(path)
+    return {
+        "bytes": int(path.stat().st_size),
+        "crc32": npz_member_crcs(path),
+        "offsets": npz_member_offsets(path),
+    }
+
+
+def fingerprints_match(expected: Dict[str, object], local: Dict[str, object]) -> bool:
+    """Whether two sidecar fingerprints describe byte-identical files.
+
+    The single comparison rule for every fingerprint check (coordinator
+    choosing by-reference provisioning, worker validating its artifact copy
+    at startup and per provision request): sizes equal, per-member CRC-32s
+    equal, and — when both sides carry them — member data offsets equal.
+    Offsets are optional because v3 artifact *headers* predate them (content
+    checks only); both ends of the provisioning exchange compute
+    :func:`sidecar_fingerprint` directly, so layout is always pinned where
+    region offsets actually cross the wire.  Values are normalised through
+    ``int`` because one side may have crossed JSON.
+    """
+
+    def normalised(payload: Dict[str, object], key: str) -> Optional[Dict[str, int]]:
+        table = payload.get(key)
+        if table is None:
+            return None
+        return {str(name): int(value) for name, value in dict(table).items()}
+
+    try:
+        if int(expected.get("bytes", -1)) != int(local.get("bytes", -2)):
+            return False
+        if normalised(expected, "crc32") != normalised(local, "crc32"):
+            return False
+        expected_offsets = normalised(expected, "offsets")
+        local_offsets = normalised(local, "offsets")
+        if expected_offsets is not None and local_offsets is not None:
+            return expected_offsets == local_offsets
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
 def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
     """Eagerly load every array of an ``.npz`` file into memory."""
     path = Path(path)

@@ -1,0 +1,650 @@
+"""Tests for distributed shard serving (repro.serving.remote / .transport).
+
+The acceptance property mirrors the sharded engine's: routing shard tasks
+through remote TCP workers — any provisioning mode, any number of workers,
+workers dying mid-batch — must reproduce the serial backend *byte for
+byte*, because a worker that cannot deliver is failed over to local
+execution, never silently dropped.  The failure-mode tests pin the
+protocol's sharp edges: version mismatches, truncated frames, CRC-mismatch
+refusals.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import load_bundle, main, save_bundle
+from repro.core import GhsomConfig, GhsomDetector, SomTrainingConfig
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.exceptions import ConfigurationError, ServingError
+from repro.serving import (
+    RemoteBackend,
+    ShardWorkerServer,
+    ShardedGhsom,
+    TransportError,
+    WorkerConnection,
+    make_backend,
+    parse_address,
+    subtrees_from_compiled,
+)
+from repro.serving.transport import (
+    FRAME_MAGIC,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+
+
+# --------------------------------------------------------------------------- #
+# fixtures
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def workload():
+    generator = KddSyntheticGenerator(random_state=101)
+    train = generator.generate(900)
+    test = generator.generate(500)
+    pipeline = PreprocessingPipeline()
+    return {
+        "pipeline": pipeline,
+        "X_train": pipeline.fit_transform(train),
+        "X_test": pipeline.transform(test),
+        "y_train": [str(category) for category in train.categories],
+    }
+
+
+@pytest.fixture(scope="module")
+def fitted(workload):
+    detector = GhsomDetector(
+        GhsomConfig(
+            tau1=0.3,
+            tau2=0.05,
+            max_depth=3,
+            max_map_size=36,
+            min_samples_for_expansion=25,
+            training=SomTrainingConfig(epochs=3),
+            random_state=11,
+        ),
+        random_state=11,
+    )
+    detector.fit(workload["X_train"], workload["y_train"])
+    return detector
+
+
+@pytest.fixture(scope="module")
+def binary_bundle(workload, fitted, tmp_path_factory):
+    path = tmp_path_factory.mktemp("remote_model") / "model.json"
+    save_bundle(workload["pipeline"], fitted, path, format="binary")
+    return path
+
+
+@pytest.fixture(scope="module")
+def reference(binary_bundle, workload):
+    """Serial-backend detection result: the byte-identity gold standard."""
+    _, detector = load_bundle(binary_bundle, shards=4, shard_backend="serial")
+    try:
+        return detector.detect(workload["X_test"])
+    finally:
+        detector.set_sharding(None)
+
+
+def _assert_identical(result, reference):
+    np.testing.assert_array_equal(result.scores, reference.scores)
+    assert result.scores.tobytes() == reference.scores.tobytes()
+    np.testing.assert_array_equal(result.predictions, reference.predictions)
+    np.testing.assert_array_equal(result.leaf_index, reference.leaf_index)
+    assert list(result.categories) == list(reference.categories)
+
+
+def _detect_remote(binary_bundle, workload, backend, n_shards=4):
+    _, detector = load_bundle(binary_bundle)
+    detector.set_sharding(n_shards, backend=backend)
+    try:
+        return detector.detect(workload["X_test"])
+    finally:
+        detector.set_sharding(None)
+
+
+# --------------------------------------------------------------------------- #
+# equivalence over live loopback workers
+# --------------------------------------------------------------------------- #
+class TestRemoteEquivalence:
+    def test_two_loopback_workers_byte_identical(self, binary_bundle, workload, reference):
+        with ShardWorkerServer(model_path=binary_bundle).start() as w1, \
+                ShardWorkerServer(model_path=binary_bundle).start() as w2:
+            backend = RemoteBackend([w1.address, w2.address])
+            result = _detect_remote(binary_bundle, workload, backend)
+            assert backend.stats["remote_tasks"] > 0
+            assert backend.stats["failover_tasks"] == 0
+            assert backend.stats["connects"] == 2
+        _assert_identical(result, reference)
+
+    def test_remote_matches_process_backend(self, binary_bundle, workload):
+        with ShardWorkerServer(model_path=binary_bundle).start() as worker:
+            remote = _detect_remote(
+                binary_bundle, workload, RemoteBackend([worker.address])
+            )
+        _, detector = load_bundle(binary_bundle, shards=4, shard_backend="process", workers=2)
+        try:
+            local = detector.detect(workload["X_test"])
+        finally:
+            detector.set_sharding(None)
+        _assert_identical(remote, local)
+
+    def test_by_value_worker_without_model(self, binary_bundle, workload, reference):
+        with ShardWorkerServer().start() as worker:  # no --model on the worker
+            backend = RemoteBackend([worker.address])
+            result = _detect_remote(binary_bundle, workload, backend)
+            assert backend.stats["provision_value"] == 1
+            assert backend.stats["provision_reference"] == 0
+        _assert_identical(result, reference)
+
+    def test_by_reference_provisioning_used(self, binary_bundle, workload, fitted, reference):
+        # K >= the subtree count keeps every shard a single contiguous run,
+        # i.e. a view into the mmapped sidecar — the by-reference case.
+        n_subtrees = len(subtrees_from_compiled(fitted.model.compile()))
+        assert n_subtrees >= 2, "model too small for this test"
+        with ShardWorkerServer(model_path=binary_bundle).start() as worker:
+            backend = RemoteBackend([worker.address])
+            result = _detect_remote(
+                binary_bundle, workload, backend, n_shards=n_subtrees
+            )
+            assert backend.stats["provision_reference"] == 1
+            assert backend.stats["provision_value"] == 0
+        _assert_identical(result, reference)
+
+    def test_reprovision_on_new_shard_tuple(self, binary_bundle, workload, reference):
+        with ShardWorkerServer(model_path=binary_bundle).start() as worker:
+            backend = RemoteBackend([worker.address])
+            _, detector = load_bundle(binary_bundle)
+            detector.set_sharding(2, backend=backend)
+            first = detector.detect(workload["X_test"])
+            provisions = (
+                backend.stats["provision_reference"] + backend.stats["provision_value"]
+            )
+            assert provisions == 1
+            # A resharded detector rebuilds its shard tuple; the worker must
+            # be provisioned again (stale arrays would be silently wrong).
+            detector.set_sharding(3, backend=backend)
+            second = detector.detect(workload["X_test"])
+            assert (
+                backend.stats["provision_reference"] + backend.stats["provision_value"]
+            ) == provisions + 1
+            detector.set_sharding(None)
+        _assert_identical(first, reference)
+        _assert_identical(second, reference)
+
+
+# --------------------------------------------------------------------------- #
+# failover
+# --------------------------------------------------------------------------- #
+class _DyingWorker:
+    """A worker that completes the handshake, then dies on the first task.
+
+    Deterministically reproduces "worker dies mid-batch": the coordinator's
+    submitted future fails after dispatch, forcing the failover path.
+    """
+
+    def __init__(self):
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.address = self._listener.getsockname()[:2]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        client, _ = self._listener.accept()
+        hello = recv_frame(client)
+        assert hello["kind"] == "hello"
+        send_frame(
+            client,
+            {"kind": "hello", "protocol": PROTOCOL_VERSION, "worker": {"sidecar": None}},
+        )
+        # Acknowledge provisioning so tasks actually get dispatched here...
+        provision = recv_frame(client)
+        send_frame(client, {"id": provision["id"], "ok": True, "result": {}})
+        # ...then die on the first run request, mid-batch.
+        recv_frame(client)
+        client.close()
+        self._listener.close()
+
+    def close(self):
+        self._listener.close()
+
+
+class TestFailover:
+    def test_worker_dies_mid_batch_results_byte_identical(
+        self, binary_bundle, workload, reference
+    ):
+        dying = _DyingWorker()
+        with ShardWorkerServer(model_path=binary_bundle).start() as healthy:
+            backend = RemoteBackend([dying.address, healthy.address])
+            result = _detect_remote(binary_bundle, workload, backend)
+            assert backend.stats["failover_tasks"] > 0
+            assert backend.stats["remote_tasks"] > 0
+        dying.close()
+        _assert_identical(result, reference)
+
+    def test_all_workers_dead_full_local_fallback(self, binary_bundle, workload, reference):
+        worker = ShardWorkerServer(model_path=binary_bundle).start()
+        backend = RemoteBackend([worker.address], reconnect_backoff=0.0)
+        _, detector = load_bundle(binary_bundle)
+        detector.set_sharding(4, backend=backend)
+        first = detector.detect(workload["X_test"])
+        worker.shutdown()
+        second = detector.detect(workload["X_test"])  # connection now dead
+        third = detector.detect(workload["X_test"])  # connect refused
+        detector.set_sharding(None)
+        assert backend.stats["failover_tasks"] > 0
+        _assert_identical(first, reference)
+        _assert_identical(second, reference)
+        _assert_identical(third, reference)
+
+    def test_unreachable_address_runs_locally(self, binary_bundle, workload, reference):
+        # A port nothing listens on: connect is refused instantly on loopback.
+        probe = socket.create_server(("127.0.0.1", 0))
+        dead_address = probe.getsockname()[:2]
+        probe.close()
+        backend = RemoteBackend([dead_address], connect_timeout=2.0)
+        result = _detect_remote(binary_bundle, workload, backend)
+        assert backend.stats["remote_tasks"] == 0
+        assert backend.stats["failover_tasks"] > 0
+        _assert_identical(result, reference)
+
+    def test_restarted_worker_rejoins(self, binary_bundle, workload, reference):
+        worker = ShardWorkerServer(model_path=binary_bundle).start()
+        host, port = worker.address
+        backend = RemoteBackend([worker.address], reconnect_backoff=0.0)
+        _, detector = load_bundle(binary_bundle)
+        detector.set_sharding(4, backend=backend)
+        detector.detect(workload["X_test"])
+        worker.shutdown()
+        detector.detect(workload["X_test"])  # all failover
+        restarted = ShardWorkerServer(host, port, model_path=binary_bundle).start()
+        try:
+            tasks_before = backend.stats["remote_tasks"]
+            result = detector.detect(workload["X_test"])
+            assert backend.stats["remote_tasks"] > tasks_before
+            assert backend.stats["connects"] == 2
+            _assert_identical(result, reference)
+        finally:
+            detector.set_sharding(None)
+            restarted.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# protocol failure modes
+# --------------------------------------------------------------------------- #
+class TestProtocol:
+    def test_handshake_version_mismatch_rejected(self, binary_bundle):
+        with ShardWorkerServer(model_path=binary_bundle).start() as worker:
+            with pytest.raises(TransportError, match="protocol"):
+                WorkerConnection(worker.address, protocol=PROTOCOL_VERSION + 1)
+            # The worker survives a rejected peer and still serves others.
+            good = WorkerConnection(worker.address)
+            assert good.call("ping", timeout=10.0) == "pong"
+            good.close()
+
+    def test_non_protocol_peer_rejected(self, binary_bundle):
+        with ShardWorkerServer(model_path=binary_bundle).start() as worker:
+            with socket.create_connection(worker.address, timeout=5.0) as sock:
+                sock.sendall(b"GET / HTTP/1.1\r\n\r\n")
+                # The worker closes without ever interpreting the bytes —
+                # either a clean FIN or an RST (unread bytes pending), but
+                # never a protocol reply.
+                sock.settimeout(5.0)
+                try:
+                    data = sock.recv(1024)
+                except ConnectionResetError:
+                    data = b""
+                assert data == b""
+
+    def test_truncated_frame_raises(self):
+        left, right = socket.socketpair()
+        try:
+            payload = struct.pack("!4sI", FRAME_MAGIC, 1000) + b"x" * 10
+            left.sendall(payload)
+            left.close()
+            with pytest.raises(TransportError, match="truncated frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_bad_magic_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"HTTP/1.1" + b"\x00" * 16)
+            with pytest.raises(TransportError, match="magic"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_implausible_length_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("!4sI", FRAME_MAGIC, (1 << 31) + 1))
+            with pytest.raises(TransportError, match="limit"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_malformed_response_id_kills_connection_promptly(self):
+        """A response with a non-coercible id must fail the connection, not
+        leave futures hanging until their timeout behind an is_alive lie."""
+        listener = socket.create_server(("127.0.0.1", 0))
+
+        def serve():
+            client, _ = listener.accept()
+            recv_frame(client)  # hello
+            send_frame(client, {"kind": "hello", "protocol": PROTOCOL_VERSION, "worker": {}})
+            recv_frame(client)  # the request
+            send_frame(client, {"id": None, "ok": True, "result": "?"})
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        connection = WorkerConnection(listener.getsockname()[:2])
+        future = connection.submit("ping")
+        with pytest.raises(TransportError, match="process response frame"):
+            future.result(timeout=10.0)
+        assert not connection.is_alive
+        connection.close()
+        listener.close()
+
+    def test_fingerprint_pins_member_layout(self, binary_bundle):
+        """Same content CRCs at different offsets must not match: the wire
+        carries absolute byte offsets, so a re-packed (reordered) sidecar
+        with identical members would silently map the wrong bytes."""
+        from repro.core.serialization import sidecar_path_for
+        from repro.utils.mmapio import fingerprints_match, sidecar_fingerprint
+
+        fingerprint = sidecar_fingerprint(sidecar_path_for(binary_bundle))
+        assert fingerprint["offsets"]  # layout is part of the fingerprint
+        assert fingerprints_match(fingerprint, dict(fingerprint))
+        names = sorted(fingerprint["offsets"])
+        assert len(names) >= 2
+        shuffled = dict(fingerprint["offsets"])
+        shuffled[names[0]], shuffled[names[1]] = shuffled[names[1]], shuffled[names[0]]
+        reordered = {**fingerprint, "offsets": shuffled}
+        assert not fingerprints_match(fingerprint, reordered)
+        # Content-only headers (no offsets, e.g. v3 artifact JSON) still
+        # compare by size + CRCs.
+        content_only = {"bytes": fingerprint["bytes"], "crc32": fingerprint["crc32"]}
+        assert fingerprints_match(content_only, fingerprint)
+        assert not fingerprints_match(
+            {**content_only, "bytes": content_only["bytes"] + 1}, fingerprint
+        )
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.2:7001") == ("10.0.0.2", 7001)
+        with pytest.raises(ServingError, match="HOST:PORT"):
+            parse_address("no-port-here")
+        with pytest.raises(ServingError, match="integer"):
+            parse_address("host:notaport")
+
+
+# --------------------------------------------------------------------------- #
+# by-reference provisioning safety
+# --------------------------------------------------------------------------- #
+class TestByReferenceSafety:
+    def test_crc_mismatch_refused(self, binary_bundle, workload, fitted):
+        """A coordinator whose artifact differs from the worker's is refused."""
+        with ShardWorkerServer(model_path=binary_bundle).start() as worker:
+            connection = WorkerConnection(worker.address)
+            sidecar = dict(worker.worker_info()["sidecar"])
+            tampered = {name: (value ^ 1) for name, value in sidecar["crc32"].items()}
+            with pytest.raises(ServingError, match="CRC-32s differ"):
+                connection.call(
+                    "provision",
+                    timeout=10.0,
+                    mode="reference",
+                    epoch=0,
+                    sidecar={"bytes": sidecar["bytes"], "crc32": tampered},
+                    shards=[],
+                )
+            connection.close()
+
+    def test_mismatched_worker_model_falls_back_to_value(
+        self, binary_bundle, workload, reference, tmp_path
+    ):
+        """Auto mode: a worker with a *different* artifact gets shards by value."""
+        generator = KddSyntheticGenerator(random_state=202)
+        other_train = generator.generate(400)
+        other_pipeline = PreprocessingPipeline()
+        other_X = other_pipeline.fit_transform(other_train)
+        other = GhsomDetector(
+            GhsomConfig(
+                tau1=0.5,
+                tau2=0.15,
+                max_depth=2,
+                max_map_size=16,
+                training=SomTrainingConfig(epochs=2),
+                random_state=5,
+            ),
+            random_state=5,
+        )
+        other.fit(other_X, [str(c) for c in other_train.categories])
+        other_bundle = tmp_path / "other.json"
+        save_bundle(other_pipeline, other, other_bundle, format="binary")
+        with ShardWorkerServer(model_path=other_bundle).start() as worker:
+            backend = RemoteBackend([worker.address])
+            result = _detect_remote(binary_bundle, workload, backend)
+            assert backend.stats["provision_value"] == 1
+            assert backend.stats["provision_reference"] == 0
+            assert backend.stats["failover_tasks"] == 0
+        _assert_identical(result, reference)
+
+    def test_strict_reference_mode_requires_mappable_shards(self, workload, fitted):
+        """provisioning='reference' with an in-memory model is a hard error.
+
+        The error must surface through the real ``run`` path — strict mode
+        promising "never stream arrays" and then silently serving everything
+        locally would be worse than no promise at all.
+        """
+        compiled = fitted.model.compile()  # in-memory arrays, nothing mmapped
+        with ShardWorkerServer().start() as worker:
+            backend = RemoteBackend([worker.address], provisioning="reference")
+            engine = ShardedGhsom.from_compiled(compiled, 2, backend=backend)
+            with pytest.raises(ServingError, match="by-reference provisioning requires"):
+                engine.assign_arrays(workload["X_test"][:20])
+            engine.close()
+
+    def test_strict_reference_refusal_raises_not_failover(
+        self, binary_bundle, workload
+    ):
+        """Strict mode: a worker refusing the reference surfaces to the caller."""
+        with ShardWorkerServer().start() as worker:  # no artifact on the worker
+            backend = RemoteBackend([worker.address], provisioning="reference")
+            _, detector = load_bundle(binary_bundle)
+            detector.set_sharding(4, backend=backend)
+            with pytest.raises(ServingError, match="without a binary model artifact"):
+                detector.detect(workload["X_test"])
+            assert backend.stats["failover_tasks"] == 0
+            detector.set_sharding(None)
+
+    def test_replaced_artifact_disables_by_reference(
+        self, binary_bundle, workload, fitted, reference, tmp_path
+    ):
+        """An atomically replaced sidecar must not be served by reference.
+
+        After a same-size replacement (new inode) the coordinator still maps
+        the *old* bytes while the path — and every worker-side check —
+        describes the *new* file; shipping region descriptors would mix
+        models silently.  The live-bytes validation downgrades to by-value,
+        which streams the true served bytes, so results stay byte-identical.
+        """
+        import os
+        import shutil
+
+        from repro.core.serialization import sidecar_path_for
+        from repro.utils.mmapio import npz_member_offsets
+
+        bundle = tmp_path / "model.json"
+        shutil.copy(binary_bundle, bundle)
+        sidecar = tmp_path / "model.npz"
+        shutil.copy(sidecar_path_for(binary_bundle), sidecar)
+        _, detector = load_bundle(bundle)  # maps the original sidecar inode
+        # Replace the sidecar atomically with a same-size file whose bytes
+        # differ inside the codebook member (directory CRCs record the
+        # original values, so only the live-bytes check can catch this).
+        # Flip near the *end* of the codebook — inside the last subtree's
+        # units, a region some shard actually references (the first bytes
+        # are the npy header and the root block, which no shard maps).
+        data = bytearray(sidecar.read_bytes())
+        codebook_nbytes = fitted.model.compile().codebook.nbytes
+        position = npz_member_offsets(sidecar)["codebook"] + codebook_nbytes - 8
+        data[position] ^= 0xFF
+        replacement = tmp_path / "model.npz.new"
+        replacement.write_bytes(bytes(data))
+        os.replace(replacement, sidecar)
+        n_subtrees = len(subtrees_from_compiled(fitted.model.compile()))
+        with ShardWorkerServer(model_path=bundle).start() as worker:
+            backend = RemoteBackend([worker.address])
+            detector.set_sharding(n_subtrees, backend=backend)
+            try:
+                result = detector.detect(workload["X_test"])
+            finally:
+                detector.set_sharding(None)
+            assert backend.stats["provision_reference"] == 0
+            assert backend.stats["provision_value"] == 1
+            assert backend.stats["failover_tasks"] == 0
+        _assert_identical(result, reference)
+
+    def test_corrupt_sidecar_degrades_worker_to_value(
+        self, binary_bundle, workload, reference, tmp_path
+    ):
+        """A worker whose sidecar is corrupted after startup keeps serving.
+
+        The fingerprint it advertises becomes unavailable (not an unhandled
+        exception that bricks every handshake); coordinators fall back to
+        streaming shards by value and results stay byte-identical.
+        """
+        import shutil
+
+        from repro.core.serialization import sidecar_path_for
+
+        bundle = tmp_path / "model.json"
+        shutil.copy(binary_bundle, bundle)
+        shutil.copy(sidecar_path_for(binary_bundle), tmp_path / "model.npz")
+        with ShardWorkerServer(model_path=bundle).start() as worker:
+            (tmp_path / "model.npz").write_bytes(b"not a zip at all")
+            assert worker.worker_info()["sidecar"] is None
+            backend = RemoteBackend([worker.address])
+            result = _detect_remote(binary_bundle, workload, backend)
+            assert backend.stats["provision_value"] == 1
+            assert backend.stats["remote_tasks"] > 0
+        _assert_identical(result, reference)
+
+    def test_worker_without_model_refuses_reference(self, binary_bundle):
+        with ShardWorkerServer().start() as worker:
+            connection = WorkerConnection(worker.address)
+            with pytest.raises(ServingError, match="without a binary model artifact"):
+                connection.call(
+                    "provision",
+                    timeout=10.0,
+                    mode="reference",
+                    epoch=0,
+                    sidecar={"bytes": 0, "crc32": {}},
+                    shards=[],
+                )
+            connection.close()
+
+
+# --------------------------------------------------------------------------- #
+# construction & CLI wiring
+# --------------------------------------------------------------------------- #
+class TestConstruction:
+    def test_make_backend_remote_spec(self):
+        backend = make_backend("remote:10.0.0.1:7001,10.0.0.2:7002")
+        assert backend.name == "remote"
+        assert backend.workers == 2
+        assert backend.addresses == (("10.0.0.1", 7001), ("10.0.0.2", 7002))
+        backend.close()
+
+    def test_make_backend_remote_needs_addresses(self):
+        with pytest.raises(ConfigurationError, match="worker addresses"):
+            make_backend("remote")
+
+    def test_make_backend_remote_rejects_workers(self):
+        with pytest.raises(ConfigurationError, match="address list"):
+            make_backend("remote:127.0.0.1:7001", workers=4)
+
+    def test_remote_backend_needs_an_address(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            RemoteBackend([])
+
+    def test_remote_backend_rejects_bad_provisioning(self):
+        with pytest.raises(ConfigurationError, match="provisioning"):
+            RemoteBackend([("127.0.0.1", 7001)], provisioning="street-magic")
+
+    def test_load_bundle_remote_validation(self, binary_bundle):
+        with pytest.raises(Exception, match="remote"):
+            load_bundle(binary_bundle, shards=2, shard_backend="remote")
+        with pytest.raises(Exception, match="conflicts"):
+            load_bundle(
+                binary_bundle,
+                shards=2,
+                shard_backend="thread",
+                remote_workers="127.0.0.1:7001",
+            )
+        with pytest.raises(Exception, match="only apply to sharded serving"):
+            load_bundle(binary_bundle, remote_workers="127.0.0.1:7001")
+
+
+class TestCli:
+    def test_detect_via_remote_workers_flag(
+        self, binary_bundle, workload, tmp_path, capsys
+    ):
+        from repro.data.loader import save_csv
+
+        dataset = KddSyntheticGenerator(random_state=33).generate(120)
+        input_csv = tmp_path / "records.csv"
+        save_csv(dataset, input_csv)
+        with ShardWorkerServer(model_path=binary_bundle).start() as worker:
+            code = main(
+                [
+                    "detect",
+                    "--model",
+                    str(binary_bundle),
+                    "--input",
+                    str(input_csv),
+                    "--shards",
+                    "4",
+                    "--shard-backend",
+                    "remote",
+                    "--remote-workers",
+                    f"{worker.address[0]}:{worker.address[1]}",
+                ]
+            )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "remote backend" in captured.out
+
+    def test_shard_worker_shards_without_model_exits_2(self, capsys):
+        code = main(["shard-worker", "--listen", "127.0.0.1:0", "--shards", "4"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--model" in captured.err
+
+    def test_detect_remote_without_addresses_exits_2(self, binary_bundle, tmp_path, capsys):
+        code = main(
+            [
+                "detect",
+                "--model",
+                str(binary_bundle),
+                "--input",
+                str(tmp_path / "missing.csv"),
+                "--shards",
+                "2",
+                "--shard-backend",
+                "remote",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "remote" in captured.err

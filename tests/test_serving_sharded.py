@@ -326,6 +326,87 @@ class TestShardedEquivalence:
         assert isinstance(backend, ThreadPoolBackend) and backend.workers == 3
 
 
+class _ExplodingShard:
+    """Stands in for a shard whose worker-side execution fails."""
+
+    def assign_entries(self, matrix, entries):
+        raise RuntimeError("worker exploded")
+
+
+class _ExitingShard:
+    """Kills the hosting process outright (simulates a worker crash)."""
+
+    def assign_entries(self, matrix, entries):  # pragma: no cover - child only
+        import os
+
+        os._exit(1)
+
+
+class TestBackendFailureSurface:
+    def test_process_pool_refreshes_on_rebuilt_equal_shards(self, compiled, workload):
+        """A rebuilt-but-equal shard tuple must still replace worker state.
+
+        The staleness check is identity-based; it must never silently start
+        treating equal-content tuples as fresh (e.g. if SubtreeShard ever
+        grew an ``__eq__``), because the workers would keep serving the old
+        arrays.
+        """
+        plan = plan_shards(compiled, 2)
+        shards_a = build_shards(compiled, plan)
+        shards_b = build_shards(compiled, plan)  # equal content, new objects
+        X = workload["X_test"][:50]
+        with ProcessPoolBackend(workers=1) as backend:
+            tasks = [(0, X, np.zeros(X.shape[0], dtype=np.intp))]
+            backend.run(shards_a, tasks)
+            first_pool = backend._pool
+            assert backend._pool_shards is tuple(shards_a)
+            backend.run(shards_b, tasks)
+            assert backend._pool is not first_pool
+            assert backend._pool_shards is tuple(shards_b)
+            # Same tuple again: the pool must be reused, not rebuilt.
+            second_pool = backend._pool
+            backend.run(shards_b, tasks)
+            assert backend._pool is second_pool
+            # A fresh sequence of the same shard objects is not stale either
+            # — torching a warm pool per batch would be a silent slowdown.
+            backend.run(list(shards_b), tasks)
+            assert backend._pool is second_pool
+
+    @pytest.mark.parametrize("backend_name", ["thread", "process"])
+    def test_worker_failure_wrapped_in_serving_error(self, backend_name, workload):
+        from repro.exceptions import ServingError
+
+        X = np.ascontiguousarray(workload["X_test"][:7])
+        backend = make_backend(backend_name, workers=1)
+        tasks = [(0, X, np.zeros(X.shape[0], dtype=np.intp))]
+        try:
+            with pytest.raises(ServingError) as excinfo:
+                backend.run((_ExplodingShard(),), tasks)
+        finally:
+            backend.close()
+        message = str(excinfo.value)
+        assert backend_name in message  # names the backend
+        assert "shard 0" in message  # names the shard
+        assert "7 records" in message  # names the task size
+        assert "RuntimeError" in message  # keeps the cause visible
+
+    def test_broken_process_pool_wrapped_and_pool_rebuilt(self, compiled, workload):
+        """A worker dying mid-task surfaces as ServingError, not BrokenProcessPool."""
+        from repro.exceptions import ServingError
+
+        X = np.ascontiguousarray(workload["X_test"][:5])
+        tasks = [(0, X, np.zeros(X.shape[0], dtype=np.intp))]
+        with ProcessPoolBackend(workers=1) as backend:
+            with pytest.raises(ServingError, match="process shard backend failed"):
+                backend.run((_ExitingShard(),), tasks)
+            # The broken pool was closed; the backend recovers on reuse.
+            shards = build_shards(compiled, plan_shards(compiled, 1))
+            reference = shards[0].assign_entries(X, np.zeros(X.shape[0], dtype=np.intp))
+            (result,) = backend.run(shards, tasks)
+            np.testing.assert_array_equal(result[0], reference[0])
+            np.testing.assert_array_equal(result[1], reference[1])
+
+
 class TestShardedBundle:
     def test_load_bundle_with_shards(self, tmp_path, labelled_detector, workload):
         pipeline = PreprocessingPipeline()
