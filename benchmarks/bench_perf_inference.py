@@ -27,9 +27,10 @@ from typing import Dict, List
 
 import numpy as np
 
-from common import BENCH_SEED, default_ghsom_config, time_best
+from common import BENCH_SEED, default_ghsom_config, runtime_provenance, time_best
 
 from repro.core import GhsomDetector
+from repro.core import kernels
 from repro.core.labeling import UNLABELED
 from repro.data.preprocess import PreprocessingPipeline
 from repro.data.synthetic import KddSyntheticGenerator
@@ -99,9 +100,19 @@ def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[
         detector = GhsomDetector(config, random_state=BENCH_SEED)
         detector.fit(X_train, y_train)
         topology = detector.model.compile().describe()
+        compiled_model = detector._compiled_model()
+        fused_available = kernels.fused_supported(
+            metric=compiled_model.metric, dtype=compiled_model.dtype
+        )
         # Warm both paths (first call pays compilation / BLAS warm-up).
         compiled_scores = detector.score_samples(X_test[: batch_sizes[0]])
         legacy_scores = legacy_score_samples(detector, X_test[: batch_sizes[0]])
+        if fused_available:
+            # Warm the fused engine too (first call compiles/loads the kernel
+            # and lane-transposes the codebook once per model).
+            detector.set_engine("fused")
+            detector.score_samples(X_test[: batch_sizes[0]])
+            detector.set_engine(None)
         for batch_size in batch_sizes:
             batch = X_test[:batch_size]
             # Same repeat count for both paths: best-of-N estimates the noise
@@ -118,29 +129,62 @@ def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[
                     legacy_score_samples(detector, batch), detector.score_samples(batch)
                 )
             )
-            results.append(
-                {
-                    "config": name,
-                    "n_train": n_train,
-                    "depth": topology["max_depth"],
-                    "n_maps": topology["n_nodes"],
-                    "n_units": topology["n_units"],
-                    "n_leaves": topology["n_leaves"],
-                    "batch_size": batch_size,
-                    "legacy_seconds": legacy_seconds,
-                    "compiled_seconds": compiled_seconds,
-                    "speedup": legacy_seconds / max(compiled_seconds, 1e-12),
-                    "legacy_records_per_second": batch_size / max(legacy_seconds, 1e-12),
-                    "compiled_records_per_second": batch_size / max(compiled_seconds, 1e-12),
-                    "identical_scores": identical,
-                }
-            )
+            row = {
+                "config": name,
+                "n_train": n_train,
+                "depth": topology["max_depth"],
+                "n_maps": topology["n_nodes"],
+                "n_units": topology["n_units"],
+                "n_leaves": topology["n_leaves"],
+                "batch_size": batch_size,
+                "legacy_seconds": legacy_seconds,
+                "compiled_seconds": compiled_seconds,
+                "speedup": legacy_seconds / max(compiled_seconds, 1e-12),
+                "legacy_records_per_second": batch_size / max(legacy_seconds, 1e-12),
+                "compiled_records_per_second": batch_size / max(compiled_seconds, 1e-12),
+                "identical_scores": identical,
+                # numpy-vs-fused comparison (None when no kernel provider
+                # serves this metric/dtype — e.g. the numba-free CI legs).
+                "fused_seconds": None,
+                "fused_records_per_second": None,
+                "fused_speedup_vs_numpy": None,
+                "fused_leaves_identical": None,
+                "fused_max_rel_drift": None,
+            }
+            if fused_available:
+                numpy_result = detector.detect(batch)
+                detector.set_engine("fused")
+                try:
+                    fused_seconds = time_best(
+                        lambda: detector.score_samples(batch), repeats=repeats
+                    )
+                    fused_result = detector.detect(batch)
+                finally:
+                    detector.set_engine(None)
+                drift = np.abs(fused_result.scores - numpy_result.scores) / np.maximum(
+                    np.abs(numpy_result.scores), 1e-30
+                )
+                row.update(
+                    {
+                        "fused_seconds": fused_seconds,
+                        "fused_records_per_second": batch_size / max(fused_seconds, 1e-12),
+                        "fused_speedup_vs_numpy": compiled_seconds / max(fused_seconds, 1e-12),
+                        "fused_leaves_identical": bool(
+                            np.array_equal(fused_result.leaf_index, numpy_result.leaf_index)
+                        ),
+                        "fused_max_rel_drift": float(drift.max()) if drift.size else 0.0,
+                    }
+                )
+            results.append(row)
 
     payload = {
         "benchmark": "inference_throughput",
         "quick": quick,
         "seed": BENCH_SEED,
         "n_train": n_train,
+        # Engine/provider/hardware context: throughput rows are read against
+        # what executed them (fused provider, numba version, CPU budget).
+        "provenance": runtime_provenance(),
         "results": results,
     }
     output_path.write_text(json.dumps(payload, indent=2))
@@ -159,10 +203,17 @@ def print_report(payload: Dict[str, object]) -> None:
             result["compiled_seconds"],
             round(result["speedup"], 1),
             int(result["compiled_records_per_second"]),
+            "-"
+            if result.get("fused_records_per_second") is None
+            else int(result["fused_records_per_second"]),
+            "-"
+            if result.get("fused_speedup_vs_numpy") is None
+            else round(result["fused_speedup_vs_numpy"], 2),
             "yes" if result["identical_scores"] else "NO",
         ]
         for result in payload["results"]
     ]
+    provider = (payload.get("provenance") or {}).get("fused_provider")
     print(
         format_table(
             rows,
@@ -175,9 +226,14 @@ def print_report(payload: Dict[str, object]) -> None:
                 "compiled_s",
                 "speedup",
                 "compiled_rec/s",
+                "fused_rec/s",
+                "fused_x",
                 "identical",
             ],
-            title="Inference throughput: legacy recursive vs compiled flat-array scoring",
+            title=(
+                "Inference throughput: legacy recursive vs compiled flat-array "
+                f"scoring (fused provider: {provider or 'none'})"
+            ),
         )
     )
 
@@ -209,6 +265,37 @@ def test_perf_inference(benchmark, tmp_path):
     X_score = pipeline.transform(generator.generate(2000))
     detector.score_samples(X_score)  # warm
     benchmark.pedantic(lambda: detector.score_samples(X_score), rounds=3, iterations=1)
+
+
+def test_perf_fused_engine(tmp_path):
+    """Quick-mode gate for the fused descent kernel.
+
+    Runs on whatever kernel provider resolves on this machine (runtime-
+    compiled C where a compiler exists, else numba); skipped entirely when no
+    provider serves float64/euclidean — the numba-free CI legs prove the
+    numpy fallback instead.  Gates: exact leaf agreement, score drift within
+    the documented tolerance, and >= 1.5x throughput over the numpy engine
+    on the largest quick batch (the full-run artifact records >= 2x; the
+    quick batch is dominated more by fixed per-call costs, so the pytest
+    gate is deliberately looser).
+    """
+    import pytest
+
+    if not kernels.fused_supported("euclidean", np.float64):
+        pytest.skip(
+            f"no fused kernel provider available: {kernels.provider_diagnostics()}"
+        )
+    payload = run_benchmark(quick=True, output_path=tmp_path / "BENCH_inference.json")
+    print()
+    print_report(payload)
+    rows = [row for row in payload["results"] if row["fused_seconds"] is not None]
+    assert rows, "fused provider available but no fused rows were measured"
+    rtol = kernels.FUSED_DISTANCE_RTOL["float64"]
+    for row in rows:
+        assert row["fused_leaves_identical"], row
+        assert row["fused_max_rel_drift"] <= rtol, row
+    largest = max(rows, key=lambda row: row["batch_size"])
+    assert largest["fused_speedup_vs_numpy"] >= 1.5, largest
 
 
 def main() -> None:

@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from common import BENCH_SEED, default_ghsom_config, time_best
+from common import BENCH_SEED, default_ghsom_config, pinned_blas_env, time_best
 
 from repro.core import GhsomDetector
 from repro.core.serialization import write_json_atomic
@@ -68,7 +68,11 @@ class LoopbackWorker:
 
     def __init__(self, model_path: Optional[Path]) -> None:
         src_dir = str(Path(__file__).resolve().parent.parent / "src")
-        env = dict(os.environ)
+        # Workers get every BLAS pool pinned to one thread (must happen in
+        # the environment before the child imports numpy): the benchmark
+        # attributes speedup to sharding, not to BLAS threading inside one
+        # worker racing the others for the same cores.
+        env = pinned_blas_env(1)
         existing = env.get("PYTHONPATH")
         env["PYTHONPATH"] = src_dir if not existing else src_dir + os.pathsep + existing
         command = [sys.executable, "-m", "repro.cli", "shard-worker", "--listen", "127.0.0.1:0"]

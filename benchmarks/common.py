@@ -8,6 +8,7 @@ describe what is specific to their experiment.
 
 from __future__ import annotations
 
+import os
 import time
 
 from typing import Dict, Optional
@@ -103,6 +104,61 @@ def make_oneclass_workload(
         "X_test": X_test,
         "y_test": test.is_attack.astype(int),
         "test_categories": [str(category) for category in test.categories],
+    }
+
+
+#: Env vars every mainstream BLAS reads for its pool size.  Parallel-speedup
+#: claims are only meaningful against a single-threaded baseline, so CI pins
+#: all three to 1 for gate runs; benchmarks record them for provenance.
+BLAS_THREAD_ENV = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS")
+
+
+def blas_threads_env() -> Dict[str, Optional[str]]:
+    """Snapshot of the BLAS thread-pool env vars, for benchmark payloads."""
+    return {name: os.environ.get(name) for name in BLAS_THREAD_ENV}
+
+
+def pinned_blas_env(threads: int = 1, base: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """A subprocess environment with every BLAS pool pinned to ``threads``.
+
+    Use when spawning benchmark worker processes: the pinning must be in the
+    environment *before* the child imports numpy — BLAS pools size themselves
+    at library load, so setting these in an already-running child is too late.
+    """
+    env = dict(os.environ if base is None else base)
+    for name in BLAS_THREAD_ENV:
+        env[name] = str(int(threads))
+    return env
+
+
+def usable_cpus() -> int:
+    """CPU count the scheduler will actually give this process.
+
+    Affinity-aware (matches the shard backends' default worker pools), so
+    recorded throughput is attributed to the cores the run could really use.
+    """
+    from repro.serving.backends import _default_workers
+
+    return _default_workers()
+
+
+def runtime_provenance() -> Dict[str, object]:
+    """Engine/provider/hardware context recorded by the perf benchmarks.
+
+    Throughput numbers are meaningless without knowing what executed them:
+    the resolved compute engine, which fused-kernel provider (if any) backs
+    it, the numba version when that provider is numba, and the usable CPU
+    count plus BLAS pinning they were measured under.
+    """
+    from repro.core import kernels
+
+    return {
+        "engine_default": kernels.get_default_engine(),
+        "fused_providers": list(kernels.available_fused_providers()),
+        "fused_provider": kernels.fused_provider(),
+        "numba_version": kernels.numba_version(),
+        "n_cpus": usable_cpus(),
+        "blas_threads_env": blas_threads_env(),
     }
 
 

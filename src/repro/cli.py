@@ -121,6 +121,7 @@ def load_bundle(
     remote_workers: Optional[str] = None,
     mmap: bool = True,
     verify: bool = False,
+    engine: Optional[str] = None,
 ):
     """Load a bundle written by :func:`save_bundle` (any supported version).
 
@@ -144,6 +145,11 @@ def load_bundle(
     complete and byte-identical.  ``workers`` / ``shard_backend`` /
     ``remote_workers`` without ``shards`` is rejected rather than silently
     ignored.
+
+    ``engine`` selects the descent compute engine (``"numpy"``, ``"fused"``
+    or ``"auto"``; see :mod:`repro.core.kernels`).  A non-default engine is
+    resolved *strictly* at load time — requesting ``"fused"`` on a host
+    without a kernel provider fails here instead of at the first score.
     """
     if not shards and (
         workers is not None or shard_backend is not None or remote_workers is not None
@@ -178,6 +184,7 @@ def load_bundle(
         sidecar_dir=path.parent,
         mmap=mmap,
         verify=verify,
+        engine=engine,
     )
     if shards:
         backend = shard_backend or "thread"
@@ -267,6 +274,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard_backend=args.shard_backend,
         remote_workers=args.remote_workers,
+        engine=args.engine,
     )
     dataset = load_csv(args.input)
     if len(dataset) == 0:
@@ -367,7 +375,7 @@ def cmd_shard_worker(args: argparse.Namespace) -> int:
             with sidecar.open("rb") as stream:
                 while stream.read(1 << 22):
                     pass
-    server = ShardWorkerServer(host, port, model_path=args.model)
+    server = ShardWorkerServer(host, port, model_path=args.model, engine=args.engine)
     mode = (
         "by-reference/by-value provisioning"
         if server.sidecar_path is not None
@@ -535,6 +543,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve in float32 (faster on large models; scores drift ~1e-4 relative)",
     )
     detect.add_argument(
+        "--engine",
+        choices=("numpy", "fused", "auto"),
+        default=None,
+        help=(
+            "descent compute engine: numpy = vectorised reference "
+            "(byte-exact, default); fused = single-pass distance+argmin "
+            "kernel (fails if no provider is available); auto = fused when "
+            "possible, numpy otherwise"
+        ),
+    )
+    detect.add_argument(
         "--shards",
         type=int,
         default=None,
@@ -590,6 +609,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="K",
         help="validate --model serves sharded at K and pre-read the sidecar (warm start)",
+    )
+    shard_worker.add_argument(
+        "--engine",
+        choices=("numpy", "fused", "auto"),
+        default=None,
+        help=(
+            "re-stamp every provisioned shard with this descent engine "
+            "(worker-local override; resolution inside shards is non-strict, "
+            "so a host without a kernel provider degrades to numpy)"
+        ),
     )
     shard_worker.set_defaults(handler=cmd_shard_worker)
 

@@ -13,6 +13,15 @@ from repro.core.ensemble import EnsembleDetector
 from repro.core.ghsom import Ghsom, GhsomNode, LeafAssignment
 from repro.core.grid import MapGrid
 from repro.core.growing_som import GrowingSom, GrowthEvent
+from repro.core.kernels import (
+    ENGINES,
+    FUSED_DISTANCE_RTOL,
+    available_fused_providers,
+    fused_supported,
+    get_default_engine,
+    set_default_engine,
+    set_fused_provider,
+)
 from repro.core.inspection import (
     component_plane,
     describe_tree,
@@ -55,6 +64,13 @@ __all__ = [
     "MapGrid",
     "GrowingSom",
     "GrowthEvent",
+    "ENGINES",
+    "FUSED_DISTANCE_RTOL",
+    "available_fused_providers",
+    "fused_supported",
+    "get_default_engine",
+    "set_default_engine",
+    "set_fused_provider",
     "component_plane",
     "describe_tree",
     "hit_map",

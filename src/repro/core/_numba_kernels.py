@@ -1,0 +1,129 @@
+"""Numba implementation of the fused descent kernel.
+
+Importing this module requires numba; :mod:`repro.core.kernels` imports it
+lazily inside a ``try`` block, so environments without numba never touch it.
+The kernel mirrors the compiled-C provider's semantics exactly — squared
+Euclidean BMU search with the numpy engine's FLOP shape
+(``-2·x·w + |x|² + |w|²`` clamped at zero), strict ``<`` argmin updates so
+ties resolve to the lowest unit index, and a second exact pass over the
+landing node for manhattan/chebyshev quantization distances — but expresses
+the whole tree descent per sample (no level synchronisation needed when
+samples are independent) and parallelises over samples with ``prange``.
+
+The padded lane-transposed plan arrays are accepted for signature parity with
+the C provider; only ``tnorm_offsets``/``tnorms`` are used here (the norms in
+lane layout double as the per-node norm table), distance accumulation reads
+the natural row-major codebook, which is the layout LLVM vectorises best for
+the per-sample loop.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+
+
+def build_kernels() -> SimpleNamespace:
+    """JIT-compile the descent kernel and smoke-test it on a trivial model.
+
+    Raises whatever numba raises when unavailable or broken; the caller
+    records the failure and disables the provider.  The smoke test forces
+    compilation at probe time so a broken numba install cannot surface as a
+    crash on the first serving batch.
+    """
+    from numba import njit, prange
+
+    @njit(parallel=True, fastmath=False, cache=False)
+    def descend(
+        x,
+        snorms,
+        entries,
+        tcodebook,
+        toffsets,
+        tnorm_offsets,
+        punits,
+        tnorms,
+        codebook,
+        node_offsets,
+        child_of_unit,
+        leaf_of_unit,
+        metric_id,
+        leaf_index,
+        distances,
+    ):
+        n, d = x.shape
+        for i in prange(n):
+            node = entries[i]
+            # dtype-typed zero so float32 batches accumulate in float32,
+            # matching the C provider's lanes.
+            zero = x[i, 0] - x[i, 0]
+            while True:
+                start = node_offsets[node]
+                stop = node_offsets[node + 1]
+                norm_base = tnorm_offsets[node]
+                best = np.inf
+                bestu = -1
+                for u in range(stop - start):
+                    acc = zero
+                    for j in range(d):
+                        acc += x[i, j] * codebook[start + u, j]
+                    d2 = acc * -2.0 + snorms[i] + tnorms[norm_base + u]
+                    if d2 < 0.0:
+                        d2 = zero
+                    if d2 < best:
+                        best = d2
+                        bestu = u
+                child = child_of_unit[start + bestu]
+                if child >= 0:
+                    node = child
+                    continue
+                leaf_index[i] = leaf_of_unit[start + bestu]
+                if metric_id == 0:
+                    distances[i] = best
+                elif metric_id == 1:
+                    distances[i] = np.sqrt(best)
+                else:
+                    exact = np.inf
+                    for u in range(start, stop):
+                        acc = zero
+                        if metric_id == 2:
+                            for j in range(d):
+                                acc += abs(x[i, j] - codebook[u, j])
+                        else:
+                            for j in range(d):
+                                a = abs(x[i, j] - codebook[u, j])
+                                if a > acc:
+                                    acc = a
+                        if acc < exact:
+                            exact = acc
+                    distances[i] = exact
+                break
+
+    # Trivial one-node, one-unit, one-leaf model: forces JIT compilation for
+    # the float64 signature and sanity-checks the wiring.
+    x = np.ones((1, 2))
+    leaf_index = np.full(1, -1, dtype=np.int64)
+    distances = np.zeros(1)
+    descend(
+        x,
+        np.array([2.0]),
+        np.zeros(1, dtype=np.int64),
+        np.zeros(16),
+        np.zeros(1, dtype=np.int64),
+        np.zeros(1, dtype=np.int64),
+        np.array([8], dtype=np.int64),
+        np.zeros(8),
+        np.ones((1, 2)),
+        np.array([0, 1], dtype=np.int64),
+        np.array([-1], dtype=np.int64),
+        np.array([0], dtype=np.int64),
+        np.int64(0),
+        leaf_index,
+        distances,
+    )
+    if leaf_index[0] != 0 or distances[0] != 0.0:
+        raise RuntimeError(
+            f"numba kernel smoke test failed: leaf={leaf_index[0]} dist={distances[0]}"
+        )
+    return SimpleNamespace(descend=descend)

@@ -38,10 +38,11 @@ Equivalence is enforced bit-for-bit by the property tests in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.distances import get_metric
 from repro.exceptions import DataValidationError, NotFittedError
 from repro.utils.validation import check_array_2d
@@ -287,8 +288,16 @@ class CompiledGhsom:
     # ------------------------------------------------------------------ #
     # inference
     # ------------------------------------------------------------------ #
-    def assign_arrays(self, data) -> Tuple[np.ndarray, np.ndarray]:
+    def assign_arrays(
+        self, data, *, engine: Optional[str] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Leaf-table row and quantization distance for every sample.
+
+        ``engine`` selects the descent implementation (``"numpy"``,
+        ``"fused"``, ``"auto"``; ``None`` uses the library default — see
+        :mod:`repro.core.kernels`).  The numpy engine is the byte-exact
+        reference; the fused engine returns the same leaf assignments with
+        distances inside the documented kernel tolerance.
 
         Returns
         -------
@@ -298,25 +307,38 @@ class CompiledGhsom:
             the configured metric — both identical to what the legacy
             recursive descent produces, with no per-sample Python objects.
         """
-        matrix = check_array_2d(data, "data")
+        # Validation casts straight to the serving dtype: one conversion pass
+        # total (float32 serving used to pay a float64 conversion here and a
+        # float32 one right after).  Already-conforming arrays pass through
+        # untouched, so callers that pre-validate at their boundary (the
+        # detector, the streaming wrapper) pay no copy at all.
+        matrix = check_array_2d(data, "data", dtype=self.codebook.dtype)
         if matrix.shape[1] != self.n_features:
             raise DataValidationError(
                 f"data has {matrix.shape[1]} features, the model expects {self.n_features}"
             )
-        # Float32 serving mode: run the whole descent in the codebook's dtype
-        # (see :meth:`astype`); the float64 default leaves the matrix untouched.
-        matrix = np.ascontiguousarray(matrix, dtype=self.codebook.dtype)
-        entry_nodes = np.zeros(matrix.shape[0], dtype=np.intp)
-        leaf_index, distances = frontier_descent(
-            matrix,
-            entry_nodes,
-            codebook=self.codebook,
-            node_offsets=self.node_offsets,
-            child_of_unit=self.child_of_unit,
-            leaf_of_unit=self.leaf_of_unit,
-            unit_norms=self.unit_norms,
-            metric=self.metric,
+        resolved = kernels.resolve_engine(
+            engine, metric=self.metric, dtype=self.codebook.dtype
         )
+        if resolved == "fused":
+            leaf_index, distances = kernels.fused_descent(
+                self,
+                matrix,
+                np.zeros(matrix.shape[0], dtype=np.int64),
+                metric=self.metric,
+            )
+        else:
+            entry_nodes = np.zeros(matrix.shape[0], dtype=np.intp)
+            leaf_index, distances = frontier_descent(
+                matrix,
+                entry_nodes,
+                codebook=self.codebook,
+                node_offsets=self.node_offsets,
+                child_of_unit=self.child_of_unit,
+                leaf_of_unit=self.leaf_of_unit,
+                unit_norms=self.unit_norms,
+                metric=self.metric,
+            )
         # Distances surface as float64 regardless of serving dtype so the
         # threshold arithmetic downstream never changes representation.
         return leaf_index, distances.astype(np.float64, copy=False)
@@ -369,12 +391,21 @@ def frontier_descent(
     while pending.size:
         next_rows: List[np.ndarray] = []
         next_nodes: List[np.ndarray] = []
-        for node in np.unique(pending_node):
-            rows = pending[pending_node == node]
-            # Ascending sample order matches the legacy recursion's subset
-            # construction, keeping BLAS inputs — and therefore outputs —
-            # bitwise identical.
-            rows.sort()
+        # One two-key sort groups the frontier by node with ascending sample
+        # order inside each group — the same per-node row sets (and therefore
+        # bitwise-identical BLAS inputs and outputs) the former np.unique +
+        # per-node boolean-mask pass produced, at O(p log p) per level
+        # instead of O(nodes x pending) mask scans.  Ascending sample order
+        # matches the legacy recursion's subset construction.
+        order = np.lexsort((pending, pending_node))
+        sorted_rows = pending[order]
+        sorted_nodes = pending_node[order]
+        boundaries = np.flatnonzero(sorted_nodes[1:] != sorted_nodes[:-1]) + 1
+        run_starts = np.concatenate(([0], boundaries))
+        run_stops = np.concatenate((boundaries, [sorted_nodes.size]))
+        for run_begin, run_end in zip(run_starts.tolist(), run_stops.tolist()):
+            node = int(sorted_nodes[run_begin])
+            rows = sorted_rows[run_begin:run_end]
             start = int(node_offsets[node])
             stop = int(node_offsets[node + 1])
             block = codebook[start:stop]

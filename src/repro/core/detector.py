@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.compiled import CompiledGhsom
 from repro.core.config import GhsomConfig
 from repro.core.ghsom import Ghsom
@@ -311,6 +312,10 @@ class GhsomDetector(BaseAnomalyDetector):
         inflate the thresholds of mixed units).
     random_state:
         Seed overriding ``config.random_state``.
+    engine:
+        Compute engine for the descent: ``"numpy"`` (byte-exact reference),
+        ``"fused"``, ``"auto"``, or ``None`` for the library default — see
+        :mod:`repro.core.kernels` and :meth:`set_engine`.
     """
 
     name = "ghsom"
@@ -324,6 +329,7 @@ class GhsomDetector(BaseAnomalyDetector):
         labeling_strategy: str = "majority",
         calibrate_on_normal_only: bool = True,
         random_state: RandomState = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config or GhsomConfig()
         self.threshold_strategy_name = threshold_strategy
@@ -331,6 +337,9 @@ class GhsomDetector(BaseAnomalyDetector):
         self.labeling_strategy = labeling_strategy
         self.calibrate_on_normal_only = calibrate_on_normal_only
         self.random_state = random_state
+        #: Compute-engine choice for every descent this detector runs;
+        #: ``None`` defers to the library default (see :meth:`set_engine`).
+        self._engine: Optional[str] = None if engine is None else kernels.check_engine(engine)
         self.labeler: Optional[UnitLabeler] = None
         self.threshold_: Optional[object] = None
         self._model: Optional[Ghsom] = None
@@ -431,6 +440,42 @@ class GhsomDetector(BaseAnomalyDetector):
         return self
 
     # ------------------------------------------------------------------ #
+    # compute engine
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> Optional[str]:
+        """The configured compute engine, or ``None`` for the library default."""
+        return self._engine
+
+    def set_engine(self, engine: Optional[str]) -> "GhsomDetector":
+        """Choose the descent engine: ``"numpy"``, ``"fused"``, ``"auto"`` or ``None``.
+
+        ``"numpy"`` is the byte-exact reference (and the library default);
+        ``"fused"`` runs the single-pass distance+argmin kernel from
+        :mod:`repro.core.kernels` — same leaf assignments, distances within
+        the documented kernel tolerance; ``"auto"`` uses the fused kernel
+        when a provider is available and silently falls back otherwise;
+        ``None`` defers to :func:`repro.core.kernels.get_default_engine`.
+
+        Requesting ``"fused"`` on a fitted detector is *strict*: it raises
+        :class:`~repro.exceptions.ConfigurationError` immediately when no
+        kernel provider supports the model's metric/dtype, instead of
+        silently serving slower.  The choice applies to the unsharded and
+        sharded engines alike (a live sharded engine is rebuilt with the new
+        setting on the next scoring call).
+        """
+        if engine is not None:
+            kernels.check_engine(engine)
+            if engine == "fused" and self.is_fitted:
+                compiled = self._compiled_model()
+                kernels.resolve_engine(
+                    engine, metric=compiled.metric, dtype=compiled.dtype, strict=True
+                )
+        self._engine = engine
+        self._close_sharded()  # shard engine fields are set at build time
+        return self
+
+    # ------------------------------------------------------------------ #
     # sharded serving
     # ------------------------------------------------------------------ #
     @property
@@ -509,6 +554,7 @@ class GhsomDetector(BaseAnomalyDetector):
                 labels=tables.labels,
                 is_attack=tables.is_attack,
                 purity=tables.purity,
+                engine=self._engine,
             )
         return self._sharded
 
@@ -595,8 +641,14 @@ class GhsomDetector(BaseAnomalyDetector):
         tables = self._leaf_tables()
         # The sharded engine (when configured) returns global leaf rows and
         # distances byte-identical to the compiled engine, so everything
-        # downstream of this call is oblivious to the partitioning.
-        leaf_index, distances = self._serving_engine().assign_arrays(X)
+        # downstream of this call is oblivious to the partitioning.  The
+        # compute-engine choice rides along per call on the compiled engine;
+        # the sharded engine carries it in its shard fields (set at build).
+        serving = self._serving_engine()
+        if isinstance(serving, CompiledGhsom):
+            leaf_index, distances = serving.assign_arrays(X, engine=self._engine)
+        else:
+            leaf_index, distances = serving.assign_arrays(X)
         ratios = distances / tables.thresholds[leaf_index]
         return tables, leaf_index, ratios
 

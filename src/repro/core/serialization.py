@@ -695,6 +695,7 @@ def detector_from_dict(
     arrays: Optional[Dict[str, np.ndarray]] = None,
     mmap: bool = True,
     verify: bool = False,
+    engine: Optional[str] = None,
 ) -> GhsomDetector:
     """Rebuild a :class:`GhsomDetector` from a stored payload (any version).
 
@@ -712,6 +713,10 @@ def detector_from_dict(
     ``dtype`` selects the serving precision (``"float32"`` opts into the
     narrowed mode documented on :meth:`CompiledGhsom.astype`); scores are
     bit-exact against the saved detector only at the default ``"float64"``.
+    ``engine`` selects the descent compute engine for the loaded detector
+    (see :mod:`repro.core.kernels`); engines other than the default
+    ``"numpy"`` are resolved strictly, so an unprovidable ``"fused"``
+    request fails here rather than at first score.
     """
     if data.get("kind") != "ghsom_detector":
         raise SerializationError(
@@ -794,6 +799,8 @@ def detector_from_dict(
         detector.model = ghsom_from_dict(model_payload)
         if np.dtype(dtype) != np.dtype("float64"):
             detector.set_serving_dtype(dtype)
+    if engine is not None:
+        detector.set_engine(engine)
     return detector
 
 
@@ -821,17 +828,24 @@ def load_detector(
     dtype: str = "float64",
     mmap: bool = True,
     verify: bool = False,
+    engine: Optional[str] = None,
 ) -> GhsomDetector:
     """Load a detector previously written by :func:`save_detector` (any version).
 
     The format is auto-detected from the JSON header.  For v3 artifacts the
     ``.npz`` sidecar next to the JSON is memory-mapped (``mmap=False`` reads
     it eagerly instead) and ``verify=True`` additionally checks its SHA-256
-    against the integrity header.
+    against the integrity header.  ``engine`` selects the descent compute
+    engine (forwarded to :func:`detector_from_dict`).
     """
     path = Path(path)
     return detector_from_dict(
-        _read_json(path), dtype=dtype, sidecar_dir=path.parent, mmap=mmap, verify=verify
+        _read_json(path),
+        dtype=dtype,
+        sidecar_dir=path.parent,
+        mmap=mmap,
+        verify=verify,
+        engine=engine,
     )
 
 

@@ -49,7 +49,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import fields
+from dataclasses import fields, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -518,10 +518,22 @@ class ShardWorkerServer:
         *,
         model_path: Optional[Union[str, Path]] = None,
         task_threads: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if task_threads is None:
             task_threads = min(8, _default_workers())
         self._task_threads = max(1, int(task_threads))
+        if engine is not None:
+            from repro.core import kernels
+
+            kernels.check_engine(engine)
+        #: Worker-local engine override: when set, every provisioned shard is
+        #: re-stamped with this engine, letting an operator turn the fused
+        #: kernel on (or pin numpy) per worker host regardless of what the
+        #: coordinator's shards carry.  Resolution stays non-strict inside
+        #: the shard, so a host without a kernel provider degrades to numpy
+        #: instead of failing batches.
+        self.engine = engine
         self.model_path = Path(model_path) if model_path is not None else None
         self.sidecar_path: Optional[Path] = None
         if self.model_path is not None:
@@ -742,6 +754,9 @@ class ShardWorkerServer:
                     "re-sync the model artifact to this host"
                 )
             sidecar_path = self.sidecar_path
-        return tuple(
+        shards = tuple(
             _shard_from_state(dict(state), sidecar_path) for state in states
         )
+        if self.engine is not None:
+            shards = tuple(replace(shard, engine=self.engine) for shard in shards)
+        return shards

@@ -86,12 +86,17 @@ class ShardedGhsom:
         labels: Optional[np.ndarray] = None,
         is_attack: Optional[np.ndarray] = None,
         purity: Optional[np.ndarray] = None,
+        engine: Optional[str] = None,
     ) -> "ShardedGhsom":
         """Plan, slice and wire a sharded engine for ``compiled``.
 
         ``plan`` may be supplied when the subtree layout came from an
         artifact's shard manifest; the per-leaf scoring tables, when given,
         are segmented into the shards so each one is fully self-contained.
+        ``engine`` is stamped onto every shard and governs each shard-side
+        descent (the root routing step always runs the numpy arithmetic —
+        it is what keeps routing byte-identical to the unsharded engine's
+        first frontier iteration).
         """
         if plan is None:
             plan = plan_shards(compiled, n_shards)
@@ -102,6 +107,7 @@ class ShardedGhsom:
             labels=labels,
             is_attack=is_attack,
             purity=purity,
+            engine=engine,
         )
         return cls(
             source=compiled,
@@ -142,12 +148,14 @@ class ShardedGhsom:
 
         See the module docstring for the route / dispatch / merge structure.
         """
-        matrix = check_array_2d(data, "data")
+        # One conversion straight to the serving dtype: check_array_2d hands
+        # back a contiguous array in the target dtype, so already-converted
+        # input (e.g. from GhsomDetector.detect) passes through untouched.
+        matrix = check_array_2d(data, "data", dtype=self._root_codebook.dtype)
         if matrix.shape[1] != self.n_features:
             raise DataValidationError(
                 f"data has {matrix.shape[1]} features, the model expects {self.n_features}"
             )
-        matrix = np.ascontiguousarray(matrix, dtype=self._root_codebook.dtype)
         n = matrix.shape[0]
         leaf_index = np.full(n, -1, dtype=np.intp)
         distances = np.zeros(n, dtype=self._root_codebook.dtype)

@@ -30,6 +30,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.compiled import CompiledGhsom, frontier_descent
 from repro.serving.planner import RootSubtree, ShardPlan
 from repro.utils.mmapio import array_from_portable, array_to_portable
@@ -67,6 +68,12 @@ class SubtreeShard:
     labels: Optional[np.ndarray] = None
     is_attack: Optional[np.ndarray] = None
     purity: Optional[np.ndarray] = None
+    #: Compute engine for this shard's descents (``None`` = library default).
+    #: Resolution is per call and *non-strict*: a shard pickled to a worker
+    #: without a fused-kernel provider silently degrades to the numpy engine
+    #: rather than failing the batch (the remote byte-identity contract only
+    #: holds under the numpy default anyway).
+    engine: Optional[str] = None
 
     @property
     def n_nodes(self) -> int:
@@ -106,6 +113,18 @@ class SubtreeShard:
         entry node.  Returns local leaf rows plus distances in the serving
         dtype — the router remaps and widens them.
         """
+        resolved = kernels.resolve_engine(
+            self.engine, metric=self.metric, dtype=self.codebook.dtype
+        )
+        if resolved == "fused":
+            # The shard itself is the kernel-plan cache key, so the lane
+            # transposition of its codebook happens once per shard lifetime.
+            return kernels.fused_descent(
+                self,
+                np.ascontiguousarray(matrix),
+                np.ascontiguousarray(entry_nodes, dtype=np.int64),
+                metric=self.metric,
+            )
         return frontier_descent(
             matrix,
             entry_nodes,
@@ -127,6 +146,7 @@ def build_shard(
     labels: Optional[np.ndarray] = None,
     is_attack: Optional[np.ndarray] = None,
     purity: Optional[np.ndarray] = None,
+    engine: Optional[str] = None,
 ) -> SubtreeShard:
     """Materialise one shard by slicing the compiled arrays.
 
@@ -205,6 +225,7 @@ def build_shard(
         labels=gather_leaves(labels),
         is_attack=gather_leaves(is_attack),
         purity=gather_leaves(purity),
+        engine=None if engine is None else str(engine),
     )
 
 
@@ -216,6 +237,7 @@ def build_shards(
     labels: Optional[np.ndarray] = None,
     is_attack: Optional[np.ndarray] = None,
     purity: Optional[np.ndarray] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[SubtreeShard, ...]:
     """Materialise every shard of a plan (see :func:`build_shard`)."""
     return tuple(
@@ -227,6 +249,7 @@ def build_shards(
             labels=labels,
             is_attack=is_attack,
             purity=purity,
+            engine=engine,
         )
         for shard_id in range(plan.n_shards)
     )

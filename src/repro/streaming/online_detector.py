@@ -140,11 +140,25 @@ class OnlineDetector:
             return self._warmup_step(matrix)
         return self._scoring_step(matrix)
 
+    def _serving_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Cast the scoring copy to the wrapped detector's serving dtype once.
+
+        A float32-serving detector would otherwise pay a fresh
+        float64→float32 conversion inside *every* ``detect`` call; casting
+        here at the stream boundary makes the downstream validation a no-op
+        pass-through.  The float64 ``matrix`` itself is untouched — warm-up
+        and refit buffers keep full precision.
+        """
+        dtype = getattr(self.detector, "serving_dtype", None)
+        if dtype is None or np.dtype(dtype) == matrix.dtype:
+            return matrix
+        return np.ascontiguousarray(matrix, dtype=dtype)
+
     def _scoring_step(self, matrix: np.ndarray) -> OnlineStepResult:
         """Score one batch with the fitted detector and run the adaptation loop."""
         # Single-pass serving: one detection pass yields scores *and* class
         # labels (for GhsomDetector that is one tree descent total).
-        detection = self.detector.detect(matrix)
+        detection = self.detector.detect(self._serving_matrix(matrix))
         scores = np.asarray(detection.scores, dtype=float)
         scale = self._effective_scale()
         # The shared decision rule: strictly above the (scaled) threshold

@@ -22,6 +22,7 @@ def check_array_2d(
     min_rows: int = 1,
     min_cols: int = 1,
     allow_nan: bool = False,
+    dtype=None,
 ) -> np.ndarray:
     """Validate ``data`` as a 2-D float array and return a contiguous copy.
 
@@ -35,9 +36,14 @@ def check_array_2d(
         Minimum acceptable shape.
     allow_nan:
         When ``False`` (the default) NaN or infinite values raise an error.
+    dtype:
+        Target floating dtype (default float64).  Passing the serving dtype
+        here converts the input exactly once; hot paths can then hand the
+        result straight to BLAS / the fused kernel with no further
+        ``ascontiguousarray`` round-trips.
     """
     try:
-        array = np.asarray(data, dtype=float)
+        array = np.asarray(data, dtype=float if dtype is None else dtype)
     except (TypeError, ValueError) as exc:
         raise DataValidationError(f"{name} could not be converted to a float array: {exc}") from exc
     if array.ndim == 1:

@@ -258,9 +258,9 @@ class TestTrainDetectInspect:
         calls = []
         original = CompiledGhsom.assign_arrays
 
-        def counting(self, data):
+        def counting(self, data, **kwargs):
             calls.append(len(np.asarray(data)))
-            return original(self, data)
+            return original(self, data, **kwargs)
 
         monkeypatch.setattr(CompiledGhsom, "assign_arrays", counting)
         assert main(

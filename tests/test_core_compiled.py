@@ -306,3 +306,92 @@ class TestCombineLabelAndDistanceScores:
         detector = GhsomDetector(fast_config, random_state=0).fit(train_matrix, train_categories)
         result = combine_label_and_distance_scores(np.zeros(0), [], detector.labeler)
         assert result.shape == (0,)
+
+
+class TestFrontierGroupingRegression:
+    """The argsort-based frontier grouping is a pure execution-plan change.
+
+    The previous grouping (``np.unique`` over the frontier's nodes + one
+    boolean-mask scan per node) and the current single-``np.lexsort`` run
+    detection must produce byte-identical outputs: both visit nodes in
+    ascending order with ascending sample rows inside each group, so every
+    per-node GEMM sees the same operand bytes.  This reference reimplements
+    the old grouping verbatim and compares on a wide multi-level tree.
+    """
+
+    @staticmethod
+    def _unique_mask_descent(matrix, entry_nodes, compiled):
+        codebook = compiled.codebook
+        node_offsets = compiled.node_offsets
+        child_of_unit = compiled.child_of_unit
+        leaf_of_unit = compiled.leaf_of_unit
+        unit_norms = compiled.unit_norms
+        n = matrix.shape[0]
+        leaf_index = np.full(n, -1, dtype=np.intp)
+        distances = np.zeros(n, dtype=codebook.dtype)
+        sample_norms = np.einsum("ij,ij->i", matrix, matrix)
+        pending = np.arange(n, dtype=np.intp)
+        pending_node = np.ascontiguousarray(entry_nodes, dtype=np.intp)
+        while pending.size:
+            next_rows = []
+            next_nodes = []
+            for node in np.unique(pending_node):
+                mask = pending_node == node
+                rows = pending[mask]
+                start = int(node_offsets[node])
+                stop = int(node_offsets[node + 1])
+                block = codebook[start:stop]
+                whole_batch = rows.size == n
+                sub = matrix if whole_batch else matrix[rows]
+                d2 = sub @ block.T
+                d2 *= -2.0
+                d2 += (sample_norms if whole_batch else sample_norms[rows])[:, None]
+                d2 += unit_norms[start:stop][None, :]
+                np.maximum(d2, 0.0, out=d2)
+                units = np.argmin(d2, axis=1)
+                global_units = start + units
+                children = child_of_unit[global_units]
+                at_leaf = children < 0
+                if at_leaf.any():
+                    leaf_rows = rows[at_leaf]
+                    leaf_index[leaf_rows] = leaf_of_unit[global_units[at_leaf]]
+                    best = d2[at_leaf].min(axis=1)
+                    if compiled.metric == "euclidean":
+                        best = np.sqrt(best)
+                    distances[leaf_rows] = best
+                descending = ~at_leaf
+                if descending.any():
+                    next_rows.append(rows[descending])
+                    next_nodes.append(children[descending])
+            if next_rows:
+                pending = np.concatenate(next_rows)
+                pending_node = np.concatenate(next_nodes).astype(np.intp, copy=False)
+            else:
+                pending = np.empty(0, dtype=np.intp)
+                pending_node = pending
+        return leaf_index, distances
+
+    def test_byte_identical_on_wide_tree(self, train_matrix, train_categories, test_matrix):
+        # A wide config: large maps keep many sibling nodes live on every
+        # frontier level, which is exactly where the grouping strategies
+        # could diverge.
+        config = GhsomConfig(
+            tau1=0.3,
+            tau2=0.05,
+            max_depth=3,
+            max_map_size=64,
+            max_growth_rounds=10,
+            min_samples_for_expansion=20,
+            training=SomTrainingConfig(epochs=3),
+            random_state=0,
+        )
+        detector = GhsomDetector(config, random_state=0).fit(train_matrix, train_categories)
+        compiled = detector.model.compile()
+        assert compiled.n_nodes > 8, "fixture tree is not wide enough to exercise grouping"
+        matrix = np.ascontiguousarray(test_matrix, dtype=compiled.codebook.dtype)
+        entries = np.zeros(matrix.shape[0], dtype=np.intp)
+        expected = self._unique_mask_descent(matrix, entries, compiled)
+        actual = compiled.assign_arrays(test_matrix)
+        np.testing.assert_array_equal(actual[0], expected[0])
+        np.testing.assert_array_equal(actual[1], expected[1].astype(np.float64))
+        assert actual[1].tobytes() == expected[1].astype(np.float64).tobytes()

@@ -1,0 +1,327 @@
+"""Engine-equivalence tests for the fused descent kernel.
+
+The fused engine's contract (see :mod:`repro.core.kernels`): for every
+supported metric and dtype it lands every sample on the **exact same leaf**
+as the numpy frontier descent, with distances matching within the documented
+``FUSED_DISTANCE_RTOL``.  The hypothesis suite below exercises that contract
+over randomly generated flat-array trees, metrics, dtypes and entry nodes —
+the same surface the sharded engine drives via per-shard entry points.
+
+The provider tests prove the degradation story: ``"auto"`` silently resolves
+to numpy when no kernel provider exists (no warning spam on import-less
+hosts), while an explicit strict ``"fused"`` request fails fast.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.compiled import frontier_descent
+from repro.exceptions import ConfigurationError
+
+#: Tree generation is cheap (no GHSOM fit), so the suite affords many more
+#: examples than the fit-based property tests.
+TREE_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+METRICS = sorted(kernels.FUSED_METRICS)
+DTYPES = ("float64", "float32")
+
+fused_missing = not kernels.fused_supported("euclidean", np.float64)
+needs_fused = pytest.mark.skipif(
+    fused_missing, reason=f"no fused kernel provider: {kernels.provider_diagnostics()}"
+)
+
+
+class TreeOwner:
+    """Minimal flat-array tree carrier accepted by the kernel entry points.
+
+    A plain class (not a dataclass/SimpleNamespace) so the kernel-plan cache
+    can hold it by weak reference, exactly like ``CompiledGhsom``.
+    """
+
+    def __init__(self, codebook, node_offsets, child_of_unit, leaf_of_unit, unit_norms):
+        self.codebook = codebook
+        self.node_offsets = node_offsets
+        self.child_of_unit = child_of_unit
+        self.leaf_of_unit = leaf_of_unit
+        self.unit_norms = unit_norms
+
+
+def random_tree(
+    rng: np.random.Generator,
+    n_features: int,
+    dtype: str,
+    *,
+    max_nodes: int = 14,
+    max_units: int = 7,
+    child_probability: float = 0.45,
+) -> TreeOwner:
+    """A random multi-level flat-array hierarchy in the compiled layout.
+
+    Children are always assigned node ids greater than their parent's, so
+    every random tree is a well-formed DAG-free descent structure.
+    """
+    children_of_node = {}
+    queue = [0]
+    next_node = 1
+    while queue:
+        node = queue.pop(0)
+        n_units = int(rng.integers(1, max_units + 1))
+        children = []
+        for _ in range(n_units):
+            if next_node < max_nodes and rng.random() < child_probability:
+                children.append(next_node)
+                queue.append(next_node)
+                next_node += 1
+            else:
+                children.append(-1)
+        children_of_node[node] = children
+    n_nodes = next_node
+    counts = [len(children_of_node[node]) for node in range(n_nodes)]
+    node_offsets = np.zeros(n_nodes + 1, dtype=np.intp)
+    np.cumsum(counts, out=node_offsets[1:])
+    child_of_unit = np.concatenate(
+        [np.asarray(children_of_node[node], dtype=np.intp) for node in range(n_nodes)]
+    )
+    leaf_of_unit = np.full(child_of_unit.shape, -1, dtype=np.intp)
+    leaf_units = np.flatnonzero(child_of_unit < 0)
+    leaf_of_unit[leaf_units] = np.arange(leaf_units.size, dtype=np.intp)
+    codebook = np.ascontiguousarray(
+        rng.normal(0.0, 1.0, size=(child_of_unit.size, n_features)), dtype=dtype
+    )
+    unit_norms = np.einsum("ij,ij->i", codebook, codebook)
+    return TreeOwner(codebook, node_offsets, child_of_unit, leaf_of_unit, unit_norms)
+
+
+def descend_both(owner, matrix, entries, metric):
+    """(numpy result, fused result) for the same tree/batch/entries."""
+    reference = frontier_descent(
+        matrix,
+        entries,
+        codebook=owner.codebook,
+        node_offsets=owner.node_offsets,
+        child_of_unit=owner.child_of_unit,
+        leaf_of_unit=owner.leaf_of_unit,
+        unit_norms=owner.unit_norms,
+        metric=metric,
+    )
+    fused = kernels.fused_descent(
+        owner, matrix, np.ascontiguousarray(entries, dtype=np.int64), metric=metric
+    )
+    return reference, fused
+
+
+@needs_fused
+class TestFusedEquivalence:
+    @given(data=st.data())
+    @settings(**TREE_SETTINGS)
+    def test_random_trees_metrics_dtypes_entries(self, data):
+        dtype = data.draw(st.sampled_from(DTYPES))
+        metric = data.draw(st.sampled_from(METRICS))
+        seed = data.draw(st.integers(0, 2**16))
+        n_features = data.draw(st.integers(1, 24))
+        n_samples = data.draw(st.integers(1, 48))
+        rng = np.random.default_rng(seed)
+        owner = random_tree(rng, n_features, dtype)
+        matrix = np.ascontiguousarray(
+            rng.normal(0.0, 1.2, size=(n_samples, n_features)), dtype=dtype
+        )
+        if data.draw(st.booleans()):
+            entries = np.zeros(n_samples, dtype=np.intp)
+        else:
+            # Arbitrary per-sample entry nodes — the sharded engine's usage.
+            n_nodes = owner.node_offsets.size - 1
+            entries = rng.integers(0, n_nodes, size=n_samples).astype(np.intp)
+        (ref_leaf, ref_dist), (fused_leaf, fused_dist) = descend_both(
+            owner, matrix, entries, metric
+        )
+        np.testing.assert_array_equal(fused_leaf, ref_leaf)
+        rtol = kernels.FUSED_DISTANCE_RTOL[dtype]
+        np.testing.assert_allclose(fused_dist, ref_dist, rtol=rtol, atol=0.0)
+        assert fused_dist.dtype == ref_dist.dtype
+
+    def test_exact_ties_break_to_first_unit(self):
+        # Duplicate weight rows force exact distance ties: the fused argmin
+        # must pick the lowest unit index, like np.argmin.
+        for dtype in DTYPES:
+            codebook = np.tile(np.linspace(0.1, 0.9, 5, dtype=dtype), (9, 1))
+            owner = TreeOwner(
+                codebook=np.ascontiguousarray(codebook),
+                node_offsets=np.array([0, 9], dtype=np.intp),
+                child_of_unit=np.full(9, -1, dtype=np.intp),
+                leaf_of_unit=np.arange(9, dtype=np.intp),
+                unit_norms=np.einsum("ij,ij->i", codebook, codebook),
+            )
+            matrix = np.ascontiguousarray(
+                np.tile(np.linspace(0.2, 0.8, 5, dtype=dtype), (4, 1))
+            )
+            entries = np.zeros(4, dtype=np.intp)
+            (ref_leaf, _), (fused_leaf, _) = descend_both(
+                owner, matrix, entries, "euclidean"
+            )
+            np.testing.assert_array_equal(fused_leaf, ref_leaf)
+            assert set(np.asarray(fused_leaf).tolist()) == {0}
+
+    def test_single_sample_single_unit(self):
+        rng = np.random.default_rng(5)
+        for dtype in DTYPES:
+            codebook = np.ascontiguousarray(rng.normal(size=(1, 3)), dtype=dtype)
+            owner = TreeOwner(
+                codebook=codebook,
+                node_offsets=np.array([0, 1], dtype=np.intp),
+                child_of_unit=np.array([-1], dtype=np.intp),
+                leaf_of_unit=np.array([0], dtype=np.intp),
+                unit_norms=np.einsum("ij,ij->i", codebook, codebook),
+            )
+            matrix = np.ascontiguousarray(rng.normal(size=(1, 3)), dtype=dtype)
+            (ref_leaf, ref_dist), (fused_leaf, fused_dist) = descend_both(
+                owner, matrix, np.zeros(1, dtype=np.intp), "sqeuclidean"
+            )
+            np.testing.assert_array_equal(fused_leaf, ref_leaf)
+            rtol = kernels.FUSED_DISTANCE_RTOL[dtype]
+            np.testing.assert_allclose(fused_dist, ref_dist, rtol=rtol, atol=0.0)
+
+    def test_plan_is_cached_per_owner(self):
+        rng = np.random.default_rng(11)
+        owner = random_tree(rng, 6, "float64")
+        assert kernels.fused_plan(owner) is kernels.fused_plan(owner)
+
+
+@needs_fused
+class TestDetectorEngineEquivalence:
+    """The engine seam end-to-end: same leaves, bounded drift, numpy default."""
+
+    @pytest.fixture(scope="class")
+    def detector(self, fast_config, train_matrix, train_categories):
+        from repro.core import GhsomDetector
+
+        detector = GhsomDetector(fast_config, random_state=0)
+        detector.fit(train_matrix, train_categories)
+        return detector
+
+    def test_assign_arrays_engine_kwarg(self, detector, test_matrix):
+        compiled = detector._compiled_model()
+        ref_leaf, ref_dist = compiled.assign_arrays(test_matrix, engine="numpy")
+        fused_leaf, fused_dist = compiled.assign_arrays(test_matrix, engine="fused")
+        np.testing.assert_array_equal(fused_leaf, ref_leaf)
+        rtol = kernels.FUSED_DISTANCE_RTOL[str(compiled.dtype)]
+        np.testing.assert_allclose(fused_dist, ref_dist, rtol=rtol, atol=0.0)
+
+    def test_default_engine_is_numpy_byte_identity(self, detector, test_matrix):
+        compiled = detector._compiled_model()
+        default = compiled.assign_arrays(test_matrix)
+        explicit = compiled.assign_arrays(test_matrix, engine="numpy")
+        np.testing.assert_array_equal(default[0], explicit[0])
+        np.testing.assert_array_equal(default[1], explicit[1])
+
+    def test_set_engine_round_trip(self, detector, test_matrix):
+        reference = detector.detect(test_matrix)
+        try:
+            detector.set_engine("fused")
+            fused = detector.detect(test_matrix)
+        finally:
+            detector.set_engine(None)
+        np.testing.assert_array_equal(fused.leaf_index, reference.leaf_index)
+        np.testing.assert_array_equal(fused.predictions, reference.predictions)
+        assert fused.categories == reference.categories
+
+    def test_sharded_fused_leaves_match(self, detector, test_matrix):
+        from repro.serving import ShardedGhsom
+
+        compiled = detector._compiled_model()
+        reference = compiled.assign_arrays(test_matrix)
+        engine = ShardedGhsom.from_compiled(compiled, 2, backend="serial", engine="fused")
+        try:
+            leaf, dist = engine.assign_arrays(test_matrix)
+        finally:
+            engine.close()
+        np.testing.assert_array_equal(leaf, reference[0])
+        rtol = kernels.FUSED_DISTANCE_RTOL[str(compiled.dtype)]
+        np.testing.assert_allclose(dist, reference[1], rtol=rtol, atol=0.0)
+
+
+class TestEngineResolution:
+    def test_engine_names_validated(self):
+        with pytest.raises(ConfigurationError):
+            kernels.check_engine("gpu")
+        with pytest.raises(ConfigurationError):
+            kernels.set_default_engine("fastest")
+
+    def test_default_engine_is_numpy(self):
+        assert kernels.get_default_engine() == "numpy"
+
+    def test_auto_degrades_to_numpy_without_provider_and_without_warnings(self):
+        kernels.set_fused_provider("none")
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                for _ in range(3):  # repeated resolution must stay silent too
+                    resolved = kernels.resolve_engine(
+                        "auto", metric="euclidean", dtype=np.float64
+                    )
+                    assert resolved == "numpy"
+        finally:
+            kernels.set_fused_provider(None)
+
+    def test_strict_fused_fails_fast_without_provider(self):
+        kernels.set_fused_provider("none")
+        try:
+            with pytest.raises(ConfigurationError):
+                kernels.resolve_engine(
+                    "fused", metric="euclidean", dtype=np.float64, strict=True
+                )
+        finally:
+            kernels.set_fused_provider(None)
+
+    def test_nonstrict_fused_degrades_in_shard_paths(self):
+        # Shards resolve non-strictly: a worker without a provider serves
+        # numpy instead of failing the batch.
+        kernels.set_fused_provider("none")
+        try:
+            resolved = kernels.resolve_engine(
+                "fused", metric="euclidean", dtype=np.float64
+            )
+            assert resolved == "numpy"
+        finally:
+            kernels.set_fused_provider(None)
+
+    def test_unsupported_metric_resolves_numpy(self):
+        # "auto" on a metric no kernel serves is a silent numpy descent.
+        assert (
+            kernels.resolve_engine("auto", metric="cosine", dtype=np.float64)
+            == "numpy"
+        )
+
+    def test_detector_rejects_bad_engine_name(self, fast_config):
+        from repro.core import GhsomDetector
+
+        with pytest.raises(ConfigurationError):
+            GhsomDetector(fast_config, engine="warp")
+
+    def test_strict_set_engine_on_fitted_detector_without_provider(
+        self, fast_config, train_matrix, train_categories
+    ):
+        from repro.core import GhsomDetector
+
+        detector = GhsomDetector(fast_config, random_state=0)
+        detector.fit(train_matrix, train_categories)
+        kernels.set_fused_provider("none")
+        try:
+            with pytest.raises(ConfigurationError):
+                detector.set_engine("fused")
+            # "auto" stays permissive: configuring it succeeds and serves.
+            detector.set_engine("auto")
+            detector.score_samples(train_matrix[:8])
+        finally:
+            kernels.set_fused_provider(None)
+            detector.set_engine(None)
