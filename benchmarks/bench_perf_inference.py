@@ -110,9 +110,9 @@ def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[
         if fused_available:
             # Warm the fused engine too (first call compiles/loads the kernel
             # and lane-transposes the codebook once per model).
-            detector.set_engine("fused")
+            detector.configure(detector.serving_config.evolve(engine="fused"))
             detector.score_samples(X_test[: batch_sizes[0]])
-            detector.set_engine(None)
+            detector.configure(detector.serving_config.evolve(engine=None))
         for batch_size in batch_sizes:
             batch = X_test[:batch_size]
             # Same repeat count for both paths: best-of-N estimates the noise
@@ -153,14 +153,14 @@ def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[
             }
             if fused_available:
                 numpy_result = detector.detect(batch)
-                detector.set_engine("fused")
+                detector.configure(detector.serving_config.evolve(engine="fused"))
                 try:
                     fused_seconds = time_best(
                         lambda: detector.score_samples(batch), repeats=repeats
                     )
                     fused_result = detector.detect(batch)
                 finally:
-                    detector.set_engine(None)
+                    detector.configure(detector.serving_config.evolve(engine=None))
                 drift = np.abs(fused_result.scores - numpy_result.scores) / np.maximum(
                     np.abs(numpy_result.scores), 1e-30
                 )

@@ -52,6 +52,7 @@ from repro.core.serialization import (
 from repro.data.preprocess import PreprocessingPipeline
 from repro.data.synthetic import KddSyntheticGenerator
 from repro.eval.tables import format_table
+from repro.serving import ServingConfig, ShardingSpec
 
 #: Where the machine-readable results land (repo root, next to CHANGES.md).
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
@@ -144,13 +145,19 @@ def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[
         # exercises the mmap-backed shard engine end to end.
         for backend in ("serial", "thread", "process"):
             loaded = load_detector(artifacts["v3"])
-            loaded.set_sharding(
-                4, backend=backend, workers=None if backend == "serial" else 2
+            loaded.configure(
+                ServingConfig(
+                    sharding=ShardingSpec(
+                        shards=4,
+                        backend=backend,
+                        workers=None if backend == "serial" else 2,
+                    )
+                )
             )
             try:
                 sharded_scores = loaded.detect(X_test).scores
             finally:
-                loaded.set_sharding(None)
+                loaded.configure(ServingConfig())
             sharded_identity[backend] = bool(
                 np.array_equal(sharded_scores, reference.scores)
             )
@@ -188,7 +195,9 @@ def run_benchmark(quick: bool = False, output_path: Path = OUTPUT_PATH) -> Dict[
         )
 
     # ---------------- float32 serving mode ---------------------------- #
-    f32_detector = detector_from_dict(detector_to_dict(detector), dtype="float32")
+    f32_detector = detector_from_dict(
+        detector_to_dict(detector), overrides={"dtype": "float32"}
+    )
     batch = X_test[: max(batch_sizes)]
     f64_seconds = time_best(lambda: detector.detect(batch), repeats)
     f32_seconds = time_best(lambda: f32_detector.detect(batch), repeats)

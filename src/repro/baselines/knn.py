@@ -10,7 +10,7 @@ prototype-based models such as SOM/GHSOM — the scalability benchmark
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

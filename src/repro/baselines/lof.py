@@ -13,7 +13,7 @@ set (the training data), i.e. the novelty-detection variant.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

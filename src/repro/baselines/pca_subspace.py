@@ -13,7 +13,7 @@ fair per-connection comparison to the SOM-family detectors.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

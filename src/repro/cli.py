@@ -35,15 +35,17 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
-import numpy as np
 
 from repro.baselines import KMeansDetector, KnnDetector, LofDetector, PcaSubspaceDetector, SomDetector
 from repro.core import GhsomConfig, GhsomDetector, SomTrainingConfig
+from repro.core import kernels
 from repro.core.inspection import describe_tree
 from repro.core.serialization import (
     BINARY_FORMAT_VERSION,
+    _UNSET,
+    _legacy_serving_overrides,
     check_artifact_format,
     detector_binary_payload,
     detector_from_dict,
@@ -60,6 +62,7 @@ from repro.eval.metrics import binary_metrics, per_category_detection_rates
 from repro.eval.reporting import save_markdown_report, save_results_json
 from repro.eval.tables import format_table
 from repro.exceptions import ReproError
+from repro.serving.config import ServingConfig, ShardingSpec
 
 #: Bundle v2 embeds the compiled flat arrays + per-leaf tables (detector
 #: format v2), so ``detect`` serves without rebuilding the Python tree;
@@ -114,61 +117,60 @@ def save_bundle(
 def load_bundle(
     path: Path,
     *,
-    dtype: str = "float64",
-    shards: Optional[int] = None,
-    workers: Optional[int] = None,
-    shard_backend: Optional[str] = None,
-    remote_workers: Optional[str] = None,
-    mmap: bool = True,
-    verify: bool = False,
-    engine: Optional[str] = None,
+    config: Optional[ServingConfig] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+    dtype: object = _UNSET,
+    shards: object = _UNSET,
+    workers: object = _UNSET,
+    shard_backend: object = _UNSET,
+    remote_workers: object = _UNSET,
+    mmap: object = _UNSET,
+    verify: object = _UNSET,
+    engine: object = _UNSET,
 ):
     """Load a bundle written by :func:`save_bundle` (any supported version).
 
     The bundle version is auto-detected from the JSON header; a v3 (binary)
-    bundle memory-maps the ``.npz`` sidecar next to the JSON file
-    (``mmap=False`` reads it eagerly; ``verify=True`` additionally checks
-    the sidecar's SHA-256 against the integrity header).
+    bundle memory-maps the ``.npz`` sidecar next to the JSON file.
 
-    ``dtype="float32"`` opts into the narrowed serving mode on the loaded
-    detector (see :meth:`repro.core.CompiledGhsom.astype` for the tolerance
-    contract); the float64 default is bit-exact.
+    How the loaded detector serves is one declarative object — a
+    :class:`repro.serving.ServingConfig` covering dtype, compute engine,
+    sharding and artifact options.  Precedence follows
+    :func:`repro.serving.config.effective_config`: pass ``config=`` (a full
+    config, wins wholesale), or ``overrides=`` (flat field overrides — the
+    knobs the caller actually chose — applied on top of the config embedded
+    in the artifact, falling back to the library default).  A v2+ bundle
+    saved from a configured detector therefore round-trips its serving
+    setup: ``load_bundle(path)`` alone rehydrates the detector exactly as it
+    was configured when saved.
 
-    ``shards=K`` hydrates the detector for sharded serving: the artifact's
-    shard manifest partitions the compiled arrays into K root-subtree shards
-    executed on ``shard_backend`` (default ``"thread"``) with ``workers``
-    workers (see :mod:`repro.serving`) — scores stay byte-identical to the
-    unsharded float64 engine.  ``shard_backend="remote"`` dispatches shard
-    tasks to ``repro-ids shard-worker`` processes listed in
-    ``remote_workers`` (``"HOST:PORT[,HOST:PORT...]"``); tasks a worker
-    cannot finish fail over to a local serial backend, so results stay
-    complete and byte-identical.  ``workers`` / ``shard_backend`` /
-    ``remote_workers`` without ``shards`` is rejected rather than silently
-    ignored.
+    Resolution is *strict* at load time — e.g. requesting the ``"fused"``
+    engine on a host without a kernel provider fails here instead of at the
+    first score.  Scores stay byte-identical to the unsharded float64 engine
+    for every sharding setup; ``dtype="float32"`` opts into the narrowed
+    serving mode (see :meth:`repro.core.CompiledGhsom.astype`).
 
-    ``engine`` selects the descent compute engine (``"numpy"``, ``"fused"``
-    or ``"auto"``; see :mod:`repro.core.kernels`).  A non-default engine is
-    resolved *strictly* at load time — requesting ``"fused"`` on a host
-    without a kernel provider fails here instead of at the first score.
+    The individual keyword arguments (``dtype``, ``shards``, ``workers``,
+    ``shard_backend``, ``remote_workers``, ``mmap``, ``verify``, ``engine``)
+    are deprecated shims over ``overrides=`` and emit a
+    :class:`DeprecationWarning`.
     """
-    if not shards and (
-        workers is not None or shard_backend is not None or remote_workers is not None
-    ):
-        raise ReproError(
-            "workers/shard_backend/remote_workers only apply to sharded serving; "
-            "pass shards=K (CLI: --shards) to enable it"
+    merged = dict(overrides or {})
+    merged.update(
+        _legacy_serving_overrides(
+            {
+                "dtype": dtype,
+                "shards": shards,
+                "workers": workers,
+                "backend": shard_backend,
+                "remote_workers": remote_workers,
+                "mmap": mmap,
+                "verify": verify,
+                "engine": engine,
+            },
+            "load_bundle()",
         )
-    if remote_workers is not None and shard_backend not in (None, "remote"):
-        raise ReproError(
-            f"remote_workers conflicts with shard_backend={shard_backend!r}; "
-            "remote worker addresses imply --shard-backend remote"
-        )
-    if shard_backend == "remote" and remote_workers is None:
-        raise ReproError(
-            "the remote shard backend needs worker addresses; pass "
-            "remote_workers='HOST:PORT[,HOST:PORT...]' (CLI: --remote-workers) "
-            "with one repro-ids shard-worker per address"
-        )
+    )
     path = Path(path)
     payload = json.loads(path.read_text())
     if payload.get("kind") != "repro_bundle":
@@ -180,18 +182,145 @@ def load_bundle(
     pipeline = PreprocessingPipeline.from_dict(payload["pipeline"])
     detector = detector_from_dict(
         payload["detector"],
-        dtype=dtype,
+        config=config,
+        overrides=merged or None,
         sidecar_dir=path.parent,
-        mmap=mmap,
-        verify=verify,
-        engine=engine,
     )
-    if shards:
-        backend = shard_backend or "thread"
-        if remote_workers is not None:
-            backend = f"remote:{remote_workers}"
-        detector.set_sharding(shards, backend=backend, workers=workers)
     return pipeline, detector
+
+
+# --------------------------------------------------------------------------- #
+# shared serving flags
+# --------------------------------------------------------------------------- #
+def add_serving_args(
+    parser: argparse.ArgumentParser,
+    *,
+    dtype: bool = True,
+    artifact: bool = True,
+    sharding: bool = True,
+    engine_help: Optional[str] = None,
+) -> None:
+    """Attach the shared serving flags to one subcommand parser.
+
+    One flag block for every command that loads a model (``detect``,
+    ``inspect``) or serves one (``shard-worker``), so the vocabulary cannot
+    drift between commands.  The flags map one-to-one onto
+    :class:`repro.serving.ServingConfig` fields via
+    :func:`serving_overrides_from_args`.
+    """
+    group = parser.add_argument_group("serving options")
+    if dtype:
+        group.add_argument(
+            "--float32",
+            action="store_true",
+            help="serve in float32 (faster on large models; scores drift ~1e-4 relative)",
+        )
+    group.add_argument(
+        "--engine",
+        choices=("numpy", "fused", "auto"),
+        default=None,
+        help=engine_help
+        or (
+            "descent compute engine: numpy = vectorised reference "
+            "(byte-exact, default); fused = single-pass distance+argmin "
+            "kernel (fails if no provider is available); auto = fused when "
+            "possible, numpy otherwise"
+        ),
+    )
+    if artifact:
+        group.add_argument(
+            "--no-mmap",
+            action="store_true",
+            help="read a binary (v3) artifact's sidecar eagerly instead of memory-mapping it",
+        )
+        group.add_argument(
+            "--verify",
+            action="store_true",
+            help="check a binary (v3) sidecar's SHA-256 against the integrity header at load",
+        )
+    if sharding:
+        group.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            metavar="K",
+            help="serve through K root-subtree shards (scores stay byte-identical)",
+        )
+        group.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker count for the shard backend (default: usable CPU cores)",
+        )
+        group.add_argument(
+            "--shard-backend",
+            choices=("serial", "thread", "process", "remote"),
+            default=None,
+            help="how sharded sub-batches execute (default: thread; requires --shards)",
+        )
+        group.add_argument(
+            "--remote-workers",
+            metavar="HOST:PORT[,HOST:PORT...]",
+            default=None,
+            help=(
+                "shard-worker addresses for --shard-backend remote (one "
+                "repro-ids shard-worker per address; unreachable workers fail "
+                "over to local serial execution)"
+            ),
+        )
+        group.add_argument(
+            "--provisioning",
+            choices=("auto", "reference", "value"),
+            default=None,
+            help=(
+                "how remote workers receive the shard set: auto = by "
+                "reference when sidecar fingerprints match, else by value; "
+                "reference = strict; value = always stream the arrays"
+            ),
+        )
+
+
+def serving_overrides_from_args(args: argparse.Namespace) -> Dict[str, object]:
+    """The serving-config overrides the operator explicitly passed.
+
+    Only flags that were actually given end up in the mapping — that is what
+    gives CLI flags field-wise precedence over an artifact-embedded config
+    without clobbering it (see
+    :func:`repro.serving.config.effective_config`).
+    """
+    overrides: Dict[str, object] = {}
+    if getattr(args, "float32", False):
+        overrides["dtype"] = "float32"
+    if getattr(args, "engine", None) is not None:
+        overrides["engine"] = args.engine
+    if getattr(args, "no_mmap", False):
+        overrides["mmap"] = False
+    if getattr(args, "verify", False):
+        overrides["verify"] = True
+    if getattr(args, "shards", None) is not None:
+        overrides["shards"] = args.shards
+    if getattr(args, "workers", None) is not None:
+        overrides["workers"] = args.workers
+    if getattr(args, "shard_backend", None) is not None:
+        overrides["backend"] = args.shard_backend
+    if getattr(args, "remote_workers", None) is not None:
+        overrides["remote_workers"] = args.remote_workers
+    if getattr(args, "provisioning", None) is not None:
+        overrides["provisioning"] = args.provisioning
+    return overrides
+
+
+def serving_config_from_args(args: argparse.Namespace) -> ServingConfig:
+    """A full :class:`ServingConfig` built from the shared CLI flags.
+
+    Library defaults fill everything the operator did not pass.  Commands
+    that load artifacts use :func:`serving_overrides_from_args` instead (the
+    artifact-embedded config must stay the base); this constructor is for
+    callers that need the config as a standalone value — e.g. to embed it in
+    a bundle they are about to save, or ship it to a service.
+    """
+    overrides = serving_overrides_from_args(args)
+    return ServingConfig().with_overrides(overrides) if overrides else ServingConfig()
 
 
 # --------------------------------------------------------------------------- #
@@ -267,15 +396,8 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
-    pipeline, detector = load_bundle(
-        Path(args.model),
-        dtype="float32" if args.float32 else "float64",
-        shards=args.shards,
-        workers=args.workers,
-        shard_backend=args.shard_backend,
-        remote_workers=args.remote_workers,
-        engine=args.engine,
-    )
+    overrides = serving_overrides_from_args(args)
+    pipeline, detector = load_bundle(Path(args.model), overrides=overrides or None)
     dataset = load_csv(args.input)
     if len(dataset) == 0:
         # load_csv already rejects empty files; this keeps the alarm-rate
@@ -296,10 +418,18 @@ def cmd_detect(args: argparse.Namespace) -> int:
     try:
         result = detector.detect(X)
     finally:
-        detector.set_sharding(None)
+        detector.configure(detector.serving_config.evolve(sharding=ShardingSpec()))
     alarms, scores, categories = result.predictions, result.scores, result.categories
     n_alarms = int(alarms.sum())
     print(f"scored {len(dataset)} records: {n_alarms} alarms ({n_alarms / len(dataset):.2%})")
+    stats = result.stats
+    if stats is not None:
+        print(
+            f"serving: engine={stats.engine} dtype={stats.dtype} "
+            f"ingest {stats.ingest_s * 1e3:.1f} ms, route {stats.route_s * 1e3:.1f} ms, "
+            f"descend {stats.descend_s * 1e3:.1f} ms, merge {stats.merge_s * 1e3:.1f} ms "
+            f"(total {stats.total_s * 1e3:.1f} ms)"
+        )
     # If the input carries attack labels, also report detection quality —
     # unless the operator said the labels are not to be trusted.
     true_categories = [str(category) for category in dataset.categories]
@@ -364,8 +494,7 @@ def cmd_shard_worker(args: argparse.Namespace) -> int:
         # sidecar so first-provision page faults land on a warm cache).
         pipeline, detector = load_bundle(
             model_path,
-            shards=args.shards,
-            shard_backend="serial" if args.shards else None,
+            overrides={"shards": args.shards, "backend": "serial"} if args.shards else None,
         )
         del pipeline, detector
         sidecar = sidecar_path_for(model_path)
@@ -449,7 +578,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
-    pipeline, detector = load_bundle(Path(args.model))
+    overrides = serving_overrides_from_args(args)
+    pipeline, detector = load_bundle(Path(args.model), overrides=overrides or None)
     topology = detector.topology_summary()
     print(
         format_table(
@@ -467,6 +597,39 @@ def cmd_inspect(args: argparse.Namespace) -> int:
                 [[label, count] for label, count in sorted(detector.leaf_label_distribution().items())],
                 ["leaf label", "count"],
                 title="Leaf label distribution",
+            )
+        )
+    # The resolved serving plan: what this host would actually execute for
+    # the loaded artifact + the flags passed to this command (artifact-
+    # embedded config with CLI overrides on top, resolved here and now).
+    plan = detector.resolved_plan().describe()
+    shard_layout = "-"
+    if plan["sharded"]:
+        shard_layout = f"{plan['n_shards']} shards / {plan['backend']} backend"
+        if plan["remote_workers"]:
+            shard_layout += f" ({','.join(plan['remote_workers'])})"
+        elif plan["workers"]:
+            shard_layout += f" ({plan['workers']} workers)"
+    rows = [
+        ["dtype", plan["dtype"]],
+        ["engine", f"{plan['engine']} (requested {plan['engine_requested']})"],
+        ["provider", plan["provider"] or "-"],
+        ["sharding", shard_layout],
+        ["mmap / verify", f"{plan['mmap']} / {plan['verify']}"],
+        ["usable cores", plan["usable_cores"]],
+        ["default engine", plan["default_engine"]],
+        ["fused providers", ",".join(plan["fused_providers_available"]) or "-"],
+    ]
+    print()
+    print(format_table(rows, ["knob", "resolved"], title="Serving plan"))
+    diagnostics = kernels.provider_diagnostics()
+    if diagnostics:
+        print()
+        print(
+            format_table(
+                [[name, reason] for name, reason in sorted(diagnostics.items())],
+                ["provider", "unavailable because"],
+                title="Provider diagnostics",
             )
         )
     return 0
@@ -537,51 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not compute quality metrics from labels in the input",
     )
-    detect.add_argument(
-        "--float32",
-        action="store_true",
-        help="serve in float32 (faster on large models; scores drift ~1e-4 relative)",
-    )
-    detect.add_argument(
-        "--engine",
-        choices=("numpy", "fused", "auto"),
-        default=None,
-        help=(
-            "descent compute engine: numpy = vectorised reference "
-            "(byte-exact, default); fused = single-pass distance+argmin "
-            "kernel (fails if no provider is available); auto = fused when "
-            "possible, numpy otherwise"
-        ),
-    )
-    detect.add_argument(
-        "--shards",
-        type=int,
-        default=None,
-        metavar="K",
-        help="serve through K root-subtree shards (scores stay byte-identical)",
-    )
-    detect.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker count for the shard backend (default: usable CPU cores)",
-    )
-    detect.add_argument(
-        "--shard-backend",
-        choices=("serial", "thread", "process", "remote"),
-        default=None,
-        help="how sharded sub-batches execute (default: thread; requires --shards)",
-    )
-    detect.add_argument(
-        "--remote-workers",
-        metavar="HOST:PORT[,HOST:PORT...]",
-        default=None,
-        help=(
-            "shard-worker addresses for --shard-backend remote (one "
-            "repro-ids shard-worker per address; unreachable workers fail "
-            "over to local serial execution)"
-        ),
-    )
+    add_serving_args(detect)
     detect.set_defaults(handler=cmd_detect)
 
     shard_worker = subparsers.add_parser(
@@ -610,13 +729,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="validate --model serves sharded at K and pre-read the sidecar (warm start)",
     )
-    shard_worker.add_argument(
-        "--engine",
-        choices=("numpy", "fused", "auto"),
-        default=None,
-        help=(
-            "re-stamp every provisioned shard with this descent engine "
-            "(worker-local override; resolution inside shards is non-strict, "
+    add_serving_args(
+        shard_worker,
+        dtype=False,
+        artifact=False,
+        sharding=False,
+        engine_help=(
+            "worker-local descent-engine override applied to every "
+            "provisioned shard (wins over the engine in the coordinator's "
+            "shipped ServingConfig; resolution inside shards is non-strict, "
             "so a host without a kernel provider degrades to numpy)"
         ),
     )
@@ -636,8 +757,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.set_defaults(handler=cmd_evaluate)
 
-    inspect = subparsers.add_parser("inspect", help="print the structure of a saved model bundle")
+    inspect = subparsers.add_parser(
+        "inspect",
+        help="print the structure and resolved serving plan of a saved model bundle",
+    )
     inspect.add_argument("--model", required=True)
+    add_serving_args(inspect)
     inspect.set_defaults(handler=cmd_inspect)
 
     return parser

@@ -26,8 +26,10 @@ Every detector in this library (the GHSOM detector here and the baselines in
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +42,13 @@ from repro.core.thresholds import make_threshold_strategy
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_array_2d, check_same_length
+
+if TYPE_CHECKING:  # import cycle: repro.serving imports repro.core at runtime
+    from repro.serving.config import ServingConfig, ServingPlan
+
+#: Sentinel for "the compiled snapshot does not change" in the atomic
+#: configure path (``None`` there means "recompile from the tree").
+_UNCHANGED = object()
 
 
 #: Nominal alarm threshold on the normalised score scale: a score of exactly
@@ -80,12 +89,18 @@ class DetectionResult:
     leaf_index:
         Compiled leaf-table row per record for detectors with a leaf topology
         (:class:`GhsomDetector`); ``None`` for detectors without one.
+    stats:
+        Per-batch serving observability
+        (:class:`~repro.serving.config.ServingStats`: stage timings plus the
+        resolved-plan provenance) for detectors that instrument their serving
+        path; ``None`` for the baselines.
     """
 
     scores: np.ndarray
     predictions: np.ndarray
     categories: List[str]
     leaf_index: Optional[np.ndarray] = None
+    stats: Optional[object] = None
 
     def __len__(self) -> int:
         return int(self.scores.shape[0])
@@ -312,10 +327,16 @@ class GhsomDetector(BaseAnomalyDetector):
         inflate the thresholds of mixed units).
     random_state:
         Seed overriding ``config.random_state``.
+    serving:
+        A full :class:`~repro.serving.config.ServingConfig` describing how
+        the detector serves (dtype, engine, sharding, artifact options) —
+        the declarative equivalent of calling :meth:`configure` right after
+        construction.
     engine:
-        Compute engine for the descent: ``"numpy"`` (byte-exact reference),
+        Legacy shorthand for ``serving=ServingConfig(engine=...)``: the
+        compute engine for the descent — ``"numpy"`` (byte-exact reference),
         ``"fused"``, ``"auto"``, or ``None`` for the library default — see
-        :mod:`repro.core.kernels` and :meth:`set_engine`.
+        :mod:`repro.core.kernels`.  Mutually exclusive with ``serving``.
     """
 
     name = "ghsom"
@@ -329,8 +350,16 @@ class GhsomDetector(BaseAnomalyDetector):
         labeling_strategy: str = "majority",
         calibrate_on_normal_only: bool = True,
         random_state: RandomState = None,
+        serving: Optional["ServingConfig"] = None,
         engine: Optional[str] = None,
     ) -> None:
+        from repro.serving.config import ServingConfig
+
+        if serving is not None and engine is not None:
+            raise ConfigurationError(
+                "pass the engine inside the ServingConfig (serving=) "
+                "instead of combining it with the legacy engine= shorthand"
+            )
         self.config = config or GhsomConfig()
         self.threshold_strategy_name = threshold_strategy
         self.threshold_kwargs = dict(threshold_kwargs or {})
@@ -338,8 +367,14 @@ class GhsomDetector(BaseAnomalyDetector):
         self.calibrate_on_normal_only = calibrate_on_normal_only
         self.random_state = random_state
         #: Compute-engine choice for every descent this detector runs;
-        #: ``None`` defers to the library default (see :meth:`set_engine`).
-        self._engine: Optional[str] = None if engine is None else kernels.check_engine(engine)
+        #: ``None`` defers to the library default.  Mirrors
+        #: ``self._serving.engine`` (kept as a plain attribute because the
+        #: hot path reads it per batch).
+        self._engine: Optional[str] = None
+        #: The declarative serving configuration; :meth:`configure` is the
+        #: single mutation path (the legacy setters are shims over it).
+        self._serving: "ServingConfig" = ServingConfig()
+        self._plan: Optional["ServingPlan"] = None  # cached resolved plan
         self.labeler: Optional[UnitLabeler] = None
         self.threshold_: Optional[object] = None
         self._model: Optional[Ghsom] = None
@@ -359,8 +394,9 @@ class GhsomDetector(BaseAnomalyDetector):
         self._shard_spec: Optional[tuple] = None
         self._sharded = None  # the live ShardedGhsom engine, built lazily
         #: Subtree layout restored from a v2 artifact's shard manifest; lets
-        #: :meth:`set_sharding` skip re-deriving the plan from the arrays.
+        #: the sharded engine skip re-deriving the plan from the arrays.
         self._shard_manifest: Optional[Dict[str, object]] = None
+        self._apply_serving(serving if serving is not None else ServingConfig(engine=engine))
 
     # ------------------------------------------------------------------ #
     @property
@@ -411,8 +447,102 @@ class GhsomDetector(BaseAnomalyDetector):
         self._require_fitted(self.is_fitted)
         return self._compiled_model().dtype
 
+    # ------------------------------------------------------------------ #
+    # serving configuration (the single mutation path)
+    # ------------------------------------------------------------------ #
+    @property
+    def serving_config(self) -> "ServingConfig":
+        """The declarative :class:`~repro.serving.config.ServingConfig` in force."""
+        return self._serving
+
+    def configure(self, config: "ServingConfig") -> "GhsomDetector":
+        """Apply a full serving configuration atomically.
+
+        The single mutation path for every serving knob — dtype, compute
+        engine, fused-provider override, sharding, artifact options.  The
+        combined state is validated and resolved *before* anything mutates,
+        so a rejected config leaves the detector exactly as it was, and the
+        result never depends on the order knobs were set in (the bug the
+        legacy per-knob setters had).  Resolution is strict on a fitted
+        detector: a ``"fused"`` engine request with no provider for the
+        model's metric/dtype raises instead of silently serving slower.
+        """
+        return self._apply_serving(config)
+
+    def resolved_plan(self) -> "ServingPlan":
+        """The :class:`~repro.serving.config.ServingPlan` scoring runs under.
+
+        Resolved non-strictly (the per-batch hot-path policy: an
+        unprovidable fused request degrades to numpy) against the fitted
+        model's metric, and cached until the config or the model changes.
+        """
+        if self._plan is None:
+            metric = self._compiled_model().metric if self.is_fitted else "euclidean"
+            self._plan = self._serving.resolve(metric=metric, strict=False)
+        return self._plan
+
+    def _apply_serving(self, config: "ServingConfig", *, backend=None) -> "GhsomDetector":
+        """Validate/resolve ``config`` against the current state, then commit.
+
+        ``backend`` carries an already-constructed :class:`ShardBackend`
+        instance from the legacy ``set_sharding`` shim (instances have no
+        declarative form); when ``None`` and the plan is sharded, the live
+        backend is reused if the sharding spec is unchanged, otherwise
+        :meth:`ServingPlan.build_backend` constructs a fresh one.
+        """
+        from repro.serving.config import ServingConfig
+
+        if not isinstance(config, ServingConfig):
+            raise ConfigurationError(
+                f"configure() needs a ServingConfig, got {type(config).__name__}"
+            )
+        fitted = self.is_fitted
+        metric = self._compiled_model().metric if fitted else "euclidean"
+        plan = config.resolve(metric=metric, strict=fitted)
+        snapshot: object = _UNCHANGED
+        if fitted:
+            current = self._compiled_model()
+            if np.dtype(config.dtype) != current.dtype:
+                snapshot = self._snapshot_for_dtype(current, np.dtype(config.dtype))
+        if backend is None and plan.sharded:
+            if config.sharding == self._serving.sharding and self._shard_spec is not None:
+                # Unchanged sharding intent keeps the live backend (its pools
+                # and remote connections); only the spec changing rebuilds it.
+                backend = self._shard_spec[1]
+            else:
+                backend = plan.build_backend()
+        if backend is not None:
+            backend.configure_serving(config)
+        # ---- commit; nothing above mutated detector state ---- #
+        self._close_sharded()
+        self._serving = config
+        self._plan = plan
+        self._engine = config.engine
+        if snapshot is not _UNCHANGED:
+            self._compiled = snapshot
+            self._tables = None
+        self._shard_spec = (int(plan.n_shards), backend, None) if plan.sharded else None
+        return self
+
+    def _snapshot_for_dtype(self, current: CompiledGhsom, requested: np.dtype):
+        """The compiled snapshot serving ``requested``, or ``None`` to recompile.
+
+        Narrowing always casts from the current snapshot (from the exact
+        float64 source this keeps the documented tolerance); upcasting to
+        float64 recompiles from the tree when one is available, because a
+        narrowed codebook cannot recover the lost bits.
+        """
+        if current.dtype == np.dtype("float64"):
+            return current.astype(requested)
+        if requested == np.dtype("float64") and self.model is not None:
+            return None
+        return current.astype(requested)
+
     def set_serving_dtype(self, dtype) -> "GhsomDetector":
         """Switch the serving path to ``dtype`` (e.g. ``"float32"``) in place.
+
+        .. deprecated:: use ``configure(serving_config.evolve(dtype=...))``
+           with a :class:`~repro.serving.config.ServingConfig` instead.
 
         Float32 serving halves codebook memory traffic at the cost of
         bit-exactness — see :meth:`CompiledGhsom.astype` for the tolerance
@@ -420,24 +550,15 @@ class GhsomDetector(BaseAnomalyDetector):
         detector whose only source is an already-narrowed snapshot, the tree
         is rehydrated to recover full precision).
         """
+        warnings.warn(
+            "GhsomDetector.set_serving_dtype() is deprecated; build a "
+            "repro.serving.ServingConfig (dtype=...) and pass it to "
+            "configure()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._require_fitted(self.is_fitted)
-        requested = np.dtype(dtype)
-        current = self._compiled_model()
-        if requested == current.dtype:
-            return self
-        if current.dtype == np.dtype("float64"):
-            # Narrowing from the exact source keeps the documented tolerance.
-            self._compiled = current.astype(requested)
-        elif requested == np.dtype("float64") and self.model is not None:
-            # Upcasting a narrowed codebook cannot recover the lost bits;
-            # recompile from the tree (the property access above hydrated a
-            # lazily loaded one) instead.
-            self._compiled = None
-        else:
-            self._compiled = current.astype(requested)
-        self._tables = None
-        self._close_sharded()  # rebuilt lazily against the re-cast snapshot
-        return self
+        return self._apply_serving(self._serving.evolve(dtype=np.dtype(dtype).name))
 
     # ------------------------------------------------------------------ #
     # compute engine
@@ -449,6 +570,9 @@ class GhsomDetector(BaseAnomalyDetector):
 
     def set_engine(self, engine: Optional[str]) -> "GhsomDetector":
         """Choose the descent engine: ``"numpy"``, ``"fused"``, ``"auto"`` or ``None``.
+
+        .. deprecated:: use ``configure(serving_config.evolve(engine=...))``
+           with a :class:`~repro.serving.config.ServingConfig` instead.
 
         ``"numpy"`` is the byte-exact reference (and the library default);
         ``"fused"`` runs the single-pass distance+argmin kernel from
@@ -464,16 +588,14 @@ class GhsomDetector(BaseAnomalyDetector):
         sharded engines alike (a live sharded engine is rebuilt with the new
         setting on the next scoring call).
         """
-        if engine is not None:
-            kernels.check_engine(engine)
-            if engine == "fused" and self.is_fitted:
-                compiled = self._compiled_model()
-                kernels.resolve_engine(
-                    engine, metric=compiled.metric, dtype=compiled.dtype, strict=True
-                )
-        self._engine = engine
-        self._close_sharded()  # shard engine fields are set at build time
-        return self
+        warnings.warn(
+            "GhsomDetector.set_engine() is deprecated; build a "
+            "repro.serving.ServingConfig (engine=...) and pass it to "
+            "configure()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._apply_serving(self._serving.evolve(engine=engine))
 
     # ------------------------------------------------------------------ #
     # sharded serving
@@ -495,6 +617,10 @@ class GhsomDetector(BaseAnomalyDetector):
     ) -> "GhsomDetector":
         """Serve ``detect`` through K root-subtree shards (``None``/0 disables).
 
+        .. deprecated:: use ``configure()`` with a
+           :class:`~repro.serving.config.ServingConfig` carrying a
+           :class:`~repro.serving.config.ShardingSpec` instead.
+
         The compiled model is partitioned by root-level BMU into ``n_shards``
         self-contained subtree shards executed on ``backend`` (``"serial"``,
         ``"thread"``, ``"process"``, or a :class:`~repro.serving.ShardBackend`
@@ -505,18 +631,51 @@ class GhsomDetector(BaseAnomalyDetector):
         :class:`~repro.streaming.OnlineDetector` sharded across drift-
         triggered refits.
         """
+        warnings.warn(
+            "GhsomDetector.set_sharding() is deprecated; build a "
+            "repro.serving.ServingConfig (sharding=ShardingSpec(...)) and "
+            "pass it to configure()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.serving.backends import make_backend
+        from repro.serving.config import ShardingSpec
 
-        self._close_sharded()
         if not n_shards:
-            self._shard_spec = None
-            return self
+            return self._apply_serving(self._serving.evolve(sharding=ShardingSpec()))
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
-        # Resolve the backend eagerly so a bad name fails here, not mid-batch.
+        # Resolve the backend eagerly so a bad name fails here, not mid-batch
+        # (and so an already-constructed instance keeps its identity).
         resolved = make_backend(backend, workers)
-        self._shard_spec = (int(n_shards), resolved, None)
-        return self
+        spec = self._spec_of_backend(resolved, int(n_shards), workers)
+        return self._apply_serving(self._serving.evolve(sharding=spec), backend=resolved)
+
+    def _spec_of_backend(self, resolved, n_shards: int, workers: Optional[int]):
+        """Best-effort declarative mirror of a live backend instance.
+
+        Keeps :attr:`serving_config` honest on the legacy ``set_sharding``
+        path: named backends round-trip exactly; a custom
+        :class:`ShardBackend` subclass has no declarative name and is
+        recorded as a bare sharded spec.
+        """
+        from repro.serving.config import SHARD_BACKENDS, ShardingSpec
+
+        name = getattr(resolved, "name", None)
+        if name == "remote":
+            addresses = getattr(resolved, "addresses", ())
+            return ShardingSpec(
+                shards=n_shards,
+                remote_workers=",".join(f"{host}:{port}" for host, port in addresses),
+                provisioning=getattr(resolved, "_provisioning", "auto"),
+            )
+        if name in SHARD_BACKENDS:
+            return ShardingSpec(
+                shards=n_shards,
+                backend=name,
+                workers=None if name == "serial" else workers,
+            )
+        return ShardingSpec(shards=n_shards)
 
     def _close_sharded(self) -> None:
         if self._sharded is not None:
@@ -593,6 +752,14 @@ class GhsomDetector(BaseAnomalyDetector):
             [key for key, keep in zip(leaf_keys, calibration_mask) if keep],
         )
         self.threshold_ = strategy
+        # Re-apply the serving config to the fresh model: the compiled
+        # snapshot was reset above, so a non-default serving dtype (e.g.
+        # float32 across an OnlineDetector drift-triggered refit) must be
+        # re-narrowed from it.  The cached plan is host-side only, but the
+        # model's metric feeds resolution — recompute lazily.
+        self._plan = None
+        if np.dtype(self._serving.dtype) != np.dtype("float64"):
+            self._compiled = compiled.astype(self._serving.dtype)
         return self
 
     # ------------------------------------------------------------------ #
@@ -661,8 +828,27 @@ class GhsomDetector(BaseAnomalyDetector):
         three that separate ``predict`` / ``score_samples`` /
         ``predict_category`` calls would pay.  Each individual method is the
         corresponding field of this result.
+
+        The result's :attr:`DetectionResult.stats` carries a
+        :class:`~repro.serving.config.ServingStats`: per-stage wall-clock
+        timings (ingest / route / descend / merge) plus the resolved
+        :class:`~repro.serving.config.ServingPlan` provenance, so serving
+        consumers get observability without instrumenting the layers.
         """
-        tables, leaf_index, ratios = self._score_arrays(X)
+        from repro.serving.config import ServingStats
+
+        t_start = perf_counter()
+        self._require_fitted(self.is_fitted)
+        # One cast to the serving dtype at the boundary; the engines' own
+        # validation then passes the converted matrix through untouched, so
+        # this stays a single-descent, single-cast path (and the timing below
+        # cleanly separates ingest from the descent).
+        matrix = check_array_2d(X, "data", dtype=self._compiled_model().dtype)
+        ingest_s = perf_counter() - t_start
+        t_score = perf_counter()
+        tables, leaf_index, ratios = self._score_arrays(matrix)
+        score_s = perf_counter() - t_score
+        t_merge = perf_counter()
         if tables.is_attack is None:
             scores = ratios
         else:
@@ -683,11 +869,34 @@ class GhsomDetector(BaseAnomalyDetector):
             labels[unlabeled & ~over] = "normal"
             labels[was_normal & over] = "unknown"
             categories = labels.tolist()
+        # The sharded router measures its own route / dispatch / merge split;
+        # the unsharded engine fuses routing into the descent (route 0.0).
+        route_s = shard_merge_s = 0.0
+        descend_s = score_s
+        router_timings = getattr(self._sharded, "last_timings", None)
+        if router_timings:
+            route_s = float(router_timings.get("route_s", 0.0))
+            shard_merge_s = float(router_timings.get("merge_s", 0.0))
+            descend_s = max(score_s - route_s - shard_merge_s, 0.0)
+        plan = self.resolved_plan()
+        stats = ServingStats(
+            n_records=int(matrix.shape[0]),
+            dtype=str(matrix.dtype),
+            engine=plan.engine,
+            sharded=self._shard_spec is not None,
+            ingest_s=ingest_s,
+            route_s=route_s,
+            descend_s=descend_s,
+            merge_s=shard_merge_s + (perf_counter() - t_merge),
+            total_s=perf_counter() - t_start,
+            plan=plan.to_dict(),
+        )
         return DetectionResult(
             scores=scores,
             predictions=predictions,
             categories=categories,
             leaf_index=leaf_index,
+            stats=stats,
         )
 
     def score_samples(self, X) -> np.ndarray:

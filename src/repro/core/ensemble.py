@@ -12,7 +12,7 @@ library emits scores on the same "1.0 = at threshold" scale.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -29,7 +29,7 @@ from repro.core.compiled import CompiledGhsom, compile_ghsom
 from repro.core.config import GhsomConfig
 from repro.core.growing_som import GrowingSom
 from repro.core.quantization import dataset_quantization_error
-from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.exceptions import DataValidationError, NotFittedError
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 from repro.utils.validation import check_array_2d
 

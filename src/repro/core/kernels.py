@@ -46,7 +46,6 @@ from __future__ import annotations
 import ctypes
 import os
 import subprocess
-import sys
 import tempfile
 import threading
 import weakref

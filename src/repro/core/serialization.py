@@ -42,8 +42,9 @@ arrays.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -55,6 +56,7 @@ from repro.core.growing_som import GrowingSom
 from repro.core.labeling import UnitLabeler
 from repro.core.thresholds import threshold_from_dict
 from repro.exceptions import SerializationError
+from repro.serving.config import ServingConfig, effective_config
 from repro.serving.planner import manifest_from_compiled
 from repro.utils.mmapio import (
     atomic_write,
@@ -87,6 +89,35 @@ SIDECAR_SUFFIX = ".npz"
 
 #: Sidecar container formats the v3 reader understands.
 _SIDECAR_FORMATS = ("npz",)
+
+#: Sentinel distinguishing "legacy keyword not passed" from explicit values
+#: (including ``None``) on the deprecated loader signatures.
+_UNSET = object()
+
+
+def _legacy_serving_overrides(kwargs: Dict[str, object], caller: str) -> Dict[str, object]:
+    """Fold explicitly-passed legacy serving kwargs into config overrides.
+
+    Emits a single :class:`DeprecationWarning` naming the
+    :class:`~repro.serving.config.ServingConfig` replacement when any legacy
+    keyword was given.  ``None`` values on keywords whose legacy default was
+    ``None`` ("no preference") count as unset, so migrated callers that
+    forward defaults verbatim neither warn nor override anything.
+    """
+    passed = {key: value for key, value in kwargs.items() if value is not _UNSET}
+    for key in ("engine", "shards", "workers", "backend", "remote_workers"):
+        if key in passed and passed[key] is None:
+            del passed[key]
+    if not passed:
+        return {}
+    warnings.warn(
+        f"the {sorted(passed)} keyword(s) of {caller} are deprecated; pass a "
+        "repro.serving.ServingConfig via config= (or flat field overrides "
+        "via overrides=) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return passed
 
 
 def _check_version(data: Dict[str, object]) -> int:
@@ -616,6 +647,11 @@ def _detector_payload(
         "calibrate_on_normal_only": detector.calibrate_on_normal_only,
     }
     if version >= 2:
+        # The detector's serving configuration travels inside the artifact,
+        # so loading hydrates a fully-configured detector (dtype, engine,
+        # sharding, artifact options) unless the caller overrides it — see
+        # repro.serving.config.effective_config for the precedence rule.
+        payload["serving_config"] = detector.serving_config.to_dict()
         # Generators are process-local state; only reproducible seeds persist.
         random_state = detector.random_state
         payload["random_state"] = (
@@ -690,12 +726,14 @@ def _restored_labels(labels: Optional[np.ndarray]) -> Optional[np.ndarray]:
 def detector_from_dict(
     data: Dict[str, object],
     *,
-    dtype: str = "float64",
+    config: Optional[ServingConfig] = None,
+    overrides: Optional[Mapping[str, object]] = None,
     sidecar_dir: Optional[PathLike] = None,
     arrays: Optional[Dict[str, np.ndarray]] = None,
-    mmap: bool = True,
-    verify: bool = False,
-    engine: Optional[str] = None,
+    dtype: object = _UNSET,
+    mmap: object = _UNSET,
+    verify: object = _UNSET,
+    engine: object = _UNSET,
 ) -> GhsomDetector:
     """Rebuild a :class:`GhsomDetector` from a stored payload (any version).
 
@@ -707,24 +745,42 @@ def detector_from_dict(
 
     v3 payloads additionally need their binary sidecar: pass ``sidecar_dir``
     (the directory the JSON was read from — :func:`load_detector` does) or a
-    pre-opened ``arrays`` mapping.  ``mmap`` / ``verify`` control how the
-    sidecar is opened (see :func:`open_sidecar`).
+    pre-opened ``arrays`` mapping.
 
-    ``dtype`` selects the serving precision (``"float32"`` opts into the
-    narrowed mode documented on :meth:`CompiledGhsom.astype`); scores are
-    bit-exact against the saved detector only at the default ``"float64"``.
-    ``engine`` selects the descent compute engine for the loaded detector
-    (see :mod:`repro.core.kernels`); engines other than the default
-    ``"numpy"`` are resolved strictly, so an unprovidable ``"fused"``
-    request fails here rather than at first score.
+    How the detector serves is governed by one
+    :class:`~repro.serving.config.ServingConfig` with the standard
+    precedence (see :func:`repro.serving.config.effective_config`): a full
+    ``config`` wins wholesale; otherwise flat ``overrides`` (dtype, engine,
+    provider, shards, workers, backend, remote_workers, provisioning, mmap,
+    verify) apply field-wise on top of the artifact-embedded config (v2+
+    payloads carry the config the detector was saved with; older artifacts
+    fall back to the library default).  The resolved config also controls
+    how the sidecar is opened.  Scores are bit-exact against the saved
+    detector only at the default ``"float64"`` dtype.
+
+    The ``dtype`` / ``mmap`` / ``verify`` / ``engine`` keywords are the
+    deprecated pre-config spelling; they behave as the equivalent
+    ``overrides`` and emit a :class:`DeprecationWarning`.
     """
     if data.get("kind") != "ghsom_detector":
         raise SerializationError(
             f"payload is not a ghsom detector (kind={data.get('kind')!r})"
         )
+    merged = dict(overrides or {})
+    merged.update(
+        _legacy_serving_overrides(
+            {"dtype": dtype, "mmap": mmap, "verify": verify, "engine": engine},
+            "detector_from_dict()",
+        )
+    )
+    serving = effective_config(
+        config=config, overrides=merged or None, embedded=data.get("serving_config")
+    )
     version = _check_version(data)
     if version >= 3 and arrays is None:
-        arrays = open_sidecar(data, sidecar_dir, mmap=mmap, verify=verify)
+        arrays = open_sidecar(
+            data, sidecar_dir, mmap=serving.artifact.mmap, verify=serving.artifact.verify
+        )
     model_payload = dict(data["model"])
     config = GhsomConfig.from_dict(dict(model_payload["config"]))
     random_state = data.get("random_state")
@@ -751,7 +807,7 @@ def detector_from_dict(
             exact = compiled_from_arrays(dict(model_payload["compiled"]), arrays)
         else:
             exact = compiled_from_dict(dict(model_payload["compiled"]))
-        compiled = exact.astype(dtype)
+        compiled = exact.astype(serving.dtype)
         detector._compiled = compiled
         # The loader closure carries only the tree-structure payload plus the
         # in-memory float64 arrays — not the parsed JSON codebook lists (or
@@ -796,11 +852,14 @@ def detector_from_dict(
                 ),
             )
     else:
+        # v1: full tree rebuild; any non-default dtype is applied by the
+        # configure() call below (it narrows from the freshly compiled tree).
         detector.model = ghsom_from_dict(model_payload)
-        if np.dtype(dtype) != np.dtype("float64"):
-            detector.set_serving_dtype(dtype)
-    if engine is not None:
-        detector.set_engine(engine)
+    # One atomic application of the effective config: dtype (already matching
+    # on the v2/v3 path above, so the snapshot is kept), engine (resolved
+    # strictly — an unprovidable "fused" request fails here rather than at
+    # first score) and sharding (the backend is constructed eagerly).
+    detector.configure(serving)
     return detector
 
 
@@ -825,27 +884,37 @@ def save_detector(
 def load_detector(
     path: PathLike,
     *,
-    dtype: str = "float64",
-    mmap: bool = True,
-    verify: bool = False,
-    engine: Optional[str] = None,
+    config: Optional[ServingConfig] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+    dtype: object = _UNSET,
+    mmap: object = _UNSET,
+    verify: object = _UNSET,
+    engine: object = _UNSET,
 ) -> GhsomDetector:
     """Load a detector previously written by :func:`save_detector` (any version).
 
-    The format is auto-detected from the JSON header.  For v3 artifacts the
-    ``.npz`` sidecar next to the JSON is memory-mapped (``mmap=False`` reads
-    it eagerly instead) and ``verify=True`` additionally checks its SHA-256
-    against the integrity header.  ``engine`` selects the descent compute
-    engine (forwarded to :func:`detector_from_dict`).
+    The format is auto-detected from the JSON header.  Serving is governed
+    by one :class:`~repro.serving.config.ServingConfig` with the standard
+    precedence — ``config`` wholesale, else ``overrides`` field-wise on top
+    of the artifact-embedded config — exactly as documented on
+    :func:`detector_from_dict`; the resolved config also controls how a v3
+    sidecar is opened (``mmap`` / ``verify``).  The ``dtype`` / ``mmap`` /
+    ``verify`` / ``engine`` keywords are the deprecated pre-config spelling
+    (they behave as the equivalent ``overrides`` and warn once).
     """
     path = Path(path)
+    merged = dict(overrides or {})
+    merged.update(
+        _legacy_serving_overrides(
+            {"dtype": dtype, "mmap": mmap, "verify": verify, "engine": engine},
+            "load_detector()",
+        )
+    )
     return detector_from_dict(
         _read_json(path),
-        dtype=dtype,
+        config=config,
+        overrides=merged or None,
         sidecar_dir=path.parent,
-        mmap=mmap,
-        verify=verify,
-        engine=engine,
     )
 
 

@@ -28,7 +28,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError
-from repro.utils.validation import check_fraction, check_positive
+from repro.utils.validation import check_positive
 
 LeafKey = Tuple[str, int]
 

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.data.records import Dataset
-from repro.data.schema import FEATURE_NAMES, KddSchema
+from repro.data.schema import KddSchema
 from repro.exceptions import DataValidationError
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_fraction

@@ -24,18 +24,12 @@ What matters for reproducing the paper's *shape* of results is preserved:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.data.records import Dataset
-from repro.data.schema import (
-    ATTACK_TO_CATEGORY,
-    FLAG_VALUES,
-    KddSchema,
-    PROTOCOL_VALUES,
-    SERVICE_VALUES,
-)
+from repro.data.schema import ATTACK_TO_CATEGORY, KddSchema
 from repro.exceptions import ConfigurationError, DataValidationError
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_probability_vector

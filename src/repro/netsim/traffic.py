@@ -10,7 +10,7 @@ statistically stationary background the detectors are calibrated on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

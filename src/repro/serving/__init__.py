@@ -24,7 +24,15 @@ into a serving subsystem:
   connections, :class:`RemoteBackend` (ships shard tasks to workers on other
   hosts, with by-reference or by-value shard provisioning and local
   failover) and :class:`ShardWorkerServer` (the ``repro-ids shard-worker``
-  process).
+  process);
+* :mod:`repro.serving.config` — the unified serving-configuration layer:
+  :class:`ServingConfig` (one frozen, versioned, JSON-round-trippable
+  description of dtype / engine / sharding / artifact options, embedded in
+  v2+ artifacts and shipped to remote workers),
+  :meth:`ServingConfig.resolve` → :class:`ServingPlan` (all
+  environment-dependent resolution under one strict/degrade policy) and
+  :class:`ServingStats` (per-batch stage timings on
+  ``DetectionResult.stats``).
 
 The merged output is **byte-identical** to the unsharded float64 engine: the
 router replicates the root step of :meth:`CompiledGhsom.assign_arrays`
@@ -39,6 +47,16 @@ from repro.serving.backends import (
     ShardBackend,
     ThreadPoolBackend,
     make_backend,
+)
+from repro.serving.config import (
+    CONFIG_VERSION,
+    ArtifactOptions,
+    ServingConfig,
+    ServingPlan,
+    ServingStats,
+    ShardingSpec,
+    effective_config,
+    usable_workers,
 )
 from repro.serving.planner import (
     RootSubtree,
@@ -59,6 +77,14 @@ from repro.serving.transport import (
 )
 
 __all__ = [
+    "ServingConfig",
+    "ServingPlan",
+    "ServingStats",
+    "ShardingSpec",
+    "ArtifactOptions",
+    "effective_config",
+    "usable_workers",
+    "CONFIG_VERSION",
     "ShardBackend",
     "SerialBackend",
     "ThreadPoolBackend",

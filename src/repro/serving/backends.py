@@ -92,6 +92,15 @@ class ShardBackend:
     def close(self) -> None:
         """Release any pooled resources (a no-op for the serial backend)."""
 
+    def configure_serving(self, config) -> None:
+        """Receive the :class:`~repro.serving.config.ServingConfig` in force.
+
+        Called by ``GhsomDetector.configure`` whenever this backend is (re)
+        attached.  Local backends execute whatever shards they are handed, so
+        the default is a no-op; the remote backend overrides this to ship the
+        config to its workers at provisioning time.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(workers={self.workers})"
 

@@ -1,0 +1,630 @@
+"""The unified serving-configuration layer: ``ServingConfig`` → ``ServingPlan``.
+
+Six PRs of growth left the serving knobs scattered as loose keyword
+arguments threaded hand-over-hand through five layers — ``load_bundle(dtype=,
+shards=, workers=, shard_backend=, remote_workers=, mmap=, verify=,
+engine=)``, the detector's ``set_engine`` / ``set_sharding`` /
+``set_serving_dtype`` mutators, per-CLI-command flag duplication, and
+worker-side re-stamping of provisioned shards.  This module replaces that
+argument-plumbing convention with two first-class objects:
+
+:class:`ServingConfig`
+    A frozen, *declarative* description of how a model is served: dtype,
+    compute engine (plus fused-provider override), the sharding spec and the
+    artifact-loading options.  It validates strictly on construction,
+    round-trips through JSON (``to_dict`` / ``from_dict``, versioned), embeds
+    in v2/v3 model artifacts, and travels over the wire to remote shard
+    workers.  It never touches the environment: a config built on one host
+    means exactly the same thing on another.
+
+:class:`ServingPlan`
+    The *resolved* form: :meth:`ServingConfig.resolve` performs every
+    environment-dependent decision — fused-kernel provider availability,
+    usable core counts, remote address parsing — in one place, under one
+    strict/degrade policy (``strict=True`` raises on an unprovidable
+    ``"fused"`` request; ``strict=False`` degrades to the numpy engine, the
+    per-batch hot-path behaviour).  The plan is still a frozen value object;
+    :meth:`ServingPlan.build_backend` is the single constructor of live
+    :class:`~repro.serving.backends.ShardBackend` instances.
+
+:class:`ServingStats`
+    Uniform per-batch serving observability attached to
+    :class:`~repro.core.detector.DetectionResult` by ``GhsomDetector.detect``:
+    per-stage timings (ingest / route / descend / merge) plus the resolved
+    plan's provenance, so gateways and fleet tooling can see how a batch was
+    actually executed without instrumenting the layers themselves.
+
+Precedence, everywhere a config can come from more than one place (the CLI,
+an artifact, library defaults): **explicit caller config > CLI-style field
+overrides > artifact-embedded config > library default** — see
+:func:`effective_config`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core import kernels
+from repro.exceptions import ConfigurationError
+
+#: Version marker of the serialized ``ServingConfig`` payload (bumped on any
+#: incompatible change; readers reject versions they do not understand).
+CONFIG_VERSION = 1
+
+#: Serving dtypes the config layer accepts.  ``float64`` is the bit-exact
+#: default; ``float32`` opts into the narrowed serving mode documented on
+#: :meth:`~repro.core.compiled.CompiledGhsom.astype`.
+SERVING_DTYPES = ("float64", "float32")
+
+#: Shard-backend names a declarative config may carry (instances cannot be
+#: serialized; the legacy instance path lives on the detector shim only).
+SHARD_BACKENDS = ("serial", "thread", "process", "remote")
+
+#: Remote shard-provisioning policies (see
+#: :class:`~repro.serving.remote.RemoteBackend`).
+PROVISIONING_MODES = ("auto", "reference", "value")
+
+#: Fused-kernel provider overrides a config may request (``None`` = automatic
+#: selection; ``"none"`` disables the fused engine entirely).
+PROVIDERS = ("cc", "numba", "none")
+
+
+def usable_workers() -> int:
+    """Worker count matching the usable cores (affinity-aware).
+
+    The single owner of the "how parallel is this host" question for the
+    whole serving stack — pooled backends and plan resolution both call it.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+def _parse_remote_workers(spec: str) -> Tuple[str, ...]:
+    """Normalise a ``HOST:PORT[,HOST:PORT...]`` spec into address strings."""
+    from repro.serving.transport import parse_address
+
+    addresses = []
+    for part in str(spec).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, port = parse_address(part)
+        addresses.append(f"{host}:{port}")
+    return tuple(addresses)
+
+
+# --------------------------------------------------------------------------- #
+# the declarative config
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardingSpec:
+    """Declarative sharded-serving spec (``shards=None`` means unsharded).
+
+    Attributes
+    ----------
+    shards:
+        Number of root-subtree shards, or ``None`` for the unsharded engine.
+    workers:
+        Worker count for the pooled backends (``None`` = usable cores,
+        resolved by :meth:`ServingConfig.resolve`).
+    backend:
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"remote"``; ``None``
+        resolves to the serving default (``"thread"``).
+    remote_workers:
+        ``"HOST:PORT[,HOST:PORT...]"`` shard-worker addresses, required by
+        (and only valid with) the remote backend.
+    provisioning:
+        How remote workers receive the shard set: ``"auto"`` (by reference
+        when the sidecar fingerprints match, by value otherwise),
+        ``"reference"`` (strict) or ``"value"`` (always stream).
+    """
+
+    shards: Optional[int] = None
+    workers: Optional[int] = None
+    backend: Optional[str] = None
+    remote_workers: Optional[str] = None
+    provisioning: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.shards is not None:
+            object.__setattr__(self, "shards", int(self.shards))
+            if self.shards < 1:
+                raise ConfigurationError(
+                    f"n_shards must be >= 1, got {self.shards}"
+                )
+        if not self.shards and (
+            self.workers is not None
+            or self.backend is not None
+            or self.remote_workers is not None
+        ):
+            raise ConfigurationError(
+                "workers/shard_backend/remote_workers only apply to sharded "
+                "serving; pass shards=K (CLI: --shards) to enable it"
+            )
+        if self.workers is not None:
+            object.__setattr__(self, "workers", int(self.workers))
+            if self.workers < 1:
+                raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.backend is not None and self.backend not in SHARD_BACKENDS:
+            raise ConfigurationError(
+                f"unknown shard backend {self.backend!r}; available: {list(SHARD_BACKENDS)}"
+            )
+        if self.remote_workers is not None and self.backend not in (None, "remote"):
+            raise ConfigurationError(
+                f"remote_workers conflicts with shard_backend={self.backend!r}; "
+                "remote worker addresses imply --shard-backend remote"
+            )
+        if self.backend == "remote" and self.remote_workers is None:
+            raise ConfigurationError(
+                "the remote shard backend needs worker addresses; pass "
+                "remote_workers='HOST:PORT[,HOST:PORT...]' (CLI: "
+                "--remote-workers) with one repro-ids shard-worker per address"
+            )
+        if self.remote_workers is not None:
+            if self.backend is None:
+                # Addresses imply the remote backend; normalise so equal
+                # intents compare (and serialize) equal.
+                object.__setattr__(self, "backend", "remote")
+            if self.workers is not None:
+                raise ConfigurationError(
+                    "the remote backend's worker count is its address list; "
+                    "drop workers= and list one HOST:PORT per worker"
+                )
+            addresses = _parse_remote_workers(self.remote_workers)
+            if not addresses:
+                raise ConfigurationError(
+                    "the remote backend needs at least one worker address (HOST:PORT)"
+                )
+            object.__setattr__(self, "remote_workers", ",".join(addresses))
+        if self.provisioning not in PROVISIONING_MODES:
+            raise ConfigurationError(
+                f"unknown provisioning mode {self.provisioning!r}; "
+                f"expected one of {PROVISIONING_MODES}"
+            )
+        if self.provisioning != "auto" and self.backend != "remote":
+            raise ConfigurationError(
+                "provisioning only applies to the remote shard backend; "
+                f"got provisioning={self.provisioning!r} with "
+                f"backend={self.backend!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.shards)
+
+
+@dataclass(frozen=True)
+class ArtifactOptions:
+    """How binary (v3) artifacts are opened at load time.
+
+    ``mmap=True`` memory-maps the ``.npz`` sidecar (O(metadata) cold start);
+    ``verify=True`` additionally checks the sidecar's SHA-256 against the
+    integrity header (reads the whole file).
+    """
+
+    mmap: bool = True
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mmap", bool(self.mmap))
+        object.__setattr__(self, "verify", bool(self.verify))
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """One serializable, versioned description of how a model is served.
+
+    Strictly validated on construction; environment-independent by design
+    (resolution against the host happens in :meth:`resolve`).  Equality is
+    field-wise, so "same serving intent" compares equal across processes and
+    hosts — the property the artifact-embedding and remote-provisioning
+    paths rely on.
+    """
+
+    dtype: str = "float64"
+    engine: Optional[str] = None
+    provider: Optional[str] = None
+    sharding: ShardingSpec = field(default_factory=ShardingSpec)
+    artifact: ArtifactOptions = field(default_factory=ArtifactOptions)
+
+    def __post_init__(self) -> None:
+        try:
+            canonical = np.dtype(self.dtype).name
+        except TypeError as exc:
+            raise ConfigurationError(f"invalid serving dtype {self.dtype!r}: {exc}") from exc
+        if canonical not in SERVING_DTYPES:
+            raise ConfigurationError(
+                f"unsupported serving dtype {canonical!r}; expected one of {SERVING_DTYPES}"
+            )
+        object.__setattr__(self, "dtype", canonical)
+        if self.engine is not None:
+            kernels.check_engine(self.engine)
+        if self.provider is not None and self.provider not in PROVIDERS:
+            raise ConfigurationError(
+                f"unknown fused provider {self.provider!r}; "
+                f"expected one of {PROVIDERS} or None"
+            )
+        if not isinstance(self.sharding, ShardingSpec):
+            raise ConfigurationError(
+                f"sharding must be a ShardingSpec, got {type(self.sharding).__name__}"
+            )
+        if not isinstance(self.artifact, ArtifactOptions):
+            raise ConfigurationError(
+                f"artifact must be ArtifactOptions, got {type(self.artifact).__name__}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # JSON round trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload; exact inverse of :meth:`from_dict`."""
+        return {
+            "config_version": CONFIG_VERSION,
+            "dtype": self.dtype,
+            "engine": self.engine,
+            "provider": self.provider,
+            "sharding": {
+                "shards": self.sharding.shards,
+                "workers": self.sharding.workers,
+                "backend": self.sharding.backend,
+                "remote_workers": self.sharding.remote_workers,
+                "provisioning": self.sharding.provisioning,
+            },
+            "artifact": {
+                "mmap": self.artifact.mmap,
+                "verify": self.artifact.verify,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ServingConfig":
+        """Rebuild a config from :meth:`to_dict` output (strictly validated)."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"serving config payload must be a mapping, got {type(data).__name__}"
+            )
+        version = data.get("config_version")
+        if version != CONFIG_VERSION:
+            raise ConfigurationError(
+                f"unsupported serving-config version {version!r}; "
+                f"this reader understands version {CONFIG_VERSION}"
+            )
+        known = {"config_version", "dtype", "engine", "provider", "sharding", "artifact"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"serving config payload has unknown keys {unknown}; "
+                "the payload is corrupt or from an incompatible writer"
+            )
+        sharding = dict(data.get("sharding") or {})
+        unknown = sorted(
+            set(sharding) - {"shards", "workers", "backend", "remote_workers", "provisioning"}
+        )
+        if unknown:
+            raise ConfigurationError(
+                f"serving config sharding spec has unknown keys {unknown}"
+            )
+        artifact = dict(data.get("artifact") or {})
+        unknown = sorted(set(artifact) - {"mmap", "verify"})
+        if unknown:
+            raise ConfigurationError(
+                f"serving config artifact options have unknown keys {unknown}"
+            )
+        return cls(
+            dtype=str(data.get("dtype", "float64")),
+            engine=data.get("engine"),
+            provider=data.get("provider"),
+            sharding=ShardingSpec(
+                shards=sharding.get("shards"),
+                workers=sharding.get("workers"),
+                backend=sharding.get("backend"),
+                remote_workers=sharding.get("remote_workers"),
+                provisioning=str(sharding.get("provisioning", "auto")),
+            ),
+            artifact=ArtifactOptions(
+                mmap=bool(artifact.get("mmap", True)),
+                verify=bool(artifact.get("verify", False)),
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # derivation helpers
+    # ------------------------------------------------------------------ #
+    def evolve(self, **changes: object) -> "ServingConfig":
+        """A copy with top-level fields replaced (validates the result)."""
+        return replace(self, **changes)
+
+    def with_overrides(self, overrides: Mapping[str, object]) -> "ServingConfig":
+        """Apply flat, CLI-style field overrides on top of this config.
+
+        ``overrides`` maps flat knob names — ``dtype``, ``engine``,
+        ``provider``, ``shards``, ``workers``, ``backend``,
+        ``remote_workers``, ``provisioning``, ``mmap``, ``verify`` — to
+        values; keys that are absent keep this config's value, which is what
+        gives CLI flags field-wise precedence over an artifact-embedded
+        config.  Overriding any sharding field replaces the *whole* sharding
+        spec (a ``--shards 4`` override must not inherit a stale remote
+        address list from the artifact).
+        """
+        unknown = sorted(
+            set(overrides)
+            - {
+                "dtype",
+                "engine",
+                "provider",
+                "shards",
+                "workers",
+                "backend",
+                "remote_workers",
+                "provisioning",
+                "mmap",
+                "verify",
+            }
+        )
+        if unknown:
+            raise ConfigurationError(f"unknown serving config overrides {unknown}")
+        config = self
+        top = {key: overrides[key] for key in ("dtype", "engine", "provider") if key in overrides}
+        if top:
+            config = replace(config, **top)
+        shard_keys = ("shards", "workers", "backend", "remote_workers", "provisioning")
+        if any(key in overrides for key in shard_keys):
+            config = replace(
+                config,
+                sharding=ShardingSpec(
+                    shards=overrides.get("shards"),
+                    workers=overrides.get("workers"),
+                    backend=overrides.get("backend"),
+                    remote_workers=overrides.get("remote_workers"),
+                    provisioning=str(overrides.get("provisioning", "auto")),
+                ),
+            )
+        if "mmap" in overrides or "verify" in overrides:
+            config = replace(
+                config,
+                artifact=ArtifactOptions(
+                    mmap=bool(overrides.get("mmap", config.artifact.mmap)),
+                    verify=bool(overrides.get("verify", config.artifact.verify)),
+                ),
+            )
+        return config
+
+    # ------------------------------------------------------------------ #
+    # resolution
+    # ------------------------------------------------------------------ #
+    def resolve(
+        self,
+        *,
+        metric: str = "euclidean",
+        strict: bool = True,
+    ) -> "ServingPlan":
+        """Resolve this config against the current host into a :class:`ServingPlan`.
+
+        All environment-dependent decisions happen here, under one policy:
+
+        * the engine request (``None`` → library default) is resolved to a
+          concrete ``"numpy"`` / ``"fused"`` via
+          :func:`repro.core.kernels.resolve_engine` — ``strict=True`` raises
+          :class:`~repro.exceptions.ConfigurationError` when a ``"fused"``
+          request has no provider for ``metric``/``dtype``; ``strict=False``
+          degrades to numpy (the hot-path / worker-side policy);
+        * a requested fused ``provider`` is honoured by consulting the
+          provider registry (an unavailable strict request raises, a
+          degradable one resolves to numpy);
+        * pooled-backend worker counts default to the usable cores
+          (:func:`usable_workers`); the remote backend's worker count is its
+          address list.
+        """
+        requested = self.engine if self.engine is not None else kernels.get_default_engine()
+        provider: Optional[str] = None
+        if requested == "numpy":
+            resolved = "numpy"
+        elif self.provider == "none":
+            if requested == "fused" and strict:
+                raise ConfigurationError(
+                    "the fused engine is unavailable: this config disables "
+                    "every provider (provider='none')"
+                )
+            resolved = "numpy"
+        elif self.provider is not None:
+            available = self.provider in kernels.available_fused_providers()
+            supported = available and kernels.fused_supported(metric, self.dtype)
+            if requested == "fused" and strict and not supported:
+                raise ConfigurationError(
+                    f"the fused engine is unavailable with provider "
+                    f"{self.provider!r} for metric {metric!r} / dtype "
+                    f"{self.dtype!r}"
+                )
+            resolved = "fused" if supported else "numpy"
+            provider = self.provider if resolved == "fused" else None
+        else:
+            resolved = kernels.resolve_engine(
+                requested, metric=metric, dtype=self.dtype, strict=strict
+            )
+            provider = kernels.fused_provider() if resolved == "fused" else None
+        sharding = self.sharding
+        backend: Optional[str] = None
+        workers: Optional[int] = None
+        remote_workers: Tuple[str, ...] = ()
+        if sharding.enabled:
+            backend = sharding.backend or "thread"
+            if backend == "remote":
+                remote_workers = _parse_remote_workers(sharding.remote_workers or "")
+                workers = len(remote_workers)
+            elif backend == "serial":
+                workers = 1
+            else:
+                workers = sharding.workers if sharding.workers is not None else usable_workers()
+        return ServingPlan(
+            config=self,
+            dtype=self.dtype,
+            engine_requested=requested,
+            engine=resolved,
+            provider=provider,
+            n_shards=sharding.shards,
+            backend=backend,
+            workers=workers,
+            remote_workers=remote_workers,
+            provisioning=sharding.provisioning,
+            mmap=self.artifact.mmap,
+            verify=self.artifact.verify,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# the resolved plan
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ServingPlan:
+    """A :class:`ServingConfig` resolved against one host.
+
+    Every field is concrete: the engine is ``"numpy"`` or ``"fused"`` (with
+    the provider it will run on), worker counts are integers, remote
+    addresses are parsed.  The plan is still a passive value object —
+    :meth:`build_backend` constructs the live executor.
+    """
+
+    config: ServingConfig
+    dtype: str
+    engine_requested: str
+    engine: str
+    provider: Optional[str]
+    n_shards: Optional[int]
+    backend: Optional[str]
+    workers: Optional[int]
+    remote_workers: Tuple[str, ...]
+    provisioning: str
+    mmap: bool
+    verify: bool
+
+    @property
+    def sharded(self) -> bool:
+        return bool(self.n_shards)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Resolved-plan provenance (JSON-compatible; used by stats/inspect)."""
+        return {
+            "dtype": self.dtype,
+            "engine_requested": self.engine_requested,
+            "engine": self.engine,
+            "provider": self.provider,
+            "sharded": self.sharded,
+            "n_shards": self.n_shards,
+            "backend": self.backend,
+            "workers": self.workers,
+            "remote_workers": list(self.remote_workers),
+            "provisioning": self.provisioning,
+            "mmap": self.mmap,
+            "verify": self.verify,
+        }
+
+    def build_backend(self):
+        """Construct the live :class:`~repro.serving.backends.ShardBackend`.
+
+        The single place a declarative plan becomes a running executor:
+        ``load_bundle``, ``GhsomDetector.configure`` and the CLI all come
+        through here, so backend-construction policy (remote provisioning
+        mode, worker counts) cannot drift between layers.  Returns ``None``
+        for an unsharded plan.
+        """
+        if not self.sharded:
+            return None
+        if self.backend == "remote":
+            from repro.serving.remote import RemoteBackend
+
+            return RemoteBackend(
+                list(self.remote_workers), provisioning=self.provisioning
+            )
+        from repro.serving.backends import make_backend
+
+        workers = None if self.backend == "serial" else self.workers
+        return make_backend(self.backend, workers)
+
+    def describe(self) -> Dict[str, object]:
+        """Plan provenance plus host diagnostics (the ``inspect`` view)."""
+        summary = self.to_dict()
+        summary["usable_cores"] = usable_workers()
+        summary["default_engine"] = kernels.get_default_engine()
+        summary["fused_providers_available"] = list(kernels.available_fused_providers())
+        return summary
+
+
+# --------------------------------------------------------------------------- #
+# precedence
+# --------------------------------------------------------------------------- #
+def effective_config(
+    *,
+    config: Optional[ServingConfig] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+    embedded: Optional[Mapping[str, object]] = None,
+) -> ServingConfig:
+    """The one precedence rule: caller config > overrides > embedded > default.
+
+    ``config`` (a full :class:`ServingConfig`) wins wholesale when given.
+    Otherwise the artifact-``embedded`` payload (or the library default when
+    absent) is the base and the flat ``overrides`` mapping — CLI flags the
+    operator actually passed — is applied field-wise on top.
+    """
+    if config is not None:
+        if not isinstance(config, ServingConfig):
+            raise ConfigurationError(
+                f"config must be a ServingConfig, got {type(config).__name__}"
+            )
+        if overrides:
+            raise ConfigurationError(
+                "pass either a full ServingConfig or field overrides, not both"
+            )
+        return config
+    base = ServingConfig() if embedded is None else ServingConfig.from_dict(embedded)
+    if overrides:
+        base = base.with_overrides(overrides)
+    return base
+
+
+# --------------------------------------------------------------------------- #
+# serving observability
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ServingStats:
+    """Per-batch serving observability attached to ``DetectionResult.stats``.
+
+    Timings are wall-clock seconds per stage: ``ingest`` (validation plus
+    the single cast to the serving dtype), ``route`` (the sharded router's
+    root distance+argmin; zero on the unsharded engine, which fuses routing
+    into the descent), ``descend`` (the tree descent itself) and ``merge``
+    (score folding, label resolution and — when sharded — scattering shard
+    results back into input order).  ``plan`` carries the resolved
+    :meth:`ServingPlan.to_dict` provenance so a consumer can tell *how* the
+    batch executed, not just how long it took.
+    """
+
+    n_records: int
+    dtype: str
+    engine: str
+    sharded: bool
+    ingest_s: float
+    route_s: float
+    descend_s: float
+    merge_s: float
+    total_s: float
+    plan: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_records": self.n_records,
+            "dtype": self.dtype,
+            "engine": self.engine,
+            "sharded": self.sharded,
+            "ingest_s": self.ingest_s,
+            "route_s": self.route_s,
+            "descend_s": self.descend_s,
+            "merge_s": self.merge_s,
+            "total_s": self.total_s,
+            "plan": self.plan,
+        }

@@ -49,7 +49,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import fields, replace
+from dataclasses import fields
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -64,6 +64,7 @@ from repro.serving.backends import (
     make_backend,
     same_shard_objects,
 )
+from repro.serving.config import ServingConfig
 from repro.serving.shards import SubtreeShard
 from repro.serving.transport import (
     PROTOCOL_VERSION,
@@ -282,6 +283,15 @@ class RemoteBackend(ShardBackend):
         self._epoch = -1
         self._wire_reference: Optional[Tuple[str, Dict[str, object], List[Dict[str, object]]]] = None
         self._wire_value: Optional[List[Dict[str, object]]] = None
+        #: The ServingConfig in force on the coordinator, shipped inside every
+        #: provision frame (set via :meth:`configure_serving`).
+        self._serving_config: Optional[ServingConfig] = None
+        #: Per-worker resolved plans from the most recent provisioning —
+        #: ``{"host:port": plan_dict}``, straight from each worker's provision
+        #: ack.  Lets operators (and the loopback CI gate) assert that every
+        #: worker resolved the shipped config to the same effective plan the
+        #: coordinator did.
+        self.worker_plans: Dict[str, Dict[str, object]] = {}
         self.stats: Dict[str, int] = {
             "remote_tasks": 0,
             "failover_tasks": 0,
@@ -303,6 +313,20 @@ class RemoteBackend(ShardBackend):
     @property
     def addresses(self) -> Tuple[Tuple[str, int], ...]:
         return self._addresses
+
+    def configure_serving(self, config) -> None:
+        """Ship ``config`` to every worker at the next provisioning epoch.
+
+        Replaces the per-shard engine re-stamp of earlier versions: workers
+        receive the whole :class:`~repro.serving.config.ServingConfig`,
+        resolve it locally (honouring their own ``--engine`` override) and
+        report the resolved plan back in the provision ack
+        (:attr:`worker_plans`).  A changed config invalidates the current
+        epoch so the next ``run`` re-provisions with the new one.
+        """
+        if config != self._serving_config:
+            self._serving_config = config
+            self._epoch_shards = None
 
     def close(self) -> None:
         for connection in self._connections.values():
@@ -448,18 +472,23 @@ class RemoteBackend(ShardBackend):
                 use_reference = isinstance(advertised, dict) and fingerprints_match(
                     fingerprint, advertised
                 )
+        serving = (
+            None if self._serving_config is None else self._serving_config.to_dict()
+        )
         if use_reference:
             _, fingerprint, states = self._wire_reference
             try:
-                connection.call(
+                ack = connection.call(
                     "provision",
                     timeout=self._task_timeout,
                     mode="reference",
                     epoch=self._epoch,
                     sidecar=fingerprint,
                     shards=states,
+                    serving=serving,
                 )
                 self.stats["provision_reference"] += 1
+                self._note_worker_plan(connection, ack)
                 return
             except ServingError:
                 if self._provisioning == "reference":
@@ -468,15 +497,23 @@ class RemoteBackend(ShardBackend):
                 # provision; stream the arrays instead of giving it up.
         if self._wire_value is None:
             self._wire_value = _value_wire(shards)
-        connection.call(
+        ack = connection.call(
             "provision",
             timeout=self._task_timeout,
             mode="value",
             epoch=self._epoch,
             sidecar=None,
             shards=self._wire_value,
+            serving=serving,
         )
         self.stats["provision_value"] += 1
+        self._note_worker_plan(connection, ack)
+
+    def _note_worker_plan(self, connection: WorkerConnection, ack: object) -> None:
+        """Record the resolved plan a worker reported in its provision ack."""
+        if isinstance(ack, dict) and isinstance(ack.get("plan"), dict):
+            host, port = connection.address
+            self.worker_plans[f"{host}:{port}"] = ack["plan"]
 
     def _drop(self, connection: WorkerConnection) -> None:
         connection.close()
@@ -699,7 +736,11 @@ class ShardWorkerServer:
                     elif operation == "provision":
                         shards = self._provisioned_shards(frame)
                         epoch = int(frame["epoch"])
-                        result = {"n_shards": len(shards), "epoch": epoch}
+                        result = {
+                            "n_shards": len(shards),
+                            "epoch": epoch,
+                            "plan": self._resolved_plan(frame, shards),
+                        }
                     elif operation == "run":
                         if epoch is None or int(frame["epoch"]) != epoch:
                             raise ServingError(
@@ -754,9 +795,50 @@ class ShardWorkerServer:
                     "re-sync the model artifact to this host"
                 )
             sidecar_path = self.sidecar_path
-        shards = tuple(
-            _shard_from_state(dict(state), sidecar_path) for state in states
-        )
+        engine = self._effective_engine(frame)
+        restored = []
+        for state in states:
+            state = dict(state)
+            if engine is not None:
+                # Stamp the effective engine into the wire state before the
+                # shard object exists — each shard's per-call resolution then
+                # degrades gracefully on hosts without a kernel provider.
+                state["engine"] = engine
+            restored.append(_shard_from_state(state, sidecar_path))
+        return tuple(restored)
+
+    def _effective_engine(self, frame: Dict[str, object]) -> Optional[str]:
+        """The engine the provisioned shards should descend with.
+
+        The worker-local ``--engine`` override wins; otherwise the engine of
+        the coordinator's shipped :class:`ServingConfig` applies (``None``
+        leaves the wire states untouched — they already carry whatever the
+        coordinator stamped).
+        """
         if self.engine is not None:
-            shards = tuple(replace(shard, engine=self.engine) for shard in shards)
-        return shards
+            return self.engine
+        serving = frame.get("serving")
+        if isinstance(serving, dict):
+            engine = serving.get("engine")
+            return engine if isinstance(engine, str) else None
+        return None
+
+    def _resolved_plan(
+        self, frame: Dict[str, object], shards: Tuple[SubtreeShard, ...]
+    ) -> Optional[Dict[str, object]]:
+        """Resolve the shipped config on *this* host and return its plan dict.
+
+        ``None`` when the coordinator sent no config (older coordinators).
+        The worker-local engine override is folded in before resolution, and
+        resolution is non-strict: a worker without the requested fused
+        provider serves with numpy rather than refusing provisioning — the
+        divergence is visible in the reported plan instead of fatal.
+        """
+        serving = frame.get("serving")
+        if not isinstance(serving, dict):
+            return None
+        config = ServingConfig.from_dict(serving)
+        if self.engine is not None:
+            config = config.evolve(engine=self.engine)
+        metric = shards[0].metric if shards else "euclidean"
+        return config.resolve(metric=metric, strict=False).to_dict()

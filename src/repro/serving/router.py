@@ -21,6 +21,7 @@ engine for every shard count and backend.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -71,6 +72,10 @@ class ShardedGhsom:
         for shard in self.shards:
             self._shard_of_unit[shard.root_units] = shard.shard_id
             self._entry_of_unit[shard.root_units] = shard.entry_local_node
+        #: Stage timings of the most recent :meth:`assign_arrays` call —
+        #: ``{"route_s", "descend_s", "merge_s"}`` wall-clock seconds — read
+        #: by the detector to fill :class:`~repro.serving.config.ServingStats`.
+        self.last_timings: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -156,6 +161,7 @@ class ShardedGhsom:
             raise DataValidationError(
                 f"data has {matrix.shape[1]} features, the model expects {self.n_features}"
             )
+        t_route = perf_counter()
         n = matrix.shape[0]
         leaf_index = np.full(n, -1, dtype=np.intp)
         distances = np.zeros(n, dtype=self._root_codebook.dtype)
@@ -194,14 +200,21 @@ class ShardedGhsom:
             entries = self._entry_of_unit[units[rows]]
             tasks.append((shard.shard_id, matrix[rows], entries))
             task_rows.append(rows)
+        route_s = perf_counter() - t_route
         # --- merge: scatter results back into input order ----------------- #
+        descend_s = merge_s = 0.0
         if tasks:
+            t_descend = perf_counter()
             results = self.backend.run(self.shards, tasks)
+            descend_s = perf_counter() - t_descend
+            t_merge = perf_counter()
             for (shard_id, _, _), rows, (local_leaf, shard_distances) in zip(
                 tasks, task_rows, results
             ):
                 leaf_index[rows] = self.shards[shard_id].leaf_global_row[local_leaf]
                 distances[rows] = shard_distances
+            merge_s = perf_counter() - t_merge
+        self.last_timings = {"route_s": route_s, "descend_s": descend_s, "merge_s": merge_s}
         return leaf_index, distances.astype(np.float64, copy=False)
 
     def transform(self, data) -> np.ndarray:

@@ -21,7 +21,7 @@ thresholding and through periodic retraining on recent traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -116,6 +116,19 @@ class OnlineDetector:
     def is_ready(self) -> bool:
         """Whether the wrapped detector is fitted and scoring."""
         return self._is_warmed_up
+
+    @property
+    def serving_config(self):
+        """The wrapped detector's :class:`~repro.serving.ServingConfig`.
+
+        ``None`` for detectors outside the config layer (baselines).  The
+        config is carried by the detector itself, so it survives
+        drift-triggered refits unchanged: ``GhsomDetector.fit`` re-applies
+        the full serving setup — dtype snapshot, engine, sharding — to the
+        newly compiled model, and the next ``process`` batch serves with the
+        exact same plan as before the refit.
+        """
+        return getattr(self.detector, "serving_config", None)
 
     def _effective_scale(self) -> float:
         """Multiplier applied to the nominal threshold of 1.0.

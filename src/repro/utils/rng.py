@@ -8,7 +8,7 @@ type of the ``random_state`` argument it received.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

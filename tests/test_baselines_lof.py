@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.lof import LofDetector
-from repro.eval.metrics import binary_metrics, roc_auc
+from repro.eval.metrics import roc_auc
 from repro.exceptions import ConfigurationError, NotFittedError
 
 

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import Ghsom, GhsomConfig, GhsomDetector, SomTrainingConfig
-from repro.core.compiled import CompiledGhsom, compile_ghsom
+from repro.core.compiled import compile_ghsom
 from repro.core.detector import combine_label_and_distance_scores
 from repro.core.labeling import UNLABELED
 from repro.core.serialization import detector_from_dict, detector_to_dict

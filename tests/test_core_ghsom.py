@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.config import GhsomConfig, SomTrainingConfig
 from repro.core.ghsom import Ghsom
-from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.exceptions import DataValidationError, NotFittedError
 
 
 @pytest.fixture(scope="module")

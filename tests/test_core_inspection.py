@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.config import GhsomConfig, SomTrainingConfig
+from repro.core.config import SomTrainingConfig
 from repro.core.detector import GhsomDetector
 from repro.core.ghsom import Ghsom
 from repro.core.grid import MapGrid

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.eval.metrics import (
-    BinaryMetrics,
     auc,
     binary_metrics,
     confusion_matrix,

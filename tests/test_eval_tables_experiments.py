@@ -8,7 +8,6 @@ import pytest
 from repro.baselines.kmeans import KMeansDetector
 from repro.baselines.pca_subspace import PcaSubspaceDetector
 from repro.core.config import GhsomConfig, SomTrainingConfig
-from repro.core.detector import GhsomDetector
 from repro.data.synthetic import KddSyntheticGenerator
 from repro.eval.experiments import DetectorResult, ExperimentRunner, evaluate_detector
 from repro.eval.sweeps import dataset_size_sweep, tau_sensitivity_sweep, threshold_sweep

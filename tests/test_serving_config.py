@@ -1,0 +1,377 @@
+"""Unit tests of the declarative serving-config layer (repro.serving.config).
+
+Covers strict construction-time validation, the versioned JSON round trip
+(property-based: any constructible config survives to_dict/from_dict
+unchanged), the flat-override derivation used by the CLI, the
+config/overrides/embedded precedence rule, and environment resolution into a
+ServingPlan under both the strict and the degrade policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.serving import (
+    ArtifactOptions,
+    ServingConfig,
+    ServingPlan,
+    ServingStats,
+    ShardingSpec,
+    effective_config,
+    usable_workers,
+)
+from repro.serving.backends import SerialBackend, ThreadPoolBackend
+from repro.serving.config import CONFIG_VERSION
+from repro.serving.remote import RemoteBackend
+
+
+# --------------------------------------------------------------------------- #
+# construction + validation
+# --------------------------------------------------------------------------- #
+class TestValidation:
+    def test_default_config_is_unsharded_float64(self):
+        config = ServingConfig()
+        assert config.dtype == "float64"
+        assert config.engine is None
+        assert config.provider is None
+        assert not config.sharding.enabled
+        assert config.artifact.mmap is True
+        assert config.artifact.verify is False
+
+    def test_dtype_is_canonicalised(self):
+        assert ServingConfig(dtype="<f4").dtype == "float32"
+        assert ServingConfig(dtype="double").dtype == "float64"
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ConfigurationError, match="unsupported serving dtype"):
+            ServingConfig(dtype="int32")
+        with pytest.raises(ConfigurationError, match="invalid serving dtype"):
+            ServingConfig(dtype=object())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(engine="cuda")
+
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fused provider"):
+            ServingConfig(provider="mkl")
+
+    def test_workers_without_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="only apply to sharded serving"):
+            ShardingSpec(workers=4)
+
+    def test_backend_without_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="only apply to sharded serving"):
+            ShardingSpec(backend="thread")
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_shards must be >= 1"):
+            ShardingSpec(shards=0)
+
+    def test_remote_workers_with_local_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="remote_workers conflicts"):
+            ShardingSpec(shards=2, backend="process", remote_workers="h:1")
+
+    def test_remote_backend_without_addresses_rejected(self):
+        with pytest.raises(ConfigurationError, match="needs worker addresses"):
+            ShardingSpec(shards=2, backend="remote")
+
+    def test_remote_workers_with_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="address list"):
+            ShardingSpec(shards=2, remote_workers="h:1", workers=3)
+
+    def test_remote_workers_imply_remote_backend(self):
+        spec = ShardingSpec(shards=2, remote_workers="localhost:9001")
+        assert spec.backend == "remote"
+
+    def test_remote_workers_are_canonicalised(self):
+        spec = ShardingSpec(shards=2, remote_workers=" a:1 , b:2 ,")
+        assert spec.remote_workers == "a:1,b:2"
+
+    def test_provisioning_without_remote_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="provisioning only applies"):
+            ShardingSpec(shards=2, backend="thread", provisioning="value")
+
+    def test_sharding_must_be_a_spec(self):
+        with pytest.raises(ConfigurationError, match="must be a ShardingSpec"):
+            ServingConfig(sharding={"shards": 2})
+
+    def test_artifact_must_be_options(self):
+        with pytest.raises(ConfigurationError, match="must be ArtifactOptions"):
+            ServingConfig(artifact={"mmap": False})
+
+
+# --------------------------------------------------------------------------- #
+# JSON round trip
+# --------------------------------------------------------------------------- #
+def _configs() -> st.SearchStrategy[ServingConfig]:
+    """Any constructible ServingConfig (validation-consistent by design)."""
+    local = st.builds(
+        ShardingSpec,
+        shards=st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+        workers=st.none(),
+        backend=st.none(),
+    )
+    pooled = st.builds(
+        ShardingSpec,
+        shards=st.integers(min_value=1, max_value=64),
+        workers=st.one_of(st.none(), st.integers(min_value=1, max_value=16)),
+        backend=st.sampled_from(["serial", "thread", "process"]),
+    )
+    remote = st.builds(
+        ShardingSpec,
+        shards=st.integers(min_value=1, max_value=64),
+        remote_workers=st.lists(
+            st.integers(min_value=1, max_value=65535), min_size=1, max_size=4
+        ).map(lambda ports: ",".join(f"worker{i}:{p}" for i, p in enumerate(ports))),
+        provisioning=st.sampled_from(["auto", "reference", "value"]),
+    )
+    return st.builds(
+        ServingConfig,
+        dtype=st.sampled_from(["float64", "float32"]),
+        engine=st.sampled_from([None, "numpy", "fused", "auto"]),
+        provider=st.sampled_from([None, "cc", "numba", "none"]),
+        sharding=st.one_of(local, pooled, remote),
+        artifact=st.builds(ArtifactOptions, mmap=st.booleans(), verify=st.booleans()),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(config=_configs())
+    def test_to_dict_from_dict_identity(self, config):
+        payload = config.to_dict()
+        assert payload["config_version"] == CONFIG_VERSION
+        assert ServingConfig.from_dict(payload) == config
+
+    @settings(max_examples=100, deadline=None)
+    @given(config=_configs())
+    def test_payload_is_json_compatible(self, config):
+        import json
+
+        assert ServingConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+
+    def test_wrong_version_rejected(self):
+        payload = ServingConfig().to_dict()
+        payload["config_version"] = CONFIG_VERSION + 1
+        with pytest.raises(ConfigurationError, match="unsupported serving-config version"):
+            ServingConfig.from_dict(payload)
+
+    def test_unknown_top_level_key_rejected(self):
+        payload = ServingConfig().to_dict()
+        payload["threads"] = 4
+        with pytest.raises(ConfigurationError, match=r"unknown keys \['threads'\]"):
+            ServingConfig.from_dict(payload)
+
+    def test_unknown_sharding_key_rejected(self):
+        payload = ServingConfig().to_dict()
+        payload["sharding"]["n_shards"] = 4
+        with pytest.raises(ConfigurationError, match="sharding spec has unknown keys"):
+            ServingConfig.from_dict(payload)
+
+    def test_unknown_artifact_key_rejected(self):
+        payload = ServingConfig().to_dict()
+        payload["artifact"]["lazy"] = True
+        with pytest.raises(ConfigurationError, match="artifact options have unknown keys"):
+            ServingConfig.from_dict(payload)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be a mapping"):
+            ServingConfig.from_dict([1, 2, 3])
+
+
+# --------------------------------------------------------------------------- #
+# overrides + precedence
+# --------------------------------------------------------------------------- #
+class TestOverrides:
+    def test_top_level_overrides(self):
+        config = ServingConfig().with_overrides({"dtype": "float32", "engine": "auto"})
+        assert config.dtype == "float32"
+        assert config.engine == "auto"
+
+    def test_any_sharding_key_replaces_the_whole_spec(self):
+        base = ServingConfig(
+            sharding=ShardingSpec(shards=4, remote_workers="a:1,b:2")
+        )
+        overridden = base.with_overrides({"shards": 2})
+        # --shards 2 must not inherit the stale remote address list.
+        assert overridden.sharding == ShardingSpec(shards=2)
+
+    def test_artifact_overrides_merge(self):
+        base = ServingConfig(artifact=ArtifactOptions(mmap=False, verify=True))
+        assert base.with_overrides({"verify": False}).artifact == ArtifactOptions(
+            mmap=False, verify=False
+        )
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown serving config overrides"):
+            ServingConfig().with_overrides({"threads": 8})
+
+    def test_override_validation_matches_construction(self):
+        with pytest.raises(ConfigurationError, match="only apply to sharded serving"):
+            ServingConfig().with_overrides({"workers": 4})
+
+
+class TestEffectiveConfig:
+    def test_default_when_nothing_given(self):
+        assert effective_config() == ServingConfig()
+
+    def test_full_config_wins_over_embedded(self):
+        embedded = ServingConfig(dtype="float32").to_dict()
+        config = ServingConfig(engine="numpy")
+        assert effective_config(config=config, embedded=embedded) == config
+
+    def test_config_plus_overrides_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            effective_config(config=ServingConfig(), overrides={"dtype": "float32"})
+
+    def test_overrides_apply_on_top_of_embedded(self):
+        embedded = ServingConfig(dtype="float32", engine="numpy").to_dict()
+        result = effective_config(overrides={"dtype": "float64"}, embedded=embedded)
+        assert result.dtype == "float64"
+        assert result.engine == "numpy"  # untouched embedded field survives
+
+    def test_non_config_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be a ServingConfig"):
+            effective_config(config={"dtype": "float64"})
+
+
+# --------------------------------------------------------------------------- #
+# resolution into a plan
+# --------------------------------------------------------------------------- #
+class TestResolve:
+    def test_numpy_resolves_to_numpy(self):
+        plan = ServingConfig(engine="numpy").resolve()
+        assert plan.engine == "numpy"
+        assert plan.engine_requested == "numpy"
+        assert plan.provider is None
+        assert not plan.sharded
+
+    def test_default_engine_request_is_recorded(self):
+        from repro.core import kernels
+
+        plan = ServingConfig().resolve()
+        assert plan.engine_requested == kernels.get_default_engine()
+
+    def test_provider_none_disables_fused(self):
+        plan = ServingConfig(engine="auto", provider="none").resolve()
+        assert plan.engine == "numpy"
+
+    def test_strict_fused_with_provider_none_raises(self):
+        with pytest.raises(ConfigurationError, match="fused engine is unavailable"):
+            ServingConfig(engine="fused", provider="none").resolve(strict=True)
+
+    def test_degrade_policy_never_raises(self):
+        plan = ServingConfig(engine="fused", provider="none").resolve(strict=False)
+        assert plan.engine == "numpy"
+
+    def test_auto_degrades_even_under_strict(self):
+        # "auto" is a preference, not a demand: it resolves on every host.
+        plan = ServingConfig(engine="auto").resolve(strict=True)
+        assert plan.engine in ("numpy", "fused")
+
+    def test_unsharded_plan_has_no_backend(self):
+        plan = ServingConfig().resolve()
+        assert plan.n_shards is None
+        assert plan.backend is None
+        assert plan.workers is None
+        assert plan.build_backend() is None
+
+    def test_sharded_backend_defaults_to_thread(self):
+        plan = ServingConfig(sharding=ShardingSpec(shards=3)).resolve()
+        assert plan.backend == "thread"
+        assert plan.workers == usable_workers()
+
+    def test_serial_backend_pins_one_worker(self):
+        plan = ServingConfig(
+            sharding=ShardingSpec(shards=3, backend="serial")
+        ).resolve()
+        assert plan.workers == 1
+        backend = plan.build_backend()
+        assert isinstance(backend, SerialBackend)
+
+    def test_explicit_worker_count_survives(self):
+        plan = ServingConfig(
+            sharding=ShardingSpec(shards=3, backend="thread", workers=2)
+        ).resolve()
+        assert plan.workers == 2
+        backend = plan.build_backend()
+        assert isinstance(backend, ThreadPoolBackend)
+        assert backend.workers == 2
+
+    def test_remote_worker_count_is_the_address_list(self):
+        plan = ServingConfig(
+            sharding=ShardingSpec(
+                shards=4, remote_workers="a:1,b:2,c:3", provisioning="value"
+            )
+        ).resolve()
+        assert plan.backend == "remote"
+        assert plan.workers == 3
+        assert plan.remote_workers == ("a:1", "b:2", "c:3")
+        backend = plan.build_backend()
+        assert isinstance(backend, RemoteBackend)
+        assert backend.workers == 3
+        assert backend._provisioning == "value"
+
+    def test_plan_to_dict_is_json_compatible(self):
+        import json
+
+        plan = ServingConfig(sharding=ShardingSpec(shards=2)).resolve()
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert payload["n_shards"] == 2
+        assert payload["sharded"] is True
+
+    def test_describe_adds_host_diagnostics(self):
+        description = ServingConfig().resolve().describe()
+        assert description["usable_cores"] == usable_workers()
+        assert "default_engine" in description
+        assert "fused_providers_available" in description
+
+    @settings(max_examples=100, deadline=None)
+    @given(config=_configs())
+    def test_every_config_resolves_under_the_degrade_policy(self, config):
+        plan = config.resolve(strict=False)
+        assert isinstance(plan, ServingPlan)
+        assert plan.engine in ("numpy", "fused")
+        assert plan.config == config
+        if config.sharding.enabled:
+            assert plan.workers >= 1
+        else:
+            assert plan.backend is None
+
+
+# --------------------------------------------------------------------------- #
+# stats
+# --------------------------------------------------------------------------- #
+class TestServingStats:
+    def test_to_dict_round_trips_fields(self):
+        stats = ServingStats(
+            n_records=10,
+            dtype="float64",
+            engine="numpy",
+            sharded=False,
+            ingest_s=0.001,
+            route_s=0.0,
+            descend_s=0.002,
+            merge_s=0.0005,
+            total_s=0.004,
+            plan={"engine": "numpy"},
+        )
+        payload = stats.to_dict()
+        assert payload["n_records"] == 10
+        assert payload["plan"] == {"engine": "numpy"}
+        assert set(payload) == {
+            "n_records",
+            "dtype",
+            "engine",
+            "sharded",
+            "ingest_s",
+            "route_s",
+            "descend_s",
+            "merge_s",
+            "total_s",
+            "plan",
+        }

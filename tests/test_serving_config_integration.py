@@ -1,0 +1,434 @@
+"""Integration tests of the unified ServingConfig layer across the stack.
+
+What these tests pin down, layer by layer:
+
+* the detector's single mutation path (``configure``) is atomic and the
+  legacy setters are order-independent shims over it;
+* every legacy serving keyword and setter emits one DeprecationWarning that
+  names ServingConfig, with behaviour unchanged;
+* a configured detector's ServingConfig is embedded in v2/v3 artifacts and
+  survives save → load → refit with byte-identical scores;
+* ``DetectionResult.stats`` carries per-stage timings plus the resolved
+  plan's provenance;
+* a config built from CLI flags, embedded in a v3 bundle and served through
+  a remote shard worker resolves to the *same* plan on the coordinator and
+  on the worker (the provision ack reports the worker's plan back).
+"""
+
+from __future__ import annotations
+
+import itertools
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cli import (
+    build_parser,
+    load_bundle,
+    save_bundle,
+    serving_config_from_args,
+    serving_overrides_from_args,
+)
+from repro.core import GhsomConfig, GhsomDetector, SomTrainingConfig
+from repro.core.serialization import load_detector, save_detector
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.exceptions import ConfigurationError
+from repro.serving import ServingConfig, ServingStats, ShardWorkerServer, ShardingSpec
+from repro.streaming import OnlineDetector
+
+
+# --------------------------------------------------------------------------- #
+# fixtures (the pristine fitted detector is never mutated; mutation tests
+# load their own independent copies from the bundles)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def workload():
+    generator = KddSyntheticGenerator(random_state=71)
+    train = generator.generate(900)
+    test = generator.generate(400)
+    pipeline = PreprocessingPipeline()
+    return {
+        "pipeline": pipeline,
+        "X_train": pipeline.fit_transform(train),
+        "X_test": pipeline.transform(test),
+        "y_train": [str(category) for category in train.categories],
+    }
+
+
+@pytest.fixture(scope="module")
+def fitted(workload):
+    detector = GhsomDetector(
+        GhsomConfig(
+            tau1=0.3,
+            tau2=0.05,
+            max_depth=2,
+            max_map_size=36,
+            min_samples_for_expansion=25,
+            training=SomTrainingConfig(epochs=3),
+            random_state=29,
+        ),
+        random_state=29,
+    )
+    detector.fit(workload["X_train"], workload["y_train"])
+    return detector
+
+
+@pytest.fixture(scope="module")
+def json_bundle(workload, fitted, tmp_path_factory):
+    path = tmp_path_factory.mktemp("config_model") / "model.json"
+    save_bundle(workload["pipeline"], fitted, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def binary_bundle(workload, fitted, tmp_path_factory):
+    path = tmp_path_factory.mktemp("config_model_bin") / "model.json"
+    save_bundle(workload["pipeline"], fitted, path, format="binary")
+    return path
+
+
+@pytest.fixture(scope="module")
+def baseline_scores(fitted, workload):
+    return np.asarray(fitted.detect(workload["X_test"]).scores)
+
+
+def _fresh_detector(bundle_path):
+    _, detector = load_bundle(bundle_path)
+    return detector
+
+
+# --------------------------------------------------------------------------- #
+# configure(): the single mutation path
+# --------------------------------------------------------------------------- #
+class TestConfigure:
+    def test_constructor_accepts_a_config(self, workload):
+        detector = GhsomDetector(
+            GhsomConfig(random_state=0), serving=ServingConfig(engine="numpy")
+        )
+        assert detector.serving_config.engine == "numpy"
+
+    def test_constructor_rejects_config_plus_legacy_engine(self):
+        with pytest.raises(ConfigurationError, match="legacy engine= shorthand"):
+            GhsomDetector(
+                GhsomConfig(random_state=0),
+                engine="numpy",
+                serving=ServingConfig(engine="numpy"),
+            )
+
+    def test_configure_is_atomic_on_failure(self, json_bundle, workload):
+        detector = _fresh_detector(json_bundle)
+        before = detector.serving_config
+        bad = ServingConfig(engine="fused", provider="none")  # never resolvable
+        with pytest.raises(ConfigurationError, match="fused engine is unavailable"):
+            detector.configure(bad)
+        # Nothing was committed: same config, and the detector still scores.
+        assert detector.serving_config == before
+        assert detector.resolved_plan().engine == "numpy"
+        assert np.isfinite(detector.score_samples(workload["X_test"][:16])).all()
+
+    def test_configure_rejects_non_config(self, json_bundle):
+        detector = _fresh_detector(json_bundle)
+        with pytest.raises(ConfigurationError):
+            detector.configure({"dtype": "float32"})
+
+    def test_sharded_configure_is_byte_identical(
+        self, json_bundle, workload, baseline_scores
+    ):
+        detector = _fresh_detector(json_bundle)
+        detector.configure(
+            ServingConfig(sharding=ShardingSpec(shards=3, backend="serial"))
+        )
+        try:
+            scores = np.asarray(detector.detect(workload["X_test"]).scores)
+        finally:
+            detector.configure(ServingConfig())
+        np.testing.assert_array_equal(scores, baseline_scores)
+
+
+# --------------------------------------------------------------------------- #
+# satellite 1: order-independent legacy setters
+# --------------------------------------------------------------------------- #
+class TestOrderIndependence:
+    def test_every_setter_ordering_yields_the_same_config_and_scores(
+        self, json_bundle, workload
+    ):
+        setters = {
+            "engine": lambda d: d.set_engine("numpy"),
+            "dtype": lambda d: d.set_serving_dtype("float32"),
+            "sharding": lambda d: d.set_sharding(2, backend="serial"),
+        }
+        configs, scores = [], []
+        for ordering in itertools.permutations(setters):
+            detector = _fresh_detector(json_bundle)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                for name in ordering:
+                    setters[name](detector)
+            configs.append(detector.serving_config)
+            scores.append(np.asarray(detector.detect(workload["X_test"]).scores))
+            detector.configure(detector.serving_config.evolve(sharding=ShardingSpec()))
+        assert all(config == configs[0] for config in configs[1:])
+        expected = ServingConfig(
+            dtype="float32",
+            engine="numpy",
+            sharding=ShardingSpec(shards=2, backend="serial"),
+        )
+        assert configs[0] == expected
+        for other in scores[1:]:
+            np.testing.assert_array_equal(other, scores[0])
+
+
+# --------------------------------------------------------------------------- #
+# satellite 2: deprecation shims (warning text + unchanged behaviour)
+# --------------------------------------------------------------------------- #
+class TestDeprecationShims:
+    def test_set_engine_warns_and_behaves(self, json_bundle):
+        detector = _fresh_detector(json_bundle)
+        with pytest.warns(DeprecationWarning, match=r"ServingConfig \(engine="):
+            detector.set_engine("numpy")
+        assert detector.serving_config.engine == "numpy"
+
+    def test_set_serving_dtype_warns_and_behaves(self, json_bundle):
+        detector = _fresh_detector(json_bundle)
+        with pytest.warns(DeprecationWarning, match=r"ServingConfig \(dtype="):
+            detector.set_serving_dtype("float32")
+        assert detector.serving_config.dtype == "float32"
+        assert detector.serving_dtype == np.dtype("float32")
+
+    def test_set_sharding_warns_and_behaves(self, json_bundle):
+        detector = _fresh_detector(json_bundle)
+        with pytest.warns(DeprecationWarning, match=r"ServingConfig \(sharding="):
+            detector.set_sharding(2, backend="serial")
+        assert detector.serving_config.sharding == ShardingSpec(
+            shards=2, backend="serial"
+        )
+        with pytest.warns(DeprecationWarning):
+            detector.set_sharding(None)
+        assert not detector.serving_config.sharding.enabled
+
+    def test_load_bundle_legacy_kwargs_warn_once_and_behave(
+        self, json_bundle, workload, baseline_scores
+    ):
+        with pytest.warns(DeprecationWarning, match="ServingConfig") as record:
+            _, legacy = load_bundle(json_bundle, dtype="float32")
+        assert len([w for w in record if w.category is DeprecationWarning]) == 1
+        _, modern = load_bundle(json_bundle, overrides={"dtype": "float32"})
+        assert legacy.serving_config == modern.serving_config
+        np.testing.assert_array_equal(
+            np.asarray(legacy.detect(workload["X_test"]).scores),
+            np.asarray(modern.detect(workload["X_test"]).scores),
+        )
+
+    def test_load_detector_legacy_kwargs_warn(self, fitted, tmp_path):
+        path = tmp_path / "detector.json"
+        save_detector(fitted, path)
+        with pytest.warns(DeprecationWarning, match="load_detector"):
+            detector = load_detector(path, dtype="float32")
+        assert detector.serving_config.dtype == "float32"
+
+    def test_forwarded_none_defaults_do_not_warn(self, json_bundle):
+        # None for the optional legacy kwargs means "unset", not an override:
+        # wrappers forwarding their own defaults must stay warning-free.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            load_bundle(json_bundle, shards=None, workers=None, engine=None)
+
+
+# --------------------------------------------------------------------------- #
+# satellite 3: the config travels inside artifacts and survives refits
+# --------------------------------------------------------------------------- #
+class TestArtifactEmbeddedConfig:
+    @pytest.mark.parametrize("format", ["json", "binary"])
+    def test_config_round_trips_through_a_bundle(
+        self, workload, json_bundle, tmp_path, format
+    ):
+        configured = ServingConfig(
+            dtype="float32",
+            engine="numpy",
+            sharding=ShardingSpec(shards=3, backend="serial"),
+        )
+        detector = _fresh_detector(json_bundle)
+        detector.configure(configured)
+        expected = np.asarray(detector.detect(workload["X_test"]).scores)
+        path = tmp_path / "configured.json"
+        save_bundle(workload["pipeline"], detector, path, format=format)
+        detector.configure(ServingConfig())
+        _, loaded = load_bundle(path)  # no arguments: the artifact speaks
+        try:
+            assert loaded.serving_config == configured
+            assert loaded.sharding is not None
+            assert loaded.sharding["n_shards"] == 3
+            np.testing.assert_array_equal(
+                np.asarray(loaded.detect(workload["X_test"]).scores), expected
+            )
+        finally:
+            loaded.configure(ServingConfig())
+
+    def test_cli_overrides_beat_the_embedded_config(
+        self, workload, json_bundle, tmp_path
+    ):
+        detector = _fresh_detector(json_bundle)
+        detector.configure(ServingConfig(dtype="float32", engine="numpy"))
+        path = tmp_path / "f32.json"
+        save_bundle(workload["pipeline"], detector, path)
+        _, loaded = load_bundle(path, overrides={"dtype": "float64"})
+        assert loaded.serving_config.dtype == "float64"
+        assert loaded.serving_config.engine == "numpy"  # untouched field survives
+
+    def test_config_survives_a_refit(self, json_bundle, workload):
+        configured = ServingConfig(
+            dtype="float32", sharding=ShardingSpec(shards=2, backend="serial")
+        )
+        detector = _fresh_detector(json_bundle)
+        detector.configure(configured)
+        try:
+            detector.fit(workload["X_train"], workload["y_train"])
+            assert detector.serving_config == configured
+            assert detector.serving_dtype == np.dtype("float32")
+            result = detector.detect(workload["X_test"])
+            assert result.stats.sharded is True
+            assert result.stats.dtype == "float32"
+        finally:
+            detector.configure(ServingConfig())
+
+    def test_online_detector_exposes_and_keeps_the_config(
+        self, json_bundle, workload
+    ):
+        detector = _fresh_detector(json_bundle)
+        detector.configure(ServingConfig(dtype="float32"))
+        online = OnlineDetector(detector, warmup_size=10, buffer_size=200)
+        assert online.serving_config is detector.serving_config
+        online.process(workload["X_test"][:64])
+        # A drift-triggered refit goes through detector.fit, which re-applies
+        # the config; exercise that path directly.
+        detector.fit(workload["X_train"])
+        assert online.serving_config.dtype == "float32"
+        assert detector.serving_dtype == np.dtype("float32")
+
+
+# --------------------------------------------------------------------------- #
+# serving stats on DetectionResult
+# --------------------------------------------------------------------------- #
+class TestDetectionStats:
+    def test_unsharded_stats(self, fitted, workload):
+        result = fitted.detect(workload["X_test"])
+        stats = result.stats
+        assert isinstance(stats, ServingStats)
+        assert stats.n_records == workload["X_test"].shape[0]
+        assert stats.dtype == "float64"
+        assert stats.engine in ("numpy", "fused")
+        assert stats.sharded is False
+        for value in (stats.ingest_s, stats.route_s, stats.descend_s, stats.merge_s):
+            assert value >= 0.0
+        assert stats.total_s > 0.0
+        assert stats.plan == fitted.resolved_plan().to_dict()
+
+    def test_sharded_stats_carry_plan_provenance(self, json_bundle, workload):
+        _, detector = load_bundle(json_bundle, overrides={"shards": 2, "backend": "serial"})
+        try:
+            stats = detector.detect(workload["X_test"]).stats
+        finally:
+            detector.configure(ServingConfig())
+        assert stats.sharded is True
+        assert stats.plan["n_shards"] == 2
+        assert stats.plan["backend"] == "serial"
+
+
+# --------------------------------------------------------------------------- #
+# CLI flag helpers
+# --------------------------------------------------------------------------- #
+class TestCliHelpers:
+    def test_only_explicit_flags_become_overrides(self):
+        args = build_parser().parse_args(
+            ["detect", "--model", "m", "--input", "i", "--float32", "--shards", "2"]
+        )
+        assert serving_overrides_from_args(args) == {"dtype": "float32", "shards": 2}
+
+    def test_no_flags_mean_no_overrides(self):
+        args = build_parser().parse_args(["detect", "--model", "m", "--input", "i"])
+        assert serving_overrides_from_args(args) == {}
+        assert serving_config_from_args(args) == ServingConfig()
+
+    def test_full_flag_set_builds_a_config(self):
+        args = build_parser().parse_args(
+            [
+                "detect",
+                "--model", "m",
+                "--input", "i",
+                "--float32",
+                "--engine", "numpy",
+                "--no-mmap",
+                "--verify",
+                "--shards", "4",
+                "--shard-backend", "remote",
+                "--remote-workers", "a:1,b:2",
+                "--provisioning", "value",
+            ]
+        )
+        config = serving_config_from_args(args)
+        assert config.dtype == "float32"
+        assert config.engine == "numpy"
+        assert config.artifact.mmap is False
+        assert config.artifact.verify is True
+        assert config.sharding == ShardingSpec(
+            shards=4, remote_workers="a:1,b:2", provisioning="value"
+        )
+
+    def test_inspect_prints_the_resolved_plan(self, binary_bundle, capsys):
+        from repro.cli import main
+
+        assert main(["inspect", "--model", str(binary_bundle)]) == 0
+        output = capsys.readouterr().out
+        assert "Serving plan" in output
+        assert "engine" in output
+        assert "usable cores" in output
+
+
+# --------------------------------------------------------------------------- #
+# acceptance: CLI flags → embedded config → remote worker, one plan everywhere
+# --------------------------------------------------------------------------- #
+class TestCoordinatorWorkerPlanParity:
+    def test_identical_resolved_plans_on_both_ends(
+        self, workload, json_bundle, tmp_path, baseline_scores
+    ):
+        with ShardWorkerServer("127.0.0.1", 0).start() as server:
+            address = f"{server.address[0]}:{server.address[1]}"
+            # The operator's intent, expressed once as CLI flags.
+            args = build_parser().parse_args(
+                [
+                    "detect",
+                    "--model", "m",
+                    "--input", "i",
+                    "--shards", "2",
+                    "--remote-workers", address,
+                    "--provisioning", "value",
+                ]
+            )
+            config = serving_config_from_args(args)
+            detector = _fresh_detector(json_bundle)
+            detector.configure(config)
+            path = tmp_path / "remote_configured.json"
+            save_bundle(workload["pipeline"], detector, path, format="binary")
+            detector.configure(ServingConfig())
+            # Round trip: the bundle alone rehydrates the remote setup.
+            _, loaded = load_bundle(path)
+            try:
+                assert loaded.serving_config == config
+                coordinator_plan = loaded.resolved_plan().to_dict()
+                scores = np.asarray(loaded.detect(workload["X_test"]).scores)
+                backend = loaded._shard_spec[1]
+                assert backend.stats["remote_tasks"] > 0
+                worker_plan = backend.worker_plans[address]
+            finally:
+                loaded.configure(ServingConfig())
+        # Byte-identity first: remote serving changed nothing.
+        np.testing.assert_array_equal(scores, baseline_scores)
+        # The worker resolved the shipped config to the exact plan the
+        # coordinator holds (same host stack in this test, so even the
+        # environment-dependent fields agree).
+        assert worker_plan == coordinator_plan
+        assert worker_plan["n_shards"] == 2
+        assert worker_plan["backend"] == "remote"
+        assert worker_plan["provisioning"] == "value"

@@ -87,6 +87,7 @@ class TestWarmup:
         assert first.extra.get("warming_up")
         assert not online.is_ready
         second = online.process(X[150:400])
+        assert second.extra.get("warmup_completed")
         assert online.is_ready
         third = online.process(X[400:500])
         assert not third.extra.get("warming_up")
