@@ -69,8 +69,8 @@ def test_fig2_threshold_sweep(benchmark):
 
     detection = [row["detection_rate"] for row in rows]
     fpr = [row["false_positive_rate"] for row in rows]
-    assert all(b <= a + 1e-9 for a, b in zip(detection, detection[1:]))
-    assert all(b <= a + 1e-9 for a, b in zip(fpr, fpr[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(detection, detection[1:], strict=False))
+    assert all(b <= a + 1e-9 for a, b in zip(fpr, fpr[1:], strict=False))
     # Both strategies must remain usable: high DR at 5% FPR.
     for scores in scores_by_strategy.values():
         assert detection_rate_at_fpr(workload["y_test"], scores, 0.05) > 0.8

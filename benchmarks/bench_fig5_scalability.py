@@ -73,7 +73,7 @@ def test_fig5_scalability(benchmark):
 
     print()
     table = []
-    for ghsom_row, knn_row in zip(ghsom_rows, knn_rows):
+    for ghsom_row, knn_row in zip(ghsom_rows, knn_rows, strict=True):
         table.append(
             [
                 ghsom_row["n_train"],

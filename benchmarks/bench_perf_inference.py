@@ -45,15 +45,15 @@ N_TRAIN = 4000
 #: full-size synthetic KDD workload; "wide" is the evaluation-scale tree,
 #: "compact" the test-fixture-scale one.
 CONFIGS = (
-    ("wide_depth3", dict()),
-    ("compact_depth3", dict(max_map_size=36, min_samples_for_expansion=40)),
+    ("wide_depth3", {}),
+    ("compact_depth3", {"max_map_size": 36, "min_samples_for_expansion": 40}),
 )
 
 #: Quick-mode line-up: the smaller training set needs laxer expansion rules
 #: to still grow a 3-level tree.
 QUICK_CONFIGS = (
-    ("wide_depth3", dict(tau2=0.03, min_samples_for_expansion=25)),
-    ("compact_depth2", dict(max_map_size=36, min_samples_for_expansion=25)),
+    ("wide_depth3", {"tau2": 0.03, "min_samples_for_expansion": 25}),
+    ("compact_depth2", {"max_map_size": 36, "min_samples_for_expansion": 25}),
 )
 
 FULL_BATCH_SIZES = (1000, 10000, 50000)

@@ -93,7 +93,7 @@ def run_benchmark(
     pipeline = PreprocessingPipeline()
     X_train = pipeline.fit_transform(train)
     batch = pipeline.transform(test)
-    overrides = dict(tau2=0.03, min_samples_for_expansion=25) if quick else {}
+    overrides = {"tau2": 0.03, "min_samples_for_expansion": 25} if quick else {}
     detector = GhsomDetector(default_ghsom_config(**overrides), random_state=BENCH_SEED)
     detector.fit(X_train, [str(category) for category in train.categories])
     compiled = detector.model.compile()

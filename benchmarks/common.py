@@ -30,18 +30,18 @@ N_TEST = 2000
 
 def default_ghsom_config(**overrides) -> GhsomConfig:
     """The GHSOM configuration used throughout the evaluation (tau1=0.3, tau2=0.05)."""
-    base = dict(
-        tau1=0.3,
-        tau2=0.05,
-        max_depth=3,
-        max_map_size=100,
-        max_growth_rounds=30,
+    base = {
+        "tau1": 0.3,
+        "tau2": 0.05,
+        "max_depth": 3,
+        "max_map_size": 100,
+        "max_growth_rounds": 30,
         # Expanding units with fewer than ~60 mapped records produces noisy
         # child maps on KDD-scale data; 60 keeps leaves statistically stable.
-        min_samples_for_expansion=60,
-        training=SomTrainingConfig(epochs=5),
-        random_state=BENCH_SEED,
-    )
+        "min_samples_for_expansion": 60,
+        "training": SomTrainingConfig(epochs=5),
+        "random_state": BENCH_SEED,
+    }
     base.update(overrides)
     return GhsomConfig(**base)
 

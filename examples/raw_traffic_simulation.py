@@ -101,7 +101,7 @@ def main() -> None:
     timestamps = np.array([event.timestamp for event in events])
     bins = np.arange(0.0, DURATION + 1.0, 30.0 if QUICK else 60.0)
     rows = []
-    for start, stop in zip(bins[:-1], bins[1:]):
+    for start, stop in zip(bins[:-1], bins[1:], strict=True):
         mask = (timestamps >= start) & (timestamps < stop)
         if not mask.any():
             continue

@@ -1,10 +1,29 @@
-"""Setup shim.
+"""Packaging entry point.
 
-The project is fully described by ``pyproject.toml``; this file exists only so
-that legacy (non-PEP-660) editable installs — ``pip install -e . --no-use-pep517``
-— keep working on environments that lack the ``wheel`` package.
+Kept deliberately minimal: the package layout is the classic ``src/`` tree
+and the only metadata that matters day to day is the pair of console
+scripts.  ``pip install -e .`` gives you:
+
+- ``repro-ids``  — train / detect / shard-worker CLI (``repro.cli``)
+- ``repro-lint`` — project-invariant static analysis (``repro.analysis``)
+
+Both commands also run without installation via ``python -m repro.cli`` and
+``python -m repro.analysis`` with ``PYTHONPATH=src`` (the form CI uses).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ghsom-ids",
+    version="0.8.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-ids = repro.cli:main",
+            "repro-lint = repro.analysis.cli:main",
+        ]
+    },
+)

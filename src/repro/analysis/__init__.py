@@ -1,0 +1,36 @@
+"""Project-invariant static analysis (``repro-lint``).
+
+Six PRs of growth accumulated correctness contracts that lived only in
+docstrings and test folklore: atomic artifact publication, the pickle trust
+boundary, the convert-once ingest rule, send-lock discipline on multiplexed
+sockets, frozen-config immutability, the kernel-provider seam, the single
+serving error surface and pool confinement.  This package enforces them
+mechanically with small AST rules (stable codes ``RPL001``…), so the
+concurrency-heavy roadmap items cannot silently regress them.
+
+* :mod:`repro.analysis.engine` — findings, suppression comments
+  (``# repro-lint: disable=RPLxxx``), the file walker;
+* :mod:`repro.analysis.rules` — the rule registry;
+* :mod:`repro.analysis.cli` — the ``repro-lint`` entry point
+  (``python -m repro.analysis``).
+"""
+
+from repro.analysis.engine import (
+    Finding,
+    LintError,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import RULES, Rule, rules_by_code
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Rule",
+    "RULES",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "rules_by_code",
+]

@@ -1,0 +1,110 @@
+"""``repro-lint`` — the project-invariant linter's command line.
+
+Run it over the tree (exit status 1 when findings exist, 2 on usage or
+parse errors)::
+
+    repro-lint src tests                 # human output
+    repro-lint src --format json         # machine output (CI artifact)
+    repro-lint --list-rules              # the rule registry
+
+Equivalent without the console script: ``python -m repro.analysis ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import Finding, LintError, lint_paths
+from repro.analysis.rules import RULES
+
+__all__ = ["build_parser", "main", "render_findings", "rule_registry"]
+
+#: Bumped when rules are added/changed so CI artifacts are comparable.
+LINT_VERSION = "1.0.0"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST lint for repro project invariants (rules RPL001...)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories are walked for *.py)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (json is stable and machine readable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry (code, name, invariant) and exit",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro-lint {LINT_VERSION} ({len(RULES)} rules)",
+    )
+    return parser
+
+
+def rule_registry() -> List[dict[str, str]]:
+    """The registry as plain dicts — the programmatic discovery surface."""
+    return [
+        {"code": rule.code, "name": rule.name, "summary": rule.summary()}
+        for rule in RULES
+    ]
+
+
+def render_findings(findings: Sequence[Finding], fmt: str) -> str:
+    if fmt == "json":
+        payload = {
+            "version": LINT_VERSION,
+            "rules": [rule.code for rule in RULES],
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        return json.dumps(payload, indent=2)
+    if not findings:
+        return "repro-lint: no findings"
+    lines = [finding.render() for finding in findings]
+    lines.append(f"repro-lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def _render_rules(fmt: str) -> str:
+    registry = rule_registry()
+    if fmt == "json":
+        return json.dumps({"version": LINT_VERSION, "rules": registry}, indent=2)
+    width = max(len(entry["name"]) for entry in registry)
+    return "\n".join(
+        f"{entry['code']}  {entry['name']:<{width}}  {entry['summary']}"
+        for entry in registry
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_render_rules(args.format))
+        return 0
+    if not args.paths:
+        parser.error("no paths given (or use --list-rules)")
+    try:
+        findings = lint_paths(args.paths)
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_findings(findings, args.format))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

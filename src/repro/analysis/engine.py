@@ -1,0 +1,180 @@
+"""Core of ``repro-lint``: findings, suppressions and the file walker.
+
+The linter is deliberately small: one :func:`ast.parse` per file, one
+independent AST walk per rule (see :mod:`repro.analysis.rules`), and a
+line-oriented suppression scanner.  Rules are *path scoped* — each rule
+declares which repo-relative paths it guards (``applies_to``), so the same
+source text can be legal in one module and a violation in another (e.g.
+``pickle.loads`` inside the transport trust boundary vs. anywhere else).
+
+Suppression syntax
+------------------
+A violation is silenced by a ``# repro-lint: disable=RPLxxx`` comment either
+on the flagged line itself or on a comment-only line directly above it::
+
+    # repro-lint: disable=RPL003 -- documented float64 result contract
+    return distances.astype(np.float64, copy=False)
+
+Several codes may be listed, comma separated.  Suppressions are expected to
+carry an inline justification after the code list; the linter does not parse
+the prose, but review does.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "suppressed_codes_by_line",
+]
+
+#: Directories whose contents are never linted by the directory walker.
+#: ``tests/fixtures/lint`` holds the deliberately-bad rule fixtures; linting
+#: them through the walker would make the repo self-check unsatisfiable (the
+#: per-rule tests lint them explicitly through :func:`lint_source` instead).
+SKIPPED_DIR_PARTS: Tuple[Tuple[str, ...], ...] = (
+    ("fixtures", "lint"),
+    ("__pycache__",),
+    (".git",),
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+
+
+class LintError(Exception):
+    """Raised when a file cannot be linted at all (unreadable / syntax error)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """Human-readable one-liner in the ``path:line:col: CODE message`` shape."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (stable keys, machine consumable)."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def normalized_path(path: str) -> str:
+    """Repo-relative POSIX form of ``path`` used for rule scoping."""
+    return Path(path).as_posix().lstrip("./")
+
+
+def suppressed_codes_by_line(source: str) -> Dict[int, Set[str]]:
+    """Map line number → codes suppressed on that line.
+
+    A suppression comment on a line with code applies to that line; a
+    comment-only suppression line applies to the *next* line (chains of
+    comment-only lines accumulate onto the first code line below them).
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    lines = source.splitlines()
+    pending: Set[str] = set()
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        codes: Set[str] = set()
+        if match is not None:
+            codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+        stripped = text.strip()
+        comment_only = stripped.startswith("#")
+        if comment_only:
+            pending |= codes
+            continue
+        here = codes | pending
+        pending = set()
+        if here:
+            suppressed.setdefault(lineno, set()).update(here)
+    return suppressed
+
+
+def lint_source(
+    source: str,
+    path: str,
+    *,
+    rules: Sequence[object] | None = None,
+) -> List[Finding]:
+    """Lint one source text as if it lived at repo-relative ``path``.
+
+    The fixture tests lean on the ``path`` parameter: the same snippet can be
+    checked both inside and outside a rule's scope without touching disk.
+    """
+    from repro.analysis.rules import RULES
+
+    active = RULES if rules is None else tuple(rules)  # type: ignore[assignment]
+    rel = normalized_path(path)
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        raise LintError(f"{rel}: could not parse: {exc}") from exc
+    suppressed = suppressed_codes_by_line(source)
+    findings: List[Finding] = []
+    for rule in active:
+        if not rule.applies_to(rel):
+            continue
+        for finding in rule.check(tree, rel):
+            if rule.code in suppressed.get(finding.line, set()):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda item: (item.path, item.line, item.col, item.code))
+    return findings
+
+
+def _is_skipped(path: Path) -> bool:
+    parts = path.parts
+    for needle in SKIPPED_DIR_PARTS:
+        span = len(needle)
+        for start in range(len(parts) - span + 1):
+            if parts[start : start + span] == needle:
+                return True
+    return False
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths`` (files pass through as-is)."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            if not _is_skipped(root):
+                yield root
+            continue
+        if not root.exists():
+            raise LintError(f"no such file or directory: {raw}")
+        for candidate in sorted(root.rglob("*.py")):
+            if not _is_skipped(candidate):
+                yield candidate
+
+
+def lint_paths(paths: Iterable[str]) -> List[Finding]:
+    """Lint every Python file under ``paths`` and return the merged findings."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"{file_path}: could not read: {exc}") from exc
+        findings.extend(lint_source(source, str(file_path)))
+    return findings

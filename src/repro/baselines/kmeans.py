@@ -191,7 +191,7 @@ class KMeansDetector(BaseAnomalyDetector):
         strategy = make_threshold_strategy(self.threshold_strategy_name, **self.threshold_kwargs)
         strategy.fit(
             distances[calibration_mask],
-            [key for key, keep in zip(leaf_keys, calibration_mask) if keep],
+            [key for key, keep in zip(leaf_keys, calibration_mask, strict=True) if keep],
         )
         self.threshold_ = strategy
         return self
@@ -222,7 +222,7 @@ class KMeansDetector(BaseAnomalyDetector):
         leaf_keys = self._leaf_keys(clusters)
         ratios = self.threshold_.normalize(distances, leaf_keys)
         categories: List[str] = []
-        for key, ratio in zip(leaf_keys, ratios):
+        for key, ratio in zip(leaf_keys, ratios, strict=True):
             label = self.labeler.label_of(key)
             if label == UNLABELED:
                 categories.append("unknown" if ratio > 1.0 else "normal")

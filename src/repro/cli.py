@@ -456,7 +456,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         output.parent.mkdir(parents=True, exist_ok=True)
         with output.open("w") as handle:
             handle.write("record_index,alarm,score,predicted_category\n")
-            for index, (alarm, score, category) in enumerate(zip(alarms, scores, categories)):
+            for index, (alarm, score, category) in enumerate(zip(alarms, scores, categories, strict=True)):
                 handle.write(f"{index},{int(alarm)},{float(score):.6f},{category}\n")
         print(f"\nper-record decisions written to {output}")
     return 0

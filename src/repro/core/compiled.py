@@ -38,10 +38,12 @@ Equivalence is enforced bit-for-bit by the property tests in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
+from repro._typing import AnyArray
 from repro.core import kernels
 from repro.core.distances import get_metric
 from repro.exceptions import DataValidationError, NotFittedError
@@ -91,17 +93,17 @@ class CompiledGhsom:
     n_features: int
     metric: str
     node_ids: Tuple[str, ...]
-    node_depths: np.ndarray
-    node_offsets: np.ndarray
-    codebook: np.ndarray
-    child_of_unit: np.ndarray
-    leaf_of_unit: np.ndarray
-    leaf_node: np.ndarray
-    leaf_unit: np.ndarray
-    leaf_depth: np.ndarray
+    node_depths: AnyArray
+    node_offsets: AnyArray
+    codebook: AnyArray
+    child_of_unit: AnyArray
+    leaf_of_unit: AnyArray
+    leaf_node: AnyArray
+    leaf_unit: AnyArray
+    leaf_depth: AnyArray
     leaf_keys: Tuple[LeafKey, ...]
     #: Precomputed ``|w|^2`` per global unit row, reused by every batch.
-    unit_norms: np.ndarray
+    unit_norms: AnyArray
     _leaf_index_of: Dict[LeafKey, int] = field(repr=False)
 
     # ------------------------------------------------------------------ #
@@ -114,15 +116,15 @@ class CompiledGhsom:
         n_features: int,
         metric: str,
         node_ids: Sequence[str],
-        node_depths,
-        node_offsets,
-        codebook,
-        child_of_unit,
-        leaf_of_unit,
-        leaf_node,
-        leaf_unit,
-        leaf_depth,
-        unit_norms=None,
+        node_depths: npt.ArrayLike,
+        node_offsets: npt.ArrayLike,
+        codebook: npt.ArrayLike,
+        child_of_unit: npt.ArrayLike,
+        leaf_of_unit: npt.ArrayLike,
+        leaf_node: npt.ArrayLike,
+        leaf_unit: npt.ArrayLike,
+        leaf_depth: npt.ArrayLike,
+        unit_norms: Optional[npt.ArrayLike] = None,
     ) -> "CompiledGhsom":
         """Assemble a snapshot from its defining arrays (deserialization).
 
@@ -136,44 +138,45 @@ class CompiledGhsom:
         codebook page at load time; when omitted (v2 JSON payloads do not
         store it) it is recomputed from the codebook.
         """
-        def adopt(array, dtype) -> np.ndarray:
+        def adopt(array: npt.ArrayLike, dtype: "np.dtype[Any]") -> AnyArray:
             # asanyarray + conditional conversion keeps np.memmap instances
             # intact when dtype and layout already match (always true for
             # sidecars written by this library) — the subclass is what lets
             # downstream consumers pickle these arrays by file reference.
-            array = np.asanyarray(array)
-            if array.dtype != dtype or not array.flags["C_CONTIGUOUS"]:
-                array = np.ascontiguousarray(array, dtype=dtype)
-            return array
+            adopted = np.asanyarray(array)
+            if adopted.dtype != dtype or not adopted.flags["C_CONTIGUOUS"]:
+                adopted = np.ascontiguousarray(adopted, dtype=dtype)
+            return adopted
 
-        node_ids = tuple(str(node_id) for node_id in node_ids)
-        codebook = adopt(codebook, np.dtype(float))
-        leaf_node = adopt(leaf_node, np.dtype(np.intp))
-        leaf_unit = adopt(leaf_unit, np.dtype(np.intp))
+        ids = tuple(str(node_id) for node_id in node_ids)
+        book = adopt(codebook, np.dtype(float))
+        lnode = adopt(leaf_node, np.dtype(np.intp))
+        lunit = adopt(leaf_unit, np.dtype(np.intp))
         # tolist() first: iterating a memmap element-wise pays a Python-level
         # __getitem__ per leaf, which is most of a v3 artifact's load time.
         leaf_keys = tuple(
-            (node_ids[node], unit)
-            for node, unit in zip(leaf_node.tolist(), leaf_unit.tolist())
+            (ids[node], unit)
+            for node, unit in zip(lnode.tolist(), lunit.tolist(), strict=True)
         )
-        if unit_norms is None:
-            unit_norms = np.einsum("ij,ij->i", codebook, codebook)
-        else:
-            unit_norms = adopt(unit_norms, np.dtype(float))
+        norms = (
+            np.einsum("ij,ij->i", book, book)
+            if unit_norms is None
+            else adopt(unit_norms, np.dtype(float))
+        )
         return cls(
             n_features=int(n_features),
             metric=str(metric),
-            node_ids=node_ids,
+            node_ids=ids,
             node_depths=adopt(node_depths, np.dtype(np.intp)),
             node_offsets=adopt(node_offsets, np.dtype(np.intp)),
-            codebook=codebook,
+            codebook=book,
             child_of_unit=adopt(child_of_unit, np.dtype(np.intp)),
             leaf_of_unit=adopt(leaf_of_unit, np.dtype(np.intp)),
-            leaf_node=leaf_node,
-            leaf_unit=leaf_unit,
+            leaf_node=lnode,
+            leaf_unit=lunit,
             leaf_depth=adopt(leaf_depth, np.dtype(np.intp)),
             leaf_keys=leaf_keys,
-            unit_norms=unit_norms,
+            unit_norms=norms,
             _leaf_index_of={key: row for row, key in enumerate(leaf_keys)},
         )
 
@@ -210,7 +213,7 @@ class CompiledGhsom:
         """
         return self._leaf_index_of[key]
 
-    def keys_of(self, leaf_indices) -> List[LeafKey]:
+    def keys_of(self, leaf_indices: npt.ArrayLike) -> List[LeafKey]:
         """Leaf keys for a batch of leaf-table rows."""
         keys = self.leaf_keys
         return [keys[index] for index in np.asarray(leaf_indices, dtype=np.intp)]
@@ -218,8 +221,8 @@ class CompiledGhsom:
     def leaf_lookup(
         self,
         getter: Callable[[LeafKey], object],
-        dtype=float,
-    ) -> np.ndarray:
+        dtype: npt.DTypeLike = float,
+    ) -> AnyArray:
         """Materialise a per-leaf quantity into an ``(L,)`` lookup array.
 
         ``getter`` is called once per leaf key (not once per sample), so
@@ -230,11 +233,11 @@ class CompiledGhsom:
         return np.array([getter(key) for key in self.leaf_keys], dtype=dtype)
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> "np.dtype[Any]":
         """Arithmetic dtype of the serving codebook (``float64`` unless cast)."""
         return self.codebook.dtype
 
-    def astype(self, dtype) -> "CompiledGhsom":
+    def astype(self, dtype: npt.DTypeLike) -> "CompiledGhsom":
         """A snapshot with the codebook cast to ``dtype`` (opt-in float32 serving).
 
         ``float64`` (the default everywhere) is bit-exact against the legacy
@@ -289,8 +292,8 @@ class CompiledGhsom:
     # inference
     # ------------------------------------------------------------------ #
     def assign_arrays(
-        self, data, *, engine: Optional[str] = None
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self, data: object, *, engine: Optional[str] = None
+    ) -> Tuple[AnyArray, AnyArray]:
         """Leaf-table row and quantization distance for every sample.
 
         ``engine`` selects the descent implementation (``"numpy"``,
@@ -341,24 +344,26 @@ class CompiledGhsom:
             )
         # Distances surface as float64 regardless of serving dtype so the
         # threshold arithmetic downstream never changes representation.
+        # repro-lint: disable=RPL003 -- documented result-widening contract;
+        # copy=False makes it a no-op on the float64 engine.
         return leaf_index, distances.astype(np.float64, copy=False)
 
-    def transform(self, data) -> np.ndarray:
+    def transform(self, data: object) -> AnyArray:
         """Quantization distance per sample (the raw anomaly score)."""
         return self.assign_arrays(data)[1]
 
 
 def frontier_descent(
-    matrix: np.ndarray,
-    entry_nodes: np.ndarray,
+    matrix: AnyArray,
+    entry_nodes: AnyArray,
     *,
-    codebook: np.ndarray,
-    node_offsets: np.ndarray,
-    child_of_unit: np.ndarray,
-    leaf_of_unit: np.ndarray,
-    unit_norms: np.ndarray,
+    codebook: AnyArray,
+    node_offsets: AnyArray,
+    child_of_unit: AnyArray,
+    leaf_of_unit: AnyArray,
+    unit_norms: AnyArray,
     metric: str,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[AnyArray, AnyArray]:
     """Per-level vectorized BMU descent over a flat-array hierarchy.
 
     The core inference loop shared by :meth:`CompiledGhsom.assign_arrays`
@@ -389,8 +394,8 @@ def frontier_descent(
     pending = np.arange(n, dtype=np.intp)
     pending_node = np.ascontiguousarray(entry_nodes, dtype=np.intp)
     while pending.size:
-        next_rows: List[np.ndarray] = []
-        next_nodes: List[np.ndarray] = []
+        next_rows: List[AnyArray] = []
+        next_nodes: List[AnyArray] = []
         # One two-key sort groups the frontier by node with ascending sample
         # order inside each group — the same per-node row sets (and therefore
         # bitwise-identical BLAS inputs and outputs) the former np.unique +
@@ -403,7 +408,7 @@ def frontier_descent(
         boundaries = np.flatnonzero(sorted_nodes[1:] != sorted_nodes[:-1]) + 1
         run_starts = np.concatenate(([0], boundaries))
         run_stops = np.concatenate((boundaries, [sorted_nodes.size]))
-        for run_begin, run_end in zip(run_starts.tolist(), run_stops.tolist()):
+        for run_begin, run_end in zip(run_starts.tolist(), run_stops.tolist(), strict=True):
             node = int(sorted_nodes[run_begin])
             rows = sorted_rows[run_begin:run_end]
             start = int(node_offsets[node])
@@ -446,7 +451,7 @@ def frontier_descent(
     return leaf_index, distances
 
 
-def compile_ghsom(model) -> CompiledGhsom:
+def compile_ghsom(model: Any) -> CompiledGhsom:
     """Flatten a fitted :class:`~repro.core.ghsom.Ghsom` into a :class:`CompiledGhsom`.
 
     The snapshot reflects the tree at compile time; refitting the model

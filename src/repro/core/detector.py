@@ -201,7 +201,7 @@ def build_leaf_tables(
         labels = np.array([info.label for info in infos], dtype=object)
         is_attack = np.array([_is_attack_label(info.label) for info in infos], dtype=bool)
         purity = np.array(
-            [info.purity if flag else 0.0 for info, flag in zip(infos, is_attack)],
+            [info.purity if flag else 0.0 for info, flag in zip(infos, is_attack, strict=True)],
             dtype=float,
         )
     return _LeafTables(
@@ -749,7 +749,7 @@ class GhsomDetector(BaseAnomalyDetector):
         strategy = make_threshold_strategy(self.threshold_strategy_name, **self.threshold_kwargs)
         strategy.fit(
             distances[calibration_mask],
-            [key for key, keep in zip(leaf_keys, calibration_mask) if keep],
+            [key for key, keep in zip(leaf_keys, calibration_mask, strict=True) if keep],
         )
         self.threshold_ = strategy
         # Re-apply the serving config to the fresh model: the compiled

@@ -180,7 +180,7 @@ class Ghsom:
         if not expandable_units:
             return
         child_rngs = spawn_rngs(self._rng, len(expandable_units))
-        for unit, child_rng in zip(expandable_units, child_rngs):
+        for unit, child_rng in zip(expandable_units, child_rngs, strict=True):
             subset = data[assignments == unit]
             if subset.shape[0] < self.config.min_samples_for_expansion:
                 continue
@@ -237,7 +237,7 @@ class Ghsom:
                 depth=int(depths[row]),
                 distance=float(distance),
             )
-            for row, distance in zip(leaf_index, distances)
+            for row, distance in zip(leaf_index, distances, strict=True)
         ]
 
     def assign_legacy(self, data) -> List[LeafAssignment]:

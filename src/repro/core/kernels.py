@@ -50,10 +50,12 @@ import tempfile
 import threading
 import weakref
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
+from repro._typing import AnyArray
 from repro.exceptions import ConfigurationError
 
 #: Engine names accepted by every ``engine=`` parameter in the library.
@@ -122,7 +124,7 @@ def resolve_engine(
     engine: Optional[str],
     *,
     metric: str,
-    dtype,
+    dtype: npt.DTypeLike,
     strict: bool = False,
 ) -> str:
     """Resolve an engine request to the concrete engine to run: numpy or fused.
@@ -153,7 +155,7 @@ def resolve_engine(
     return "fused" if supported else "numpy"
 
 
-def fused_supported(metric: str, dtype) -> bool:
+def fused_supported(metric: str, dtype: npt.DTypeLike) -> bool:
     """Whether the fused kernel can serve this metric/dtype combination."""
     if metric not in FUSED_METRICS:
         return False
@@ -225,7 +227,7 @@ def provider_diagnostics() -> Dict[str, str]:
     return dict(_provider_errors)
 
 
-def _probe_provider(name: str):
+def _probe_provider(name: str) -> Optional[object]:
     if name == "cc":
         return _cc_library()
     if name == "numba":
@@ -250,23 +252,23 @@ class FusedPlan:
     """
 
     lanes: int
-    tcodebook: np.ndarray  # flat, lane-transposed per-node blocks
-    toffsets: np.ndarray  # (n_nodes,) start of each node's block in tcodebook
-    tnorm_offsets: np.ndarray  # (n_nodes,) start of each node's lane-norm run
-    punits: np.ndarray  # (n_nodes,) padded unit count per node
-    tnorms: np.ndarray  # lane-layout |w|^2 with huge padding
+    tcodebook: AnyArray  # flat, lane-transposed per-node blocks
+    toffsets: AnyArray  # (n_nodes,) start of each node's block in tcodebook
+    tnorm_offsets: AnyArray  # (n_nodes,) start of each node's lane-norm run
+    punits: AnyArray  # (n_nodes,) padded unit count per node
+    tnorms: AnyArray  # lane-layout |w|^2 with huge padding
 
 
-_plan_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_plan_cache: "weakref.WeakKeyDictionary[Any, FusedPlan]" = weakref.WeakKeyDictionary()
 
 
-def _lanes_for(dtype: np.dtype) -> int:
+def _lanes_for(dtype: "np.dtype[Any]") -> int:
     # One 512-bit vector of the serving dtype; narrower ISAs simply split the
     # lane group across two or four hardware vectors.
     return 8 if dtype == np.dtype(np.float64) else 16
 
 
-def fused_plan(owner) -> FusedPlan:
+def fused_plan(owner: Any) -> FusedPlan:
     """The (cached) lane-transposed plan for a compiled model or shard.
 
     ``owner`` is anything exposing the flat-array hierarchy contract:
@@ -330,12 +332,12 @@ def fused_plan(owner) -> FusedPlan:
 # the fused descent entry point
 # --------------------------------------------------------------------------- #
 def fused_descent(
-    owner,
-    matrix: np.ndarray,
-    entry_nodes: np.ndarray,
+    owner: Any,
+    matrix: AnyArray,
+    entry_nodes: AnyArray,
     *,
     metric: str,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[AnyArray, AnyArray]:
     """Run the fused kernel over ``matrix`` (already validated and cast).
 
     Drop-in for :func:`repro.core.compiled.frontier_descent` output-wise:
@@ -651,7 +653,7 @@ _cc_libs: Optional[Dict[str, ctypes.CDLL]] = None
 _cc_tried = False
 
 
-def _cc_library():
+def _cc_library() -> Optional[Dict[str, ctypes.CDLL]]:
     """Compile (once per process) and load the C kernels; ``None`` on failure."""
     global _cc_libs, _cc_tried
     if _cc_tried:
@@ -664,14 +666,14 @@ def _cc_library():
     return _cc_libs
 
 
-def _compiler_candidates():
+def _compiler_candidates() -> Iterator[str]:
     override = os.environ.get("CC")
     if override:
         yield override
     yield from ("cc", "gcc", "clang")
 
 
-def _build_cc_libraries():
+def _build_cc_libraries() -> Optional[Dict[str, ctypes.CDLL]]:
     import shutil
 
     compiler = next(
@@ -718,10 +720,21 @@ def _build_cc_libraries():
 
 
 def _cc_descent(
-    plan, matrix, snorms, entries, codebook, node_offsets,
-    child_of_unit, leaf_of_unit, metric_id, leaf_index, distances,
-):
+    plan: FusedPlan,
+    matrix: AnyArray,
+    snorms: AnyArray,
+    entries: AnyArray,
+    codebook: AnyArray,
+    node_offsets: AnyArray,
+    child_of_unit: AnyArray,
+    leaf_of_unit: AnyArray,
+    metric_id: int,
+    leaf_index: AnyArray,
+    distances: AnyArray,
+) -> None:
     libs = _cc_library()
+    if libs is None:  # callers resolve the engine first; defensive belt
+        raise ConfigurationError("the compiled-C fused kernel is unavailable")
     n, d = matrix.shape
     n_nodes = node_offsets.shape[0] - 1
     scratch = np.empty(3 * n + n_nodes + 1, dtype=np.int64)
@@ -758,11 +771,11 @@ def _cc_descent(
 # --------------------------------------------------------------------------- #
 # provider: numba
 # --------------------------------------------------------------------------- #
-_numba_cache = None
+_numba_cache: Optional[Any] = None
 _numba_tried = False
 
 
-def _numba_kernels():
+def _numba_kernels() -> Optional[Any]:
     """Import and JIT-wrap the numba kernels once; ``None`` when unavailable."""
     global _numba_cache, _numba_tried
     if _numba_tried:
@@ -785,9 +798,18 @@ def _numba_kernels():
 
 
 def _numba_descent(
-    plan, matrix, snorms, entries, codebook, node_offsets,
-    child_of_unit, leaf_of_unit, metric_id, leaf_index, distances,
-):
+    plan: FusedPlan,
+    matrix: AnyArray,
+    snorms: AnyArray,
+    entries: AnyArray,
+    codebook: AnyArray,
+    node_offsets: AnyArray,
+    child_of_unit: AnyArray,
+    leaf_of_unit: AnyArray,
+    metric_id: int,
+    leaf_index: AnyArray,
+    distances: AnyArray,
+) -> None:
     kernels = _numba_kernels()
     kernels.descend(
         matrix,

@@ -98,7 +98,7 @@ class UnitLabeler:
                 f"got {len(leaf_keys)} leaf keys but {len(labels)} labels"
             )
         votes: Dict[LeafKey, Counter] = defaultdict(Counter)
-        for key, label in zip(leaf_keys, labels):
+        for key, label in zip(leaf_keys, labels, strict=True):
             votes[key][str(label)] += 1
         fitted: Dict[LeafKey, LeafLabel] = {}
         for key, counter in votes.items():

@@ -125,7 +125,7 @@ def topographic_error(data, codebook, grid: MapGrid, metric: str = "euclidean") 
     order = np.argsort(distance_matrix, axis=1)
     first, second = order[:, 0], order[:, 1]
     errors = 0
-    for best, runner_up in zip(first, second):
+    for best, runner_up in zip(first, second, strict=True):
         if not grid.are_adjacent(int(best), int(runner_up)):
             errors += 1
     return errors / matrix.shape[0]

@@ -44,10 +44,12 @@ from __future__ import annotations
 import json
 import warnings
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union, cast
 
 import numpy as np
+import numpy.typing as npt
 
+from repro._typing import AnyArray
 from repro.core.compiled import CompiledGhsom
 from repro.core.config import GhsomConfig
 from repro.core.detector import GhsomDetector, restore_leaf_tables
@@ -95,6 +97,32 @@ _SIDECAR_FORMATS = ("npz",)
 _UNSET = object()
 
 
+def _as_int(value: object) -> int:
+    """An artifact-payload value as an int (mirrors ``int()`` for JSON types)."""
+    if isinstance(value, (bool, int, float, str, np.integer)):
+        return int(value)
+    raise SerializationError(f"expected an integer payload value, got {type(value).__name__}")
+
+
+def _as_float(value: object) -> float:
+    """An artifact-payload value as a float (mirrors ``float()`` for JSON types)."""
+    if isinstance(value, (bool, int, float, str, np.integer, np.floating)):
+        return float(value)
+    raise SerializationError(f"expected a number payload value, got {type(value).__name__}")
+
+
+def _as_mapping(value: object) -> Dict[str, object]:
+    """An artifact-payload value as a fresh dict (mirrors ``dict()``)."""
+    if isinstance(value, Mapping):
+        return dict(value)
+    raise SerializationError(f"expected a mapping payload value, got {type(value).__name__}")
+
+
+def _as_array(value: object, dtype: npt.DTypeLike) -> AnyArray:
+    """An artifact-payload value as a numpy array of ``dtype``."""
+    return np.asarray(cast("npt.ArrayLike", value), dtype=dtype)
+
+
 def _legacy_serving_overrides(kwargs: Dict[str, object], caller: str) -> Dict[str, object]:
     """Fold explicitly-passed legacy serving kwargs into config overrides.
 
@@ -124,7 +152,7 @@ def _check_version(data: Dict[str, object]) -> int:
     version = data.get("format_version")
     if version not in SUPPORTED_FORMAT_VERSIONS:
         raise SerializationError(f"unsupported format version {version!r}")
-    return int(version)  # type: ignore[arg-type]
+    return _as_int(version)
 
 
 def _check_writer_version(version: int) -> int:
@@ -215,18 +243,19 @@ def compiled_from_dict(data: Dict[str, object], *, dtype: str = "float64") -> Co
     reproduces the saved model bit-exactly; ``"float32"`` opts into the
     narrowed serving mode (see :meth:`CompiledGhsom.astype`).
     """
+    field_arrays: Dict[str, Any] = {name: data[name] for name in _COMPILED_ARRAY_FIELDS}
     compiled = CompiledGhsom.from_arrays(
-        n_features=int(data["n_features"]),
+        n_features=_as_int(data["n_features"]),
         metric=str(data["metric"]),
-        node_ids=data["node_ids"],
-        **{name: data[name] for name in _COMPILED_ARRAY_FIELDS},
+        node_ids=cast("Sequence[str]", data["node_ids"]),
+        **field_arrays,
     )
     return compiled.astype(dtype)
 
 
 def compiled_to_arrays(
     compiled: CompiledGhsom,
-) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+) -> Tuple[Dict[str, object], Dict[str, AnyArray]]:
     """Split a compiled snapshot into JSON metadata + binary sidecar arrays.
 
     The v3 counterpart of :func:`compiled_to_dict`: the returned metadata
@@ -246,7 +275,7 @@ def compiled_to_arrays(
 
 def compiled_from_arrays(
     meta: Dict[str, object],
-    arrays: Dict[str, np.ndarray],
+    arrays: Dict[str, AnyArray],
     *,
     dtype: str = "float64",
 ) -> CompiledGhsom:
@@ -262,12 +291,13 @@ def compiled_from_arrays(
             f"binary sidecar is missing compiled arrays {missing}; the file "
             "is incomplete or does not belong to this artifact"
         )
+    field_arrays: Dict[str, Any] = {name: arrays[name] for name in _COMPILED_ARRAY_FIELDS}
     compiled = CompiledGhsom.from_arrays(
-        n_features=int(meta["n_features"]),
+        n_features=_as_int(meta["n_features"]),
         metric=str(meta["metric"]),
-        node_ids=meta["node_ids"],
+        node_ids=cast("Sequence[str]", meta["node_ids"]),
         unit_norms=arrays["unit_norms"],
-        **{name: arrays[name] for name in _COMPILED_ARRAY_FIELDS},
+        **field_arrays,
     )
     return compiled.astype(dtype)
 
@@ -286,7 +316,7 @@ def sidecar_path_for(json_path: PathLike) -> Path:
 
 
 def write_binary_sidecar(
-    payload: Dict[str, object], arrays: Dict[str, np.ndarray], json_path: PathLike
+    payload: Dict[str, object], arrays: Dict[str, AnyArray], json_path: PathLike
 ) -> Path:
     """Write ``arrays`` as the ``.npz`` sidecar of the JSON file at ``json_path``.
 
@@ -308,12 +338,13 @@ def write_binary_sidecar(
             "(conventionally .json)"
         )
     digest = write_npz_atomic(arrays, sidecar_path)
+    member_crcs = cast(Dict[str, int], digest["crc32"])
     payload["sidecar"] = {
         "format": "npz",
         "path": sidecar_path.name,
-        "bytes": int(digest["bytes"]),
+        "bytes": _as_int(digest["bytes"]),
         "sha256": str(digest["sha256"]),
-        "crc32": {name: int(value) for name, value in digest["crc32"].items()},
+        "crc32": {name: int(value) for name, value in member_crcs.items()},
     }
     return sidecar_path
 
@@ -352,7 +383,7 @@ def open_sidecar(
     *,
     mmap: bool = True,
     verify: bool = False,
-) -> Dict[str, np.ndarray]:
+) -> Dict[str, AnyArray]:
     """Resolve, check and open the binary sidecar of a v3 JSON payload.
 
     ``sidecar_dir`` is the directory the JSON file was read from (the
@@ -402,7 +433,7 @@ def open_sidecar(
             "the JSON file is incomplete or was tampered with"
         )
     actual_bytes = path.stat().st_size
-    if int(expected_bytes) != actual_bytes:
+    if _as_int(expected_bytes) != actual_bytes:
         raise SerializationError(
             f"binary sidecar {path} is {actual_bytes} bytes but the "
             f"artifact header records {expected_bytes}: the sidecar is "
@@ -469,18 +500,18 @@ def _node_from_dict(
     data: Dict[str, object],
     config: GhsomConfig,
     n_features: int,
-    codebooks: Optional[Dict[str, np.ndarray]] = None,
+    codebooks: Optional[Dict[str, AnyArray]] = None,
 ) -> GhsomNode:
-    rows = int(data["rows"])
-    cols = int(data["cols"])
+    rows = _as_int(data["rows"])
+    cols = _as_int(data["cols"])
     layer = GrowingSom(
         n_features=n_features,
         config=config,
-        parent_qe=float(data["parent_qe"]),
+        parent_qe=_as_float(data["parent_qe"]),
         random_state=config.random_state,
     )
     if "codebook" in data:
-        codebook = np.asarray(data["codebook"], dtype=float)
+        codebook = _as_array(data["codebook"], float)
     elif codebooks is not None and str(data["node_id"]) in codebooks:
         codebook = np.array(codebooks[str(data["node_id"])], dtype=float)
     else:
@@ -494,17 +525,19 @@ def _node_from_dict(
     node = GhsomNode(
         node_id=str(data["node_id"]),
         layer=layer,
-        depth=int(data["depth"]),
-        parent_unit=None if data["parent_unit"] is None else int(data["parent_unit"]),
-        unit_qe=np.asarray(data["unit_qe"], dtype=float),
-        unit_count=np.asarray(data["unit_count"], dtype=int),
+        depth=_as_int(data["depth"]),
+        parent_unit=None if data["parent_unit"] is None else _as_int(data["parent_unit"]),
+        unit_qe=_as_array(data["unit_qe"], float),
+        unit_count=_as_array(data["unit_count"], int),
     )
-    for unit, child_data in dict(data.get("children", {})).items():
-        node.children[int(unit)] = _node_from_dict(child_data, config, n_features, codebooks)
+    for unit, child_data in _as_mapping(data.get("children") or {}).items():
+        node.children[int(unit)] = _node_from_dict(
+            _as_mapping(child_data), config, n_features, codebooks
+        )
     return node
 
 
-def _codebook_slices(compiled: CompiledGhsom) -> Dict[str, np.ndarray]:
+def _codebook_slices(compiled: CompiledGhsom) -> Dict[str, AnyArray]:
     """Per-node views into the compiled stacked codebook, keyed by node id."""
     offsets = compiled.node_offsets
     return {
@@ -514,7 +547,7 @@ def _codebook_slices(compiled: CompiledGhsom) -> Dict[str, np.ndarray]:
 
 
 def _ghsom_payload(
-    model: Ghsom, version: int, arrays: Optional[Dict[str, np.ndarray]]
+    model: Ghsom, version: int, arrays: Optional[Dict[str, AnyArray]]
 ) -> Dict[str, object]:
     """Shared GHSOM payload builder; ``arrays`` collects sidecar data (v3)."""
     if not model.is_fitted:
@@ -532,6 +565,8 @@ def _ghsom_payload(
     if version == 2:
         payload["compiled"] = compiled_to_dict(model.compile())
     elif version >= 3:
+        if arrays is None:
+            raise SerializationError("binary payloads need a sidecar arrays mapping")
         meta, compiled_arrays = compiled_to_arrays(model.compile())
         payload["compiled"] = meta
         arrays.update(compiled_arrays)
@@ -555,7 +590,7 @@ def ghsom_from_dict(
     data: Dict[str, object],
     *,
     compiled: Optional[CompiledGhsom] = None,
-    arrays: Optional[Dict[str, np.ndarray]] = None,
+    arrays: Optional[Dict[str, AnyArray]] = None,
 ) -> Ghsom:
     """Rebuild a :class:`Ghsom` from a stored payload.
 
@@ -569,10 +604,10 @@ def ghsom_from_dict(
     if data.get("kind") != "ghsom":
         raise SerializationError(f"payload is not a ghsom model (kind={data.get('kind')!r})")
     version = _check_version(data)
-    config = GhsomConfig.from_dict(dict(data["config"]))
+    config = GhsomConfig.from_dict(_as_mapping(data["config"]))
     model = Ghsom(config)
-    model.qe0 = float(data["qe0"])
-    model.n_features = int(data["n_features"])
+    model.qe0 = _as_float(data["qe0"])
+    model.n_features = _as_int(data["n_features"])
     if compiled is None and version >= 3:
         if arrays is None:
             raise SerializationError(
@@ -580,16 +615,16 @@ def ghsom_from_dict(
                 "model through load_ghsom()/load_detector() so the sidecar "
                 "can be resolved"
             )
-        compiled = compiled_from_arrays(dict(data["compiled"]), arrays)
+        compiled = compiled_from_arrays(_as_mapping(data["compiled"]), arrays)
     if compiled is None and version == 2 and data.get("compiled") is not None:
-        compiled = compiled_from_dict(dict(data["compiled"]))
+        compiled = compiled_from_dict(_as_mapping(data["compiled"]))
     if compiled is not None and compiled.dtype != np.dtype("float64"):
         raise SerializationError(
             "cannot rebuild a tree from a narrowed compiled snapshot "
             f"(dtype={compiled.dtype}); pass the float64 snapshot"
         )
     codebooks = _codebook_slices(compiled) if compiled is not None else None
-    model.root = _node_from_dict(dict(data["root"]), config, model.n_features, codebooks)
+    model.root = _node_from_dict(_as_mapping(data["root"]), config, model.n_features, codebooks)
     if compiled is not None:
         model._compiled = compiled
     return model
@@ -603,7 +638,7 @@ def save_ghsom(model: Ghsom, path: PathLike, *, format: str = "json") -> None:
     an ``.npz`` array sidecar next to it.
     """
     if check_artifact_format(format) == "binary":
-        arrays: Dict[str, np.ndarray] = {}
+        arrays: Dict[str, AnyArray] = {}
         payload = _ghsom_payload(model, BINARY_FORMAT_VERSION, arrays)
         write_binary_sidecar(payload, arrays, path)
         write_json_atomic(payload, path)
@@ -620,7 +655,7 @@ def load_ghsom(path: PathLike, *, mmap: bool = True, verify: bool = False) -> Gh
     """
     path = Path(path)
     data = _read_json(path)
-    arrays = None
+    arrays: Optional[Dict[str, AnyArray]] = None
     if data.get("format_version") == BINARY_FORMAT_VERSION:
         arrays = open_sidecar(data, path.parent, mmap=mmap, verify=verify)
     return ghsom_from_dict(data, arrays=arrays)
@@ -630,7 +665,7 @@ def load_ghsom(path: PathLike, *, mmap: bool = True, verify: bool = False) -> Gh
 # GHSOM detector (model + labels + thresholds)
 # --------------------------------------------------------------------------- #
 def _detector_payload(
-    detector: GhsomDetector, version: int, arrays: Optional[Dict[str, np.ndarray]]
+    detector: GhsomDetector, version: int, arrays: Optional[Dict[str, AnyArray]]
 ) -> Dict[str, object]:
     """Shared detector payload builder; ``arrays`` collects sidecar data (v3)."""
     if not detector.is_fitted:
@@ -668,6 +703,8 @@ def _detector_payload(
         else:
             # v3: the numeric tables ride in the sidecar; labels travel as a
             # fixed-width unicode array (npz stores those without pickle).
+            if arrays is None:
+                raise SerializationError("binary payloads need a sidecar arrays mapping")
             arrays[_SIDECAR_LEAF_THRESHOLDS] = np.asarray(tables.thresholds, dtype=float)
             labelled = tables.labels is not None
             if labelled:
@@ -702,7 +739,7 @@ def detector_to_dict(
 
 def detector_binary_payload(
     detector: GhsomDetector,
-) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+) -> Tuple[Dict[str, object], Dict[str, AnyArray]]:
     """The v3 JSON payload + sidecar arrays of a fitted detector.
 
     The payload carries no ``sidecar`` header yet — writers call
@@ -711,12 +748,12 @@ def detector_binary_payload(
     nests the detector payload inside its own JSON document while sharing
     one sidecar file.
     """
-    arrays: Dict[str, np.ndarray] = {}
+    arrays: Dict[str, AnyArray] = {}
     payload = _detector_payload(detector, BINARY_FORMAT_VERSION, arrays)
     return payload, arrays
 
 
-def _restored_labels(labels: Optional[np.ndarray]) -> Optional[np.ndarray]:
+def _restored_labels(labels: Optional[AnyArray]) -> Optional[AnyArray]:
     """Sidecar label array (fixed-width unicode) -> the object dtype used in memory."""
     if labels is None:
         return None
@@ -729,7 +766,7 @@ def detector_from_dict(
     config: Optional[ServingConfig] = None,
     overrides: Optional[Mapping[str, object]] = None,
     sidecar_dir: Optional[PathLike] = None,
-    arrays: Optional[Dict[str, np.ndarray]] = None,
+    arrays: Optional[Dict[str, AnyArray]] = None,
     dtype: object = _UNSET,
     mmap: object = _UNSET,
     verify: object = _UNSET,
@@ -774,39 +811,42 @@ def detector_from_dict(
         )
     )
     serving = effective_config(
-        config=config, overrides=merged or None, embedded=data.get("serving_config")
+        config=config,
+        overrides=merged or None,
+        embedded=cast("Optional[Mapping[str, object]]", data.get("serving_config")),
     )
     version = _check_version(data)
     if version >= 3 and arrays is None:
         arrays = open_sidecar(
             data, sidecar_dir, mmap=serving.artifact.mmap, verify=serving.artifact.verify
         )
-    model_payload = dict(data["model"])
-    config = GhsomConfig.from_dict(dict(model_payload["config"]))
+    model_payload = _as_mapping(data["model"])
+    ghsom_config = GhsomConfig.from_dict(_as_mapping(model_payload["config"]))
     random_state = data.get("random_state")
     detector = GhsomDetector(
-        config=config,
+        config=ghsom_config,
         threshold_strategy=str(data.get("threshold_strategy_name", "per_unit")),
-        threshold_kwargs=dict(data.get("threshold_kwargs", {})),
+        threshold_kwargs=_as_mapping(data.get("threshold_kwargs") or {}),
         labeling_strategy=str(data.get("labeling_strategy", "majority")),
         calibrate_on_normal_only=bool(data.get("calibrate_on_normal_only", True)),
-        random_state=None if random_state is None else int(random_state),
+        random_state=None if random_state is None else _as_int(random_state),
     )
     labeler_payload: Optional[Dict[str, object]] = data.get("labeler")  # type: ignore[assignment]
     detector.labeler = UnitLabeler.from_dict(labeler_payload) if labeler_payload else None
-    detector.threshold_ = threshold_from_dict(dict(data["threshold"]))
+    detector.threshold_ = threshold_from_dict(_as_mapping(data["threshold"]))
     manifest_payload = data.get("shard_manifest")
     if manifest_payload is not None:
         # Kept verbatim: set_sharding() uses it to slice worker shards
         # without re-deriving the subtree layout from the arrays.
-        detector._shard_manifest = dict(manifest_payload)
+        detector._shard_manifest = _as_mapping(manifest_payload)
     if version >= 2 and model_payload.get("compiled") is not None:
         # Keep the exact float64 snapshot for lazy tree hydration even when
         # serving narrowed; when dtype is float64, astype returns it as-is.
         if version >= 3:
-            exact = compiled_from_arrays(dict(model_payload["compiled"]), arrays)
+            assert arrays is not None  # opened above for every v3 payload
+            exact = compiled_from_arrays(_as_mapping(model_payload["compiled"]), arrays)
         else:
-            exact = compiled_from_dict(dict(model_payload["compiled"]))
+            exact = compiled_from_dict(_as_mapping(model_payload["compiled"]))
         compiled = exact.astype(serving.dtype)
         detector._compiled = compiled
         # The loader closure carries only the tree-structure payload plus the
@@ -820,7 +860,9 @@ def detector_from_dict(
         # Normalise both storage layouts to one {thresholds, labels,
         # is_attack, purity} dict so table restoration itself has a single
         # code path regardless of where the arrays came from.
+        tables: Dict[str, object]
         if version >= 3:
+            assert arrays is not None  # opened above for every v3 payload
             tables = {
                 "thresholds": arrays.get(_SIDECAR_LEAF_THRESHOLDS),
                 "labels": _restored_labels(arrays.get(_SIDECAR_LEAF_LABELS)),
@@ -828,27 +870,27 @@ def detector_from_dict(
                 "purity": arrays.get(_SIDECAR_LEAF_PURITY),
             }
         else:
-            tables = dict(data.get("leaf_tables") or {})
+            tables = _as_mapping(data.get("leaf_tables") or {})
         if tables.get("thresholds") is not None:
             detector._tables = restore_leaf_tables(
                 compiled,
                 detector.threshold_,
                 detector.labeler,
-                thresholds=np.asarray(tables["thresholds"], dtype=float),
+                thresholds=_as_array(tables["thresholds"], float),
                 labels=(
                     None
                     if tables.get("labels") is None
-                    else np.asarray(tables["labels"], dtype=object)
+                    else _as_array(tables["labels"], object)
                 ),
                 is_attack=(
                     None
                     if tables.get("is_attack") is None
-                    else np.asarray(tables["is_attack"], dtype=bool)
+                    else _as_array(tables["is_attack"], bool)
                 ),
                 purity=(
                     None
                     if tables.get("purity") is None
-                    else np.asarray(tables["purity"], dtype=float)
+                    else _as_array(tables["purity"], float)
                 ),
             )
     else:

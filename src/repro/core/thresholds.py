@@ -166,7 +166,7 @@ class PerUnitThreshold:
             )
         self._fallback = max(float(np.percentile(values, self.fallback_percentile)), 1e-12)
         grouped: Dict[LeafKey, list] = defaultdict(list)
-        for key, value in zip(leaf_keys, values):
+        for key, value in zip(leaf_keys, values, strict=True):
             grouped[key].append(float(value))
         floor = self.min_threshold_fraction * self._fallback
         thresholds: Dict[LeafKey, float] = {}

@@ -31,7 +31,7 @@ def save_csv(dataset: Dataset, path: PathLike, *, header: bool = True) -> None:
         writer = csv.writer(handle)
         if header:
             writer.writerow(list(dataset.schema.feature_names) + ["label"])
-        for row, label in zip(dataset.raw, dataset.labels):
+        for row, label in zip(dataset.raw, dataset.labels, strict=True):
             writer.writerow([_format_field(value) for value in row] + [str(label)])
 
 
@@ -71,7 +71,7 @@ def load_csv(path: PathLike, *, schema: Optional[KddSchema] = None) -> Dataset:
                 )
             raw_row = [
                 _parse_field(field.strip(), name, schema)
-                for field, name in zip(fields[: schema.n_features], schema.feature_names)
+                for field, name in zip(fields[: schema.n_features], schema.feature_names, strict=True)
             ]
             rows.append(raw_row)
             labels.append(fields[-1].strip().rstrip("."))

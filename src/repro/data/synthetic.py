@@ -821,7 +821,7 @@ class KddSyntheticGenerator:
         counts = self._rng.multinomial(n_records, weights)
         blocks: list[np.ndarray] = []
         block_labels: list[np.ndarray] = []
-        for label, count in zip(labels, counts):
+        for label, count in zip(labels, counts, strict=True):
             if count == 0:
                 continue
             profile = self.profiles[label]

@@ -153,7 +153,7 @@ def confusion_matrix(
         labels = [str(label) for label in labels]
     index = {label: position for position, label in enumerate(labels)}
     matrix = np.zeros((len(labels), len(labels)), dtype=int)
-    for true_label, predicted_label in zip(truth, predicted):
+    for true_label, predicted_label in zip(truth, predicted, strict=True):
         row = index.get(true_label)
         column = index.get(predicted_label)
         if row is None or column is None:

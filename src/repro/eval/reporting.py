@@ -18,6 +18,7 @@ import numpy as np
 from repro.eval.experiments import DetectorResult
 from repro.eval.tables import format_table
 from repro.exceptions import DataValidationError
+from repro.utils.mmapio import atomic_write
 
 PathLike = Union[str, Path]
 
@@ -63,7 +64,10 @@ def save_results_json(
         "metadata": dict(metadata or {}),
         "results": {name: result_to_dict(result) for name, result in results.items()},
     }
-    path.write_text(json.dumps(payload, indent=2))
+    # Atomic replace: a crash mid-write must not leave a truncated results
+    # file that a later load_results_json() half-parses (repro-lint RPL001).
+    text = json.dumps(payload, indent=2)
+    atomic_write(path, lambda stream: stream.write(text))
 
 
 def load_results_json(path: PathLike) -> Dict[str, object]:

@@ -135,7 +135,7 @@ class TrafficSimulator:
             random_state=rngs[0],
         )
         events = background.generate(self.duration_seconds)
-        for injection, rng in zip(self.injections, rngs[1:]):
+        for injection, rng in zip(self.injections, rngs[1:], strict=True):
             if not 0 <= injection.start_time < self.duration_seconds:
                 raise SimulationError(
                     f"injection start_time {injection.start_time} outside the trace"

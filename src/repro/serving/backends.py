@@ -31,17 +31,30 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
+from repro._typing import AnyArray
 from repro.exceptions import ConfigurationError, ReproError, ServingError
 from repro.serving.shards import SubtreeShard
 
+if TYPE_CHECKING:  # circular at runtime: config builds backends via make_backend
+    from repro.serving.config import ServingConfig
+
 #: One shard task: (shard index, routed sub-batch, local entry nodes).
-ShardTask = Tuple[int, np.ndarray, np.ndarray]
+ShardTask = Tuple[int, AnyArray, AnyArray]
 #: One shard result: (local leaf rows, distances in the serving dtype).
-ShardResult = Tuple[np.ndarray, np.ndarray]
+ShardResult = Tuple[AnyArray, AnyArray]
 
 
 def _default_workers() -> int:
@@ -67,7 +80,7 @@ def same_shard_objects(
     return (
         previous is not None
         and len(previous) == len(current)
-        and all(a is b for a, b in zip(previous, current))
+        and all(a is b for a, b in zip(previous, current, strict=True))
     )
 
 
@@ -92,7 +105,7 @@ class ShardBackend:
     def close(self) -> None:
         """Release any pooled resources (a no-op for the serial backend)."""
 
-    def configure_serving(self, config) -> None:
+    def configure_serving(self, config: "ServingConfig") -> None:
         """Receive the :class:`~repro.serving.config.ServingConfig` in force.
 
         Called by ``GhsomDetector.configure`` whenever this backend is (re)
@@ -130,17 +143,21 @@ class _PooledBackend(ShardBackend):
     def __enter__(self) -> "_PooledBackend":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _wrapped_failure(self, index: int, matrix: np.ndarray, exc: Exception) -> ServingError:
+    def _wrapped_failure(self, index: int, matrix: AnyArray, exc: Exception) -> ServingError:
         return ServingError(
             f"{self.name} shard backend failed while scoring shard "
             f"{index} ({matrix.shape[0]} records on "
             f"{self.workers} workers): {type(exc).__name__}: {exc}"
         )
 
-    def _submit_all(self, tasks: Sequence[ShardTask], submit_one) -> List[Future]:
+    def _submit_all(
+        self,
+        tasks: Sequence[ShardTask],
+        submit_one: "Callable[[ShardTask], Future[ShardResult]]",
+    ) -> "List[Future[ShardResult]]":
         """Submit every task, wrapping *dispatch-time* pool failures.
 
         ``Executor.submit`` itself raises (e.g. ``BrokenProcessPool``) once a
@@ -149,7 +166,7 @@ class _PooledBackend(ShardBackend):
         surfacing through ``future.result()``, or the pool stays broken and
         every later ``run`` dies at submit time forever.
         """
-        futures: List[Future] = []
+        futures: List[Future[ShardResult]] = []
         try:
             for task in tasks:
                 futures.append(submit_one(task))
@@ -163,7 +180,7 @@ class _PooledBackend(ShardBackend):
         return futures
 
     def _collect(
-        self, tasks: Sequence[ShardTask], futures: Sequence[Future]
+        self, tasks: Sequence[ShardTask], futures: "Sequence[Future[ShardResult]]"
     ) -> List[ShardResult]:
         """Gather futures in task order, wrapping worker failures.
 
@@ -178,7 +195,7 @@ class _PooledBackend(ShardBackend):
         """
         results: List[ShardResult] = []
         try:
-            for (index, matrix, _), future in zip(tasks, futures):
+            for (index, matrix, _), future in zip(tasks, futures, strict=True):
                 try:
                     results.append(future.result())
                 except ReproError:
@@ -237,7 +254,7 @@ def _worker_init(shards: Tuple[SubtreeShard, ...]) -> None:
     _WORKER_SHARDS = shards
 
 
-def _worker_run(index: int, matrix: np.ndarray, entries: np.ndarray) -> ShardResult:
+def _worker_run(index: int, matrix: AnyArray, entries: AnyArray) -> ShardResult:
     assert _WORKER_SHARDS is not None, "process-pool worker was not initialised"
     return _WORKER_SHARDS[index].assign_entries(matrix, entries)
 
@@ -257,8 +274,8 @@ class ProcessPoolBackend(_PooledBackend):
         self._pool_shards: Optional[Tuple[SubtreeShard, ...]] = None
 
     def _ensure_pool(self, shards: Sequence[SubtreeShard]) -> Executor:
-        shards = tuple(shards)
-        if self._pool is not None and not same_shard_objects(self._pool_shards, shards):
+        current = tuple(shards)
+        if self._pool is not None and not same_shard_objects(self._pool_shards, current):
             self.close()
         if self._pool is None:
             if "fork" in multiprocessing.get_all_start_methods():
@@ -269,9 +286,9 @@ class ProcessPoolBackend(_PooledBackend):
                 max_workers=self._workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(shards,),
+                initargs=(current,),
             )
-            self._pool_shards = shards
+            self._pool_shards = current
         return self._pool
 
     def close(self) -> None:
@@ -290,7 +307,7 @@ class ProcessPoolBackend(_PooledBackend):
         return self._collect(tasks, futures)
 
 
-_BACKENDS = {
+_BACKENDS: Dict[str, Callable[..., ShardBackend]] = {
     "serial": SerialBackend,
     "thread": ThreadPoolBackend,
     "process": ProcessPoolBackend,

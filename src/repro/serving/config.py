@@ -44,12 +44,15 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.core import kernels
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # runtime import stays lazy inside build_backend
+    from repro.serving.backends import ShardBackend
 
 #: Version marker of the serialized ``ServingConfig`` payload (bumped on any
 #: incompatible change; readers reject versions they do not understand).
@@ -89,7 +92,7 @@ def _parse_remote_workers(spec: str) -> Tuple[str, ...]:
     """Normalise a ``HOST:PORT[,HOST:PORT...]`` spec into address strings."""
     from repro.serving.transport import parse_address
 
-    addresses = []
+    addresses: List[str] = []
     for part in str(spec).split(","):
         part = part.strip()
         if not part:
@@ -97,6 +100,36 @@ def _parse_remote_workers(spec: str) -> Tuple[str, ...]:
         host, port = parse_address(part)
         addresses.append(f"{host}:{port}")
     return tuple(addresses)
+
+
+def _opt_int(value: object) -> Optional[int]:
+    """``None`` passes through; everything else must be integer-coercible.
+
+    The strict-typed bridge from JSON payloads / CLI override mappings
+    (``object`` values) to the typed dataclass fields; range validation stays
+    in the dataclass ``__post_init__``.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (bool, int, float, str, np.integer)):
+        return int(value)
+    raise ConfigurationError(f"expected an integer, got {value!r}")
+
+
+def _opt_str(value: object) -> Optional[str]:
+    """``None`` passes through; everything else is stringified."""
+    return None if value is None else str(value)
+
+
+def _sub_mapping(data: Mapping[str, object], key: str) -> Dict[str, object]:
+    """A payload sub-section as a dict (absent/None becomes empty)."""
+    raw = data.get(key) or {}
+    if not isinstance(raw, Mapping):
+        raise ConfigurationError(
+            f"serving config section {key!r} must be a mapping, "
+            f"got {type(raw).__name__}"
+        )
+    return dict(raw)
 
 
 # --------------------------------------------------------------------------- #
@@ -302,7 +335,7 @@ class ServingConfig:
                 f"serving config payload has unknown keys {unknown}; "
                 "the payload is corrupt or from an incompatible writer"
             )
-        sharding = dict(data.get("sharding") or {})
+        sharding = _sub_mapping(data, "sharding")
         unknown = sorted(
             set(sharding) - {"shards", "workers", "backend", "remote_workers", "provisioning"}
         )
@@ -310,7 +343,7 @@ class ServingConfig:
             raise ConfigurationError(
                 f"serving config sharding spec has unknown keys {unknown}"
             )
-        artifact = dict(data.get("artifact") or {})
+        artifact = _sub_mapping(data, "artifact")
         unknown = sorted(set(artifact) - {"mmap", "verify"})
         if unknown:
             raise ConfigurationError(
@@ -318,13 +351,13 @@ class ServingConfig:
             )
         return cls(
             dtype=str(data.get("dtype", "float64")),
-            engine=data.get("engine"),
-            provider=data.get("provider"),
+            engine=_opt_str(data.get("engine")),
+            provider=_opt_str(data.get("provider")),
             sharding=ShardingSpec(
-                shards=sharding.get("shards"),
-                workers=sharding.get("workers"),
-                backend=sharding.get("backend"),
-                remote_workers=sharding.get("remote_workers"),
+                shards=_opt_int(sharding.get("shards")),
+                workers=_opt_int(sharding.get("workers")),
+                backend=_opt_str(sharding.get("backend")),
+                remote_workers=_opt_str(sharding.get("remote_workers")),
                 provisioning=str(sharding.get("provisioning", "auto")),
             ),
             artifact=ArtifactOptions(
@@ -378,10 +411,10 @@ class ServingConfig:
             config = replace(
                 config,
                 sharding=ShardingSpec(
-                    shards=overrides.get("shards"),
-                    workers=overrides.get("workers"),
-                    backend=overrides.get("backend"),
-                    remote_workers=overrides.get("remote_workers"),
+                    shards=_opt_int(overrides.get("shards")),
+                    workers=_opt_int(overrides.get("workers")),
+                    backend=_opt_str(overrides.get("backend")),
+                    remote_workers=_opt_str(overrides.get("remote_workers")),
                     provisioning=str(overrides.get("provisioning", "auto")),
                 ),
             )
@@ -524,7 +557,7 @@ class ServingPlan:
             "verify": self.verify,
         }
 
-    def build_backend(self):
+    def build_backend(self) -> "Optional[ShardBackend]":
         """Construct the live :class:`~repro.serving.backends.ShardBackend`.
 
         The single place a declarative plan becomes a running executor:

@@ -129,7 +129,7 @@ class ShardPlan:
         """The subtrees assigned to one shard, in discovery order."""
         return tuple(
             subtree
-            for subtree, shard in zip(self.subtrees, self.assignment)
+            for subtree, shard in zip(self.subtrees, self.assignment, strict=True)
             if shard == shard_id
         )
 
@@ -137,7 +137,7 @@ class ShardPlan:
         """Balance summary (used by the benchmark harness and docs)."""
         unit_loads = [0] * self.n_shards
         leaf_loads = [0] * self.n_shards
-        for subtree, shard in zip(self.subtrees, self.assignment):
+        for subtree, shard in zip(self.subtrees, self.assignment, strict=True):
             unit_loads[shard] += subtree.n_units
             leaf_loads[shard] += subtree.n_leaves
         return {
@@ -152,7 +152,10 @@ class ShardPlan:
 
 
 def plan_shards(
-    source, n_shards: int, *, subtrees: Optional[Sequence[RootSubtree]] = None
+    source: CompiledGhsom,
+    n_shards: int,
+    *,
+    subtrees: Optional[Sequence[RootSubtree]] = None,
 ) -> ShardPlan:
     """Partition a compiled model's root subtrees into ``n_shards`` shards.
 
@@ -165,22 +168,20 @@ def plan_shards(
     """
     if n_shards < 1:
         raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
-    if subtrees is None:
-        subtrees = subtrees_from_compiled(source)
-    subtrees = tuple(subtrees)
-    effective = min(int(n_shards), len(subtrees)) if subtrees else 0
-    assignment = [0] * len(subtrees)
+    layout = tuple(subtrees) if subtrees is not None else subtrees_from_compiled(source)
+    effective = min(int(n_shards), len(layout)) if layout else 0
+    assignment = [0] * len(layout)
     if effective:
         loads = [0] * effective
         order = sorted(
-            range(len(subtrees)), key=lambda i: subtrees[i].n_units, reverse=True
+            range(len(layout)), key=lambda i: layout[i].n_units, reverse=True
         )
         for index in order:
             shard = min(range(effective), key=loads.__getitem__)
             assignment[index] = shard
-            loads[shard] += subtrees[index].n_units
+            loads[shard] += layout[index].n_units
     return ShardPlan(
-        n_shards=effective, subtrees=subtrees, assignment=tuple(assignment)
+        n_shards=effective, subtrees=layout, assignment=tuple(assignment)
     )
 
 
@@ -223,7 +224,14 @@ def subtrees_from_manifest(manifest: Dict[str, object]) -> Tuple[RootSubtree, ..
     version = manifest.get("version")
     if version != MANIFEST_VERSION:
         raise SerializationError(f"unsupported shard manifest version {version!r}")
-    return tuple(
-        RootSubtree(**{field: int(entry[field]) for field in _MANIFEST_FIELDS})
-        for entry in manifest["root_subtrees"]
-    )
+    entries = manifest.get("root_subtrees")
+    if not isinstance(entries, list):
+        raise SerializationError("shard manifest is missing its root_subtrees list")
+    subtrees: List[RootSubtree] = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise SerializationError(f"malformed shard manifest entry: {entry!r}")
+        subtrees.append(
+            RootSubtree(**{field: int(entry[field]) for field in _MANIFEST_FIELDS})
+        )
+    return tuple(subtrees)

@@ -51,10 +51,11 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import fields
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import IO, Any, Dict, List, Optional, Sequence, Set, Tuple, Union, cast
 
 import numpy as np
 
+from repro._typing import AnyArray
 from repro.exceptions import ConfigurationError, SerializationError, ServingError
 from repro.serving.backends import (
     ShardBackend,
@@ -77,6 +78,15 @@ from repro.serving.transport import (
     server_handshake,
 )
 from repro.utils.mmapio import MmapRef, fingerprints_match, sidecar_fingerprint
+
+
+def _frame_int(value: object) -> int:
+    """A wire-frame field as an int (malformed frames become error replies)."""
+    if isinstance(value, (bool, int, float, str, np.integer)):
+        return int(value)
+    raise ServingError(
+        f"expected an integer frame field, got {type(value).__name__}"
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -122,7 +132,7 @@ def _reference_wire(
     path = next(iter(paths))
     try:
         with open(path, "rb") as stream:
-            for shard, state in zip(shards, states):
+            for shard, state in zip(shards, states, strict=True):
                 for name, value in state.items():
                     if not isinstance(value, MmapRef):
                         continue
@@ -150,7 +160,7 @@ def _reference_wire(
     return path, sidecar_fingerprint(path), ref_states
 
 
-def _region_matches(stream, offset: int, live: np.ndarray) -> bool:
+def _region_matches(stream: IO[bytes], offset: int, live: AnyArray) -> bool:
     """Whether the file region at ``offset`` equals the live array's bytes.
 
     Fixed-size chunks: the members being compared can rival the host's RAM
@@ -176,7 +186,7 @@ def _value_wire(shards: Sequence[SubtreeShard]) -> List[Dict[str, object]]:
     receives the exact bytes the coordinator serves from, so results stay
     byte-identical without the worker needing the artifact file.
     """
-    states = []
+    states: List[Dict[str, object]] = []
     for shard in shards:
         state: Dict[str, object] = {}
         for field_info in fields(SubtreeShard):
@@ -302,7 +312,7 @@ class RemoteBackend(ShardBackend):
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_spec(cls, spec: str, **kwargs) -> "RemoteBackend":
+    def from_spec(cls, spec: str, **kwargs: Any) -> "RemoteBackend":
         """Build a backend from a ``HOST:PORT[,HOST:PORT...]`` spec string."""
         return cls(spec, **kwargs)
 
@@ -314,7 +324,7 @@ class RemoteBackend(ShardBackend):
     def addresses(self) -> Tuple[Tuple[str, int], ...]:
         return self._addresses
 
-    def configure_serving(self, config) -> None:
+    def configure_serving(self, config: ServingConfig) -> None:
         """Ship ``config`` to every worker at the next provisioning epoch.
 
         Replaces the per-shard engine re-stamp of earlier versions: workers
@@ -343,11 +353,11 @@ class RemoteBackend(ShardBackend):
     ) -> List[ShardResult]:
         if not tasks:
             return []
-        shards = tuple(shards)
-        connections = self._ensure_workers(shards)
+        shard_tuple = tuple(shards)
+        connections = self._ensure_workers(shard_tuple)
         results: List[Optional[ShardResult]] = [None] * len(tasks)
         failed: List[int] = []
-        pending: List[Tuple[int, WorkerConnection, Future]] = []
+        pending: List[Tuple[int, WorkerConnection, "Future[object]"]] = []
         if connections:
             for position, (index, matrix, entries) in enumerate(tasks):
                 connection = connections[position % len(connections)]
@@ -368,7 +378,9 @@ class RemoteBackend(ShardBackend):
             failed = list(range(len(tasks)))
         for position, connection, future in pending:
             try:
-                leaf, distances = future.result(timeout=self._task_timeout)
+                leaf, distances = cast(
+                    "Tuple[object, object]", future.result(timeout=self._task_timeout)
+                )
                 results[position] = (np.asarray(leaf), np.asarray(distances))
                 self.stats["remote_tasks"] += 1
             except (ServingError, FutureTimeoutError):
@@ -378,8 +390,8 @@ class RemoteBackend(ShardBackend):
                 failed.append(position)
         if failed:
             failed.sort()
-            recovered = self._fallback.run(shards, [tasks[i] for i in failed])
-            for position, result in zip(failed, recovered):
+            recovered = self._fallback.run(shard_tuple, [tasks[i] for i in failed])
+            for position, result in zip(failed, recovered, strict=True):
                 results[position] = result
             self.stats["failover_tasks"] += len(failed)
         return results  # type: ignore[return-value]
@@ -463,20 +475,21 @@ class RemoteBackend(ShardBackend):
     ) -> None:
         """Ship the current shard set to one worker (reference or value)."""
         use_reference = False
-        if self._provisioning in ("auto", "reference") and self._wire_reference is not None:
+        wire_reference = self._wire_reference
+        if self._provisioning in ("auto", "reference") and wire_reference is not None:
             if self._provisioning == "reference":
                 use_reference = True  # strict: the worker's refusal surfaces
             else:
                 advertised = connection.info.get("sidecar")
-                _, fingerprint, _ = self._wire_reference
+                _, fingerprint, _ = wire_reference
                 use_reference = isinstance(advertised, dict) and fingerprints_match(
                     fingerprint, advertised
                 )
         serving = (
             None if self._serving_config is None else self._serving_config.to_dict()
         )
-        if use_reference:
-            _, fingerprint, states = self._wire_reference
+        if use_reference and wire_reference is not None:
+            _, fingerprint, states = wire_reference
             try:
                 ack = connection.call(
                     "provision",
@@ -511,9 +524,11 @@ class RemoteBackend(ShardBackend):
 
     def _note_worker_plan(self, connection: WorkerConnection, ack: object) -> None:
         """Record the resolved plan a worker reported in its provision ack."""
-        if isinstance(ack, dict) and isinstance(ack.get("plan"), dict):
-            host, port = connection.address
-            self.worker_plans[f"{host}:{port}"] = ack["plan"]
+        if isinstance(ack, dict):
+            plan = ack.get("plan")
+            if isinstance(plan, dict):
+                host, port = connection.address
+                self.worker_plans[f"{host}:{port}"] = plan
 
     def _drop(self, connection: WorkerConnection) -> None:
         connection.close()
@@ -597,14 +612,14 @@ class ShardWorkerServer:
         self._listener = socket.create_server((host, int(port)), reuse_port=False)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
         self._lock = threading.Lock()
-        self._clients: set = set()
+        self._clients: Set[socket.socket] = set()
         self._closed = False
         self._serving_thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------ #
     def worker_info(self) -> Dict[str, object]:
         """The info dict advertised to coordinators during the handshake."""
-        sidecar = None
+        sidecar: Optional[Dict[str, object]] = None
         if self.sidecar_path is not None:
             try:
                 sidecar = sidecar_fingerprint(self.sidecar_path)
@@ -672,7 +687,7 @@ class ShardWorkerServer:
     def __enter__(self) -> "ShardWorkerServer":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
     # ------------------------------------------------------------------ #
@@ -698,20 +713,27 @@ class ShardWorkerServer:
             run_shards: Tuple[SubtreeShard, ...], frame: Dict[str, object]
         ) -> None:
             try:
-                index = int(frame["shard"])
+                index = _frame_int(frame["shard"])
                 if not 0 <= index < len(run_shards):
                     raise ServingError(
                         f"shard index {index} out of range "
                         f"(provisioned {len(run_shards)} shards)"
                     )
                 result = run_shards[index].assign_entries(
-                    frame["matrix"], frame["entries"]
+                    np.asarray(frame["matrix"]), np.asarray(frame["entries"])
                 )
+            # repro-lint: disable=RPL007 -- worker reply path: the failure is
+            # shipped back as an error frame and the coordinator re-raises it
+            # as TransportError/ServingError; raising here would kill the
+            # connection's task thread instead.
             except Exception as exc:
                 reply(frame["id"], {"ok": False, "error": f"{type(exc).__name__}: {exc}"})
                 return
             reply(frame["id"], {"ok": True, "result": result})
 
+        # repro-lint: disable=RPL008 -- per-connection task pool of the worker
+        # server, not a scoring backend: sized by the worker's --task-threads,
+        # shut down with the connection in the finally below.
         pool = ThreadPoolExecutor(
             max_workers=self._task_threads, thread_name_prefix="repro-worker-task"
         )
@@ -735,14 +757,14 @@ class ShardWorkerServer:
                         result: object = "pong"
                     elif operation == "provision":
                         shards = self._provisioned_shards(frame)
-                        epoch = int(frame["epoch"])
+                        epoch = _frame_int(frame["epoch"])
                         result = {
                             "n_shards": len(shards),
                             "epoch": epoch,
                             "plan": self._resolved_plan(frame, shards),
                         }
                     elif operation == "run":
-                        if epoch is None or int(frame["epoch"]) != epoch:
+                        if epoch is None or _frame_int(frame["epoch"]) != epoch:
                             raise ServingError(
                                 "connection is not provisioned for epoch "
                                 f"{frame.get('epoch')!r} (worker holds "
@@ -755,7 +777,10 @@ class ShardWorkerServer:
                         continue
                     else:
                         raise ServingError(f"unknown operation {operation!r}")
-                except Exception as exc:  # every failure becomes a reply
+                # repro-lint: disable=RPL007 -- every failure becomes an error
+                # reply frame; the coordinator re-raises it inside its own
+                # ServingError surface.
+                except Exception as exc:
                     reply(request_id, {"ok": False, "error": f"{type(exc).__name__}: {exc}"})
                     continue
                 reply(request_id, {"ok": True, "result": result})
@@ -796,7 +821,7 @@ class ShardWorkerServer:
                 )
             sidecar_path = self.sidecar_path
         engine = self._effective_engine(frame)
-        restored = []
+        restored: List[SubtreeShard] = []
         for state in states:
             state = dict(state)
             if engine is not None:

@@ -22,10 +22,11 @@ engine for every shard count and backend.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro._typing import AnyArray
 from repro.core.compiled import CompiledGhsom
 from repro.core.distances import get_metric
 from repro.exceptions import DataValidationError
@@ -87,10 +88,10 @@ class ShardedGhsom:
         backend: Union[str, ShardBackend] = "serial",
         workers: Optional[int] = None,
         plan: Optional[ShardPlan] = None,
-        thresholds: Optional[np.ndarray] = None,
-        labels: Optional[np.ndarray] = None,
-        is_attack: Optional[np.ndarray] = None,
-        purity: Optional[np.ndarray] = None,
+        thresholds: Optional[AnyArray] = None,
+        labels: Optional[AnyArray] = None,
+        is_attack: Optional[AnyArray] = None,
+        purity: Optional[AnyArray] = None,
         engine: Optional[str] = None,
     ) -> "ShardedGhsom":
         """Plan, slice and wire a sharded engine for ``compiled``.
@@ -131,7 +132,7 @@ class ShardedGhsom:
         return self.source.n_leaves
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> np.dtype[Any]:
         """Serving dtype (that of the source snapshot)."""
         return self.source.dtype
 
@@ -148,7 +149,7 @@ class ShardedGhsom:
         self.backend.close()
 
     # ------------------------------------------------------------------ #
-    def assign_arrays(self, data) -> Tuple[np.ndarray, np.ndarray]:
+    def assign_arrays(self, data: object) -> Tuple[AnyArray, AnyArray]:
         """Leaf rows and distances, byte-identical to the unsharded engine.
 
         See the module docstring for the route / dispatch / merge structure.
@@ -189,8 +190,8 @@ class ShardedGhsom:
                 ).min(axis=1)
         # --- dispatch: one task per shard with routed samples ------------- #
         sample_shard = self._shard_of_unit[units]
-        tasks = []
-        task_rows = []
+        tasks: List[Tuple[int, AnyArray, AnyArray]] = []
+        task_rows: List[AnyArray] = []
         for shard in self.shards:
             # flatnonzero yields ascending rows — the same ordering the
             # unsharded frontier uses, so shard-side BLAS inputs match.
@@ -209,14 +210,16 @@ class ShardedGhsom:
             descend_s = perf_counter() - t_descend
             t_merge = perf_counter()
             for (shard_id, _, _), rows, (local_leaf, shard_distances) in zip(
-                tasks, task_rows, results
+                tasks, task_rows, results, strict=True
             ):
                 leaf_index[rows] = self.shards[shard_id].leaf_global_row[local_leaf]
                 distances[rows] = shard_distances
             merge_s = perf_counter() - t_merge
         self.last_timings = {"route_s": route_s, "descend_s": descend_s, "merge_s": merge_s}
+        # repro-lint: disable=RPL003 -- same result-widening contract as
+        # CompiledGhsom.assign_arrays; a no-op for the float64 engine.
         return leaf_index, distances.astype(np.float64, copy=False)
 
-    def transform(self, data) -> np.ndarray:
+    def transform(self, data: object) -> AnyArray:
         """Quantization distance per sample (the raw anomaly score)."""
         return self.assign_arrays(data)[1]

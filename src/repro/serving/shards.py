@@ -30,6 +30,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro._typing import AnyArray
 from repro.core import kernels
 from repro.core.compiled import CompiledGhsom, frontier_descent
 from repro.serving.planner import RootSubtree, ShardPlan
@@ -51,23 +52,23 @@ class SubtreeShard:
     n_features: int
     #: Global root-layer unit rows owned by this shard, with the local node
     #: index each one's descent enters at (parallel arrays).
-    root_units: np.ndarray
-    entry_local_node: np.ndarray
+    root_units: AnyArray
+    entry_local_node: AnyArray
     #: Local flat-array hierarchy (same layout as ``CompiledGhsom``).
-    node_offsets: np.ndarray
-    codebook: np.ndarray
-    child_of_unit: np.ndarray
-    leaf_of_unit: np.ndarray
-    unit_norms: np.ndarray
+    node_offsets: AnyArray
+    codebook: AnyArray
+    child_of_unit: AnyArray
+    leaf_of_unit: AnyArray
+    unit_norms: AnyArray
     #: Local leaf row -> global leaf-table row.
-    leaf_global_row: np.ndarray
+    leaf_global_row: AnyArray
     #: Per-leaf scoring-table segments (present when the owning detector has
     #: them): a worker holding the shard can score to final ratios/labels
     #: without any global state.
-    thresholds: Optional[np.ndarray] = None
-    labels: Optional[np.ndarray] = None
-    is_attack: Optional[np.ndarray] = None
-    purity: Optional[np.ndarray] = None
+    thresholds: Optional[AnyArray] = None
+    labels: Optional[AnyArray] = None
+    is_attack: Optional[AnyArray] = None
+    purity: Optional[AnyArray] = None
     #: Compute engine for this shard's descents (``None`` = library default).
     #: Resolution is per call and *non-strict*: a shard pickled to a worker
     #: without a fused-kernel provider silently degrades to the numpy engine
@@ -101,11 +102,13 @@ class SubtreeShard:
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         for name, value in state.items():
+            # repro-lint: disable=RPL005 -- rehydrating the frozen dataclass
+            # from its portable pickle state; mirrors what __init__ would do.
             object.__setattr__(self, name, array_from_portable(value))
 
     def assign_entries(
-        self, matrix: np.ndarray, entry_nodes: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self, matrix: AnyArray, entry_nodes: AnyArray
+    ) -> Tuple[AnyArray, AnyArray]:
         """Descend the shard for a routed sub-batch.
 
         ``matrix`` is the router-prepared sub-batch (already validated and
@@ -142,10 +145,10 @@ def build_shard(
     shard_id: int,
     members: Sequence[RootSubtree],
     *,
-    thresholds: Optional[np.ndarray] = None,
-    labels: Optional[np.ndarray] = None,
-    is_attack: Optional[np.ndarray] = None,
-    purity: Optional[np.ndarray] = None,
+    thresholds: Optional[AnyArray] = None,
+    labels: Optional[AnyArray] = None,
+    is_attack: Optional[AnyArray] = None,
+    purity: Optional[AnyArray] = None,
     engine: Optional[str] = None,
 ) -> SubtreeShard:
     """Materialise one shard by slicing the compiled arrays.
@@ -167,7 +170,7 @@ def build_shard(
     node_offsets = np.zeros(local_nodes.size + 1, dtype=np.intp)
     np.cumsum(unit_counts, out=node_offsets[1:])
 
-    def gather_units(source: np.ndarray) -> np.ndarray:
+    def gather_units(source: AnyArray) -> AnyArray:
         if not members:
             return np.empty((0,) + source.shape[1:], dtype=source.dtype)
         if len(members) == 1:
@@ -202,7 +205,7 @@ def build_shard(
     leaf_global = gather_units(compiled.leaf_of_unit)
     leaf_of_unit = np.where(leaf_global >= 0, leaf_map[leaf_global], -1)
 
-    def gather_leaves(table: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    def gather_leaves(table: Optional[AnyArray]) -> Optional[AnyArray]:
         if table is None:
             return None
         return np.asarray(table)[leaf_global_row]
@@ -233,10 +236,10 @@ def build_shards(
     compiled: CompiledGhsom,
     plan: ShardPlan,
     *,
-    thresholds: Optional[np.ndarray] = None,
-    labels: Optional[np.ndarray] = None,
-    is_attack: Optional[np.ndarray] = None,
-    purity: Optional[np.ndarray] = None,
+    thresholds: Optional[AnyArray] = None,
+    labels: Optional[AnyArray] = None,
+    is_attack: Optional[AnyArray] = None,
+    purity: Optional[AnyArray] = None,
     engine: Optional[str] = None,
 ) -> Tuple[SubtreeShard, ...]:
     """Materialise every shard of a plan (see :func:`build_shard`)."""

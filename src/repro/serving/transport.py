@@ -36,7 +36,7 @@ import struct
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ServingError
 
@@ -87,7 +87,7 @@ def _read_exact(sock: socket.socket, n_bytes: int) -> bytes:
     A peer closing mid-frame surfaces as a short read — the "truncated
     frame" failure mode — never as a partial pickle reaching the caller.
     """
-    chunks = []
+    chunks: List[bytes] = []
     remaining = n_bytes
     while remaining:
         try:
@@ -155,6 +155,8 @@ def recv_frame(sock: socket.socket) -> object:
 # --------------------------------------------------------------------------- #
 def client_handshake(sock: socket.socket, *, protocol: int = PROTOCOL_VERSION) -> Dict[str, object]:
     """Run the client side of the handshake; returns the worker's info dict."""
+    # repro-lint: disable=RPL004 -- handshake is single threaded: it runs
+    # before the connection is shared and before any reader thread exists.
     send_frame(sock, {"kind": "hello", "protocol": int(protocol)})
     reply = recv_frame(sock)
     if not isinstance(reply, dict) or reply.get("kind") not in ("hello", "reject"):
@@ -197,12 +199,16 @@ def server_handshake(sock: socket.socket, worker_info: Dict[str, object]) -> boo
             },
         )
         return False
+    # repro-lint: disable=RPL004 -- server handshake reply: the connection is
+    # still exclusive to this thread (no task pool has seen it yet).
     send_frame(sock, {"kind": "hello", "protocol": PROTOCOL_VERSION, "worker": worker_info})
     return True
 
 
 def _best_effort_send(sock: socket.socket, payload: object) -> None:
     try:
+        # repro-lint: disable=RPL004 -- only called from the single-threaded
+        # handshake path to reject a client before the connection is shared.
         send_frame(sock, payload)
     except TransportError:
         pass
@@ -247,7 +253,7 @@ class WorkerConnection:
         self._sock.settimeout(None)
         self._send_lock = threading.Lock()
         self._pending_lock = threading.Lock()
-        self._pending: Dict[int, Future] = {}
+        self._pending: Dict[int, Future[object]] = {}
         self._next_id = 0
         self._dead: Optional[TransportError] = None
         #: Provisioning epoch the worker last acknowledged on this
@@ -265,14 +271,14 @@ class WorkerConnection:
     def is_alive(self) -> bool:
         return self._dead is None
 
-    def submit(self, op: str, **params) -> Future:
+    def submit(self, op: str, **params: object) -> Future[object]:
         """Send one request frame; the returned future resolves to the result.
 
         The future raises :class:`ServingError` when the worker answered
         with an application error, and :class:`TransportError` when the
         connection died before the response arrived.
         """
-        future: Future = Future()
+        future: Future[object] = Future()
         with self._pending_lock:
             if self._dead is not None:
                 raise self._dead
@@ -287,7 +293,7 @@ class WorkerConnection:
             raise
         return future
 
-    def call(self, op: str, *, timeout: Optional[float] = None, **params) -> object:
+    def call(self, op: str, *, timeout: Optional[float] = None, **params: object) -> object:
         """Synchronous convenience: ``submit`` + ``result``."""
         return self.submit(op, **params).result(timeout=timeout)
 
@@ -297,7 +303,7 @@ class WorkerConnection:
     def __enter__(self) -> "WorkerConnection":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #

@@ -37,10 +37,11 @@ import tempfile
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import IO, Any, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro._typing import AnyArray
 from repro.exceptions import SerializationError
 
 PathLike = Union[str, Path]
@@ -75,7 +76,7 @@ _PAD_EXTRA_ID = 0x7061
 # --------------------------------------------------------------------------- #
 # atomic writes (shared by JSON and binary artifact files)
 # --------------------------------------------------------------------------- #
-def atomic_write(path: PathLike, write: Callable[[object], None], *, binary: bool = False) -> None:
+def atomic_write(path: PathLike, write: Callable[[IO[Any]], None], *, binary: bool = False) -> None:
     """Write a file via a same-directory temp file + fsync + rename.
 
     ``write`` receives the open temp-file stream and must write the complete
@@ -118,7 +119,7 @@ def atomic_write(path: PathLike, write: Callable[[object], None], *, binary: boo
         raise
 
 
-def write_npz_atomic(arrays: Dict[str, np.ndarray], path: PathLike) -> Dict[str, object]:
+def write_npz_atomic(arrays: Dict[str, AnyArray], path: PathLike) -> Dict[str, object]:
     """Write ``arrays`` as an uncompressed ``.npz`` file, atomically.
 
     Members are stored uncompressed (``ZIP_STORED``) so :func:`mmap_npz` can
@@ -133,7 +134,7 @@ def write_npz_atomic(arrays: Dict[str, np.ndarray], path: PathLike) -> Dict[str,
     """
     digest: Dict[str, object] = {}
 
-    def write(stream) -> None:
+    def write(stream: IO[Any]) -> None:
         crc32: Dict[str, int] = {}
         with zipfile.ZipFile(stream, "w", zipfile.ZIP_STORED) as archive:
             for name, array in arrays.items():
@@ -201,7 +202,7 @@ def sha256_of_file(path: PathLike) -> str:
 # --------------------------------------------------------------------------- #
 # mmap-backed reads
 # --------------------------------------------------------------------------- #
-def _member_data_offset(stream, info: zipfile.ZipInfo) -> int:
+def _member_data_offset(stream: IO[bytes], info: zipfile.ZipInfo) -> int:
     """File offset of a stored zip member's raw data.
 
     The local file header repeats the name and may carry a *different* extra
@@ -219,7 +220,7 @@ def _member_data_offset(stream, info: zipfile.ZipInfo) -> int:
     return info.header_offset + _ZIP_LOCAL_HEADER_SIZE + name_length + extra_length
 
 
-def mmap_npz(path: PathLike) -> Dict[str, np.ndarray]:
+def mmap_npz(path: PathLike) -> Dict[str, AnyArray]:
     """Load an uncompressed ``.npz`` as read-only memory-mapped arrays.
 
     Only the zip directory and the (tiny) per-member ``.npy`` headers are
@@ -233,8 +234,8 @@ def mmap_npz(path: PathLike) -> Dict[str, np.ndarray]:
     result is always a complete ``{name: array}`` mapping.
     """
     path = Path(path)
-    arrays: Dict[str, np.ndarray] = {}
-    whole: Optional[np.memmap] = None
+    arrays: Dict[str, AnyArray] = {}
+    whole: Optional[AnyArray] = None
     try:
         with zipfile.ZipFile(path) as archive, open(path, "rb") as stream:
             for info in archive.infolist():
@@ -283,7 +284,7 @@ def mmap_npz(path: PathLike) -> Dict[str, np.ndarray]:
     return arrays
 
 
-def _eager_member(archive: zipfile.ZipFile, name: str) -> np.ndarray:
+def _eager_member(archive: zipfile.ZipFile, name: str) -> AnyArray:
     with archive.open(name) as member:
         return np.lib.format.read_array(member, allow_pickle=False)
 
@@ -367,10 +368,12 @@ def fingerprints_match(expected: Dict[str, object], local: Dict[str, object]) ->
         table = payload.get(key)
         if table is None:
             return None
-        return {str(name): int(value) for name, value in dict(table).items()}
+        if not isinstance(table, dict):
+            raise TypeError(f"fingerprint field {key!r} is not a mapping")
+        return {str(name): _as_int(value) for name, value in table.items()}
 
     try:
-        if int(expected.get("bytes", -1)) != int(local.get("bytes", -2)):
+        if _as_int(expected.get("bytes", -1)) != _as_int(local.get("bytes", -2)):
             return False
         if normalised(expected, "crc32") != normalised(local, "crc32"):
             return False
@@ -383,7 +386,14 @@ def fingerprints_match(expected: Dict[str, object], local: Dict[str, object]) ->
         return False
 
 
-def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
+def _as_int(value: object) -> int:
+    """``int()`` for values that may have crossed JSON (raises on non-numbers)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, str, np.integer)):
+        raise TypeError(f"expected an integer-like value, got {value!r}")
+    return int(value)
+
+
+def load_npz(path: PathLike) -> Dict[str, AnyArray]:
     """Eagerly load every array of an ``.npz`` file into memory."""
     path = Path(path)
     try:
@@ -421,7 +431,7 @@ class MmapRef:
     #: atomically (new inode), so this catches even a same-size replacement.
     file_id: Optional[Tuple[int, int]] = None
 
-    def restore(self) -> np.ndarray:
+    def restore(self) -> AnyArray:
         try:
             status = os.stat(self.path)
             changed = status.st_size != self.file_bytes or (
@@ -449,7 +459,7 @@ class MmapRef:
             ) from exc
 
 
-def memmap_region(array: np.ndarray) -> Optional[Tuple[str, int]]:
+def memmap_region(array: AnyArray) -> Optional[Tuple[str, int]]:
     """``(path, file offset)`` of a C-contiguous view into a memory map.
 
     Returns ``None`` for anything that is not a contiguous window of an
@@ -462,7 +472,7 @@ def memmap_region(array: np.ndarray) -> Optional[Tuple[str, int]]:
     """
     if not isinstance(array, np.memmap) or not array.flags["C_CONTIGUOUS"]:
         return None
-    buffer = array.base
+    buffer: object = array.base
     while isinstance(buffer, np.ndarray):
         buffer = buffer.base
     if not isinstance(buffer, _mmap.mmap):
@@ -474,7 +484,7 @@ def memmap_region(array: np.ndarray) -> Optional[Tuple[str, int]]:
     return str(array.filename), buffer_file_offset + (array_address - buffer_address)
 
 
-def array_to_portable(array: np.ndarray) -> Union[np.ndarray, MmapRef]:
+def array_to_portable(array: AnyArray) -> Union[AnyArray, MmapRef]:
     """The picklable form of an array: an :class:`MmapRef` when possible.
 
     Memmap-backed contiguous arrays travel as references (re-opened on the
@@ -498,7 +508,7 @@ def array_to_portable(array: np.ndarray) -> Union[np.ndarray, MmapRef]:
     )
 
 
-def array_from_portable(value) -> object:
+def array_from_portable(value: object) -> object:
     """Inverse of :func:`array_to_portable` (passes non-references through)."""
     if isinstance(value, MmapRef):
         return value.restore()

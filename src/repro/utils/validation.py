@@ -8,22 +8,24 @@ the algorithm rather than on defensive programming.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence, Sized
 
 import numpy as np
+import numpy.typing as npt
 
+from repro._typing import AnyArray
 from repro.exceptions import DataValidationError
 
 
 def check_array_2d(
-    data,
+    data: object,
     name: str = "X",
     *,
     min_rows: int = 1,
     min_cols: int = 1,
     allow_nan: bool = False,
-    dtype=None,
-) -> np.ndarray:
+    dtype: Optional[npt.DTypeLike] = None,
+) -> AnyArray:
     """Validate ``data`` as a 2-D float array and return a contiguous copy.
 
     Parameters
@@ -87,7 +89,7 @@ def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
     return number
 
 
-def check_probability_vector(values: Sequence[float], name: str = "probabilities") -> np.ndarray:
+def check_probability_vector(values: Sequence[float], name: str = "probabilities") -> AnyArray:
     """Validate and renormalise a vector of non-negative weights.
 
     The vector must contain at least one strictly positive entry; it is
@@ -106,7 +108,9 @@ def check_probability_vector(values: Sequence[float], name: str = "probabilities
     return array / total
 
 
-def check_same_length(first, second, first_name: str = "X", second_name: str = "y") -> None:
+def check_same_length(
+    first: Sized, second: Sized, first_name: str = "X", second_name: str = "y"
+) -> None:
     """Raise if two sequences have different lengths."""
     if len(first) != len(second):
         raise DataValidationError(

@@ -41,15 +41,15 @@ FIXTURE_DIR = Path(__file__).resolve().parent
 SEED = 99
 N_TRAIN = 300
 N_BATCH = 32
-CONFIG = dict(
-    tau1=0.4,
-    tau2=0.1,
-    max_depth=2,
-    max_map_size=16,
-    max_growth_rounds=6,
-    min_samples_for_expansion=30,
-    random_state=SEED,
-)
+CONFIG = {
+    "tau1": 0.4,
+    "tau2": 0.1,
+    "max_depth": 2,
+    "max_map_size": 16,
+    "max_growth_rounds": 6,
+    "min_samples_for_expansion": 30,
+    "random_state": SEED,
+}
 EPOCHS = 3
 
 

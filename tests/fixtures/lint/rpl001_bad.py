@@ -1,0 +1,15 @@
+"""RPL001 bad: raw JSON/npz artifact writes (linted as a repro module)."""
+
+import json
+
+import numpy as np
+
+
+def save_model(path, payload, arrays):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    np.savez(path.with_suffix(".npz"), **arrays)
+
+
+def save_doc(path, payload):
+    path.write_text(json.dumps(payload, indent=2))

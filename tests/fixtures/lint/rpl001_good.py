@@ -1,0 +1,15 @@
+"""RPL001 good: artifact writes routed through the atomic writers."""
+
+import json
+
+from repro.core.serialization import write_json_atomic
+from repro.utils.mmapio import write_npz_atomic
+
+
+def save_model(path, payload, arrays):
+    write_json_atomic(payload, path)
+    write_npz_atomic(arrays, path.with_suffix(".npz"))
+
+
+def render(payload):
+    return json.dumps(payload)  # serialising to a string is not a file write

@@ -1,0 +1,12 @@
+"""RPL002 bad: pickle deserialization outside the transport trust boundary."""
+
+import pickle
+
+
+def read_shard(path):
+    with open(path, "rb") as stream:
+        return pickle.load(stream)
+
+
+def decode(body):
+    return pickle.loads(body)

@@ -1,0 +1,7 @@
+"""RPL002 good: pickle *serialization* is fine anywhere; loads stays in transport."""
+
+import pickle
+
+
+def encode(payload):
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)

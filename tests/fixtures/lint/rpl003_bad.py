@@ -1,0 +1,9 @@
+"""RPL003 bad: float dtype conversions inside the scoring hot path."""
+
+import numpy as np
+
+
+def assign_arrays(self, data):
+    matrix = data.astype(np.float32)
+    lanes = np.asarray(data, dtype=np.float64)
+    return matrix, lanes

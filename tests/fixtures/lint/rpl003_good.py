@@ -1,0 +1,14 @@
+"""RPL003 good: index-dtype bookkeeping and construction-time casts are legal."""
+
+import numpy as np
+
+
+def assign_arrays(self, data, rows):
+    entries = np.ascontiguousarray(rows, dtype=np.intp)
+    order = entries.astype(np.int64, copy=False)
+    return data, order
+
+
+def from_arrays(codebook):
+    # Construction-time cast: runs once at load, not per scoring batch.
+    return np.ascontiguousarray(codebook, dtype=np.float32)

@@ -1,0 +1,9 @@
+"""RPL004 bad: unlocked frame sends and raw socket writes."""
+
+
+def submit(self, payload):
+    send_frame(self._sock, payload)  # noqa: F821 - lint fixture snippet
+
+
+def push(sock, data):
+    sock.sendall(data)

@@ -1,0 +1,10 @@
+"""RPL004 good: raw sends only in send_frame; callers hold the lock."""
+
+
+def send_frame(sock, payload):
+    sock.sendall(payload)
+
+
+def submit(self, payload):
+    with self._send_lock:
+        send_frame(self._sock, payload)

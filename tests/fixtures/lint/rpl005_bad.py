@@ -1,0 +1,5 @@
+"""RPL005 bad: mutating a frozen dataclass outside __post_init__."""
+
+
+def set_backend(config, backend):
+    object.__setattr__(config, "backend", backend)

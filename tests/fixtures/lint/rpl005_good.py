@@ -1,0 +1,15 @@
+"""RPL005 good: __post_init__ normalisation is the sanctioned mutation window."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Config:
+    backend: str = "serial"
+
+    def __post_init__(self):
+        object.__setattr__(self, "backend", str(self.backend))
+
+
+def with_backend(config, backend):
+    return replace(config, backend=backend)

@@ -1,0 +1,6 @@
+"""RPL006 bad: importing kernel providers around the kernels seam."""
+
+import numba  # noqa: F401 - lint fixture snippet
+
+from repro.core import _numba_kernels  # noqa: F401 - lint fixture snippet
+from repro.core._numba_kernels import descent_kernel  # noqa: F401 - lint fixture snippet

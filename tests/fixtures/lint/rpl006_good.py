@@ -1,0 +1,7 @@
+"""RPL006 good: providers reached through the repro.core.kernels seam."""
+
+from repro.core import kernels
+
+
+def run(shard, matrix, entries):
+    return kernels.fused_descent(shard, matrix, entries, metric="euclidean")

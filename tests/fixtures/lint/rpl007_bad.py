@@ -1,0 +1,8 @@
+"""RPL007 bad: a serving-tier broad handler that swallows the failure."""
+
+
+def run(task):
+    try:
+        return task()
+    except Exception:
+        return None

@@ -1,0 +1,10 @@
+"""RPL007 good: broad handlers wrap failures into the serving error surface."""
+
+from repro.exceptions import ServingError
+
+
+def run(task):
+    try:
+        return task()
+    except Exception as exc:
+        raise ServingError(f"task failed: {exc}") from exc

@@ -1,0 +1,9 @@
+"""RPL008 bad: an ad-hoc pool outside the backend seam."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def run_all(tasks):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(task) for task in tasks]
+    return [future.result() for future in futures]

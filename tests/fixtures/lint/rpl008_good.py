@@ -1,0 +1,11 @@
+"""RPL008 good: pooling goes through make_backend (sizing + lifecycle policy)."""
+
+from repro.serving.backends import make_backend
+
+
+def run_all(shards, tasks):
+    backend = make_backend("thread", workers=4)
+    try:
+        return backend.run(shards, tasks)
+    finally:
+        backend.close()

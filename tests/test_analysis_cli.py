@@ -1,0 +1,91 @@
+"""Tests for the ``repro-lint`` command line (``python -m repro.analysis``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import LINT_VERSION, build_parser, main, rule_registry
+from repro.analysis.rules import RULES
+
+
+@pytest.fixture()
+def bad_tree(tmp_path):
+    """A tiny fake repo with one violation (pickle outside transport)."""
+    package = tmp_path / "src" / "repro" / "serving"
+    package.mkdir(parents=True)
+    (package / "custom.py").write_text(
+        "import pickle\n\n\ndef decode(body):\n    return pickle.loads(body)\n"
+    )
+    return tmp_path
+
+
+def test_clean_path_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("VALUE = 1\n")
+    assert main([str(tmp_path)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_violation_exits_one_with_human_output(bad_tree, capsys):
+    assert main([str(bad_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "RPL002" in out
+    assert "custom.py" in out
+    assert "1 finding(s)" in out
+
+
+def test_json_format_is_machine_readable(bad_tree, capsys):
+    assert main([str(bad_tree), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == LINT_VERSION
+    assert payload["rules"] == [rule.code for rule in RULES]
+    (finding,) = payload["findings"]
+    assert finding["code"] == "RPL002"
+    assert finding["path"].endswith("custom.py")
+    assert finding["line"] == 5
+
+
+def test_json_format_with_clean_tree(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("VALUE = 1\n")
+    assert main([str(tmp_path), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+
+
+def test_list_rules_renders_registry(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule.code in out
+        assert rule.name in out
+
+
+def test_list_rules_json(capsys):
+    assert main(["--list-rules", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules"] == rule_registry()
+    assert len(payload["rules"]) >= 8
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    assert main(["does/not/exist"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_no_paths_is_a_parser_error():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_syntax_error_reported_as_lint_error(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    assert main([str(tmp_path)]) == 2
+    assert "could not parse" in capsys.readouterr().err
+
+
+def test_version_flag_mentions_rule_count():
+    parser = build_parser()
+    with pytest.raises(SystemExit) as excinfo:
+        parser.parse_args(["--version"])
+    assert excinfo.value.code == 0

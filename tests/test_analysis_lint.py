@@ -1,0 +1,129 @@
+"""Tests for ``repro-lint``: every rule fires on its bad fixture, stays
+silent on the good one, honours suppressions, and the real tree is clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, lint_paths, lint_source, rules_by_code
+from repro.analysis.engine import iter_python_files, suppressed_codes_by_line
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+#: Rule code → the repo-relative path the fixture pretends to live at.  The
+#: paths matter: rules are path scoped, so e.g. the RPL002 snippet must be
+#: linted as a module *outside* the transport trust boundary.
+FIXTURE_PATHS = {
+    "RPL001": "src/repro/streaming/export.py",
+    "RPL002": "src/repro/serving/remote.py",
+    "RPL003": "src/repro/core/compiled.py",
+    "RPL004": "src/repro/serving/transport.py",
+    "RPL005": "src/repro/serving/config.py",
+    "RPL006": "src/repro/serving/backends.py",
+    "RPL007": "src/repro/serving/pool.py",
+    "RPL008": "src/repro/serving/router.py",
+}
+
+ALL_CODES = sorted(FIXTURE_PATHS)
+
+
+def _fixture(code: str, kind: str) -> str:
+    return (FIXTURES / f"{code.lower()}_{kind}.py").read_text()
+
+
+class TestRegistry:
+    def test_eight_rules_with_unique_codes(self):
+        codes = [rule.code for rule in RULES]
+        assert len(codes) >= 8
+        assert len(set(codes)) == len(codes)
+        assert codes == sorted(codes)
+
+    def test_every_rule_documents_its_invariant(self):
+        for rule in RULES:
+            assert rule.__doc__ and len(rule.__doc__.strip()) > 40, rule.code
+            assert rule.summary()
+
+    def test_rules_by_code_mapping(self):
+        mapping = rules_by_code()
+        assert set(mapping) == set(ALL_CODES)
+        assert all(mapping[code].code == code for code in mapping)
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_rule_fires_on_bad_fixture(self, code):
+        findings = lint_source(_fixture(code, "bad"), FIXTURE_PATHS[code])
+        fired = {finding.code for finding in findings}
+        assert code in fired, f"{code} did not fire on its bad fixture"
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_rule_silent_on_good_fixture(self, code):
+        findings = lint_source(_fixture(code, "good"), FIXTURE_PATHS[code])
+        assert findings == [], [finding.render() for finding in findings]
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_rule_silent_outside_its_scope(self, code):
+        # The same bad source linted as a file outside the repro package
+        # produces nothing: every rule is path scoped.
+        findings = lint_source(_fixture(code, "bad"), "scripts/tooling.py")
+        assert [finding for finding in findings if finding.code == code] == []
+
+    def test_findings_carry_location_and_message(self):
+        findings = lint_source(_fixture("RPL002", "bad"), FIXTURE_PATHS["RPL002"])
+        assert findings
+        for finding in findings:
+            assert finding.line >= 1
+            assert finding.path.endswith("remote.py")
+            assert "trust boundary" in finding.message
+            assert finding.to_dict()["code"] == finding.code
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        source = (
+            "import pickle\n"
+            "def decode(body):\n"
+            "    return pickle.loads(body)  # repro-lint: disable=RPL002 -- test\n"
+        )
+        assert lint_source(source, "src/repro/serving/remote.py") == []
+
+    def test_previous_line_suppression(self):
+        source = (
+            "import pickle\n"
+            "def decode(body):\n"
+            "    # repro-lint: disable=RPL002 -- covered by an outer boundary\n"
+            "    return pickle.loads(body)\n"
+        )
+        assert lint_source(source, "src/repro/serving/remote.py") == []
+
+    def test_suppression_is_code_specific(self):
+        source = (
+            "import pickle\n"
+            "def decode(body):\n"
+            "    return pickle.loads(body)  # repro-lint: disable=RPL001\n"
+        )
+        findings = lint_source(source, "src/repro/serving/remote.py")
+        assert [finding.code for finding in findings] == ["RPL002"]
+
+    def test_multiple_codes_in_one_comment(self):
+        mapping = suppressed_codes_by_line("x = 1  # repro-lint: disable=RPL001, RPL002\n")
+        assert mapping == {1: {"RPL001", "RPL002"}}
+
+
+class TestRepoSelfCheck:
+    def test_repo_tree_is_clean(self):
+        findings = lint_paths([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+        assert findings == [], "\n".join(finding.render() for finding in findings)
+
+    def test_walker_skips_lint_fixtures(self):
+        files = [str(path) for path in iter_python_files([str(REPO_ROOT / "tests")])]
+        assert files, "walker found no test files"
+        assert not any("fixtures/lint" in path for path in files)
+
+    def test_every_rule_has_paired_fixtures(self):
+        for code in ALL_CODES:
+            assert (FIXTURES / f"{code.lower()}_bad.py").is_file()
+            assert (FIXTURES / f"{code.lower()}_good.py").is_file()

@@ -8,7 +8,7 @@ import pytest
 from repro.baselines.knn import KnnDetector
 from repro.baselines.pca_subspace import PcaSubspaceDetector, q_statistic_threshold, _normal_quantile
 from repro.eval.metrics import binary_metrics, roc_auc
-from repro.exceptions import ConfigurationError, NotFittedError
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 
 
 class TestNormalQuantile:
@@ -89,7 +89,7 @@ class TestPcaSubspaceDetector:
             detector.score_samples(np.zeros((3, train_matrix.shape[1] + 1)))
 
     def test_invalid_parameters_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(DataValidationError):
             PcaSubspaceDetector(variance_fraction=1.0)
         with pytest.raises(ConfigurationError):
             PcaSubspaceDetector(threshold_mode="magic")

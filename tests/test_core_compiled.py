@@ -180,7 +180,7 @@ def _legacy_predict_category(detector: GhsomDetector, X: np.ndarray) -> list:
     distances = [assignment.distance for assignment in assignments]
     ratios = detector.threshold_.normalize(distances, leaf_keys)
     categories = []
-    for key, ratio in zip(leaf_keys, ratios):
+    for key, ratio in zip(leaf_keys, ratios, strict=True):
         label = detector.labeler.label_of(key)
         if label == UNLABELED:
             categories.append("unknown" if ratio > 1.0 else "normal")

@@ -8,7 +8,7 @@ import pytest
 from repro.core.detector import GhsomDetector, combine_label_and_distance_scores
 from repro.core.labeling import UnitLabeler
 from repro.eval.metrics import binary_metrics
-from repro.exceptions import ConfigurationError, NotFittedError
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 
 
 @pytest.fixture(scope="module")
@@ -58,7 +58,7 @@ class TestFitValidation:
 
     def test_label_length_mismatch_rejected(self, fast_config, train_matrix):
         detector = GhsomDetector(fast_config, random_state=0)
-        with pytest.raises(Exception):
+        with pytest.raises(DataValidationError):
             detector.fit(train_matrix, ["normal"] * 3)
 
     def test_is_labeled_flag(self, supervised_detector, oneclass_detector):

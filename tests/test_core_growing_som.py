@@ -10,15 +10,15 @@ from repro.exceptions import ConfigurationError, DataValidationError, NotFittedE
 
 
 def _config(**overrides):
-    base = dict(
-        tau1=0.4,
-        tau2=0.1,
-        max_depth=2,
-        max_map_size=36,
-        max_growth_rounds=12,
-        training=SomTrainingConfig(epochs=3),
-        random_state=0,
-    )
+    base = {
+        "tau1": 0.4,
+        "tau2": 0.1,
+        "max_depth": 2,
+        "max_map_size": 36,
+        "max_growth_rounds": 12,
+        "training": SomTrainingConfig(epochs=3),
+        "random_state": 0,
+    }
     base.update(overrides)
     return GhsomConfig(**base)
 
@@ -106,7 +106,7 @@ class TestGrowth:
         for event in history:
             assert event.n_units == event.rows * event.cols
         unit_counts = [event.n_units for event in history]
-        assert all(b >= a for a, b in zip(unit_counts, unit_counts[1:]))
+        assert all(b >= a for a, b in zip(unit_counts, unit_counts[1:], strict=False))
 
     def test_mqe_decreases_as_map_grows(self, blob_data):
         from repro.core.quantization import dataset_quantization_error

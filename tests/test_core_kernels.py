@@ -27,11 +27,11 @@ from repro.exceptions import ConfigurationError
 
 #: Tree generation is cheap (no GHSOM fit), so the suite affords many more
 #: examples than the fit-based property tests.
-TREE_SETTINGS = dict(
-    max_examples=40,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+TREE_SETTINGS = {
+    "max_examples": 40,
+    "deadline": None,
+    "suppress_health_check": [HealthCheck.too_slow, HealthCheck.data_too_large],
+}
 
 METRICS = sorted(kernels.FUSED_METRICS)
 DTYPES = ("float64", "float32")

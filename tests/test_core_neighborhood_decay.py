@@ -70,7 +70,7 @@ class TestDecays:
     @pytest.mark.parametrize("schedule", [linear_decay, exponential_decay, inverse_decay])
     def test_monotone_decreasing(self, schedule):
         values = [schedule(progress) for progress in np.linspace(0.0, 1.0, 11)]
-        assert all(later <= earlier + 1e-12 for earlier, later in zip(values, values[1:]))
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(values, values[1:], strict=False))
 
     @pytest.mark.parametrize(
         "schedule", [linear_decay, exponential_decay, inverse_decay, constant_decay]

@@ -11,7 +11,7 @@ from repro.core.thresholds import (
     make_threshold_strategy,
     threshold_from_dict,
 )
-from repro.exceptions import ConfigurationError, NotFittedError
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 
 
 class TestGlobalThreshold:
@@ -89,7 +89,7 @@ class TestPerUnitThreshold:
             PerUnitThreshold().threshold_for(("root", 0))
 
     def test_invalid_parameters_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(DataValidationError):
             PerUnitThreshold(k=0.0)
         with pytest.raises(ConfigurationError):
             PerUnitThreshold(min_count=0)

@@ -126,6 +126,31 @@ class TestReporting:
         assert loaded["metadata"]["experiment"] == "unit-test"
         assert "generated_at" in loaded
 
+    def test_save_results_json_publishes_atomically(self, results, tmp_path, monkeypatch):
+        """A crash mid-publish must leave the previous results file intact.
+
+        Regression test for the repro-lint RPL001 finding: the writer used a
+        raw ``write_text`` which could leave a truncated document; it now
+        goes through ``atomic_write`` (temp file + fsync + rename).
+        """
+        import repro.utils.mmapio as mmapio
+
+        path = tmp_path / "results.json"
+        save_results_json(results, path, metadata={"run": "first"})
+        before = path.read_text()
+
+        def broken_replace(src, dst):
+            raise OSError("simulated crash at publish time")
+
+        monkeypatch.setattr(mmapio.os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            save_results_json(results, path, metadata={"run": "second"})
+        monkeypatch.undo()
+
+        assert path.read_text() == before  # old artifact still valid JSON
+        assert json.loads(before)["metadata"]["run"] == "first"
+        assert list(tmp_path.glob(".*.tmp")) == []  # temp file cleaned up
+
     def test_empty_results_rejected(self, tmp_path):
         with pytest.raises(DataValidationError):
             save_results_json({}, tmp_path / "empty.json")

@@ -130,8 +130,8 @@ class TestThresholdSweep:
         rows = threshold_sweep(scores, truth, n_points=15)
         detection = [row["detection_rate"] for row in rows]
         fpr = [row["false_positive_rate"] for row in rows]
-        assert all(b <= a + 1e-12 for a, b in zip(detection, detection[1:]))
-        assert all(b <= a + 1e-12 for a, b in zip(fpr, fpr[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(detection, detection[1:], strict=False))
+        assert all(b <= a + 1e-12 for a, b in zip(fpr, fpr[1:], strict=False))
 
     def test_explicit_thresholds(self):
         rows = threshold_sweep([0.1, 0.9], [0, 1], thresholds=[0.5])

@@ -10,19 +10,19 @@ from repro.netsim.hosts import SERVICE_PORTS, NetworkModel
 
 
 def make_event(**overrides):
-    base = dict(
-        timestamp=1.0,
-        duration=0.5,
-        src_ip="10.0.0.1",
-        dst_ip="10.0.1.1",
-        src_port=40000,
-        dst_port=80,
-        protocol="tcp",
-        service="http",
-        flag="SF",
-        src_bytes=100,
-        dst_bytes=2000,
-    )
+    base = {
+        "timestamp": 1.0,
+        "duration": 0.5,
+        "src_ip": "10.0.0.1",
+        "dst_ip": "10.0.1.1",
+        "src_port": 40000,
+        "dst_port": 80,
+        "protocol": "tcp",
+        "service": "http",
+        "flag": "SF",
+        "src_bytes": 100,
+        "dst_bytes": 2000,
+    }
     base.update(overrides)
     return ConnectionEvent(**base)
 

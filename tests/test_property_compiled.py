@@ -18,11 +18,11 @@ from repro.core import Ghsom, GhsomConfig, GhsomDetector, SomTrainingConfig
 from repro.core.labeling import UNLABELED
 
 # Fitting a GHSOM per example is expensive: few examples, generous deadline.
-FIT_SETTINGS = dict(
-    max_examples=12,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+FIT_SETTINGS = {
+    "max_examples": 12,
+    "deadline": None,
+    "suppress_health_check": [HealthCheck.too_slow, HealthCheck.data_too_large],
+}
 
 METRICS = ("euclidean", "manhattan", "chebyshev")
 
@@ -106,7 +106,7 @@ class TestCompiledDetectorEquivalence:
         distances = [assignment.distance for assignment in assignments]
         ratios = detector.threshold_.normalize(distances, leaf_keys)
         categories = []
-        for key, ratio in zip(leaf_keys, ratios):
+        for key, ratio in zip(leaf_keys, ratios, strict=True):
             label = detector.labeler.label_of(key)
             if label == UNLABELED:
                 categories.append("unknown" if ratio > 1.0 else "normal")

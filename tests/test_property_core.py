@@ -21,11 +21,11 @@ from repro.eval.metrics import auc, binary_metrics, roc_curve
 
 # Hypothesis settings tuned for numerical code: modest example counts, no
 # deadline (numpy warm-up can be slow on the first example).
-DEFAULT_SETTINGS = dict(
-    max_examples=50,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+DEFAULT_SETTINGS = {
+    "max_examples": 50,
+    "deadline": None,
+    "suppress_health_check": [HealthCheck.too_slow],
+}
 
 finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
 

@@ -13,11 +13,11 @@ from repro.data.preprocess import MinMaxScaler, OneHotEncoder, StandardScaler
 from repro.data.schema import ATTACK_CATEGORIES, attack_category
 from repro.data.synthetic import KddSyntheticGenerator
 
-DEFAULT_SETTINGS = dict(
-    max_examples=30,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+DEFAULT_SETTINGS = {
+    "max_examples": 30,
+    "deadline": None,
+    "suppress_health_check": [HealthCheck.too_slow, HealthCheck.data_too_large],
+}
 
 finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
 

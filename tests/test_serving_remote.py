@@ -583,16 +583,16 @@ class TestConstruction:
             RemoteBackend([("127.0.0.1", 7001)], provisioning="street-magic")
 
     def test_load_bundle_remote_validation(self, binary_bundle):
-        with pytest.raises(Exception, match="remote"):
+        with pytest.raises(ConfigurationError, match="remote"):
             load_bundle(binary_bundle, shards=2, shard_backend="remote")
-        with pytest.raises(Exception, match="conflicts"):
+        with pytest.raises(ConfigurationError, match="conflicts"):
             load_bundle(
                 binary_bundle,
                 shards=2,
                 shard_backend="thread",
                 remote_workers="127.0.0.1:7001",
             )
-        with pytest.raises(Exception, match="only apply to sharded serving"):
+        with pytest.raises(ConfigurationError, match="only apply to sharded serving"):
             load_bundle(binary_bundle, remote_workers="127.0.0.1:7001")
 
 

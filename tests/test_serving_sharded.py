@@ -36,11 +36,11 @@ from repro.serving import (
 )
 
 # Fitting a GHSOM per example is expensive: few examples, generous deadline.
-FIT_SETTINGS = dict(
-    max_examples=10,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+FIT_SETTINGS = {
+    "max_examples": 10,
+    "deadline": None,
+    "suppress_health_check": [HealthCheck.too_slow, HealthCheck.data_too_large],
+}
 
 METRICS = ("euclidean", "manhattan", "chebyshev")
 

@@ -53,5 +53,5 @@ class TestSpawnRngs:
     def test_spawning_is_reproducible(self):
         first = [child.random(4) for child in spawn_rngs(9, 3)]
         second = [child.random(4) for child in spawn_rngs(9, 3)]
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             np.testing.assert_allclose(a, b)
