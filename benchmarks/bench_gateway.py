@@ -1,0 +1,346 @@
+"""Detection-gateway benchmark — micro-batching vs sequential requests.
+
+Spawns one real ``repro-ids serve`` subprocess on 127.0.0.1 and drives it
+closed-loop at increasing offered concurrency (1, 8, 64, 512 in-flight
+single-record requests), recording p50/p99 latency and requests/s per
+level, plus the in-process direct-``detect`` figures for context.  Writes
+``BENCH_gateway.json`` at the repository root.
+
+The two properties the numbers must show:
+
+* **identity** — at concurrency 1 every request is served alone, so each
+  response must be byte-identical to calling ``detect`` on the same rows
+  directly (the numerical gate: the gateway adds zero error);
+* **micro-batching pays** — at concurrency >= 64 the coalesced path must
+  beat the sequential one-request-per-detect baseline on requests/s: that
+  is the entire reason the gateway exists.  The latency columns make the
+  cost visible — the tick adds a bounded wait at low concurrency and the
+  batch descent amortises it away at high concurrency.
+
+The closed-loop driver chains resubmission off each response's completion
+callback (the connection's reader thread), so 512 in-flight requests need
+one socket and two threads, not 512 of each.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py          # full
+    PYTHONPATH=src python benchmarks/bench_gateway.py --quick  # fast
+
+or under pytest (quick mode)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_gateway.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from common import BENCH_SEED, default_ghsom_config, pinned_blas_env, time_best
+
+from repro.core import GhsomDetector
+from repro.core.serialization import write_json_atomic
+from repro.data.preprocess import PreprocessingPipeline
+from repro.data.synthetic import KddSyntheticGenerator
+from repro.eval.tables import format_table
+from repro.serving import GatewayClient
+
+#: Where the machine-readable results land (repo root, next to CHANGES.md).
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_gateway.json"
+
+N_TRAIN = 4000
+TICK_MS = 2.0
+MAX_BATCH_ROWS = 4096
+CONCURRENCY_LEVELS = (1, 8, 64, 512)
+#: Completed requests measured per concurrency level (scaled down in quick
+#: mode).  Sequential requests pay the full tick each, so level 1 uses fewer.
+REQUESTS_PER_LEVEL = {1: 400, 8: 1500, 64: 6000, 512: 12000}
+QUICK_REQUESTS_PER_LEVEL = {1: 150, 8: 500, 64: 2000, 512: 4000}
+
+_LISTEN_RE = re.compile(r"listening on ([0-9.]+):(\d+)")
+
+
+class LoopbackGateway:
+    """One ``repro-ids serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, model_path: Path, tick_ms: float = TICK_MS) -> None:
+        src_dir = str(Path(__file__).resolve().parent.parent / "src")
+        # The server gets every BLAS pool pinned to one thread (set before
+        # the child imports numpy): the benchmark attributes throughput to
+        # micro-batching, not to the server's BLAS racing the client's.
+        env = pinned_blas_env(1)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_dir if not existing else src_dir + os.pathsep + existing
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--model",
+            str(model_path),
+            "--tick-ms",
+            str(tick_ms),
+            "--max-batch-rows",
+            str(MAX_BATCH_ROWS),
+        ]
+        self.process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        seen: List[str] = []
+        match = None
+        while True:
+            line = self.process.stdout.readline()
+            if not line:
+                break  # EOF: the gateway exited before listening
+            seen.append(line)
+            match = _LISTEN_RE.search(line)
+            if match:
+                break
+        if not match:
+            self.process.kill()
+            raise RuntimeError(f"gateway failed to start: {''.join(seen)!r}")
+        self.address: Tuple[str, int] = (match.group(1), int(match.group(2)))
+
+    def stop(self) -> None:
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+
+
+def drive_closed_loop(
+    client: GatewayClient,
+    rows_pool: np.ndarray,
+    concurrency: int,
+    n_requests: int,
+    timeout_s: float = 300.0,
+) -> Dict[str, object]:
+    """Keep ``concurrency`` single-record requests in flight until done.
+
+    Resubmission happens in each response's completion callback (the
+    connection reader thread), so offered concurrency is exact without a
+    thread per request.  Returns latency percentiles, wall time and the
+    mean served batch size.
+    """
+    lock = threading.Lock()
+    finished = threading.Event()
+    latencies: List[float] = []
+    batch_rows: List[int] = []
+    state: Dict[str, object] = {"submitted": 0, "completed": 0, "error": None}
+
+    def submit_one() -> None:
+        with lock:
+            index = int(state["submitted"])
+            if index >= n_requests:
+                return
+            state["submitted"] = index + 1
+        row = rows_pool[index % rows_pool.shape[0]]
+        started = time.perf_counter()
+        future = client.submit(row)
+
+        def on_done(done, started=started):
+            elapsed = time.perf_counter() - started
+            error = done.exception()
+            with lock:
+                if error is not None:
+                    state["error"] = error
+                    finished.set()
+                    return
+                latencies.append(elapsed)
+                batch_rows.append(done.result().batch_rows)
+                state["completed"] = int(state["completed"]) + 1
+                completed = int(state["completed"])
+            if completed >= n_requests:
+                finished.set()
+            else:
+                submit_one()
+
+        future.add_done_callback(on_done)
+
+    wall_start = time.perf_counter()
+    for _ in range(min(concurrency, n_requests)):
+        submit_one()
+    if not finished.wait(timeout=timeout_s):
+        raise RuntimeError(f"closed loop timed out at concurrency {concurrency}")
+    wall_seconds = time.perf_counter() - wall_start
+    if state["error"] is not None:
+        raise state["error"]
+    spread = np.asarray(latencies, dtype=float) * 1e3
+    return {
+        "in_flight": concurrency,
+        "n_requests": n_requests,
+        "seconds": wall_seconds,
+        "requests_per_second": n_requests / max(wall_seconds, 1e-12),
+        "p50_ms": float(np.percentile(spread, 50)),
+        "p99_ms": float(np.percentile(spread, 99)),
+        "mean_batch_rows": float(np.mean(batch_rows)),
+        "max_batch_rows_served": int(np.max(batch_rows)),
+    }
+
+
+def check_sequential_identity(
+    client: GatewayClient, detector: GhsomDetector, X: np.ndarray
+) -> bool:
+    """One-at-a-time requests must be bit-for-bit the direct detect call."""
+    for lo, hi in [(0, 1), (5, 6), (10, 42), (50, 178)]:
+        reference = detector.detect(X[lo:hi])
+        result = client.detect(X[lo:hi], timeout=60)
+        if result.scores.tobytes() != reference.scores.tobytes():
+            return False
+        if not np.array_equal(result.predictions, reference.predictions):
+            return False
+        if list(result.categories) != list(reference.categories):
+            return False
+    return True
+
+
+def run_benchmark(
+    quick: bool = False, output_path: Path = OUTPUT_PATH
+) -> Dict[str, object]:
+    """Fit one detector, save a bundle, and drive a live gateway subprocess."""
+    n_train = 1500 if quick else N_TRAIN
+    per_level = QUICK_REQUESTS_PER_LEVEL if quick else REQUESTS_PER_LEVEL
+    repeats = 3 if quick else 5
+
+    generator = KddSyntheticGenerator(random_state=BENCH_SEED)
+    train = generator.generate(n_train)
+    test = generator.generate(2000)
+    pipeline = PreprocessingPipeline()
+    X_train = pipeline.fit_transform(train)
+    X = pipeline.transform(test)
+    overrides = {"tau2": 0.03, "min_samples_for_expansion": 25} if quick else {}
+    detector = GhsomDetector(default_ghsom_config(**overrides), random_state=BENCH_SEED)
+    detector.fit(X_train, [str(category) for category in train.categories])
+
+    # In-process context figures: what one detect call costs per row when
+    # called row-at-a-time vs fully batched (the two ends of the spectrum
+    # the gateway interpolates between).
+    single_row = np.ascontiguousarray(X[:1])
+    per_record_seconds = time_best(lambda: detector.detect(single_row), repeats)
+    batch_seconds = time_best(lambda: detector.detect(X), repeats)
+
+    with tempfile.TemporaryDirectory(prefix="bench_gateway_") as tmp:
+        from repro.cli import save_bundle
+
+        bundle = Path(tmp) / "model.json"
+        save_bundle(pipeline, detector, bundle, format="binary")
+        gateway = LoopbackGateway(bundle)
+        try:
+            with GatewayClient(gateway.address) as client:
+                client.ping()
+                byte_identical = check_sequential_identity(client, detector, X)
+                levels = [
+                    drive_closed_loop(client, X, concurrency, per_level[concurrency])
+                    for concurrency in CONCURRENCY_LEVELS
+                ]
+        finally:
+            gateway.stop()
+
+    payload: Dict[str, object] = {
+        "benchmark": "gateway",
+        "quick": quick,
+        "seed": BENCH_SEED,
+        "n_train": n_train,
+        "tick_ms": TICK_MS,
+        "max_batch_rows": MAX_BATCH_ROWS,
+        "topology": detector._compiled_model().describe(),
+        "direct": {
+            "per_record_detect_rps": 1.0 / max(per_record_seconds, 1e-12),
+            "batch_detect_rows_per_second": X.shape[0] / max(batch_seconds, 1e-12),
+        },
+        "byte_identical_sequential": byte_identical,
+        "concurrency": levels,
+    }
+    write_json_atomic(payload, output_path)
+    return payload
+
+
+def print_report(payload: Dict[str, object]) -> None:
+    direct = payload["direct"]
+    print(
+        format_table(
+            [
+                [
+                    row["in_flight"],
+                    row["n_requests"],
+                    round(row["seconds"], 2),
+                    int(row["requests_per_second"]),
+                    round(row["p50_ms"], 2),
+                    round(row["p99_ms"], 2),
+                    round(row["mean_batch_rows"], 1),
+                ]
+                for row in payload["concurrency"]
+            ],
+            ["in-flight", "requests", "seconds", "req/s", "p50 ms", "p99 ms", "batch rows"],
+            title=(
+                f"Gateway closed-loop, tick {payload['tick_ms']} ms "
+                f"(direct detect: {int(direct['per_record_detect_rps'])} req/s "
+                f"row-at-a-time, {int(direct['batch_detect_rows_per_second'])} "
+                f"rows/s batched; sequential identity: "
+                f"{'yes' if payload['byte_identical_sequential'] else 'NO'})"
+            ),
+        )
+    )
+
+
+def test_gateway_benchmark(tmp_path):
+    """Quick-mode run under pytest: the gateway acceptance gates.
+
+    Writes its JSON to a temp dir so the committed full-run
+    ``BENCH_gateway.json`` is never overwritten by a quick pass.
+    """
+    payload = run_benchmark(quick=True, output_path=tmp_path / "BENCH_gateway.json")
+    print()
+    print_report(payload)
+    # Hard gate 1: the gateway adds zero numerical error — sequential
+    # requests reproduce the direct detect call byte for byte.
+    assert payload["byte_identical_sequential"]
+    by_level = {row["in_flight"]: row for row in payload["concurrency"]}
+    # Hard gate 2: micro-batching beats the sequential one-request-per-
+    # detect baseline on requests/s once concurrency reaches 64.
+    assert (
+        by_level[64]["requests_per_second"] > by_level[1]["requests_per_second"]
+    ), by_level
+    assert (
+        by_level[512]["requests_per_second"] > by_level[1]["requests_per_second"]
+    ), by_level
+    # Coalescing genuinely happened at high concurrency (without it the
+    # throughput gate could pass on scheduling luck alone).
+    assert by_level[64]["mean_batch_rows"] > 1.0, by_level
+    # Every request at every level completed: the driver raises otherwise.
+    for row in payload["concurrency"]:
+        assert row["n_requests"] > 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sizes, fewer repeats")
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT_PATH, help="where to write the JSON report"
+    )
+    args = parser.parse_args()
+    payload = run_benchmark(quick=args.quick, output_path=args.output)
+    print_report(payload)
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

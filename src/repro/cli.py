@@ -24,6 +24,11 @@ writing Python:
     Serve shard tasks over TCP for distributed detection: start one worker
     per host, then point ``repro-ids detect --shard-backend remote
     --remote-workers HOST:PORT,...`` at them.
+``repro-ids serve``
+    Run the async detection gateway: load one model bundle, listen for
+    concurrent ``detect`` requests over the framed transport, and coalesce
+    requests arriving within a few-ms tick into single batched detection
+    calls (see :class:`repro.serving.gateway.DetectionGateway`).
 
 Run ``repro-ids <command> --help`` for the options of each command.
 """
@@ -526,6 +531,46 @@ def cmd_shard_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async detection gateway until interrupted.
+
+    One model bundle, resolved through the standard serving-config
+    precedence (CLI flags > artifact-embedded config > defaults) exactly
+    once at startup — the banner prints the resolved plan so a strict
+    misconfiguration fails here, never at a client's first request.
+    """
+    from repro.serving.gateway import DetectionGateway
+    from repro.serving.transport import parse_address
+
+    host, port = parse_address(args.listen)
+    overrides = serving_overrides_from_args(args)
+    pipeline, detector = load_bundle(Path(args.model), overrides=overrides or None)
+    del pipeline  # the gateway serves preprocessed records
+    gateway = DetectionGateway(
+        detector,
+        host,
+        port,
+        tick_ms=args.tick_ms,
+        max_batch_rows=args.max_batch_rows,
+        max_pending_rows=args.max_pending_rows,
+    )
+    plan = detector.resolved_plan()
+    plan_text = f"dtype={plan.dtype} engine={plan.engine}" + (
+        f" shards={plan.n_shards} backend={plan.backend}" if plan.sharded else ""
+    )
+    print(
+        f"detection gateway listening on {gateway.address[0]}:{gateway.address[1]} "
+        f"(pid {os.getpid()}, tick {args.tick_ms} ms, "
+        f"max batch {args.max_batch_rows} rows, {plan_text})",
+        flush=True,
+    )
+    try:
+        gateway.serve_forever()
+    finally:
+        gateway.shutdown()
+    return 0
+
+
 def _build_detector(name: str, seed: int):
     registry = {
         "ghsom": lambda: GhsomDetector(GhsomConfig(random_state=seed), random_state=seed),
@@ -742,6 +787,50 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     shard_worker.set_defaults(handler=cmd_shard_worker)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async detection gateway (micro-batched live scoring)",
+    )
+    serve.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="address to listen on (PORT 0 binds an ephemeral port, printed at startup)",
+    )
+    serve.add_argument("--model", required=True, help="model bundle to serve")
+    serve.add_argument(
+        "--tick-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help=(
+            "micro-batching window: requests arriving within this many "
+            "milliseconds of the first one coalesce into a single detect "
+            "call (0 disables the wait; larger ticks trade per-request "
+            "latency for throughput)"
+        ),
+    )
+    serve.add_argument(
+        "--max-batch-rows",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="row cap per coalesced detect call (also the largest row-block one request may carry)",
+    )
+    serve.add_argument(
+        "--max-pending-rows",
+        type=int,
+        default=32768,
+        metavar="N",
+        help=(
+            "admission bound on rows admitted-but-unanswered; requests over "
+            "it are rejected with an explicit error reply (backpressure, "
+            "never silent drops)"
+        ),
+    )
+    add_serving_args(serve)
+    serve.set_defaults(handler=cmd_serve)
 
     evaluate = subparsers.add_parser("evaluate", help="compare detectors on a train/test pair")
     evaluate.add_argument("--train", required=True)

@@ -25,6 +25,12 @@ into a serving subsystem:
   hosts, with by-reference or by-value shard provisioning and local
   failover) and :class:`ShardWorkerServer` (the ``repro-ids shard-worker``
   process);
+* :mod:`repro.serving.gateway` — the async front door:
+  :class:`DetectionGateway` (an asyncio TCP server that coalesces concurrent
+  ``detect`` requests arriving within a few-ms tick into single
+  :meth:`~repro.core.detector.GhsomDetector.detect` calls — the
+  ``repro-ids serve`` process) and :class:`GatewayClient` (a multiplexed
+  client whose answers are byte-identical to calling ``detect`` directly);
 * :mod:`repro.serving.config` — the unified serving-configuration layer:
   :class:`ServingConfig` (one frozen, versioned, JSON-round-trippable
   description of dtype / engine / sharding / artifact options, embedded in
@@ -58,6 +64,7 @@ from repro.serving.config import (
     effective_config,
     usable_workers,
 )
+from repro.serving.gateway import DetectionGateway, GatewayClient, GatewayResult
 from repro.serving.planner import (
     RootSubtree,
     ShardPlan,
@@ -91,6 +98,9 @@ __all__ = [
     "ProcessPoolBackend",
     "RemoteBackend",
     "ShardWorkerServer",
+    "DetectionGateway",
+    "GatewayClient",
+    "GatewayResult",
     "WorkerConnection",
     "TransportError",
     "PROTOCOL_VERSION",

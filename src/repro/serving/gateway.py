@@ -1,0 +1,797 @@
+"""The async detection gateway: a micro-batching front door for live scoring.
+
+Every other entry point in this library is batch-shaped, but an inline
+deployment sees millions of concurrent *single-record* requests — the shape
+the compiled engine is worst at (per-call overhead dominates a one-row
+descent).  :class:`DetectionGateway` closes that gap: an asyncio TCP server
+speaking the existing framed transport (:mod:`repro.serving.transport`)
+that coalesces every ``detect`` request arriving within one configurable
+few-millisecond **tick** (bounded by a **max-batch-rows** cap) into ONE
+:meth:`~repro.core.detector.GhsomDetector.detect` call, then demultiplexes
+the per-request slices back to their connections.
+
+The numerical contract is precise: the gateway adds **zero numerical
+error**.  Every reply is exactly ``detect()`` on the served batch, sliced
+per request — a request served alone is bit-for-bit the direct call, and a
+coalesced batch is bit-for-bit ``detect()`` on the concatenated rows
+(``tests/test_serving_gateway.py`` proves both).  Coalescing itself carries
+the same caveat as changing your own batch size: BLAS blocks the distance
+GEMM differently for different row counts, so a row's *score* may move by
+~1 ULP depending on which batch it rode in.  That is a property of
+``detect`` (measurable entirely without the gateway), not of the transport
+or the demultiplexer.
+
+Contracts worth knowing:
+
+* **one model, resolved once** — the gateway serves a single detector whose
+  :class:`~repro.serving.config.ServingConfig` was resolved to a
+  :class:`~repro.serving.config.ServingPlan` at startup (the CLI ``serve``
+  command runs the standard precedence: CLI flags > artifact-embedded
+  config > defaults).  The resolved plan is advertised in the handshake.
+* **backpressure, never silent drops** — admission is bounded by
+  ``max_pending_rows``; a request that would overflow it is rejected with
+  an explicit :class:`~repro.exceptions.ServingError` reply.  Every
+  admitted request gets exactly one reply (result or error) unless its
+  client disconnects first.
+* **per-request deadlines** — a ``detect`` request may carry ``timeout_ms``
+  (a time budget starting at admission); a request still queued past its
+  budget is answered with a deadline error instead of a stale result.
+* **graceful drain** — :meth:`DetectionGateway.shutdown` stops accepting,
+  rejects new work, and lets everything already admitted finish before the
+  loop exits.
+
+The transport pickles frames, so the gateway shares the shard worker's
+trust model: serve trusted clients on a private network, never an
+internet-facing port.
+
+:class:`GatewayClient` is the matching client — a thin typed layer over the
+:class:`~repro.serving.transport.WorkerConnection` multiplexer, so one
+socket carries any number of in-flight requests (the benchmark drives 512).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro._typing import AnyArray
+from repro.exceptions import ConfigurationError, ServingError
+from repro.serving.transport import (
+    PROTOCOL_VERSION,
+    TransportError,
+    WorkerConnection,
+    parse_address,
+    read_frame_async,
+    write_frame_async,
+)
+
+if TYPE_CHECKING:  # import cycle: repro.core.detector lazily imports serving
+    from repro.core.detector import DetectionResult, GhsomDetector
+
+
+# --------------------------------------------------------------------------- #
+# wire-facing result
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GatewayResult:
+    """One request's slice of a gateway micro-batch.
+
+    The arrays are exactly this request's slice of the serving batch's
+    :meth:`~repro.core.detector.GhsomDetector.detect` result — no transport
+    round-trip error, byte-for-byte; ``batch_rows`` reports how many rows
+    the micro-batch held in total, so ``> len(result)`` means the request
+    was coalesced with concurrent traffic.
+    """
+
+    scores: AnyArray
+    predictions: AnyArray
+    categories: List[str]
+    leaf_index: Optional[AnyArray]
+    batch_rows: int
+
+    def __len__(self) -> int:
+        return int(self.scores.shape[0])
+
+    @staticmethod
+    def from_payload(payload: object) -> "GatewayResult":
+        """Validate one ``detect`` result payload from the wire."""
+        if not isinstance(payload, dict):
+            raise ServingError(f"malformed gateway result payload: {payload!r}")
+        scores = np.asarray(payload.get("scores"), dtype=float)
+        predictions = np.asarray(payload.get("predictions"))
+        categories_raw = payload.get("categories")
+        if not isinstance(categories_raw, list):
+            raise ServingError("malformed gateway result payload: categories missing")
+        leaf_raw = payload.get("leaf_index")
+        leaf_index = None if leaf_raw is None else np.asarray(leaf_raw)
+        if scores.ndim != 1 or scores.shape[0] != predictions.shape[0] or scores.shape[0] != len(categories_raw):
+            raise ServingError(
+                "malformed gateway result payload: per-record arrays disagree "
+                f"on length ({scores.shape[0]} scores, {predictions.shape[0]} "
+                f"predictions, {len(categories_raw)} categories)"
+            )
+        try:
+            batch_rows = int(payload["batch_rows"])  # type: ignore[call-overload]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServingError(
+                "malformed gateway result payload: batch_rows missing"
+            ) from exc
+        return GatewayResult(
+            scores=scores,
+            predictions=predictions,
+            categories=[str(category) for category in categories_raw],
+            leaf_index=leaf_index,
+            batch_rows=batch_rows,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# server internals
+# --------------------------------------------------------------------------- #
+@dataclass(eq=False)  # identity semantics: connections live in a set
+class _ClientConnection:
+    """Per-connection write state: one asyncio writer, serialised replies."""
+
+    writer: asyncio.StreamWriter
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    closed: bool = False
+
+
+@dataclass
+class _PendingRequest:
+    """One admitted ``detect`` request waiting for (or riding) a micro-batch."""
+
+    connection: _ClientConnection
+    request_id: object
+    rows: AnyArray
+    n_rows: int
+    #: Monotonic instant after which the request must be answered with a
+    #: deadline error instead of a result (``None`` = no budget).
+    deadline: Optional[float]
+    timeout_ms: Optional[float]
+
+
+class DetectionGateway:
+    """Asyncio TCP server that micro-batches ``detect`` requests.
+
+    Parameters
+    ----------
+    detector:
+        A fitted :class:`~repro.core.detector.GhsomDetector` (serving
+        config already applied; the gateway resolves its plan once here and
+        never reconfigures it).
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port — read the real
+        one from :attr:`address` (available immediately, the listening
+        socket is created in the constructor).
+    tick_ms:
+        Coalescing window: after the first request of a batch arrives, the
+        gateway keeps admitting concurrent requests into the same
+        ``detect`` call for this many milliseconds (or until the row cap).
+        ``0`` disables the wait — each batch is whatever is already queued.
+    max_batch_rows:
+        Row cap per ``detect`` call; also the largest row-block one request
+        may carry.
+    max_pending_rows:
+        Admission bound: total rows admitted-but-unanswered.  A request
+        that would overflow it is rejected with an explicit error reply.
+    drain_timeout_s:
+        Upper bound :meth:`shutdown` waits for admitted work to finish.
+
+    ``start()`` serves on a background thread (tests, benchmarks);
+    ``serve_forever()`` blocks (the CLI).  Both end via :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        detector: "GhsomDetector",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        tick_ms: float = 2.0,
+        max_batch_rows: int = 4096,
+        max_pending_rows: int = 32768,
+        drain_timeout_s: float = 10.0,
+    ) -> None:
+        if tick_ms < 0:
+            raise ConfigurationError(f"tick_ms must be >= 0, got {tick_ms}")
+        if max_batch_rows < 1:
+            raise ConfigurationError(f"max_batch_rows must be >= 1, got {max_batch_rows}")
+        if max_pending_rows < max_batch_rows:
+            raise ConfigurationError(
+                f"max_pending_rows ({max_pending_rows}) must be >= "
+                f"max_batch_rows ({max_batch_rows}), or a full-size request "
+                "could never be admitted"
+            )
+        if not detector.is_fitted:
+            raise ServingError("the gateway needs a fitted detector")
+        self._detector = detector
+        self._tick_s = float(tick_ms) / 1e3
+        self._max_batch_rows = int(max_batch_rows)
+        self._max_pending_rows = int(max_pending_rows)
+        self._drain_timeout_s = float(drain_timeout_s)
+        # Resolve the serving plan once, now: a misconfigured model must
+        # fail at startup, not at the first client request.
+        self._plan_info: Dict[str, object] = dict(detector.resolved_plan().describe())
+        compiled = detector._compiled_model()
+        self._n_features = int(compiled.n_features)
+        self._serving_dtype = np.dtype(compiled.dtype)
+        self._listener = socket.create_server((host, int(port)), reuse_port=False)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        #: Observability counters (written only from the event-loop thread).
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "rows": 0,
+            "batches": 0,
+            "batched_rows": 0,
+            "largest_batch_rows": 0,
+            "rejected_backpressure": 0,
+            "expired_deadlines": 0,
+            "request_errors": 0,
+        }
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._draining = False
+        self._closed = False
+        self._pending_rows = 0
+        self._carry: Optional[_PendingRequest] = None
+        self._connections: Set[_ClientConnection] = set()
+        # Created inside the event loop (asyncio primitives bind to it).
+        self._queue: "asyncio.Queue[Optional[_PendingRequest]]" = asyncio.Queue()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._batcher: Optional["asyncio.Task[None]"] = None
+        self._stopped: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def gateway_info(self) -> Dict[str, object]:
+        """The info dict advertised to clients during the handshake."""
+        return {
+            "pid": os.getpid(),
+            "protocol": PROTOCOL_VERSION,
+            "role": "gateway",
+            "ops": ("ping", "detect"),
+            "n_features": self._n_features,
+            "dtype": str(self._serving_dtype),
+            "tick_ms": self._tick_s * 1e3,
+            "max_batch_rows": self._max_batch_rows,
+            "max_pending_rows": self._max_pending_rows,
+            "plan": dict(self._plan_info),
+        }
+
+    def serve_forever(self) -> None:
+        """Run the gateway on the calling thread until interrupted."""
+        self._run_loop()
+
+    def start(self) -> "DetectionGateway":
+        """Serve on a daemon thread (in-process gateways for tests/benchmarks)."""
+        self._thread = threading.Thread(
+            target=self._run_loop,
+            name=f"repro-gateway-{self.address[1]}",
+            daemon=True,
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise ServingError(f"gateway failed to start: {self._startup_error}")
+        return self
+
+    def shutdown(self) -> None:
+        """Graceful drain from any thread: finish admitted work, then stop."""
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            self._close_listener()
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(self._shutdown_async(), loop).result(
+                timeout=self._drain_timeout_s + 30.0
+            )
+        except (TransportError, ServingError, RuntimeError, TimeoutError):
+            pass  # the loop stopped while (or before) the drain ran
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "DetectionGateway":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def _close_listener(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # event loop plumbing
+    # ------------------------------------------------------------------ #
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        main_task = loop.create_task(self._main())
+        try:
+            loop.run_until_complete(main_task)
+        except KeyboardInterrupt:
+            # CLI path: drain in the same loop, then let _main finish.
+            loop.run_until_complete(self._shutdown_async())
+            loop.run_until_complete(main_task)
+        except BaseException as exc:
+            self._startup_error = exc
+            raise
+        finally:
+            self._started.set()
+            self._closed = True
+            loop.close()
+
+    async def _main(self) -> None:
+        self._queue = asyncio.Queue()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, sock=self._listener
+        )
+        self._batcher = asyncio.create_task(self._batch_loop())
+        self._started.set()
+        await self._stopped.wait()
+
+    async def _shutdown_async(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()  # stop accepting; live connections stay up
+        # Admitted work drains: new detect ops are rejected from here on,
+        # everything already in the queue still gets its real result.
+        deadline = time.monotonic() + self._drain_timeout_s
+        while self._pending_rows > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        await self._queue.put(None)  # wake + stop the batch loop
+        if self._batcher is not None:
+            try:
+                await asyncio.wait_for(self._batcher, timeout=self._drain_timeout_s)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._batcher.cancel()
+        for connection in list(self._connections):
+            connection.closed = True
+            connection.writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _ClientConnection(writer=writer)
+        self._connections.add(connection)
+        try:
+            raw = writer.get_extra_info("socket")
+            if raw is not None:
+                raw.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if not await self._handshake(reader, writer):
+                return
+            while True:
+                try:
+                    frame = await read_frame_async(reader)
+                except TransportError:
+                    return  # client went away (or sent garbage)
+                if not isinstance(frame, dict) or "id" not in frame or "op" not in frame:
+                    return
+                request_id = frame["id"]
+                try:
+                    operation = frame["op"]
+                    if operation == "ping":
+                        await self._reply(connection, request_id, {"ok": True, "result": "pong"})
+                        continue
+                    if operation == "detect":
+                        self._admit(connection, request_id, frame)
+                        continue
+                    raise ServingError(f"unknown operation {operation!r}")
+                # repro-lint: disable=RPL007 -- gateway admission path: the
+                # failure is shipped back as an error reply frame (the
+                # "explicit rejection, never a silent drop" contract);
+                # raising would kill the whole connection instead.
+                except Exception as exc:
+                    self.stats["request_errors"] += 1
+                    await self._reply(
+                        connection,
+                        request_id,
+                        {"ok": False, "error": f"{type(exc).__name__}: {exc}"},
+                    )
+        except TransportError:
+            pass  # handshake reply pipe broke
+        finally:
+            connection.closed = True
+            self._connections.discard(connection)
+            writer.close()
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Async server side of the transport handshake (same frames/texts)."""
+        try:
+            hello = await read_frame_async(reader)
+        except TransportError:
+            return False  # garbage or a port-scanner; nothing to answer
+        if not isinstance(hello, dict) or hello.get("kind") != "hello":
+            await self._best_effort_write(writer, {"kind": "reject", "error": "expected a hello frame"})
+            return False
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            await self._best_effort_write(
+                writer,
+                {
+                    "kind": "reject",
+                    "error": (
+                        f"protocol mismatch: gateway speaks {PROTOCOL_VERSION}, "
+                        f"client sent {hello.get('protocol')!r}; upgrade the "
+                        "older side"
+                    ),
+                },
+            )
+            return False
+        await write_frame_async(
+            writer,
+            {"kind": "hello", "protocol": PROTOCOL_VERSION, "worker": self.gateway_info()},
+        )
+        return True
+
+    @staticmethod
+    async def _best_effort_write(writer: asyncio.StreamWriter, payload: object) -> None:
+        try:
+            await write_frame_async(writer, payload)
+        except TransportError:
+            pass
+
+    async def _reply(
+        self, connection: _ClientConnection, request_id: object, payload: Dict[str, object]
+    ) -> None:
+        """Send one response frame; a vanished client is not an error."""
+        if connection.closed:
+            return
+        try:
+            async with connection.lock:
+                await write_frame_async(connection.writer, {"id": request_id, **payload})
+        except TransportError:
+            connection.closed = True  # client disconnected mid-flight
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def _admit(
+        self, connection: _ClientConnection, request_id: object, frame: Dict[str, object]
+    ) -> None:
+        """Validate and enqueue one ``detect`` request (or raise the rejection)."""
+        if self._draining:
+            raise ServingError(
+                "gateway is draining (shutdown in progress); the request was "
+                "not admitted"
+            )
+        rows = self._coerce_rows(frame.get("rows"))
+        deadline: Optional[float] = None
+        timeout_ms: Optional[float] = None
+        budget = frame.get("timeout_ms")
+        if budget is not None:
+            if not isinstance(budget, (int, float, np.integer, np.floating)) or bool(
+                budget < 0
+            ):
+                raise ServingError(
+                    f"timeout_ms must be a non-negative number, got {budget!r}"
+                )
+            timeout_ms = float(budget)
+            deadline = time.monotonic() + timeout_ms / 1e3
+        n_rows = int(rows.shape[0])
+        if self._pending_rows + n_rows > self._max_pending_rows:
+            self.stats["rejected_backpressure"] += 1
+            raise ServingError(
+                f"gateway pending queue is full ({self._pending_rows} rows "
+                f"admitted, cap {self._max_pending_rows}); back off and retry"
+            )
+        self._pending_rows += n_rows
+        self.stats["requests"] += 1
+        self.stats["rows"] += n_rows
+        self._queue.put_nowait(
+            _PendingRequest(
+                connection=connection,
+                request_id=request_id,
+                rows=rows,
+                n_rows=n_rows,
+                deadline=deadline,
+                timeout_ms=timeout_ms,
+            )
+        )
+
+    def _coerce_rows(self, payload: object) -> AnyArray:
+        """Per-request row validation — a bad request must not poison a batch."""
+        if not isinstance(payload, np.ndarray):
+            raise ServingError(
+                "detect rows must be a numpy array (one record or a 2-D "
+                f"row-block), got {type(payload).__name__}"
+            )
+        matrix = payload.reshape(1, -1) if payload.ndim == 1 else payload
+        if matrix.ndim != 2:
+            raise ServingError(
+                f"detect rows must be 1-D or 2-D, got shape {payload.shape}"
+            )
+        if matrix.dtype.kind not in "fiu":
+            raise ServingError(
+                f"detect rows must be numeric, got dtype {matrix.dtype}"
+            )
+        if matrix.shape[0] < 1:
+            raise ServingError("detect rows must contain at least one record")
+        if matrix.shape[1] != self._n_features:
+            raise ServingError(
+                f"detect rows have {matrix.shape[1]} features, the model "
+                f"expects {self._n_features}"
+            )
+        if matrix.shape[0] > self._max_batch_rows:
+            raise ServingError(
+                f"row-block of {matrix.shape[0]} rows exceeds this gateway's "
+                f"max-batch-rows cap of {self._max_batch_rows}; split the "
+                "request"
+            )
+        # Cast to the serving dtype at admission: batch concatenation is then
+        # dtype-uniform and detect()'s own validation pass-through — exactly
+        # the arrays a direct detect() call would descend with.
+        return np.ascontiguousarray(matrix, dtype=self._serving_dtype)
+
+    # ------------------------------------------------------------------ #
+    # the micro-batcher
+    # ------------------------------------------------------------------ #
+    async def _batch_loop(self) -> None:
+        """Coalesce queued requests into single ``detect`` calls, forever.
+
+        While one batch computes in the executor, the event loop keeps
+        reading sockets and admitting the next batch — under load the batch
+        size adapts to however much arrives per descent.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            first = self._carry
+            self._carry = None
+            if first is None:
+                item = await self._queue.get()
+                if item is None:
+                    return  # drain sentinel: queue is empty, stop
+                first = item
+            batch = [first]
+            total_rows = first.n_rows
+            stop = False
+            if self._tick_s > 0.0:
+                tick_deadline = loop.time() + self._tick_s
+                while total_rows < self._max_batch_rows:
+                    remaining = tick_deadline - loop.time()
+                    if remaining <= 0.0:
+                        break
+                    try:
+                        extra = await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                    except asyncio.TimeoutError:
+                        break
+                    if extra is None:
+                        stop = True
+                        break
+                    if total_rows + extra.n_rows > self._max_batch_rows:
+                        self._carry = extra  # opens the next batch instead
+                        break
+                    batch.append(extra)
+                    total_rows += extra.n_rows
+            else:
+                while total_rows < self._max_batch_rows:
+                    try:
+                        extra = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if extra is None:
+                        stop = True
+                        break
+                    if total_rows + extra.n_rows > self._max_batch_rows:
+                        self._carry = extra
+                        break
+                    batch.append(extra)
+                    total_rows += extra.n_rows
+            await self._execute(batch)
+            if stop:
+                if self._carry is not None:
+                    carry, self._carry = self._carry, None
+                    await self._execute([carry])
+                return
+
+    async def _execute(self, batch: Sequence[_PendingRequest]) -> None:
+        """Run one coalesced ``detect`` call and demultiplex the replies."""
+        now = time.monotonic()
+        live: List[_PendingRequest] = []
+        for item in batch:
+            if item.deadline is not None and now > item.deadline:
+                self.stats["expired_deadlines"] += 1
+                self._pending_rows -= item.n_rows
+                await self._reply(
+                    item.connection,
+                    item.request_id,
+                    {
+                        "ok": False,
+                        "error": (
+                            f"ServingError: deadline expired (timeout_ms="
+                            f"{item.timeout_ms}) before the request was served"
+                        ),
+                    },
+                )
+            else:
+                live.append(item)
+        if not live:
+            return
+        matrix = (
+            live[0].rows
+            if len(live) == 1
+            else np.concatenate([item.rows for item in live], axis=0)
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            result: "DetectionResult" = await loop.run_in_executor(
+                None, self._detector.detect, matrix
+            )
+        # repro-lint: disable=RPL007 -- gateway batch path: the failure is
+        # shipped back as an error reply to every coalesced request (they
+        # must never hang); raising would kill the batch loop and starve
+        # every connection.
+        except Exception as exc:
+            message = f"{type(exc).__name__}: {exc}"
+            for item in live:
+                self._pending_rows -= item.n_rows
+                self.stats["request_errors"] += 1
+                await self._reply(
+                    item.connection, item.request_id, {"ok": False, "error": message}
+                )
+            return
+        batch_rows = int(matrix.shape[0])
+        self.stats["batches"] += 1
+        self.stats["batched_rows"] += batch_rows
+        self.stats["largest_batch_rows"] = max(
+            self.stats["largest_batch_rows"], batch_rows
+        )
+        offset = 0
+        for item in live:
+            stop = offset + item.n_rows
+            payload: Dict[str, object] = {
+                "scores": np.ascontiguousarray(result.scores[offset:stop]),
+                "predictions": np.ascontiguousarray(result.predictions[offset:stop]),
+                "categories": list(result.categories[offset:stop]),
+                "leaf_index": (
+                    None
+                    if result.leaf_index is None
+                    else np.ascontiguousarray(result.leaf_index[offset:stop])
+                ),
+                "batch_rows": batch_rows,
+            }
+            offset = stop
+            self._pending_rows -= item.n_rows
+            await self._reply(
+                item.connection, item.request_id, {"ok": True, "result": payload}
+            )
+
+
+# --------------------------------------------------------------------------- #
+# client side
+# --------------------------------------------------------------------------- #
+class GatewayClient:
+    """Multiplexed client for one :class:`DetectionGateway`.
+
+    A thin typed layer over :class:`~repro.serving.transport.WorkerConnection`
+    — one persistent socket, any number of in-flight ``detect`` requests,
+    responses matched back by id.  The handshake's ``role`` advertisement is
+    verified up front, so pointing the client at a shard worker fails with
+    one clear error instead of a vocabulary mismatch mid-request.
+    """
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        *,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        resolved = parse_address(address) if isinstance(address, str) else (
+            str(address[0]),
+            int(address[1]),
+        )
+        self._connection = WorkerConnection(resolved, connect_timeout=connect_timeout)
+        role = self._connection.info.get("role")
+        if role != "gateway":
+            self._connection.close()
+            raise ServingError(
+                f"the peer at {resolved[0]}:{resolved[1]} advertises role "
+                f"{role!r}, not 'gateway'; point GatewayClient at a "
+                "`repro-ids serve` process (shard workers speak a different "
+                "request vocabulary)"
+            )
+        self.address = resolved
+
+    # ------------------------------------------------------------------ #
+    @property
+    def info(self) -> Dict[str, object]:
+        """The gateway's handshake info (resolved plan, knobs, n_features)."""
+        return dict(self._connection.info)
+
+    @property
+    def n_features(self) -> Optional[int]:
+        """Feature width the gateway's model expects (from the handshake)."""
+        advertised = self._connection.info.get("n_features")
+        return int(advertised) if isinstance(advertised, (int, np.integer)) else None
+
+    @property
+    def is_alive(self) -> bool:
+        return self._connection.is_alive
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, rows: object, *, timeout_ms: Optional[float] = None
+    ) -> "Future[GatewayResult]":
+        """Send one ``detect`` request; the future resolves to its result.
+
+        ``rows`` is one record (1-D) or a small row-block (2-D); the
+        authoritative validation happens gateway-side.  ``timeout_ms`` is a
+        server-side budget: a request still queued past it is answered with
+        a deadline error.  The returned future raises
+        :class:`~repro.exceptions.ServingError` for gateway rejections and
+        :class:`~repro.serving.transport.TransportError` for a dead
+        connection.
+        """
+        matrix = np.asarray(rows)
+        inner = (
+            self._connection.submit("detect", rows=matrix)
+            if timeout_ms is None
+            else self._connection.submit(
+                "detect", rows=matrix, timeout_ms=float(timeout_ms)
+            )
+        )
+        outer: "Future[GatewayResult]" = Future()
+
+        def _transfer(done: "Future[object]") -> None:
+            error = done.exception()
+            if error is not None:
+                outer.set_exception(error)
+                return
+            try:
+                outer.set_result(GatewayResult.from_payload(done.result()))
+            except ServingError as exc:
+                outer.set_exception(exc)
+
+        inner.add_done_callback(_transfer)
+        return outer
+
+    def detect(
+        self,
+        rows: object,
+        *,
+        timeout: Optional[float] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> GatewayResult:
+        """Synchronous convenience: :meth:`submit` + ``result``."""
+        return self.submit(rows, timeout_ms=timeout_ms).result(timeout=timeout)
+
+    def ping(self, *, timeout: Optional[float] = 10.0) -> bool:
+        """Round-trip liveness probe."""
+        return self._connection.call("ping", timeout=timeout) == "pong"
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -630,6 +630,11 @@ class ShardWorkerServer:
         return {
             "pid": os.getpid(),
             "protocol": PROTOCOL_VERSION,
+            # Role-scoped vocabulary advertisement (see the transport module
+            # docstring): lets clients distinguish a shard worker from a
+            # detection gateway before sending the first request.
+            "role": "shard-worker",
+            "ops": ("ping", "provision", "run"),
             "model": None if self.model_path is None else str(self.model_path),
             "sidecar": sidecar,
         }

@@ -16,6 +16,15 @@ pickled payload.  On top of frames sit two fixed exchanges:
   "error": ...}``.  Responses carry the request id, which is what lets a
   single connection multiplex many in-flight requests.
 
+The request vocabulary is *role-scoped*: a shard worker serves ``ping`` /
+``provision`` / ``run``, the detection gateway
+(:mod:`repro.serving.gateway`) serves ``ping`` / ``detect``.  Adding an op
+is a compatible change — an unknown op gets an error reply, never a broken
+stream — so :data:`PROTOCOL_VERSION` stays put; servers instead advertise
+``role`` and ``ops`` keys in the handshake's worker-info dict, which is how
+a client verifies the peer speaks the vocabulary it needs before the first
+request (see :class:`repro.serving.gateway.GatewayClient`).
+
 :class:`WorkerConnection` is the client side of that contract: one
 persistent socket per worker, a send lock, and a background reader thread
 that matches response frames to pending :class:`~concurrent.futures.Future`
@@ -30,6 +39,7 @@ cluster network, never on an internet-facing port.
 
 from __future__ import annotations
 
+import asyncio
 import pickle
 import socket
 import struct
@@ -104,14 +114,56 @@ def _read_exact(sock: socket.socket, n_bytes: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_frame(sock: socket.socket, payload: object) -> None:
-    """Pickle ``payload`` and send it as one length-prefixed frame."""
+def _encode_body(payload: object) -> bytes:
+    """Pickle one frame payload, enforcing the frame-size ceiling."""
     body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     if len(body) > MAX_FRAME_BYTES:
         raise TransportError(
             f"frame payload of {len(body)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte frame limit"
         )
+    return body
+
+
+def _frame_length(prefix: bytes) -> int:
+    """Validate a frame prefix (magic + length) and return the body length."""
+    magic, length = _PREFIX.unpack(prefix)
+    if magic != FRAME_MAGIC:
+        raise TransportError(
+            f"bad frame magic {magic!r}: the peer is not speaking the repro "
+            "shard-serving protocol"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit "
+            "(corrupted stream?)"
+        )
+    return int(length)
+
+
+def _decode_body(body: bytes) -> object:
+    """Unpickle one frame body."""
+    try:
+        return pickle.loads(body)
+    except Exception as exc:  # pickle raises a zoo of error types
+        raise TransportError(f"could not decode frame payload: {exc}") from exc
+
+
+def encode_frame(payload: object) -> bytes:
+    """One complete wire frame (prefix + pickled body) as bytes.
+
+    The buffer-building form of :func:`send_frame`, for transports that
+    append to an output buffer instead of owning a socket — the asyncio
+    gateway writes these through ``StreamWriter.write``, whose synchronous
+    buffer append means two coroutines can never interleave partial frames.
+    """
+    body = _encode_body(payload)
+    return _PREFIX.pack(FRAME_MAGIC, len(body)) + body
+
+
+def send_frame(sock: socket.socket, payload: object) -> None:
+    """Pickle ``payload`` and send it as one length-prefixed frame."""
+    body = _encode_body(payload)
     prefix = _PREFIX.pack(FRAME_MAGIC, len(body))
     try:
         if len(body) < (1 << 16):
@@ -132,22 +184,45 @@ def recv_frame(sock: socket.socket) -> object:
     magic (not a repro peer), or an implausible length field.
     """
     prefix = _read_exact(sock, _PREFIX.size)
-    magic, length = _PREFIX.unpack(prefix)
-    if magic != FRAME_MAGIC:
-        raise TransportError(
-            f"bad frame magic {magic!r}: the peer is not speaking the repro "
-            "shard-serving protocol"
-        )
-    if length > MAX_FRAME_BYTES:
-        raise TransportError(
-            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit "
-            "(corrupted stream?)"
-        )
+    length = _frame_length(prefix)
     body = _read_exact(sock, length)
+    return _decode_body(body)
+
+
+async def _read_exact_async(reader: asyncio.StreamReader, n_bytes: int) -> bytes:
+    """Asyncio twin of :func:`_read_exact`: ``n_bytes`` or :class:`TransportError`."""
     try:
-        return pickle.loads(body)
-    except Exception as exc:  # pickle raises a zoo of error types
-        raise TransportError(f"could not decode frame payload: {exc}") from exc
+        return await reader.readexactly(n_bytes)
+    except asyncio.IncompleteReadError as exc:
+        raise TransportError(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{n_bytes} bytes received): truncated frame"
+        ) from exc
+    except OSError as exc:
+        raise TransportError(f"connection failed mid-frame: {exc}") from exc
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> object:
+    """Asyncio twin of :func:`recv_frame` (same frames, same failure modes).
+
+    A peer that closes cleanly *between* frames surfaces as a
+    :class:`TransportError` too ("0 of 8 bytes received"), matching the
+    synchronous reader's contract: server loops treat any transport failure
+    as the end of the connection.
+    """
+    prefix = await _read_exact_async(reader, _PREFIX.size)
+    length = _frame_length(prefix)
+    body = await _read_exact_async(reader, length)
+    return _decode_body(body)
+
+
+async def write_frame_async(writer: asyncio.StreamWriter, payload: object) -> None:
+    """Asyncio twin of :func:`send_frame`, with flow control via ``drain``."""
+    try:
+        writer.write(encode_frame(payload))
+        await writer.drain()
+    except OSError as exc:
+        raise TransportError(f"could not send frame: {exc}") from exc
 
 
 # --------------------------------------------------------------------------- #
@@ -362,12 +437,35 @@ class WorkerConnection:
 
 
 def parse_address(spec: str) -> Tuple[str, int]:
-    """Parse one ``HOST:PORT`` worker address."""
-    host, separator, port = str(spec).strip().rpartition(":")
-    if not separator or not host:
-        raise ServingError(
-            f"invalid worker address {spec!r}; expected HOST:PORT"
-        )
+    """Parse one ``HOST:PORT`` worker address.
+
+    IPv6 hosts use the standard bracketed form: ``[::1]:9000`` parses to
+    ``("::1", 9000)`` — the brackets are stripped, because
+    ``socket.create_connection`` resolves the bare address, not the
+    bracketed spelling.  An unbracketed multi-colon spec such as
+    ``::1:9000`` is ambiguous (every colon is a plausible host/port split)
+    and rejected outright rather than silently mis-split.
+    """
+    text = str(spec).strip()
+    if text.startswith("["):
+        bracketed, _, port = text.partition("]")
+        host = bracketed[1:]
+        if not host or not port.startswith(":"):
+            raise ServingError(
+                f"invalid worker address {spec!r}; expected [IPV6-ADDR]:PORT"
+            )
+        port = port[1:]
+    else:
+        host, separator, port = text.rpartition(":")
+        if not separator or not host:
+            raise ServingError(
+                f"invalid worker address {spec!r}; expected HOST:PORT"
+            )
+        if ":" in host:
+            raise ServingError(
+                f"invalid worker address {spec!r}; an unbracketed IPv6 "
+                "address is ambiguous — write it as [ADDR]:PORT"
+            )
     try:
         return host, int(port)
     except ValueError as exc:

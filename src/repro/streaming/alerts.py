@@ -63,8 +63,10 @@ class AlertAggregator:
         A new incident starts when the time since the previous alarmed record
         exceeds this gap.
     min_records:
-        Incidents with fewer alarmed records than this are dropped (they are
-        reported as residual noise instead).
+        Groups with fewer alarmed records than this do not become incidents;
+        they are counted as residual noise (``n_residual_records`` /
+        ``n_residual_groups`` in :meth:`summarize`) so dropped alarms remain
+        visible to the operator.
     split_by_category:
         When predicted categories are provided, records of different
         categories never share an incident even if adjacent in time.
@@ -84,6 +86,11 @@ class AlertAggregator:
         self.gap_seconds = float(gap_seconds)
         self.min_records = int(min_records)
         self.split_by_category = split_by_category
+        #: Residual noise from the most recent :meth:`aggregate` call:
+        #: alarmed records (and the sub-``min_records`` groups they formed)
+        #: that were too sparse to become incidents.
+        self.n_residual_records = 0
+        self.n_residual_groups = 0
 
     # ------------------------------------------------------------------ #
     def aggregate(
@@ -114,6 +121,8 @@ class AlertAggregator:
             check_same_length(times, scores, "timestamps", "scores")
         if categories is not None:
             check_same_length(times, categories, "timestamps", "categories")
+        self.n_residual_records = 0
+        self.n_residual_groups = 0
         alarm_indices = np.flatnonzero(decisions == 1)
         if alarm_indices.size == 0:
             return []
@@ -123,7 +132,12 @@ class AlertAggregator:
         current: List[int] = []
 
         def flush() -> None:
+            if not current:
+                return
             if len(current) < self.min_records:
+                # Too sparse to be an incident — counted, never silently lost.
+                self.n_residual_records += len(current)
+                self.n_residual_groups += 1
                 current.clear()
                 return
             group_times = times[current]
@@ -166,12 +180,25 @@ class AlertAggregator:
         return incidents
 
     def summarize(self, incidents: Sequence[Incident]) -> dict:
-        """Aggregate statistics over a set of incidents."""
+        """Aggregate statistics over a set of incidents.
+
+        ``n_residual_records`` / ``n_residual_groups`` report the alarmed
+        records the most recent :meth:`aggregate` call dropped for falling
+        under ``min_records`` — the "residual noise" the class promises to
+        surface rather than silently discard.
+        """
         if not incidents:
-            return {"n_incidents": 0, "n_alarmed_records": 0}
+            return {
+                "n_incidents": 0,
+                "n_alarmed_records": 0,
+                "n_residual_records": int(self.n_residual_records),
+                "n_residual_groups": int(self.n_residual_groups),
+            }
         return {
             "n_incidents": len(incidents),
             "n_alarmed_records": int(sum(incident.n_records for incident in incidents)),
+            "n_residual_records": int(self.n_residual_records),
+            "n_residual_groups": int(self.n_residual_groups),
             "categories": dict(
                 Counter(incident.dominant_category for incident in incidents)
             ),

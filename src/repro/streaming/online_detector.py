@@ -246,7 +246,15 @@ class OnlineDetector:
         return self.process(batch).predictions
 
     def score_samples(self, batch) -> np.ndarray:
-        """Scores from the wrapped detector without updating any online state."""
+        """Scores from the wrapped detector without updating any online state.
+
+        Routed through :meth:`_serving_matrix` exactly like :meth:`process`:
+        a float32-serving detector sees the batch cast once at the stream
+        boundary instead of paying a fresh float64→float32 conversion inside
+        the call, and both entry points hand the wrapped detector the same
+        dtype (so their scores cannot diverge).
+        """
         if not self._is_warmed_up:
             raise NotFittedError("OnlineDetector is still warming up")
-        return np.asarray(self.detector.score_samples(check_array_2d(batch, "batch")), dtype=float)
+        matrix = self._serving_matrix(check_array_2d(batch, "batch"))
+        return np.asarray(self.detector.score_samples(matrix), dtype=float)

@@ -106,18 +106,39 @@ class StreamingPipeline:
 
     # ------------------------------------------------------------------ #
     def summary(self) -> dict:
-        """Aggregate metrics over all processed windows."""
+        """Aggregate metrics over all processed windows.
+
+        Two aggregate families: the ``mean_*`` keys equal-weight every
+        window (per-window trend view, kept for compatibility), while the
+        ``weighted_*`` keys weight each window by its record count — the
+        per-record view.  The distinction matters because the final window
+        is usually ragged: a 17-record tail window would otherwise move the
+        stream-level metrics as much as a full 500-record one.
+        """
         if not self.reports:
             return {"n_windows": 0}
         total_seconds = float(sum(report.seconds for report in self.reports))
         total_records = sum(report.n_records for report in self.reports)
+        weights = np.asarray([report.n_records for report in self.reports], dtype=float)
+
+        def weighted(values) -> float:
+            return float(np.average(np.asarray(values, dtype=float), weights=weights))
+
         return {
             "n_windows": len(self.reports),
+            "n_records": int(total_records),
             "mean_detection_rate": float(np.mean([report.detection_rate for report in self.reports])),
             "mean_false_positive_rate": float(
                 np.mean([report.false_positive_rate for report in self.reports])
             ),
             "mean_accuracy": float(np.mean([report.accuracy for report in self.reports])),
+            "weighted_detection_rate": weighted(
+                [report.detection_rate for report in self.reports]
+            ),
+            "weighted_false_positive_rate": weighted(
+                [report.false_positive_rate for report in self.reports]
+            ),
+            "weighted_accuracy": weighted([report.accuracy for report in self.reports]),
             "n_drift_events": sum(1 for report in self.reports if report.drift_detected),
             "n_refits": sum(1 for report in self.reports if report.refitted),
             "total_seconds": total_seconds,

@@ -382,10 +382,27 @@ class TestProtocol:
 
     def test_parse_address(self):
         assert parse_address("10.0.0.2:7001") == ("10.0.0.2", 7001)
+        assert parse_address("worker-3.internal:9000") == ("worker-3.internal", 9000)
         with pytest.raises(ServingError, match="HOST:PORT"):
             parse_address("no-port-here")
         with pytest.raises(ServingError, match="integer"):
             parse_address("host:notaport")
+
+    def test_parse_address_ipv6(self):
+        # Bracketed IPv6 strips the brackets: socket.create_connection wants
+        # the bare address, not the bracketed spelling.
+        assert parse_address("[::1]:9000") == ("::1", 9000)
+        assert parse_address("[fe80::1%eth0]:7001") == ("fe80::1%eth0", 7001)
+        # Unbracketed IPv6 is ambiguous (every colon is a plausible split).
+        with pytest.raises(ServingError, match="ambiguous"):
+            parse_address("::1:9000")
+        # Bracketed form without a port (or without brackets closed) rejects.
+        with pytest.raises(ServingError, match=r"\[IPV6-ADDR\]:PORT"):
+            parse_address("[::1]")
+        with pytest.raises(ServingError, match=r"\[IPV6-ADDR\]:PORT"):
+            parse_address("[::1")
+        with pytest.raises(ServingError, match="integer"):
+            parse_address("[::1]:notaport")
 
 
 # --------------------------------------------------------------------------- #

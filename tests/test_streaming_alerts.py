@@ -105,7 +105,12 @@ class TestCategoriesAndScores:
 
 class TestSummary:
     def test_empty_summary(self):
-        assert AlertAggregator().summarize([]) == {"n_incidents": 0, "n_alarmed_records": 0}
+        assert AlertAggregator().summarize([]) == {
+            "n_incidents": 0,
+            "n_alarmed_records": 0,
+            "n_residual_records": 0,
+            "n_residual_groups": 0,
+        }
 
     def test_summary_fields(self):
         incidents = [
@@ -159,3 +164,51 @@ class TestSummary:
         ]
         assert covering
         assert max(incident.n_records for incident in covering) > 50
+
+
+class TestResidualNoise:
+    """Sub-``min_records`` groups are counted, never silently discarded."""
+
+    def test_dropped_groups_counted_and_surfaced(self):
+        aggregator = AlertAggregator(gap_seconds=5.0, min_records=3)
+        # One real burst of three, then two isolated alarms far apart: the
+        # burst becomes an incident, the stragglers become residual noise.
+        incidents = aggregator.aggregate(
+            [0.0, 1.0, 2.0, 100.0, 200.0], [1, 1, 1, 1, 1]
+        )
+        assert len(incidents) == 1
+        assert aggregator.n_residual_records == 2
+        assert aggregator.n_residual_groups == 2
+        summary = aggregator.summarize(incidents)
+        assert summary["n_residual_records"] == 2
+        assert summary["n_residual_groups"] == 2
+        # Conservation: every alarmed record is either in an incident or
+        # reported as residual — the docstring's no-silent-drop promise.
+        assert summary["n_alarmed_records"] + summary["n_residual_records"] == 5
+
+    def test_all_noise_still_reported_with_zero_incidents(self):
+        aggregator = AlertAggregator(gap_seconds=5.0, min_records=3)
+        incidents = aggregator.aggregate([0.0, 50.0, 100.0], [1, 1, 1])
+        assert incidents == []
+        summary = aggregator.summarize(incidents)
+        assert summary["n_incidents"] == 0
+        assert summary["n_residual_records"] == 3
+        assert summary["n_residual_groups"] == 3
+
+    def test_residual_counters_reset_per_aggregate_call(self):
+        aggregator = AlertAggregator(gap_seconds=5.0, min_records=3)
+        aggregator.aggregate([0.0, 100.0], [1, 1])
+        assert aggregator.n_residual_records == 2
+        # A later call with no residual noise must not inherit the counts.
+        aggregator.aggregate([0.0, 1.0, 2.0], [1, 1, 1])
+        assert aggregator.n_residual_records == 0
+        assert aggregator.n_residual_groups == 0
+
+    def test_mixed_groups_count_only_sparse_ones(self):
+        aggregator = AlertAggregator(gap_seconds=5.0, min_records=2)
+        incidents = aggregator.aggregate(
+            [0.0, 1.0, 50.0, 100.0, 101.0], [1, 1, 1, 1, 1]
+        )
+        assert len(incidents) == 2
+        assert aggregator.n_residual_records == 1
+        assert aggregator.n_residual_groups == 1

@@ -294,3 +294,104 @@ class TestMakeDriftingStream:
             make_drifting_stream(
                 lambda seed: KddSyntheticGenerator(random_state=seed), n_before=10, n_after=10
             )
+
+
+class TestServingDtypeRouting:
+    """Both stream entry points hand the wrapped detector the serving dtype."""
+
+    class _DtypeSpy:
+        """Transparent detector wrapper recording the dtype of scoring input."""
+
+        def __init__(self, inner):
+            self._inner = inner
+            self.seen_dtypes = []
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+        def detect(self, X):
+            self.seen_dtypes.append(np.asarray(X).dtype)
+            return self._inner.detect(X)
+
+        def score_samples(self, X):
+            self.seen_dtypes.append(np.asarray(X).dtype)
+            return self._inner.score_samples(X)
+
+    def test_score_samples_matches_process_on_float32_detector(self, stream_setup):
+        from repro.serving import ServingConfig
+
+        _, X, _ = stream_setup
+        config = GhsomConfig(
+            tau1=0.35,
+            tau2=0.1,
+            max_depth=2,
+            max_map_size=36,
+            training=SomTrainingConfig(epochs=3),
+            random_state=7,
+        )
+        detector = GhsomDetector(config, random_state=7).fit(X[:500])
+        detector.configure(ServingConfig(dtype="float32"))
+        spy = self._DtypeSpy(detector)
+        online = OnlineDetector(spy)
+        batch = X[500:620]
+        scores_direct = online.score_samples(batch)
+        scores_process = online.process(batch).scores
+        # Same scores, bit for bit: the two entry points serve the same cast.
+        np.testing.assert_array_equal(scores_direct, scores_process)
+        assert scores_direct.tobytes() == scores_process.tobytes()
+        # The regression pin: score_samples used to bypass _serving_matrix
+        # and hand the wrapped detector the raw float64 stream batch.
+        assert spy.seen_dtypes == [np.dtype("float32"), np.dtype("float32")]
+
+    def test_float64_detector_batch_passed_through_untouched(self, stream_setup):
+        detector, X, _ = stream_setup
+        spy = self._DtypeSpy(detector)
+        online = OnlineDetector(spy)
+        online.score_samples(X[:40])
+        assert spy.seen_dtypes == [np.dtype("float64")]
+
+
+class TestWeightedSummary:
+    """summary() reports record-weighted aggregates beside the window means."""
+
+    def test_weighted_vs_mean_on_ragged_tail(self, stream_setup):
+        from repro.streaming.pipeline import WindowReport
+
+        detector, _, _ = stream_setup
+        pipeline = StreamingPipeline(OnlineDetector(detector), window_size=500)
+        # Two full windows and a deliberately short 10-record tail whose
+        # metrics are the outlier: the mean view lets the tail move the
+        # stream-level figure 1/3 of the way, the weighted view ~1%.
+        pipeline.reports = [
+            WindowReport(0, 500, 1.0, 0.0, 1.0, False, False, 1.0, seconds=1.0),
+            WindowReport(1, 500, 1.0, 0.0, 1.0, False, False, 1.0, seconds=1.0),
+            WindowReport(2, 10, 0.0, 1.0, 0.0, False, False, 1.0, seconds=0.1),
+        ]
+        summary = pipeline.summary()
+        assert summary["n_records"] == 1010
+        assert summary["mean_accuracy"] == pytest.approx(2.0 / 3.0)
+        assert summary["weighted_accuracy"] == pytest.approx(1000.0 / 1010.0)
+        assert summary["mean_false_positive_rate"] == pytest.approx(1.0 / 3.0)
+        assert summary["weighted_false_positive_rate"] == pytest.approx(10.0 / 1010.0)
+        assert summary["mean_detection_rate"] == pytest.approx(2.0 / 3.0)
+        assert summary["weighted_detection_rate"] == pytest.approx(1000.0 / 1010.0)
+
+    def test_real_run_with_short_last_window(self, stream_setup):
+        detector, X, y = stream_setup
+        pipeline = StreamingPipeline(OnlineDetector(detector), window_size=500)
+        pipeline.run(X, y)  # 1200 records -> 500, 500, 200 (ragged tail)
+        assert [report.n_records for report in pipeline.reports] == [500, 500, 200]
+        summary = pipeline.summary()
+        assert summary["n_records"] == 1200
+        weights = np.asarray([500.0, 500.0, 200.0])
+        for weighted_key, attribute in [
+            ("weighted_detection_rate", "detection_rate"),
+            ("weighted_false_positive_rate", "false_positive_rate"),
+            ("weighted_accuracy", "accuracy"),
+        ]:
+            values = np.asarray(
+                [getattr(report, attribute) for report in pipeline.reports]
+            )
+            assert summary[weighted_key] == pytest.approx(
+                float(np.average(values, weights=weights))
+            )
