@@ -8,29 +8,50 @@ serving error surface and pool confinement.  This package enforces them
 mechanically with small AST rules (stable codes ``RPL001``…), so the
 concurrency-heavy roadmap items cannot silently regress them.
 
+PR 10 made the analyzer *flow aware*: an intraprocedural CFG
+(:mod:`repro.analysis.cfg`) and a project-wide call graph with execution
+contexts (:mod:`repro.analysis.callgraph`) feed the concurrency rule family
+(:mod:`repro.analysis.concurrency`, ``RPL009``–``RPL014``), which guards the
+thread+asyncio serving hybrid: no blocking call reachable from a coroutine,
+no ``await`` under a threading lock, no lock-order cycles, no dropped task
+handles, no loop state touched from foreign threads or executors.
+
 * :mod:`repro.analysis.engine` — findings, suppression comments
-  (``# repro-lint: disable=RPLxxx``), the file walker;
+  (``# repro-lint: disable=RPLxxx``), stale-suppression detection, the
+  file walker and the shared-project ``lint_sources`` entry point;
 * :mod:`repro.analysis.rules` — the rule registry;
+* :mod:`repro.analysis.cfg` / :mod:`repro.analysis.callgraph` — the flow
+  machinery behind the concurrency rules;
 * :mod:`repro.analysis.cli` — the ``repro-lint`` entry point
   (``python -m repro.analysis``).
 """
 
 from repro.analysis.engine import (
+    UNUSED_SUPPRESSION_CODE,
     Finding,
     LintError,
+    Suppression,
     iter_python_files,
     lint_paths,
     lint_source,
+    lint_sources,
+    scan_suppressions,
 )
 from repro.analysis.rules import RULES, Rule, rules_by_code
+from repro.analysis.callgraph import Project
 
 __all__ = [
     "Finding",
     "LintError",
-    "Rule",
+    "Project",
     "RULES",
+    "Rule",
+    "Suppression",
+    "UNUSED_SUPPRESSION_CODE",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "rules_by_code",
+    "scan_suppressions",
 ]

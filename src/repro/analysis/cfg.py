@@ -1,0 +1,303 @@
+"""Intraprocedural control-flow graphs for the flow-aware lint rules.
+
+PR 8's rules are per-node pattern matches; the concurrency family needs to
+know *what is true when a statement executes* — specifically which locks are
+held.  This module builds a small statement-level CFG per function and runs
+a forward may-analysis over it (:func:`held_lock_states`), which is what
+lets RPL010 flag an ``await`` between ``lock.acquire()`` and
+``lock.release()`` even when no ``with`` block makes the region lexical.
+
+Shape of the graph
+------------------
+One :class:`CfgNode` per *simple* statement; compound statements get one
+node for their **header** (the expressions the statement itself evaluates:
+an ``if``/``while`` test, a ``for`` iterable, the ``with`` context
+expressions) and their bodies are flattened into further nodes.  ``with``
+blocks additionally get a synthetic ``with-exit`` node so the dataflow can
+kill a lock exactly where the context manager releases it.  ``try`` bodies
+conservatively edge into every handler (an exception may occur at any
+point), ``break``/``continue``/``return``/``raise`` cut the fall-through
+edge, and loops carry a back edge — the usual textbook construction, sized
+for functions, not whole programs.
+
+The analysis is deliberately a *may* analysis: extra edges can only make a
+lock look held longer than it is, so the rules stay conservative (they can
+over-warn behind a suppression, never silently under-warn).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "CfgNode",
+    "ControlFlowGraph",
+    "FunctionNode",
+    "build_cfg",
+    "held_lock_states",
+    "node_await",
+    "scoped_children",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: AST nodes that open a new execution scope: their bodies run at some other
+#: time (or never), so statement-level walks must not descend into them.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+@dataclass
+class CfgNode:
+    """One executable point: a simple statement or a compound-statement header."""
+
+    index: int
+    #: ``"stmt"`` for ordinary statements/headers, ``"with"`` for a
+    #: with-statement header (context managers entered), ``"with-exit"`` for
+    #: the synthetic node where those context managers release.
+    kind: str
+    statement: Optional[ast.AST]
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+
+class ControlFlowGraph:
+    """The CFG of one function body (see the module docstring for shape)."""
+
+    def __init__(self, function: FunctionNode, nodes: List[CfgNode]) -> None:
+        self.function = function
+        self.nodes = nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def scoped_children(root: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``root``'s descendants without crossing into nested scopes.
+
+    Nested ``def``/``async def``/``lambda``/``class`` bodies execute on their
+    own schedule (or thread), so whatever happens inside them is not part of
+    ``root``'s own control flow.  The scope node itself is still yielded —
+    callers that care (e.g. call collection) simply skip it.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _own_expressions(node: CfgNode) -> List[ast.AST]:
+    """The expressions a CFG node evaluates *itself* (not its body)."""
+    stmt = node.statement
+    if stmt is None:
+        return []
+    if node.kind in ("with", "with-exit"):
+        assert isinstance(stmt, (ast.With, ast.AsyncWith))
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return list(stmt.decorator_list)
+    if isinstance(stmt, (ast.Try, ast.ExceptHandler)):
+        return []
+    return [stmt]
+
+
+def node_await(node: CfgNode) -> Optional[ast.AST]:
+    """The AST node proving this CFG node suspends the coroutine, or ``None``.
+
+    Explicit ``await`` expressions count, and so do the *implicit* awaits of
+    ``async with`` (``__aenter__``/``__aexit__``) and ``async for``
+    (``__anext__``) — a lock held across any of them is held across a
+    suspension point.
+    """
+    stmt = node.statement
+    if isinstance(stmt, (ast.AsyncWith, ast.AsyncFor)):
+        return stmt
+    for expr in _own_expressions(node):
+        if isinstance(expr, ast.Await):
+            return expr
+        for inner in scoped_children(expr):
+            if isinstance(inner, ast.Await):
+                return inner
+    return None
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: List[CfgNode] = []
+        #: Per enclosing loop: (continue target index, break frontier).
+        self.loops: List[Tuple[int, List[int]]] = []
+
+    def add(self, kind: str, stmt: Optional[ast.AST]) -> int:
+        node = CfgNode(index=len(self.nodes), kind=kind, statement=stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def link(self, preds: Sequence[int], node: int) -> None:
+        for pred in preds:
+            self.nodes[pred].successors.append(node)
+            self.nodes[node].predecessors.append(pred)
+
+    def build_body(self, body: Sequence[ast.stmt], preds: Sequence[int]) -> List[int]:
+        frontier = list(preds)
+        for stmt in body:
+            frontier = self.build_stmt(stmt, frontier)
+        return frontier
+
+    def build_stmt(self, stmt: ast.stmt, preds: Sequence[int]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            header = self.add("stmt", stmt)
+            self.link(preds, header)
+            body_frontier = self.build_body(stmt.body, [header])
+            else_frontier = (
+                self.build_body(stmt.orelse, [header]) if stmt.orelse else [header]
+            )
+            return body_frontier + else_frontier
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self.add("stmt", stmt)
+            self.link(preds, header)
+            self.loops.append((header, []))
+            body_frontier = self.build_body(stmt.body, [header])
+            self.link(body_frontier, header)  # the loop's back edge
+            _, breaks = self.loops.pop()
+            exits = (
+                self.build_body(stmt.orelse, [header]) if stmt.orelse else [header]
+            )
+            return exits + breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            header = self.add("with", stmt)
+            self.link(preds, header)
+            body_frontier = self.build_body(stmt.body, [header])
+            closer = self.add("with-exit", stmt)
+            self.link(body_frontier, closer)
+            return [closer]
+        if isinstance(stmt, (ast.Try, ast.TryStar)):
+            before = list(preds)
+            start = len(self.nodes)
+            body_frontier = self.build_body(stmt.body, preds)
+            body_nodes = list(range(start, len(self.nodes)))
+            handler_frontiers: List[int] = []
+            for handler in stmt.handlers:
+                entry = self.add("stmt", handler)
+                # An exception may fire before or during any body statement.
+                self.link(before + body_nodes, entry)
+                handler_frontiers += self.build_body(handler.body, [entry])
+            else_frontier = (
+                self.build_body(stmt.orelse, body_frontier)
+                if stmt.orelse
+                else body_frontier
+            )
+            merged = else_frontier + handler_frontiers
+            if stmt.finalbody:
+                merged = self.build_body(stmt.finalbody, merged)
+            return merged
+        if isinstance(stmt, ast.Match):
+            header = self.add("stmt", stmt)
+            self.link(preds, header)
+            frontiers = [header]  # no case may match
+            for case in stmt.cases:
+                frontiers += self.build_body(case.body, [header])
+            return frontiers
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            node = self.add("stmt", stmt)
+            self.link(preds, node)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self.add("stmt", stmt)
+            self.link(preds, node)
+            if self.loops:
+                self.loops[-1][1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self.add("stmt", stmt)
+            self.link(preds, node)
+            if self.loops:
+                self.link([node], self.loops[-1][0])
+            return []
+        node = self.add("stmt", stmt)
+        self.link(preds, node)
+        return [node]
+
+
+def build_cfg(function: FunctionNode) -> ControlFlowGraph:
+    """Build the statement-level CFG of one function body."""
+    builder = _Builder()
+    builder.build_body(function.body, [])
+    return ControlFlowGraph(function, builder.nodes)
+
+
+def _gen_kill(
+    node: CfgNode, lock_of: Callable[[ast.expr], Optional[str]]
+) -> Tuple[Set[str], Set[str]]:
+    """Locks this node acquires (gen) and releases (kill)."""
+    gens: Set[str] = set()
+    kills: Set[str] = set()
+    stmt = node.statement
+    if node.kind == "with" and isinstance(stmt, ast.With):
+        for item in stmt.items:
+            name = lock_of(item.context_expr)
+            if name is not None:
+                gens.add(name)
+        return gens, kills
+    if node.kind == "with-exit" and isinstance(stmt, ast.With):
+        for item in stmt.items:
+            name = lock_of(item.context_expr)
+            if name is not None:
+                kills.add(name)
+        return gens, kills
+    for expr in _own_expressions(node):
+        candidates = [expr, *scoped_children(expr)]
+        for inner in candidates:
+            if not isinstance(inner, ast.Call) or not isinstance(
+                inner.func, ast.Attribute
+            ):
+                continue
+            if inner.func.attr == "acquire":
+                name = lock_of(inner.func.value)
+                if name is not None:
+                    gens.add(name)
+            elif inner.func.attr == "release":
+                name = lock_of(inner.func.value)
+                if name is not None:
+                    kills.add(name)
+    return gens, kills
+
+
+def held_lock_states(
+    cfg: ControlFlowGraph, lock_of: Callable[[ast.expr], Optional[str]]
+) -> List[Set[str]]:
+    """Per-node *entry* sets of possibly-held locks (forward may-analysis).
+
+    ``lock_of`` classifies an expression as a lock (returning its stable
+    identity) or not (``None``); the analysis itself is lock-agnostic.
+    Gen points are ``with <lock>:`` headers and ``<lock>.acquire()`` calls;
+    kill points are the matching ``with``-exit and ``<lock>.release()``.
+    Iterates to fixpoint — the lattice (sets under union) is finite and the
+    transfer functions monotone, so termination is guaranteed.
+    """
+    pairs = [_gen_kill(node, lock_of) for node in cfg.nodes]
+    ins: List[Set[str]] = [set() for _ in cfg.nodes]
+    outs: List[Set[str]] = [set() for _ in cfg.nodes]
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            new_in: Set[str] = set()
+            for pred in node.predecessors:
+                new_in |= outs[pred]
+            gens, kills = pairs[node.index]
+            new_out = (new_in - kills) | gens
+            if new_in != ins[node.index] or new_out != outs[node.index]:
+                ins[node.index] = new_in
+                outs[node.index] = new_out
+                changed = True
+    return ins

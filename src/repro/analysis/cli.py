@@ -3,9 +3,12 @@
 Run it over the tree (exit status 1 when findings exist, 2 on usage or
 parse errors)::
 
-    repro-lint src tests                 # human output
-    repro-lint src --format json         # machine output (CI artifact)
-    repro-lint --list-rules              # the rule registry
+    repro-lint src tests                       # human output
+    repro-lint src --format json               # machine output (CI artifact)
+    repro-lint src --select RPL009,RPL010      # one rule family only
+    repro-lint --changed                       # git-modified files only
+    repro-lint src --report-unused-suppressions
+    repro-lint --list-rules                    # the rule registry
 
 Equivalent without the console script: ``python -m repro.analysis ...``.
 """
@@ -14,16 +17,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.engine import Finding, LintError, lint_paths
-from repro.analysis.rules import RULES
+from repro.analysis.rules import RULES, Rule, rules_by_code
 
-__all__ = ["build_parser", "main", "render_findings", "rule_registry"]
+__all__ = ["build_parser", "changed_python_files", "main", "render_findings", "rule_registry"]
 
 #: Bumped when rules are added/changed so CI artifacts are comparable.
-LINT_VERSION = "1.0.0"
+#: 2.0.0: flow-aware engine, concurrency family RPL009–RPL014, stale
+#: suppressions, ``--select`` / ``--changed``.
+LINT_VERSION = "2.0.0"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +48,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("human", "json"),
         default="human",
         help="output format (json is stable and machine readable)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only git-modified python files (instead of explicit paths)",
+    )
+    parser.add_argument(
+        "--report-unused-suppressions",
+        action="store_true",
+        help="also report disable= comments that no longer silence anything "
+        "(as RPL000 findings)",
     )
     parser.add_argument(
         "--list-rules",
@@ -63,11 +86,64 @@ def rule_registry() -> List[dict[str, str]]:
     ]
 
 
-def render_findings(findings: Sequence[Finding], fmt: str) -> str:
+def changed_python_files() -> List[str]:
+    """Python files git considers modified (staged, unstaged or untracked).
+
+    Parses ``git status --porcelain``: deletions are skipped, renames
+    (``old -> new``) resolve to the new path, and only paths that still
+    exist as ``.py`` files are returned.
+    """
+    result = subprocess.run(
+        ["git", "status", "--porcelain", "-uall"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if result.returncode != 0:
+        raise LintError(
+            f"git status failed: {result.stderr.strip() or result.returncode}"
+        )
+    files: List[str] = []
+    for line in result.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        status, path = line[:2], line[3:]
+        if "D" in status:
+            continue
+        if " -> " in path:
+            path = path.split(" -> ", 1)[1]
+        path = path.strip().strip('"')
+        if path.endswith(".py") and Path(path).is_file():
+            files.append(path)
+    return sorted(files)
+
+
+def _selected_rules(
+    parser: argparse.ArgumentParser, select: Optional[str]
+) -> Optional[Sequence[Rule]]:
+    if select is None:
+        return None
+    registry = rules_by_code()
+    codes = [code.strip() for code in select.split(",") if code.strip()]
+    unknown = sorted(set(codes) - set(registry))
+    if unknown:
+        parser.error(
+            f"unknown rule code(s): {', '.join(unknown)} (see --list-rules)"
+        )
+    return tuple(registry[code] for code in codes)
+
+
+def render_findings(
+    findings: Sequence[Finding],
+    fmt: str,
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+) -> str:
+    active = RULES if rules is None else tuple(rules)
     if fmt == "json":
         payload = {
             "version": LINT_VERSION,
-            "rules": [rule.code for rule in RULES],
+            "rules": [rule.code for rule in active],
             "findings": [finding.to_dict() for finding in findings],
         }
         return json.dumps(payload, indent=2)
@@ -95,14 +171,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         print(_render_rules(args.format))
         return 0
-    if not args.paths:
-        parser.error("no paths given (or use --list-rules)")
+    rules = _selected_rules(parser, args.select)
+    if args.changed and args.paths:
+        parser.error("--changed and explicit paths are mutually exclusive")
+    if args.changed:
+        try:
+            paths = changed_python_files()
+        except LintError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print("repro-lint: no changed python files")
+            return 0
+    elif args.paths:
+        paths = args.paths
+    else:
+        parser.error("no paths given (or use --changed / --list-rules)")
     try:
-        findings = lint_paths(args.paths)
+        findings = lint_paths(
+            paths,
+            rules=rules,
+            report_unused_suppressions=args.report_unused_suppressions,
+        )
     except LintError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
-    print(render_findings(findings, args.format))
+    print(render_findings(findings, args.format, rules=rules))
     return 1 if findings else 0
 
 

@@ -1,0 +1,381 @@
+"""The flow-aware concurrency rule family (``RPL009`` … ``RPL014``).
+
+These rules guard the invariants of the thread+asyncio hybrid serving stack
+(PR 9): the event loop must never block, threading locks must never be held
+across a suspension point, acquisition order must be globally consistent,
+task handles must be kept, and loop state must only be touched from the
+loop thread.  None of them is expressible as a per-node pattern — they all
+consume the :mod:`repro.analysis.cfg` dataflow or the
+:mod:`repro.analysis.callgraph` context propagation, which is what this
+family buys over the syntactic RPL001–RPL008 rules.
+
+Each rule here sets ``requires_project = True``: when linting a file set,
+the engine hands every rule one shared :class:`~repro.analysis.callgraph.Project`
+over *all* parsed files, so a coroutine in ``gateway.py`` calling a blocking
+helper in ``transport.py`` is still caught.  Under plain single-file
+``lint_source`` the rules degrade gracefully to a one-module project.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import FunctionInfo, Project, dotted_name
+from repro.analysis.cfg import build_cfg, held_lock_states, node_await
+from repro.analysis.engine import Finding
+from repro.analysis.rules import Rule, _repro_rel
+
+__all__ = ["CONCURRENCY_RULES", "ConcurrencyRule"]
+
+#: asyncio-object methods that mutate loop-affine state and are therefore
+#: only legal on the loop thread.  The thread-safe bridges
+#: (``call_soon_threadsafe``, ``run_coroutine_threadsafe``) are deliberately
+#: absent — calling those from a foreign thread is the documented fix.
+_LOOP_MUTATORS = frozenset(
+    {
+        "call_soon",
+        "cancel",
+        "clear",
+        "create_task",
+        "get_nowait",
+        "put",
+        "put_nowait",
+        "set",
+        "set_exception",
+        "set_result",
+        "stop",
+    }
+)
+
+#: The sanctioned thread→loop bridge entry points.
+_THREADSAFE_BRIDGES = frozenset({"call_soon_threadsafe", "run_coroutine_threadsafe"})
+
+
+def _chain(names: Tuple[str, ...]) -> str:
+    return " -> ".join(f"{name}()" for name in names)
+
+
+class ConcurrencyRule(Rule):
+    """Base for the flow-aware family: project-scoped, serving-wide."""
+
+    requires_project = True
+
+    def applies_to(self, path: str) -> bool:
+        return _repro_rel(path) is not None
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        # Single-file fallback: a project of one module.  Cross-module
+        # context is lost, but every intra-module violation still fires.
+        yield from self.check_project(Project({path: tree}), tree, path)
+
+    def check_project(
+        self, project: Project, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def _module_functions(self, project: Project, path: str) -> List[FunctionInfo]:
+        module = project.modules.get(path)
+        return list(module.all_functions) if module is not None else []
+
+
+class CoroutineBlockingCall(ConcurrencyRule):
+    """No blocking call is reachable from a coroutine (event-loop stall).
+
+    A coroutine runs on the event-loop thread; any ``time.sleep``, sync
+    socket op, sync ``send_frame``/``recv_frame`` (or ``read_frame``/
+    ``write_frame``) or direct ``detect()`` inside it — **including through
+    sync helper functions, via the call graph** — stalls every other request
+    on the loop for the full duration.  The fix is the async twin
+    (``async_recv_frame`` …) or a ``loop.run_in_executor`` hop, which is
+    exactly how ``gateway.py`` runs the model.  ``await``-ed calls are
+    exempt (they suspend instead of blocking).
+    """
+
+    code = "RPL009"
+    name = "coroutine-blocking-call"
+
+    def check_project(
+        self, project: Project, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        for fn in self._module_functions(project, path):
+            if not fn.is_async:
+                continue
+            reported: Set[int] = set()
+            for call, descr in project.blocking_calls(fn):
+                reported.add(id(call))
+                yield self._finding(
+                    path,
+                    call,
+                    f"blocking {descr} inside async def {fn.name}() stalls the "
+                    "event loop; use the async twin or loop.run_in_executor()",
+                )
+            for call, callee in project.call_edges(fn):
+                if callee.is_async or id(call) in reported:
+                    continue
+                chain = project.blocking_chain(callee)
+                if chain is None:
+                    continue
+                names, descr = chain
+                reported.add(id(call))
+                yield self._finding(
+                    path,
+                    call,
+                    f"call to {callee.display}() blocks the event loop via "
+                    f"{_chain(names)} reaching {descr}; hop via run_in_executor() "
+                    "or make the helper async",
+                )
+            awaited = project.awaited_calls_in(fn)
+            for call in project.calls_in(fn):
+                if id(call) in reported or id(call) in awaited:
+                    continue
+                if (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "detect"
+                ):
+                    resolved = project.resolve_callable(call.func, fn)
+                    if resolved is not None and resolved.is_async:
+                        continue
+                    yield self._finding(
+                        path,
+                        call,
+                        f"direct {dotted_name(call.func)}() inside async def "
+                        f"{fn.name}() runs the model on the event-loop thread; "
+                        "dispatch it via loop.run_in_executor()",
+                    )
+
+
+class AwaitHoldingThreadLock(ConcurrencyRule):
+    """No ``await`` while a ``threading`` lock is held.
+
+    A suspension point parks the coroutine for an unbounded time while the
+    OS lock stays locked, so every *thread* contending for it stalls — and
+    if one of those threads is needed to complete the awaited future, the
+    process deadlocks.  The CFG dataflow makes this flow-sensitive: an
+    ``await`` between ``lock.acquire()`` and ``lock.release()`` is flagged
+    even without a lexical ``with`` block, and an ``await`` after the
+    release is not.  ``asyncio.Lock`` held via ``async with`` is the
+    legitimate pattern and is never flagged.
+    """
+
+    code = "RPL010"
+    name = "await-holding-thread-lock"
+
+    def check_project(
+        self, project: Project, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        for fn in self._module_functions(project, path):
+            if not fn.is_async:
+                continue
+
+            def lock_of(expr: ast.expr, fn: FunctionInfo = fn) -> Optional[str]:
+                return project.threading_lock_id(expr, fn)
+
+            cfg = build_cfg(fn.node)
+            entry_sets = held_lock_states(cfg, lock_of)
+            for node in cfg.nodes:
+                suspends = node_await(node)
+                if suspends is None:
+                    continue
+                held = entry_sets[node.index]
+                if not held:
+                    continue
+                yield self._finding(
+                    path,
+                    suspends,
+                    f"await while holding threading lock "
+                    f"{', '.join(sorted(held))} stalls every contending thread "
+                    "for the whole suspension; release first or use asyncio.Lock",
+                )
+
+
+class LockOrderCycle(ConcurrencyRule):
+    """Lock acquisition order is globally consistent (no A→B / B→A cycles).
+
+    The project-wide lock graph records every site where one threading lock
+    is taken while another is held — lexically nested ``with`` blocks *and*
+    calls whose (transitive) callees acquire locks.  Any edge that sits on a
+    cycle is a potential deadlock the moment two threads interleave; the
+    rule flags each participating edge at its acquisition site so both
+    halves of the inversion are visible.
+    """
+
+    code = "RPL011"
+    name = "lock-order-cycle"
+
+    def check_project(
+        self, project: Project, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int, str, str]] = set()
+        for edge in project.lock_cycle_edges():
+            if edge.path != path:
+                continue
+            key = (edge.line, edge.col, edge.source, edge.target)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Finding(
+                code=self.code,
+                path=path,
+                line=edge.line,
+                col=edge.col,
+                message=(
+                    f"lock-order cycle: {edge.target} acquired (via {edge.via}) "
+                    f"while holding {edge.source}, but the opposite order exists "
+                    "elsewhere; pick one global acquisition order"
+                ),
+            )
+
+
+class DroppedCreateTask(ConcurrencyRule):
+    """``asyncio.create_task`` handles are kept, not fire-and-forgotten.
+
+    The event loop holds only a *weak* reference to tasks; a
+    ``create_task(...)`` whose result is discarded can be garbage-collected
+    mid-flight and silently vanish (with its exceptions).  Keep the handle
+    (assign it, add it to a set with a done-callback) or use a
+    ``TaskGroup``, whose tasks are owned by the group.
+    """
+
+    code = "RPL012"
+    name = "dropped-create-task"
+
+    def check_project(
+        self, project: Project, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+                continue
+            call = node.value
+            func = call.func
+            terminal = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else ""
+            )
+            if terminal != "create_task":
+                continue
+            if isinstance(func, ast.Attribute):
+                receiver = dotted_name(func.value).lower()
+                # TaskGroup.create_task is owned by the group: not dropped.
+                if "group" in receiver or receiver == "tg":
+                    continue
+            yield self._finding(
+                path,
+                call,
+                "create_task() handle discarded; the loop only keeps a weak "
+                "reference, so the task can be garbage-collected mid-flight — "
+                "store the handle or use asyncio.TaskGroup",
+            )
+
+
+class LoopStateFromForeignThread(ConcurrencyRule):
+    """Loop-affine asyncio state is only mutated from the loop thread.
+
+    asyncio primitives (queues, events, futures, the loop itself) are not
+    thread safe; the call graph's thread-context propagation identifies
+    functions that run as ``threading.Thread`` targets (reader threads,
+    server loops), and any ``self.<asyncio attr>.<mutator>()`` there is a
+    data race on loop internals.  Marshal onto the loop with
+    ``loop.call_soon_threadsafe(...)`` / ``run_coroutine_threadsafe`` —
+    those bridges are exempt, as are plain local objects the thread owns.
+    """
+
+    code = "RPL013"
+    name = "loop-state-from-foreign-thread"
+
+    def check_project(
+        self, project: Project, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        thread_context = project.contexts()["thread"]
+        for fn in self._module_functions(project, path):
+            if fn.is_async:
+                continue
+            chain = thread_context.get(fn.qualname)
+            if chain is None:
+                continue
+            attrs = project.asyncio_attrs_of(fn)
+            if not attrs:
+                continue
+            for call in project.calls_in(fn):
+                func = call.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in _LOOP_MUTATORS:
+                    continue
+                receiver = dotted_name(func.value)
+                if not receiver.startswith("self."):
+                    continue
+                attr = receiver.split(".", 1)[1].split(".", 1)[0]
+                if attr not in attrs:
+                    continue
+                yield self._finding(
+                    path,
+                    call,
+                    f"self.{attr}.{func.attr}() runs on a foreign thread "
+                    f"({_chain(chain)} is a Thread target); asyncio state is "
+                    "loop-affine — marshal via loop.call_soon_threadsafe()",
+                )
+
+
+class ExecutorTouchesAsyncio(ConcurrencyRule):
+    """Executor callables do not touch asyncio primitives.
+
+    Functions handed to ``pool.submit`` / ``loop.run_in_executor`` run on a
+    worker thread; the whole point of the hop is to keep blocking work *off*
+    the loop, so reaching back into ``asyncio.*`` or loop-affine ``self``
+    attributes from inside one re-introduces the race the hop removed.
+    Results come back through the returned future; anything else must go
+    through ``call_soon_threadsafe``/``run_coroutine_threadsafe``.
+    """
+
+    code = "RPL014"
+    name = "executor-touches-asyncio"
+
+    def check_project(
+        self, project: Project, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        executor_context = project.contexts()["executor"]
+        for fn in self._module_functions(project, path):
+            if fn.is_async:
+                continue
+            chain = executor_context.get(fn.qualname)
+            if chain is None:
+                continue
+            attrs = project.asyncio_attrs_of(fn)
+            for call in project.calls_in(fn):
+                func = call.func
+                name = dotted_name(func)
+                terminal = func.attr if isinstance(func, ast.Attribute) else name
+                if terminal in _THREADSAFE_BRIDGES:
+                    continue
+                touched = ""
+                if name.startswith("asyncio."):
+                    touched = f"{name}()"
+                elif isinstance(func, ast.Attribute):
+                    receiver = dotted_name(func.value)
+                    if receiver.startswith("self."):
+                        attr = receiver.split(".", 1)[1].split(".", 1)[0]
+                        if attr in attrs:
+                            touched = f"self.{attr}"
+                if not touched:
+                    continue
+                yield self._finding(
+                    path,
+                    call,
+                    f"executor callable {fn.display}() ({_chain(chain)} runs in "
+                    f"an executor) touches asyncio primitive {touched}; hand "
+                    "results back via the future or call_soon_threadsafe()",
+                )
+
+
+CONCURRENCY_RULES: Tuple[Rule, ...] = (
+    CoroutineBlockingCall(),
+    AwaitHoldingThreadLock(),
+    LockOrderCycle(),
+    DroppedCreateTask(),
+    LoopStateFromForeignThread(),
+    ExecutorTouchesAsyncio(),
+)

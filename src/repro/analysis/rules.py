@@ -15,9 +15,12 @@ rules are discoverable without reading this file.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.analysis.engine import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.analysis.callgraph import Project
 
 __all__ = ["Rule", "RULES", "rules_by_code"]
 
@@ -80,12 +83,22 @@ class Rule:
 
     code: str = ""
     name: str = ""
+    #: Flow-aware rules set this; the engine still calls every rule through
+    #: :meth:`check_project`, but the flag documents (and lets tools decide)
+    #: which rules actually consume the shared project.
+    requires_project: bool = False
 
     def applies_to(self, path: str) -> bool:
         raise NotImplementedError
 
     def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
         raise NotImplementedError
+
+    def check_project(
+        self, project: "Project", tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        """Project-aware entry point; syntactic rules ignore the project."""
+        return self.check(tree, path)
 
     def summary(self) -> str:
         """First line of the rule docstring (used by ``--list-rules``)."""
@@ -373,7 +386,10 @@ class FrozenDataclassSetattr(Rule):
                 self.generic_visit(node)
                 self.function_stack.pop()
 
-            visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+            def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+                self.function_stack.append(node.name)
+                self.generic_visit(node)
+                self.function_stack.pop()
 
             def visit_Call(self, node: ast.Call) -> None:
                 if (
@@ -540,6 +556,13 @@ class PoolConfinement(Rule):
                 )
 
 
+# The flow-aware concurrency family (RPL009+) lives in its own module but
+# registers here so every consumer sees one registry.  The import sits at the
+# bottom on purpose: ``concurrency`` imports :class:`Rule` from this module,
+# which is already defined by the time this line runs (the package
+# ``__init__`` imports ``rules`` before ``concurrency`` is reachable).
+from repro.analysis.concurrency import CONCURRENCY_RULES  # noqa: E402
+
 RULES: Tuple[Rule, ...] = (
     AtomicArtifactWrites(),
     PickleTrustBoundary(),
@@ -549,6 +572,7 @@ RULES: Tuple[Rule, ...] = (
     KernelProviderSeam(),
     ServingExceptionWrap(),
     PoolConfinement(),
+    *CONCURRENCY_RULES,
 )
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,7 +29,7 @@ class Incident:
     end_time: float
     n_records: int
     dominant_category: str
-    category_counts: dict = field(default_factory=dict)
+    category_counts: Dict[str, int] = field(default_factory=dict)
     peak_score: float = 0.0
 
     @property
@@ -179,7 +179,7 @@ class AlertAggregator:
         flush()
         return incidents
 
-    def summarize(self, incidents: Sequence[Incident]) -> dict:
+    def summarize(self, incidents: Sequence[Incident]) -> Dict[str, object]:
         """Aggregate statistics over a set of incidents.
 
         ``n_residual_records`` / ``n_residual_groups`` report the alarmed

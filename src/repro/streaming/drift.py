@@ -11,7 +11,9 @@ re-fits).  Two standard change detectors are provided.
 from __future__ import annotations
 
 import abc
+from typing import Iterable, Union
 
+from repro._typing import AnyArray
 from repro.exceptions import ConfigurationError
 from repro.streaming.window import SlidingWindow
 
@@ -23,7 +25,7 @@ class DriftDetector(abc.ABC):
     def update(self, value: float) -> bool:
         """Add one observation; return ``True`` when drift is detected."""
 
-    def update_many(self, values) -> bool:
+    def update_many(self, values: Union[Iterable[float], AnyArray]) -> bool:
         """Feed a batch of observations; ``True`` when any of them fired.
 
         The observations are applied in order with identical semantics to

@@ -21,23 +21,27 @@ thresholding and through periodic retraining on recent traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, cast
 
 import numpy as np
 
+from repro._typing import AnyArray
 from repro.core.detector import BaseAnomalyDetector, alarm_decisions
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.streaming.drift import DriftDetector, MeanShiftDetector
 from repro.streaming.window import EwmaEstimator, SlidingMatrixWindow
 from repro.utils.validation import check_array_2d
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.serving.config import ServingConfig
+
 
 @dataclass
 class OnlineStepResult:
     """Outcome of processing one batch of streamed records."""
 
-    predictions: np.ndarray
-    scores: np.ndarray
+    predictions: AnyArray
+    scores: AnyArray
     drift_detected: bool
     refitted: bool
     effective_scale: float
@@ -47,7 +51,7 @@ class OnlineStepResult:
     #: scale on top, so a drifted-but-benign record can be labelled with a
     #: class yet not alarm.
     categories: Optional[List[str]] = None
-    extra: dict = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
 
 
 class OnlineDetector:
@@ -101,7 +105,7 @@ class OnlineDetector:
         self.score_ewma = EwmaEstimator(alpha=ewma_alpha)
         self.drift_detector = drift_detector or MeanShiftDetector()
         self._buffer = SlidingMatrixWindow(self.buffer_size)
-        self._warmup: List[np.ndarray] = []
+        self._warmup: List[AnyArray] = []
         self._is_warmed_up = self._detector_is_fitted()
         self.n_processed = 0
         self.n_refits = 0
@@ -118,7 +122,7 @@ class OnlineDetector:
         return self._is_warmed_up
 
     @property
-    def serving_config(self):
+    def serving_config(self) -> "Optional[ServingConfig]":
         """The wrapped detector's :class:`~repro.serving.ServingConfig`.
 
         ``None`` for detectors outside the config layer (baselines).  The
@@ -128,7 +132,9 @@ class OnlineDetector:
         newly compiled model, and the next ``process`` batch serves with the
         exact same plan as before the refit.
         """
-        return getattr(self.detector, "serving_config", None)
+        return cast(
+            "Optional[ServingConfig]", getattr(self.detector, "serving_config", None)
+        )
 
     def _effective_scale(self) -> float:
         """Multiplier applied to the nominal threshold of 1.0.
@@ -145,7 +151,7 @@ class OnlineDetector:
         return float(max(1.0, adapted))
 
     # ------------------------------------------------------------------ #
-    def process(self, batch) -> OnlineStepResult:
+    def process(self, batch: object) -> OnlineStepResult:
         """Process one batch of streamed records and return decisions plus bookkeeping."""
         matrix = check_array_2d(batch, "batch")
         self.n_processed += matrix.shape[0]
@@ -153,7 +159,7 @@ class OnlineDetector:
             return self._warmup_step(matrix)
         return self._scoring_step(matrix)
 
-    def _serving_matrix(self, matrix: np.ndarray) -> np.ndarray:
+    def _serving_matrix(self, matrix: AnyArray) -> AnyArray:
         """Cast the scoring copy to the wrapped detector's serving dtype once.
 
         A float32-serving detector would otherwise pay a fresh
@@ -167,7 +173,7 @@ class OnlineDetector:
             return matrix
         return np.ascontiguousarray(matrix, dtype=dtype)
 
-    def _scoring_step(self, matrix: np.ndarray) -> OnlineStepResult:
+    def _scoring_step(self, matrix: AnyArray) -> OnlineStepResult:
         """Score one batch with the fitted detector and run the adaptation loop."""
         # Single-pass serving: one detection pass yields scores *and* class
         # labels (for GhsomDetector that is one tree descent total).
@@ -202,7 +208,7 @@ class OnlineDetector:
             categories=detection.categories,
         )
 
-    def _warmup_step(self, matrix: np.ndarray) -> OnlineStepResult:
+    def _warmup_step(self, matrix: AnyArray) -> OnlineStepResult:
         """Accumulate warm-up records; fit the detector once enough arrived.
 
         The batch that completes warm-up is *not* reported as all-normal
@@ -241,11 +247,11 @@ class OnlineDetector:
         self.score_ewma = EwmaEstimator(alpha=self.score_ewma.alpha)
 
     # ------------------------------------------------------------------ #
-    def predict(self, batch) -> np.ndarray:
+    def predict(self, batch: object) -> AnyArray:
         """Decisions only (convenience wrapper around :meth:`process`)."""
         return self.process(batch).predictions
 
-    def score_samples(self, batch) -> np.ndarray:
+    def score_samples(self, batch: object) -> AnyArray:
         """Scores from the wrapped detector without updating any online state.
 
         Routed through :meth:`_serving_matrix` exactly like :meth:`process`:

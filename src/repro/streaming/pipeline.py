@@ -12,14 +12,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro._typing import AnyArray
 from repro.eval.metrics import binary_metrics
 from repro.exceptions import ConfigurationError
 from repro.streaming.online_detector import OnlineDetector
 from repro.utils.validation import check_array_2d, check_same_length
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.data.synthetic import KddSyntheticGenerator
 
 
 @dataclass(frozen=True)
@@ -63,14 +67,14 @@ class StreamingPipeline:
 
     # ------------------------------------------------------------------ #
     def _iter_windows(
-        self, X: np.ndarray, y: np.ndarray
-    ) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        self, X: AnyArray, y: AnyArray
+    ) -> Iterator[Tuple[int, AnyArray, AnyArray]]:
         n_records = X.shape[0]
         for window_index, start in enumerate(range(0, n_records, self.window_size)):
             stop = min(start + self.window_size, n_records)
             yield window_index, X[start:stop], y[start:stop]
 
-    def run(self, X, y_true_binary: Sequence) -> List[WindowReport]:
+    def run(self, X: object, y_true_binary: Sequence[int]) -> List[WindowReport]:
         """Stream ``X`` through the detector window by window and collect metrics.
 
         Parameters
@@ -105,7 +109,7 @@ class StreamingPipeline:
         return self.reports
 
     # ------------------------------------------------------------------ #
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, object]:
         """Aggregate metrics over all processed windows.
 
         Two aggregate families: the ``mean_*`` keys equal-weight every
@@ -121,7 +125,7 @@ class StreamingPipeline:
         total_records = sum(report.n_records for report in self.reports)
         weights = np.asarray([report.n_records for report in self.reports], dtype=float)
 
-        def weighted(values) -> float:
+        def weighted(values: Sequence[float]) -> float:
             return float(np.average(np.asarray(values, dtype=float), weights=weights))
 
         return {
@@ -152,14 +156,14 @@ class StreamingPipeline:
 
 
 def make_drifting_stream(
-    generator_factory,
+    generator_factory: "Callable[[int], KddSyntheticGenerator]",
     *,
     n_before: int = 4000,
     n_after: int = 4000,
     drift_scale: float = 2.0,
     attack_fraction: float = 0.1,
     random_state: int = 0,
-):
+) -> Tuple[AnyArray, AnyArray, int]:
     """Build a two-phase stream whose normal traffic drifts halfway through.
 
     The second half multiplies the volume-related features of *normal*
@@ -186,7 +190,7 @@ def make_drifting_stream(
         if label != "normal" and label in generator.profiles
     }
     total_attack = sum(attack_weight.values())
-    mix = {"normal": 1.0 - attack_fraction}
+    mix: Dict[str, float] = {"normal": 1.0 - attack_fraction}
     mix.update(
         {
             label: attack_fraction * weight / total_attack

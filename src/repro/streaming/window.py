@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, Optional
+from typing import Deque, Iterable, Optional, Union
 
 import numpy as np
 
+from repro._typing import AnyArray
 from repro.exceptions import ConfigurationError
 
 
@@ -35,7 +36,7 @@ class SlidingWindow:
         """Add one value (evicting the oldest when full)."""
         self._values.append(float(value))
 
-    def extend(self, values: Iterable[float]) -> None:
+    def extend(self, values: Union[Iterable[float], AnyArray]) -> None:
         """Add a batch of values in one O(n) operation.
 
         Equivalent to appending one by one (the deque evicts from the left as
@@ -59,19 +60,19 @@ class SlidingWindow:
         if array.size > self.capacity:
             # Only the trailing `capacity` values can survive anyway.
             array = array[-self.capacity :]
-        self._values.extend(array.tolist())
+        self._values.extend(float(value) for value in array.tolist())
 
-    def values(self) -> np.ndarray:
+    def values(self) -> AnyArray:
         """The current window contents, oldest first."""
         return np.array(self._values, dtype=float)
 
     def mean(self) -> float:
         """Mean of the window (0.0 when empty)."""
-        return float(np.mean(self._values)) if self._values else 0.0
+        return float(np.mean(self.values())) if self._values else 0.0
 
     def std(self) -> float:
         """Standard deviation of the window (0.0 when empty)."""
-        return float(np.std(self._values)) if self._values else 0.0
+        return float(np.std(self.values())) if self._values else 0.0
 
     def percentile(self, q: float) -> float:
         """Percentile ``q`` of the window (0.0 when empty)."""
@@ -100,7 +101,7 @@ class SlidingMatrixWindow:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
-        self._data: Optional[np.ndarray] = None  # (capacity, d), allocated lazily
+        self._data: Optional[AnyArray] = None  # (capacity, d), allocated lazily
         self._head = 0  # next write position
         self._count = 0  # rows currently stored
 
@@ -117,7 +118,7 @@ class SlidingMatrixWindow:
         """Row dimensionality (``None`` until the first batch arrives)."""
         return None if self._data is None else int(self._data.shape[1])
 
-    def extend(self, rows) -> None:
+    def extend(self, rows: object) -> None:
         """Absorb a batch of rows, evicting the oldest when over capacity."""
         batch = np.asarray(rows, dtype=float)
         if batch.size == 0:
@@ -130,40 +131,41 @@ class SlidingMatrixWindow:
             raise ConfigurationError(
                 f"rows must be a 2-D batch, got shape {batch.shape}"
             )
-        if self._data is None:
-            self._data = np.empty((self.capacity, batch.shape[1]), dtype=float)
-        elif batch.shape[1] != self._data.shape[1]:
+        data = self._data
+        if data is None:
+            data = np.empty((self.capacity, batch.shape[1]), dtype=float)
+            self._data = data
+        elif batch.shape[1] != data.shape[1]:
             raise ConfigurationError(
                 f"rows have {batch.shape[1]} features, the buffer holds "
-                f"{self._data.shape[1]}"
+                f"{data.shape[1]}"
             )
         if batch.shape[0] >= self.capacity:
-            self._data[:] = batch[-self.capacity :]
+            data[:] = batch[-self.capacity :]
             self._head = 0
             self._count = self.capacity
             return
         first = min(batch.shape[0], self.capacity - self._head)
-        self._data[self._head : self._head + first] = batch[:first]
+        data[self._head : self._head + first] = batch[:first]
         remainder = batch.shape[0] - first
         if remainder:
-            self._data[:remainder] = batch[first:]
+            data[:remainder] = batch[first:]
         self._head = (self._head + batch.shape[0]) % self.capacity
         self._count = min(self._count + batch.shape[0], self.capacity)
 
-    def values(self) -> np.ndarray:
+    def values(self) -> AnyArray:
         """The buffered rows, oldest first, as a ``(len(self), d)`` copy."""
-        if self._data is None:
+        data = self._data
+        if data is None:
             return np.zeros((0, 0), dtype=float)
         if self._count == 0:
             # Dimensionality is known: keep it in the empty result so callers
             # can concatenate / inspect shape[1] safely.
-            return self._data[:0].copy()
+            return data[:0].copy()
         if self._count < self.capacity:
             # The buffer has never wrapped: rows 0..count are in order.
-            return self._data[: self._count].copy()
-        return np.concatenate(
-            [self._data[self._head :], self._data[: self._head]], axis=0
-        )
+            return data[: self._count].copy()
+        return np.concatenate([data[self._head :], data[: self._head]], axis=0)
 
     def clear(self) -> None:
         """Drop all stored rows (the allocation and dimensionality are kept)."""
@@ -204,18 +206,21 @@ class EwmaEstimator:
         """Fold one observation into the average and return the new mean."""
         value = float(value)
         if self._mean is None:
-            self._mean = value
+            mean = value
             self._variance = 0.0
         else:
             delta = value - self._mean
-            self._mean += self.alpha * delta
-            self._variance = (1.0 - self.alpha) * (self._variance + self.alpha * delta * delta)
+            mean = self._mean + self.alpha * delta
+            self._variance = (1.0 - self.alpha) * (
+                self._variance + self.alpha * delta * delta
+            )
+        self._mean = mean
         self.n_updates += 1
-        return self._mean
+        return mean
 
-    def update_many(self, values: Iterable[float]) -> float:
+    def update_many(self, values: Union[Iterable[float], AnyArray]) -> float:
         """Fold several observations and return the final mean."""
         result = self.mean
         for value in values:
-            result = self.update(value)
+            result = self.update(float(value))
         return result

@@ -1,0 +1,22 @@
+"""RPL009 bad: blocking calls reachable from coroutines.
+
+``handler`` blocks three ways: directly (``time.sleep``), transitively
+through two sync helpers (the case a per-node rule provably misses), and by
+running the model inline with ``detect()``.
+"""
+
+import time
+
+
+def _drain(sock):
+    time.sleep(0.05)
+
+
+def _relay(sock):
+    _drain(sock)
+
+
+async def handler(sock, detector, rows):
+    time.sleep(0.1)
+    _relay(sock)
+    return detector.detect(rows)

@@ -1,0 +1,15 @@
+"""RPL009 good: coroutines await async twins or hop via the executor."""
+
+import asyncio
+
+
+def _score(detector, rows):
+    return detector.detect(rows)
+
+
+async def handler(reader, detector, rows):
+    payload = await reader.read(1024)
+    loop = asyncio.get_running_loop()
+    result = await loop.run_in_executor(None, _score, detector, rows)
+    await asyncio.sleep(0)
+    return payload, result

@@ -1,0 +1,23 @@
+"""RPL010 bad: awaits while a threading lock is held.
+
+``flush`` holds the lock lexically across the await; ``drain`` does it
+flow-wise (``acquire`` … ``await`` … ``release``) with no ``with`` block in
+sight — only the CFG dataflow catches that one.
+"""
+
+import asyncio
+import threading
+
+
+class Batcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def flush(self, batch):
+        with self._lock:
+            await asyncio.sleep(0.01)
+
+    async def drain(self, batch):
+        self._lock.acquire()
+        await asyncio.sleep(0.01)
+        self._lock.release()

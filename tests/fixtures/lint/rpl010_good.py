@@ -1,0 +1,19 @@
+"""RPL010 good: asyncio locks across awaits; thread locks released first."""
+
+import asyncio
+import threading
+
+
+class Batcher:
+    def __init__(self):
+        self._alock = asyncio.Lock()
+        self._tlock = threading.Lock()
+
+    async def flush(self, batch):
+        async with self._alock:
+            await asyncio.sleep(0.01)
+
+    async def drain(self, batch):
+        with self._tlock:
+            batch.reverse()
+        await asyncio.sleep(0.01)

@@ -1,0 +1,19 @@
+"""RPL011 good: one global acquisition order (slots before stats)."""
+
+import threading
+
+
+class ShardTable:
+    def __init__(self):
+        self._slots_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
+    def assign(self, shard):
+        with self._slots_lock:
+            with self._stats_lock:
+                return shard
+
+    def report(self):
+        with self._slots_lock:
+            with self._stats_lock:
+                return {}

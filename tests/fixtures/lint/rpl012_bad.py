@@ -1,0 +1,11 @@
+"""RPL012 bad: fire-and-forget create_task handles."""
+
+import asyncio
+
+
+async def kickoff(worker):
+    asyncio.create_task(worker.run())
+
+
+async def kickoff_on_loop(loop, worker):
+    loop.create_task(worker.run())

@@ -1,0 +1,17 @@
+"""RPL012 good: task handles are stored or owned by a TaskGroup."""
+
+import asyncio
+
+
+class Runner:
+    def __init__(self):
+        self._tasks = set()
+
+    async def kickoff(self, worker):
+        task = asyncio.create_task(worker.run())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def kickoff_group(self, worker):
+        async with asyncio.TaskGroup() as tg:
+            tg.create_task(worker.run())

@@ -1,0 +1,16 @@
+"""RPL013 bad: a reader thread mutates loop-affine asyncio state."""
+
+import asyncio
+import threading
+
+
+class Pump:
+    def __init__(self):
+        self._queue = asyncio.Queue()
+
+    def start(self):
+        thread = threading.Thread(target=self._pump, daemon=True)
+        thread.start()
+
+    def _pump(self):
+        self._queue.put_nowait("frame")

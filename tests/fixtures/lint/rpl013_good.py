@@ -1,0 +1,17 @@
+"""RPL013 good: foreign threads marshal onto the loop thread-safely."""
+
+import asyncio
+import threading
+
+
+class Pump:
+    def __init__(self, loop):
+        self._queue = asyncio.Queue()
+        self._loop = loop
+
+    def start(self):
+        thread = threading.Thread(target=self._pump, daemon=True)
+        thread.start()
+
+    def _pump(self):
+        self._loop.call_soon_threadsafe(self._queue.put_nowait, "frame")

@@ -1,0 +1,16 @@
+"""RPL014 bad: an executor callable reaches back into asyncio state."""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Bridge:
+    def __init__(self):
+        self._done = asyncio.Event()
+        self._pool = ThreadPoolExecutor(max_workers=1)
+
+    def kick(self):
+        self._pool.submit(self._work)
+
+    def _work(self):
+        self._done.set()

@@ -89,3 +89,81 @@ def test_version_flag_mentions_rule_count():
     with pytest.raises(SystemExit) as excinfo:
         parser.parse_args(["--version"])
     assert excinfo.value.code == 0
+
+
+def test_select_restricts_rules_and_json_rules_key(bad_tree, capsys):
+    # RPL002 deselected: the pickle violation disappears and the JSON
+    # payload names exactly the selected family.
+    assert main([str(bad_tree), "--select", "RPL009,RPL010", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules"] == ["RPL009", "RPL010"]
+    assert payload["findings"] == []
+
+
+def test_select_unknown_code_is_a_parser_error(bad_tree):
+    with pytest.raises(SystemExit):
+        main([str(bad_tree), "--select", "RPL999"])
+
+
+def test_report_unused_suppressions_flag(tmp_path, capsys):
+    package = tmp_path / "src" / "repro" / "serving"
+    package.mkdir(parents=True)
+    (package / "custom.py").write_text(
+        "def decode(body):\n"
+        "    return body  # repro-lint: disable=RPL002 -- stale\n"
+    )
+    assert main([str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main([str(tmp_path), "--report-unused-suppressions"]) == 1
+    out = capsys.readouterr().out
+    assert "RPL000" in out
+    assert "disable=RPL002" in out
+
+
+def _git(workdir, *args):
+    import subprocess
+
+    subprocess.run(
+        ["git", *args],
+        cwd=workdir,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(workdir),
+            "PATH": __import__("os").environ["PATH"],
+        },
+    )
+
+
+def test_changed_mode_lints_only_modified_files(tmp_path, monkeypatch, capsys):
+    _git(tmp_path, "init", "-q")
+    clean = tmp_path / "committed.py"
+    clean.write_text("VALUE = 1\n")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    dirty = tmp_path / "src" / "repro" / "serving" / "custom.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text(
+        "import pickle\n\n\ndef decode(body):\n    return pickle.loads(body)\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    assert main(["--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "custom.py" in out
+    assert "RPL002" in out
+
+
+def test_changed_mode_with_clean_tree_exits_zero(tmp_path, monkeypatch, capsys):
+    _git(tmp_path, "init", "-q")
+    monkeypatch.chdir(tmp_path)
+    assert main(["--changed"]) == 0
+    assert "no changed python files" in capsys.readouterr().out
+
+
+def test_changed_mode_rejects_explicit_paths(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--changed", str(tmp_path)])

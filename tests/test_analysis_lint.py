@@ -7,8 +7,24 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import RULES, lint_paths, lint_source, rules_by_code
-from repro.analysis.engine import iter_python_files, suppressed_codes_by_line
+import ast
+
+from repro.analysis import (
+    RULES,
+    UNUSED_SUPPRESSION_CODE,
+    lint_paths,
+    lint_source,
+    lint_sources,
+    rules_by_code,
+)
+from repro.analysis.callgraph import Project
+from repro.analysis.cfg import build_cfg, held_lock_states, node_await
+from repro.analysis.engine import (
+    Suppression,
+    iter_python_files,
+    scan_suppressions,
+    suppressed_codes_by_line,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
@@ -25,6 +41,12 @@ FIXTURE_PATHS = {
     "RPL006": "src/repro/serving/backends.py",
     "RPL007": "src/repro/serving/pool.py",
     "RPL008": "src/repro/serving/router.py",
+    "RPL009": "src/repro/serving/gateway.py",
+    "RPL010": "src/repro/serving/gateway.py",
+    "RPL011": "src/repro/serving/remote.py",
+    "RPL012": "src/repro/serving/gateway.py",
+    "RPL013": "src/repro/serving/gateway.py",
+    "RPL014": "src/repro/serving/backends.py",
 }
 
 ALL_CODES = sorted(FIXTURE_PATHS)
@@ -35,11 +57,18 @@ def _fixture(code: str, kind: str) -> str:
 
 
 class TestRegistry:
-    def test_eight_rules_with_unique_codes(self):
+    def test_fourteen_rules_with_unique_codes(self):
         codes = [rule.code for rule in RULES]
-        assert len(codes) >= 8
+        assert len(codes) >= 14
         assert len(set(codes)) == len(codes)
         assert codes == sorted(codes)
+
+    def test_concurrency_rules_are_project_scoped(self):
+        mapping = rules_by_code()
+        for code in ("RPL009", "RPL010", "RPL011", "RPL012", "RPL013", "RPL014"):
+            assert mapping[code].requires_project, code
+        for code in ("RPL001", "RPL002", "RPL004"):
+            assert not mapping[code].requires_project, code
 
     def test_every_rule_documents_its_invariant(self):
         for rule in RULES:
@@ -115,7 +144,12 @@ class TestSuppressions:
 
 class TestRepoSelfCheck:
     def test_repo_tree_is_clean(self):
-        findings = lint_paths([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+        # Stale-suppression reporting is on: the tree must carry zero
+        # unsuppressed findings AND zero suppressions that silence nothing.
+        findings = lint_paths(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")],
+            report_unused_suppressions=True,
+        )
         assert findings == [], "\n".join(finding.render() for finding in findings)
 
     def test_walker_skips_lint_fixtures(self):
@@ -127,3 +161,345 @@ class TestRepoSelfCheck:
         for code in ALL_CODES:
             assert (FIXTURES / f"{code.lower()}_bad.py").is_file()
             assert (FIXTURES / f"{code.lower()}_good.py").is_file()
+
+    def test_serving_stack_satisfies_concurrency_invariants(self):
+        # Regression guard for the RPL009-RPL014 family over the *real*
+        # serving stack: the thread+asyncio hybrid must keep satisfying the
+        # concurrency invariants without a single new suppression.
+        serving = REPO_ROOT / "src" / "repro" / "serving"
+        concurrency = [rule for rule in RULES if rule.requires_project]
+        findings = lint_paths([str(serving)], rules=concurrency)
+        assert findings == [], "\n".join(finding.render() for finding in findings)
+
+
+class TestFlowSensitivity:
+    """The concurrency family sees through call chains — the per-node
+    rules of PR 8 provably cannot (nothing at the call site mentions a
+    blocking primitive)."""
+
+    def test_blocking_call_through_helper_is_flagged(self):
+        source = (
+            "import time\n"
+            "\n"
+            "def helper():\n"
+            "    time.sleep(1.0)\n"
+            "\n"
+            "async def handler():\n"
+            "    helper()\n"
+        )
+        findings = lint_source(source, "src/repro/serving/gateway.py")
+        assert [finding.code for finding in findings] == ["RPL009"]
+        finding = findings[0]
+        # Flagged at the helper() *call site* inside the coroutine (line 7),
+        # which lexically contains no blocking primitive at all.
+        assert finding.line == 7
+        assert "helper()" in finding.message
+        assert "time.sleep" in finding.message
+
+    def test_blocking_call_through_cross_module_helper_is_flagged(self):
+        transport = "import time\n\ndef slow_frame_read(sock):\n    time.sleep(1.0)\n"
+        gateway = "async def handler(sock):\n    slow_frame_read(sock)\n"
+        findings = lint_sources(
+            {
+                "src/repro/serving/transport.py": transport,
+                "src/repro/serving/gateway.py": gateway,
+            }
+        )
+        assert [finding.code for finding in findings] == ["RPL009"]
+        assert findings[0].path == "src/repro/serving/gateway.py"
+
+    def test_ambiguous_callee_name_produces_no_edge(self):
+        # Two same-named sync functions: the call cannot be resolved, so the
+        # conservative call graph must NOT invent a blocking edge.
+        source = (
+            "import time\n"
+            "\n"
+            "class A:\n"
+            "    def work(self): ...\n"
+            "\n"
+            "def work():\n"
+            "    time.sleep(1.0)\n"
+            "\n"
+            "async def handler(thing):\n"
+            "    thing.work()\n"
+        )
+        findings = lint_source(source, "src/repro/serving/gateway.py")
+        assert findings == []
+
+    def test_await_after_lock_release_is_not_flagged(self):
+        source = (
+            "import asyncio\n"
+            "import threading\n"
+            "\n"
+            "class G:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "\n"
+            "    async def run(self):\n"
+            "        self._lock.acquire()\n"
+            "        self._lock.release()\n"
+            "        await asyncio.sleep(0)\n"
+        )
+        assert lint_source(source, "src/repro/serving/gateway.py") == []
+
+    def test_await_between_acquire_and_release_is_flagged(self):
+        source = (
+            "import asyncio\n"
+            "import threading\n"
+            "\n"
+            "class G:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "\n"
+            "    async def run(self):\n"
+            "        self._lock.acquire()\n"
+            "        await asyncio.sleep(0)\n"
+            "        self._lock.release()\n"
+        )
+        findings = lint_source(source, "src/repro/serving/gateway.py")
+        assert [finding.code for finding in findings] == ["RPL010"]
+        assert findings[0].line == 10
+
+    def test_lock_cycle_through_a_call_is_flagged(self):
+        # One half of the inversion hides behind a method call: ``report``
+        # holds stats and *calls* a helper that takes slots.
+        source = (
+            "import threading\n"
+            "\n"
+            "class T:\n"
+            "    def __init__(self):\n"
+            "        self._slots_lock = threading.Lock()\n"
+            "        self._stats_lock = threading.Lock()\n"
+            "\n"
+            "    def assign(self):\n"
+            "        with self._slots_lock:\n"
+            "            with self._stats_lock:\n"
+            "                pass\n"
+            "\n"
+            "    def _count(self):\n"
+            "        with self._slots_lock:\n"
+            "            return 0\n"
+            "\n"
+            "    def report(self):\n"
+            "        with self._stats_lock:\n"
+            "            return self._count()\n"
+        )
+        findings = lint_source(source, "src/repro/serving/remote.py")
+        assert "RPL011" in {finding.code for finding in findings}
+
+
+class TestStaleSuppressions:
+    def test_scan_resolves_inline_and_previous_line(self):
+        source = (
+            "x = 1  # repro-lint: disable=RPL001 -- inline\n"
+            "# repro-lint: disable=RPL002 -- above\n"
+            "y = 2\n"
+        )
+        assert scan_suppressions(source) == [
+            Suppression(code="RPL001", target_line=1, comment_line=1),
+            Suppression(code="RPL002", target_line=3, comment_line=2),
+        ]
+
+    def test_docstring_mentioning_syntax_is_not_a_suppression(self):
+        # The engine's own docstring documents the syntax; a line-regex
+        # scanner would turn that prose into a phantom suppression.
+        source = (
+            '"""Docs.\n'
+            "\n"
+            "    # repro-lint: disable=RPL003 -- example from the docs\n"
+            '"""\n'
+            "x = 1\n"
+        )
+        assert scan_suppressions(source) == []
+
+    def test_unused_suppression_reported_at_comment_line(self):
+        source = (
+            "import json\n"
+            "def publish(path, payload):\n"
+            "    # repro-lint: disable=RPL001 -- stale: write is atomic now\n"
+            "    return path\n"
+        )
+        findings = lint_source(
+            source,
+            "src/repro/streaming/export.py",
+            report_unused_suppressions=True,
+        )
+        assert [finding.code for finding in findings] == [UNUSED_SUPPRESSION_CODE]
+        assert findings[0].line == 3
+        assert "RPL001" in findings[0].message
+
+    def test_used_suppression_is_not_reported(self):
+        source = (
+            "import pickle\n"
+            "def decode(body):\n"
+            "    return pickle.loads(body)  # repro-lint: disable=RPL002 -- test\n"
+        )
+        findings = lint_source(
+            source,
+            "src/repro/serving/remote.py",
+            report_unused_suppressions=True,
+        )
+        assert findings == []
+
+    def test_suppressions_for_unselected_rules_are_ignored(self):
+        # Under --select RPL002 a (used) RPL003 suppression elsewhere must
+        # not be reported stale: its rule simply did not run.
+        source = (
+            "x = 1  # repro-lint: disable=RPL003 -- hot-path contract\n"
+        )
+        rule = rules_by_code()["RPL002"]
+        findings = lint_source(
+            source,
+            "src/repro/serving/remote.py",
+            rules=[rule],
+            report_unused_suppressions=True,
+        )
+        assert findings == []
+
+    def test_default_lint_does_not_report_stale_suppressions(self):
+        source = "x = 1  # repro-lint: disable=RPL001 -- stale\n"
+        assert lint_source(source, "src/repro/streaming/export.py") == []
+
+
+class TestControlFlowGraph:
+    @staticmethod
+    def _fn(source):
+        module = ast.parse(source)
+        fn = module.body[-1]
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        return fn
+
+    def test_branches_rejoin(self):
+        fn = self._fn(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        cfg = build_cfg(fn)
+        returns = [n for n in cfg.nodes if isinstance(n.statement, ast.Return)]
+        assert len(returns) == 1
+        # Both branch arms flow into the return.
+        assert len(returns[0].predecessors) == 2
+
+    def test_loop_has_back_edge(self):
+        fn = self._fn("def f(xs):\n    for x in xs:\n        use(x)\n")
+        cfg = build_cfg(fn)
+        header = next(n for n in cfg.nodes if isinstance(n.statement, ast.For))
+        body = next(n for n in cfg.nodes if isinstance(n.statement, ast.Expr))
+        assert header.index in body.successors
+
+    def test_held_locks_flow_through_with_blocks(self):
+        fn = self._fn(
+            "async def f(self):\n"
+            "    with self._lock:\n"
+            "        await step_one()\n"
+            "    await step_two()\n"
+        )
+        cfg = build_cfg(fn)
+
+        def lock_of(expr):
+            return "L" if "lock" in ast.unparse(expr) else None
+
+        states = held_lock_states(cfg, lock_of)
+        awaits = [n for n in cfg.nodes if node_await(n) is not None and n.kind == "stmt"]
+        assert len(awaits) == 2
+        inside, outside = awaits
+        assert states[inside.index] == {"L"}
+        assert states[outside.index] == set()
+
+    def test_try_bodies_edge_into_handlers(self):
+        fn = self._fn(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except ValueError:\n"
+            "        recover()\n"
+        )
+        cfg = build_cfg(fn)
+        handler = next(
+            n for n in cfg.nodes if isinstance(n.statement, ast.ExceptHandler)
+        )
+        assert handler.predecessors  # reachable from the try body
+
+
+class TestCallGraph:
+    @staticmethod
+    def _project(**sources):
+        return Project(
+            {path.replace("__", "/"): ast.parse(text) for path, text in sources.items()}
+        )
+
+    def test_thread_target_context_propagates(self):
+        project = self._project(
+            mod=(
+                "import threading\n"
+                "class C:\n"
+                "    def start(self):\n"
+                "        threading.Thread(target=self._loop).start()\n"
+                "    def _loop(self):\n"
+                "        self._step()\n"
+                "    def _step(self):\n"
+                "        pass\n"
+            )
+        )
+        chains = project.contexts()["thread"]
+        assert any(q.endswith("C._loop") for q in chains)
+        step = next(q for q in chains if q.endswith("C._step"))
+        assert chains[step] == ("C._loop", "C._step")
+
+    def test_async_callees_stop_propagation(self):
+        project = self._project(
+            mod=(
+                "async def outer():\n"
+                "    helper()\n"
+                "def helper():\n"
+                "    pass\n"
+                "async def separate():\n"
+                "    pass\n"
+            )
+        )
+        chains = project.contexts()["coroutine"]
+        assert any(q.endswith("::helper") for q in chains)
+        # An async def is its own seed (chain length 1), never entered
+        # through a sync edge.
+        separate = next(q for q in chains if q.endswith("::separate"))
+        assert chains[separate] == ("separate",)
+
+    def test_blocking_chain_follows_helpers(self):
+        project = self._project(
+            mod=(
+                "import time\n"
+                "def a():\n"
+                "    b()\n"
+                "def b():\n"
+                "    time.sleep(1)\n"
+            )
+        )
+        module = project.modules["mod"]
+        fn_a = module.functions["a"]
+        chain = project.blocking_chain(fn_a)
+        assert chain == (("a", "b"), "time.sleep()")
+
+    def test_recursive_helpers_terminate(self):
+        project = self._project(
+            mod=("def a():\n    b()\ndef b():\n    a()\n")
+        )
+        module = project.modules["mod"]
+        assert project.blocking_chain(module.functions["a"]) is None
+
+    def test_awaited_calls_are_not_blocking(self):
+        project = self._project(
+            mod=(
+                "async def f(conn):\n"
+                "    await conn.recv(1)\n"
+                "    conn.recv(1)\n"
+            )
+        )
+        module = project.modules["mod"]
+        fn = module.all_functions[0]
+        sites = project.blocking_calls(fn)
+        assert len(sites) == 1
+        assert sites[0][0].lineno == 3
